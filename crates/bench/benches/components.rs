@@ -1,0 +1,257 @@
+//! Criterion micro-benchmarks for the individual ILLIXR-rs components —
+//! the per-kernel counterpart of the figure/table harness binaries.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use illixr_audio::ambisonics::encode_block;
+use illixr_audio::binaural::{default_ring_bank, psychoacoustic_filter, BinauralDecoder};
+use illixr_dsp::fft::fft_in_place;
+use illixr_dsp::Complex;
+use illixr_image::{flip, ssim, GrayImage, RgbImage};
+use illixr_math::{Pose, Quat, Vec3};
+use illixr_render::apps::Application;
+use illixr_render::raster::Rasterizer;
+use illixr_sensors::camera::{PinholeCamera, StereoRig};
+use illixr_sensors::dataset::SyntheticDataset;
+use illixr_sensors::types::StereoFrame;
+use illixr_eyetrack::eye::{render_eye, EyeParams};
+use illixr_eyetrack::net::SegmentationNet;
+use illixr_math::DMatrix;
+use illixr_reconstruction::maps::{normal_map, preprocess_depth, vertex_map};
+use illixr_reconstruction::tsdf::TsdfVolume;
+use illixr_vio::fast::detect_fast;
+use illixr_vio::klt::{track_points, KltParams};
+use illixr_vio::integrator::{propagate, ImuState, Scheme};
+use illixr_vio::msckf::{Msckf, VioConfig};
+use illixr_visual::distortion::{DistortionMesh, DistortionParams};
+use illixr_visual::hologram::{compute_hologram, HologramConfig};
+use illixr_visual::reprojection::{reproject, ReprojectionConfig};
+
+fn bench_dsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp");
+    group.bench_function("fft_1024", |b| {
+        let signal: Vec<Complex> =
+            (0..1024).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        b.iter(|| {
+            let mut buf = signal.clone();
+            fft_in_place(&mut buf);
+            buf
+        });
+    });
+    group.finish();
+}
+
+fn bench_vio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vio");
+    group.sample_size(20);
+    let ds = SyntheticDataset::vicon_room_like(1, 3.0);
+    let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+    let (left, _right) = ds.render_frame(&rig, 10);
+
+    group.bench_function("fast_detect_qvga", |b| {
+        b.iter(|| detect_fast(&left, 0.12, 60, 24));
+    });
+
+    group.bench_function("imu_propagate_rk4_66ms", |b| {
+        let gt0 = &ds.ground_truth[0];
+        let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
+        let window = &ds.imu[0..34];
+        b.iter(|| propagate(&init, window, Scheme::Rk4));
+    });
+
+    group.bench_function("msckf_frame_qvga", |b| {
+        b.iter_batched(
+            || {
+                let gt0 = &ds.ground_truth[0];
+                let mut filter = Msckf::new(
+                    VioConfig::fast(PinholeCamera::qvga()),
+                    ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity),
+                );
+                // Warm up: 3 frames to populate tracks and clones.
+                let mut imu_idx = 0;
+                for k in 0..3 {
+                    let t = ds.camera_times[k];
+                    while imu_idx < ds.imu.len() && ds.imu[imu_idx].timestamp <= t {
+                        filter.process_imu(ds.imu[imu_idx]);
+                        imu_idx += 1;
+                    }
+                    let (l, r) = ds.render_frame(&rig, k);
+                    filter.process_frame(
+                        &StereoFrame { timestamp: t, left: Arc::new(l), right: Arc::new(r), seq: k as u64 },
+                        None,
+                    );
+                }
+                let t = ds.camera_times[3];
+                while imu_idx < ds.imu.len() && ds.imu[imu_idx].timestamp <= t {
+                    filter.process_imu(ds.imu[imu_idx]);
+                    imu_idx += 1;
+                }
+                let (l, r) = ds.render_frame(&rig, 3);
+                (filter, StereoFrame { timestamp: t, left: Arc::new(l), right: Arc::new(r), seq: 3 })
+            },
+            |(mut filter, frame)| filter.process_frame(&frame, None),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("math");
+    let a = DMatrix::from_fn(40, 40, |r, c2| ((r * 7 + c2 * 3) % 13) as f64 - 6.0);
+    let spd = {
+        let mut m = a.mul_transpose(&a);
+        for i in 0..40 {
+            m[(i, i)] += 40.0;
+        }
+        m
+    };
+    group.bench_function("cholesky_solve_40", |b| {
+        let rhs = DMatrix::from_fn(40, 1, |r, _| r as f64);
+        b.iter(|| illixr_math::Cholesky::new(&spd).unwrap().solve(&rhs));
+    });
+    group.bench_function("qr_40x20", |b| {
+        let tall = DMatrix::from_fn(40, 20, |r, c2| (r as f64 * 0.3 - c2 as f64).sin());
+        b.iter(|| illixr_math::Qr::new(&tall).unwrap().r());
+    });
+    group.bench_function("svd_20x10", |b| {
+        let m = DMatrix::from_fn(20, 10, |r, c2| ((r + 2 * c2) % 7) as f64 - 3.0);
+        b.iter(|| illixr_math::Svd::new(&m).unwrap().sigma.clone());
+    });
+    group.finish();
+}
+
+fn bench_perception_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perception_kernels");
+    group.sample_size(20);
+    let ds = SyntheticDataset::vicon_room_like(2, 1.0);
+    let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+    let (left, right) = ds.render_frame(&rig, 3);
+    let (left2, _) = ds.render_frame(&rig, 4);
+    group.bench_function("klt_track_40pts_qvga", |b| {
+        let corners = detect_fast(&left, 0.12, 40, 24);
+        let points: Vec<illixr_math::Vec2> =
+            corners.iter().map(|c2| illixr_math::Vec2::new(c2.x as f64, c2.y as f64)).collect();
+        b.iter(|| track_points(&left, &left2, &points, None, &KltParams::default()));
+    });
+    let _ = right;
+    let depth_cam =
+        PinholeCamera { fx: 95.0, fy: 95.0, cx: 48.0, cy: 36.0, width: 96, height: 72 };
+    let depth_rig = StereoRig::zed_mini(depth_cam);
+    let world = illixr_sensors::world::LandmarkWorld::lab(2);
+    let depth = world.render_depth(&depth_rig, &illixr_math::Pose::IDENTITY);
+    group.bench_function("bilateral_depth_96x72", |b| {
+        b.iter(|| preprocess_depth(&depth));
+    });
+    group.bench_function("vertex_normal_maps_96x72", |b| {
+        b.iter(|| {
+            let v = vertex_map(&depth, &depth_cam);
+            normal_map(&v, depth_cam.width, depth_cam.height)
+        });
+    });
+    group.bench_function("tsdf_integrate_32cube", |b| {
+        b.iter_batched(
+            || TsdfVolume::new([32; 3], 0.25, illixr_math::Vec3::splat(-4.0)),
+            |mut vol| {
+                vol.integrate(&depth, &depth_cam, &illixr_math::Pose::IDENTITY);
+                vol
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("eyetrack_cnn_forward_96x64", |b| {
+        let net = SegmentationNet::new();
+        let img = render_eye(&EyeParams::default());
+        b.iter(|| net.segment(&img));
+    });
+    group.finish();
+}
+
+fn bench_visual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visual");
+    group.sample_size(30);
+    let img = RgbImage::from_fn(256, 256, |x, y| {
+        [(x % 31) as f32 / 31.0, (y % 17) as f32 / 17.0, 0.5]
+    });
+    let cfg = ReprojectionConfig::rotational(1.57, 1.0);
+    let display = Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Y, 0.03));
+    group.bench_function("reproject_256", |b| {
+        b.iter(|| reproject(&img, &Pose::IDENTITY, &display, &cfg));
+    });
+    let mesh = DistortionMesh::new(&DistortionParams::default());
+    group.bench_function("distortion_chromatic_256", |b| {
+        b.iter(|| mesh.apply(&img));
+    });
+    let holo_cfg = HologramConfig { iterations: 3, ..Default::default() };
+    let target = GrayImage::from_fn(holo_cfg.width, holo_cfg.height, |x, y| {
+        ((x / 8 + y / 8) % 2) as f32
+    });
+    group.bench_function("hologram_64_2planes_3iter", |b| {
+        b.iter(|| compute_hologram(&[target.clone(), target.clone()], &holo_cfg, None));
+    });
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render");
+    group.sample_size(20);
+    for app in [Application::Sponza, Application::ArDemo] {
+        let mut scene = app.build(1);
+        scene.animate_to(0.5);
+        let eye = Pose::new(Vec3::new(0.0, 1.6, 4.0), Quat::IDENTITY);
+        group.bench_function(format!("raster_96_{}", app.label().replace(' ', "_")), |b| {
+            let mut raster = Rasterizer::new(96, 96);
+            b.iter(|| scene.render(&mut raster, &eye, 1.57, 1.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_audio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audio");
+    let mono: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.05).sin() * 0.5).collect();
+    group.bench_function("hoa_encode_1024", |b| {
+        b.iter(|| encode_block(&mono, 0.7, 0.1));
+    });
+    let field = encode_block(&mono, 0.7, 0.1);
+    group.bench_function("psychoacoustic_1024", |b| {
+        b.iter(|| psychoacoustic_filter(&field, 48_000.0));
+    });
+    group.bench_function("binaural_block_1024", |b| {
+        let bank = default_ring_bank(48_000.0);
+        let mut decoder = BinauralDecoder::new(&bank, 1024);
+        b.iter(|| decoder.process(&field));
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("image_quality");
+    group.sample_size(20);
+    let a = GrayImage::from_fn(96, 96, |x, y| ((x * y) % 97) as f32 / 97.0);
+    let b_img = a.map(|v| (v + 0.05).min(1.0));
+    group.bench_function("ssim_96", |bch| {
+        bch.iter(|| ssim(&a, &b_img));
+    });
+    let ra = RgbImage::from_fn(96, 96, |x, y| [x as f32 / 96.0, y as f32 / 96.0, 0.4]);
+    let rb = RgbImage::from_fn(96, 96, |x, y| [x as f32 / 96.0, y as f32 / 90.0, 0.45]);
+    group.bench_function("flip_96", |bch| {
+        bch.iter(|| flip(&ra, &rb));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsp,
+    bench_math,
+    bench_vio,
+    bench_perception_kernels,
+    bench_visual,
+    bench_render,
+    bench_audio,
+    bench_metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Extended-configuration ablation (§V-A): what happens to the base
+//! system when the "futuristic" components — eye tracking and scene
+//! reconstruction — join the integrated configuration instead of running
+//! standalone.
+//!
+//! The paper warns: *"future systems will support larger and faster
+//! displays … and will integrate more components, further stressing the
+//! entire system."* This binary quantifies that stress.
+
+use illixr_bench::{rule, sim_duration};
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::{ExperimentConfig, IntegratedExperiment};
+
+fn main() {
+    println!("Extended-configuration ablation: + eye tracking + scene reconstruction");
+    println!("(Platformer; base = the paper's integrated configuration §III-B)\n");
+    println!(
+        "{:<11} {:<9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "platform", "config", "app Hz", "warp Hz", "eye Hz", "MTP (ms)", "GPU util"
+    );
+    rule(74);
+    for platform in [Platform::Desktop, Platform::JetsonHP] {
+        for extended in [false, true] {
+            let mut cfg = ExperimentConfig::paper(Application::Platformer, platform);
+            cfg.duration = sim_duration();
+            if extended {
+                cfg = cfg.with_extended_components();
+            }
+            let r = IntegratedExperiment::run(&cfg);
+            let hz = |name: &str| r.stats(name).map(|s| s.achieved_hz).unwrap_or(0.0);
+            let mtp = r.mtp_ms().map(|m| format!("{m:.1}")).unwrap_or_else(|| "-".into());
+            println!(
+                "{:<11} {:<9} {:>9.1} {:>9.1} {:>9.1} {:>10} {:>8.0}%",
+                platform.label(),
+                if extended { "extended" } else { "base" },
+                hz("application"),
+                hz("timewarp"),
+                hz("eye_tracking"),
+                mtp,
+                r.gpu_util * 100.0,
+            );
+        }
+    }
+    println!("\nAdding components the GPU must share pushes the application (and on");
+    println!("embedded platforms the whole visual pipeline) further from its targets —");
+    println!("the paper's motivation for system-level accelerator sharing (§V-B).");
+}

@@ -1,0 +1,44 @@
+//! Fig 3: average frame rate for each component, per application and
+//! platform, against the Table III targets.
+
+use illixr_bench::{experiment_config, rule};
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::IntegratedExperiment;
+
+fn main() {
+    let targets: [(&str, f64); 8] = [
+        ("camera", 15.0),
+        ("vio", 15.0),
+        ("imu", 500.0),
+        ("imu_integrator", 500.0),
+        ("application", 120.0),
+        ("timewarp", 120.0),
+        ("audio_playback", 48.0),
+        ("audio_encoding", 48.0),
+    ];
+    println!("Fig 3: average component frame rates (Hz); target in [brackets]");
+    println!("(paper: Fig 3a–c — desktop meets nearly all targets, Jetson-HP degrades the");
+    println!(" visual pipeline, Jetson-LP misses everything except audio)");
+    for platform in Platform::ALL {
+        println!("\n=== {platform} ===");
+        print!("{:<16}", "component");
+        for app in Application::ALL {
+            print!(" {:>12}", app.label());
+        }
+        println!();
+        rule(16 + 13 * 4);
+        let results: Vec<_> = Application::ALL
+            .iter()
+            .map(|&app| IntegratedExperiment::run(&experiment_config(app, platform)))
+            .collect();
+        for (name, target) in targets {
+            print!("{:<16}", format!("{name} [{target:.0}]"));
+            for r in &results {
+                let hz = r.stats(name).map(|s| s.achieved_hz).unwrap_or(0.0);
+                print!(" {hz:>12.1}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig 4: per-frame execution times for every component, Platformer on
+//! the desktop. The top panel of the paper's figure shows VIO and the
+//! application; the bottom panel the remaining components.
+
+use illixr_bench::experiment_config;
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::{IntegratedExperiment, COMPONENTS};
+
+fn main() {
+    let result =
+        IntegratedExperiment::run(&experiment_config(Application::Platformer, Platform::Desktop));
+    println!("Fig 4: per-frame execution time (ms), Platformer on Desktop");
+    println!("(paper: VIO 5–25 ms with high variance; other components ≤ ~2 ms, all jittery)\n");
+    for name in COMPONENTS {
+        let records = result.telemetry.records(name);
+        if records.is_empty() {
+            continue;
+        }
+        let series: Vec<f64> =
+            records.iter().map(|r| r.execution_time().as_secs_f64() * 1e3).collect();
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let std = (series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (series.len().max(2) - 1) as f64)
+            .sqrt();
+        let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = series.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{name:<16} n={:<5} mean={mean:>7.3} std={std:>6.3} min={min:>7.3} max={max:>7.3}",
+            series.len()
+        );
+        // Print the (down-sampled) time series itself — the figure's
+        // content — at most 60 points.
+        let stride = (series.len() / 60).max(1);
+        let pts: Vec<String> =
+            series.iter().step_by(stride).map(|v| format!("{v:.2}")).collect();
+        println!("  series(ms): {}", pts.join(" "));
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig 5: contribution of each component to total CPU time, per
+//! application and platform.
+
+use illixr_bench::{experiment_config, rule};
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::{IntegratedExperiment, COMPONENTS};
+
+fn main() {
+    println!("Fig 5: share of total CPU cycles per component (%)");
+    println!("(paper: VIO and the application dominate, reprojection < 10 %, IMU-side");
+    println!(" components gain share on the constrained Jetsons)\n");
+    for platform in Platform::ALL {
+        println!("=== {platform} ===");
+        print!("{:<16}", "component");
+        for app in Application::ALL {
+            print!(" {:>11}", app.label());
+        }
+        println!();
+        rule(16 + 12 * 4);
+        let shares: Vec<Vec<(String, f64)>> = Application::ALL
+            .iter()
+            .map(|&app| {
+                IntegratedExperiment::run(&experiment_config(app, platform)).cpu_shares()
+            })
+            .collect();
+        for name in COMPONENTS {
+            print!("{name:<16}");
+            for app_shares in &shares {
+                let v = app_shares
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, s)| *s * 100.0)
+                    .unwrap_or(0.0);
+                print!(" {v:>10.1}%");
+            }
+            println!();
+        }
+        println!();
+    }
+}

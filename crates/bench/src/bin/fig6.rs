@@ -1,0 +1,46 @@
+//! Fig 6: (a) total power and (b) power-rail breakdown per application
+//! and platform.
+
+use illixr_bench::{experiment_config, rule};
+use illixr_platform::power::Rail;
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::IntegratedExperiment;
+
+fn main() {
+    println!("Fig 6a: total power (W) — note the paper plots this on a log scale");
+    println!("(paper: desktop ~hundreds of W, Jetsons near the 10 W preset; the ideal");
+    println!(" device budget is 0.1–2 W — a 2–3 order-of-magnitude gap)\n");
+    print!("{:<12}", "platform");
+    for app in Application::ALL {
+        print!(" {:>11}", app.label());
+    }
+    println!();
+    rule(12 + 12 * 4);
+    let mut results = Vec::new();
+    for platform in Platform::ALL {
+        print!("{:<12}", platform.label());
+        for app in Application::ALL {
+            let r = IntegratedExperiment::run(&experiment_config(app, platform));
+            print!(" {:>10.1}W", r.power.total());
+            results.push(r);
+        }
+        println!();
+    }
+
+    println!("\nFig 6b: power breakdown by hardware unit (%)");
+    println!("(paper: GPU dominates the desktop; on Jetson-LP the SoC+Sys rails exceed 50 %)\n");
+    print!("{:<22}", "platform/app");
+    for rail in Rail::ALL {
+        print!(" {:>7}", rail.label());
+    }
+    println!();
+    rule(22 + 8 * 5);
+    for r in &results {
+        print!("{:<22}", format!("{}/{}", r.platform.label(), r.app.label()));
+        for rail in Rail::ALL {
+            print!(" {:>6.1}%", r.power.share(rail) * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fig 7: per-frame motion-to-photon latency, Platformer, all three
+//! platforms.
+
+use illixr_bench::experiment_config;
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::IntegratedExperiment;
+
+fn main() {
+    println!("Fig 7: motion-to-photon latency per frame (ms), Platformer");
+    println!("(paper: desktop ≈ 3 ms flat; Jetson-HP ≈ 6 ms; Jetson-LP ≈ 11 ms and spiky)\n");
+    for platform in Platform::ALL {
+        let r = IntegratedExperiment::run(&experiment_config(Application::Platformer, platform));
+        let series: Vec<f64> = r.mtp.iter().map(|s| s.total().as_secs_f64() * 1e3).collect();
+        let stats = r.mtp_ms().expect("mtp samples");
+        println!("{:<10} n={:<5} mean±std = {:.1} ms", platform.label(), series.len(), stats);
+        let stride = (series.len() / 80).max(1);
+        let pts: Vec<String> = series.iter().step_by(stride).map(|v| format!("{v:.2}")).collect();
+        println!("  series(ms): {}\n", pts.join(" "));
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig 8: IPC and top-down cycle breakdown (retiring / bad speculation /
+//! frontend bound / backend bound) per component, from the analytical
+//! microarchitecture model over the hand-derived op-mix profiles.
+
+use illixr_bench::{component_op_mixes, rule};
+use illixr_platform::uarch::UarchModel;
+
+fn main() {
+    println!("Fig 8: cycle breakdown and IPC per component (analytical model)");
+    println!("(paper: IPC spans 0.3 (reprojection, frontend-bound driver code) to 3.5");
+    println!(" (audio playback, 86 % retiring); top-down identity retiring = IPC/4)\n");
+    print!("{:<16}", "component");
+    println!(" {:>9} {:>9} {:>9} {:>9} {:>6}", "retiring", "bad-spec", "frontend", "backend", "IPC");
+    rule(16 + 10 * 4 + 7);
+    let model = UarchModel::new();
+    for (name, mix) in component_op_mixes() {
+        let b = model.evaluate(&mix);
+        println!(
+            "{name:<16} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>6.2}",
+            b.retiring * 100.0,
+            b.bad_speculation * 100.0,
+            b.frontend_bound * 100.0,
+            b.backend_bound * 100.0,
+            b.ipc
+        );
+    }
+}

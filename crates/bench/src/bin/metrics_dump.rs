@@ -1,0 +1,40 @@
+//! Dumps raw per-frame telemetry CSVs for every app × platform — the
+//! artifact's `results/metrics/metrics-${hardware}-${app}` workflow,
+//! which its analysis scripts then turn into the figures.
+//!
+//! Usage: `cargo run -p illixr-bench --release --bin metrics_dump`
+//! (writes `results/metrics/metrics-<platform>-<app>.csv`).
+
+use illixr_bench::experiment_config;
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::IntegratedExperiment;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("results/metrics");
+    std::fs::create_dir_all(dir)?;
+    for platform in Platform::ALL {
+        for app in Application::ALL {
+            let r = IntegratedExperiment::run(&experiment_config(app, platform));
+            let name = format!(
+                "metrics-{}-{}.csv",
+                platform.label().to_lowercase().replace('-', ""),
+                app.label().to_lowercase().replace(' ', "_")
+            );
+            let path = dir.join(&name);
+            r.telemetry.save_csv(&path)?;
+            println!(
+                "{:<40} {:>8} records, {:>7.1} J",
+                path.display(),
+                r.telemetry
+                    .component_names()
+                    .iter()
+                    .map(|n| r.telemetry.records(n).len())
+                    .sum::<usize>(),
+                r.energy_joules
+            );
+        }
+    }
+    println!("\nEach CSV row: component,release_ns,start_ns,end_ns,cpu_ns,work_factor,missed");
+    Ok(())
+}

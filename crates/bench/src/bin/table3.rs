@@ -1,0 +1,27 @@
+//! Table III: the tuned system-level parameters.
+
+use illixr_bench::rule;
+use illixr_system::config::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::default();
+    println!("Table III: key ILLIXR parameters after system-level tuning");
+    rule(66);
+    println!("{:<28} {:>14} {:>14}", "parameter", "tuned", "deadline");
+    rule(66);
+    println!("{:<28} {:>14} {:>14}", "Camera (VIO) rate", format!("{} Hz", c.camera_hz), format!("{:.1} ms", c.camera_period().as_secs_f64() * 1e3));
+    println!("{:<28} {:>14} {:>14}", "IMU (integrator) rate", format!("{} Hz", c.imu_hz), format!("{:.1} ms", c.imu_period().as_secs_f64() * 1e3));
+    println!("{:<28} {:>14} {:>14}", "Display rate", format!("{} Hz", c.display_hz), format!("{:.2} ms", c.display_period().as_secs_f64() * 1e3));
+    println!("{:<28} {:>14} {:>14}", "Audio block rate", format!("{} Hz", c.audio_hz), format!("{:.1} ms", c.audio_period().as_secs_f64() * 1e3));
+    println!("{:<28} {:>14} {:>14}", "Audio block size", format!("{}", c.audio_block), "-");
+    println!("{:<28} {:>14} {:>14}", "Field of view", format!("{}°", c.fov_deg), "-");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Eye buffer (simulated)",
+        format!("{}x{}", c.eye_width, c.eye_height),
+        "-"
+    );
+    println!("\n(paper Table III: camera 15 Hz/VGA, IMU 500 Hz, display 120 Hz/2K/90°,");
+    println!(" audio 48 Hz blocks of 1024 — identical tuned values; the simulation");
+    println!(" renders smaller eye buffers and charges 2K cost via the timing model)");
+}

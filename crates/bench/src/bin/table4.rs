@@ -1,0 +1,30 @@
+//! Table IV: motion-to-photon latency (mean ± std, ms) for every
+//! application and platform.
+
+use illixr_bench::{experiment_config, rule};
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::IntegratedExperiment;
+
+fn main() {
+    println!("Table IV: motion-to-photon latency in ms (mean±std), without t_display");
+    println!("(paper: Desktop 3.1±1.1 … 3.0±0.9; Jetson-HP 13.5±10.7 … 5.6±1.4;");
+    println!(" Jetson-LP 19.3±14.5 … 12.0±3.4; targets: VR < 20 ms, AR < 5 ms)\n");
+    print!("{:<12}", "Platform");
+    for app in Application::ALL {
+        print!(" {:>12}", app.label());
+    }
+    println!();
+    rule(12 + 13 * 4);
+    for platform in Platform::ALL {
+        print!("{:<12}", platform.label());
+        for app in Application::ALL {
+            let r = IntegratedExperiment::run(&experiment_config(app, platform));
+            match r.mtp_ms() {
+                Some(m) => print!(" {:>12}", format!("{m:.1}")),
+                None => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,128 @@
+//! The phonebook: typed service lookup.
+//!
+//! The runtime registers shared services (clock, switchboard, platform
+//! model, telemetry) in the phonebook; plugins look them up by type. This
+//! mirrors ILLIXR's `phonebook` service registry, which gives plugins
+//! access to runtime facilities without global state.
+
+use std::any::{type_name, Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A typed service registry.
+///
+/// # Examples
+///
+/// ```
+/// use illixr_core::Phonebook;
+/// use std::sync::Arc;
+///
+/// #[derive(Debug)]
+/// struct FrameCounter(u64);
+///
+/// let pb = Phonebook::new();
+/// pb.register(Arc::new(FrameCounter(42)));
+/// let svc = pb.lookup::<FrameCounter>().unwrap();
+/// assert_eq!(svc.0, 42);
+/// ```
+#[derive(Clone, Default)]
+pub struct Phonebook {
+    services: Arc<RwLock<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>>,
+}
+
+impl Phonebook {
+    /// Creates an empty phonebook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service, replacing any previous registration of the
+    /// same type. Returns the previously registered instance, if any.
+    pub fn register<T: Send + Sync + 'static>(&self, service: Arc<T>) -> Option<Arc<T>> {
+        self.services
+            .write()
+            .insert(TypeId::of::<T>(), service)
+            .map(|old| old.downcast::<T>().expect("phonebook entries are keyed by TypeId"))
+    }
+
+    /// Looks up a service by type.
+    pub fn lookup<T: Send + Sync + 'static>(&self) -> Option<Arc<T>> {
+        self.services
+            .read()
+            .get(&TypeId::of::<T>())
+            .map(|s| s.clone().downcast::<T>().expect("phonebook entries are keyed by TypeId"))
+    }
+
+    /// Looks up a service, panicking with a descriptive message when it
+    /// has not been registered. Plugins use this for services the runtime
+    /// guarantees (clock, switchboard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no service of type `T` is registered.
+    pub fn expect<T: Send + Sync + 'static>(&self) -> Arc<T> {
+        self.lookup::<T>().unwrap_or_else(|| {
+            panic!("service {} is not registered in the phonebook", type_name::<T>())
+        })
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Phonebook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Phonebook({} services)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct ServiceA(u32);
+    #[derive(Debug)]
+    struct ServiceB;
+
+    #[test]
+    fn register_and_lookup() {
+        let pb = Phonebook::new();
+        pb.register(Arc::new(ServiceA(7)));
+        assert_eq!(pb.lookup::<ServiceA>().unwrap().0, 7);
+        assert!(pb.lookup::<ServiceB>().is_none());
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let pb = Phonebook::new();
+        assert!(pb.register(Arc::new(ServiceA(1))).is_none());
+        let old = pb.register(Arc::new(ServiceA(2))).unwrap();
+        assert_eq!(old.0, 1);
+        assert_eq!(pb.lookup::<ServiceA>().unwrap().0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn expect_missing_panics() {
+        let pb = Phonebook::new();
+        let _ = pb.expect::<ServiceB>();
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let a = Phonebook::new();
+        let b = a.clone();
+        a.register(Arc::new(ServiceA(3)));
+        assert_eq!(b.lookup::<ServiceA>().unwrap().0, 3);
+    }
+}

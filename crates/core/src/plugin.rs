@@ -1,0 +1,231 @@
+//! Plugins: the unit of modularity in the ILLIXR runtime.
+//!
+//! Every pipeline component (camera, VIO, IMU integrator, eye tracking,
+//! scene reconstruction, application, reprojection, hologram, audio
+//! encoding, audio playback) is a plugin. Plugins interact with the rest
+//! of the system *only* through switchboard event streams, which is what
+//! makes alternative implementations interchangeable (paper §II-B).
+//!
+//! The paper distributes plugins as shared objects loaded at run time;
+//! Rust has no stable ABI, so ILLIXR-rs replaces dynamic loading with a
+//! [`PluginRegistry`] of named constructor functions — the same late
+//! binding (select implementations by name in a config) with static
+//! safety.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::phonebook::Phonebook;
+use crate::switchboard::Switchboard;
+use crate::telemetry::RecordLogger;
+
+/// Everything a plugin can reach: the switchboard for streams, the
+/// phonebook for services, the runtime clock and the telemetry logger.
+#[derive(Clone)]
+pub struct PluginContext {
+    /// Event-stream registry.
+    pub switchboard: Switchboard,
+    /// Service registry.
+    pub phonebook: Phonebook,
+    /// The runtime clock (wall or virtual).
+    pub clock: Arc<dyn Clock>,
+    /// Telemetry sink.
+    pub telemetry: Arc<RecordLogger>,
+}
+
+impl PluginContext {
+    /// Creates a context with a fresh switchboard/phonebook and the given
+    /// clock.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            switchboard: Switchboard::new(),
+            phonebook: Phonebook::new(),
+            clock,
+            telemetry: Arc::new(RecordLogger::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for PluginContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PluginContext")
+            .field("switchboard", &self.switchboard)
+            .field("phonebook", &self.phonebook)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The result of one plugin iteration, consumed by the scheduler and the
+/// platform timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationReport {
+    /// Input-dependent relative work performed this iteration
+    /// (1.0 = nominal). The simulated timing model multiplies the
+    /// component's base cost by this factor, reproducing the per-frame
+    /// execution-time variability of Fig 4.
+    pub work_factor: f64,
+    /// False when the plugin had no input and skipped this iteration.
+    pub did_work: bool,
+}
+
+impl IterationReport {
+    /// A nominal unit of work.
+    pub fn nominal() -> Self {
+        Self { work_factor: 1.0, did_work: true }
+    }
+
+    /// A skipped iteration (no input available).
+    pub fn skipped() -> Self {
+        Self { work_factor: 0.0, did_work: false }
+    }
+
+    /// Work with the given input-dependent factor.
+    pub fn with_work(work_factor: f64) -> Self {
+        Self { work_factor, did_work: true }
+    }
+}
+
+impl Default for IterationReport {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// A pipeline component.
+///
+/// Implementations should be cheap to construct; expensive setup belongs
+/// in [`Plugin::start`].
+pub trait Plugin: Send {
+    /// Stable component name used in telemetry and configuration
+    /// (e.g. `"vio"`, `"timewarp"`).
+    fn name(&self) -> &str;
+
+    /// Called once before the first iteration. Plugins create their
+    /// writers/readers here.
+    fn start(&mut self, ctx: &PluginContext) {
+        let _ = ctx;
+    }
+
+    /// Performs one unit of work (process one camera frame, reproject one
+    /// frame, encode one audio block, …).
+    fn iterate(&mut self, ctx: &PluginContext) -> IterationReport;
+
+    /// Called once after the last iteration.
+    fn stop(&mut self) {}
+}
+
+type PluginFactory = Box<dyn Fn(&PluginContext) -> Box<dyn Plugin> + Send + Sync>;
+
+/// A registry of named plugin constructors — the ILLIXR-rs analogue of
+/// the paper's plugin loader.
+///
+/// # Examples
+///
+/// ```
+/// use illixr_core::plugin::{IterationReport, Plugin, PluginContext, PluginRegistry};
+/// use illixr_core::WallClock;
+/// use std::sync::Arc;
+///
+/// struct Null;
+/// impl Plugin for Null {
+///     fn name(&self) -> &str { "null" }
+///     fn iterate(&mut self, _: &PluginContext) -> IterationReport { IterationReport::nominal() }
+/// }
+///
+/// let mut reg = PluginRegistry::new();
+/// reg.register("null", |_| Box::new(Null));
+/// let ctx = PluginContext::new(Arc::new(WallClock::new()));
+/// let plugin = reg.build("null", &ctx).unwrap();
+/// assert_eq!(plugin.name(), "null");
+/// ```
+#[derive(Default)]
+pub struct PluginRegistry {
+    factories: HashMap<String, PluginFactory>,
+}
+
+impl PluginRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a constructor under `name`, replacing any previous one.
+    pub fn register(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&PluginContext) -> Box<dyn Plugin> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.to_owned(), Box::new(factory));
+    }
+
+    /// Builds the plugin registered under `name`, or `None` when unknown.
+    pub fn build(&self, name: &str, ctx: &PluginContext) -> Option<Box<dyn Plugin>> {
+        self.factories.get(name).map(|f| f(ctx))
+    }
+
+    /// Names of all registered plugins (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for PluginRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PluginRegistry({:?})", self.names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::WallClock;
+
+    struct Counter {
+        count: u32,
+    }
+
+    impl Plugin for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+            self.count += 1;
+            IterationReport::with_work(self.count as f64)
+        }
+    }
+
+    fn ctx() -> PluginContext {
+        PluginContext::new(Arc::new(WallClock::new()))
+    }
+
+    #[test]
+    fn registry_builds_by_name() {
+        let mut reg = PluginRegistry::new();
+        reg.register("counter", |_| Box::new(Counter { count: 0 }));
+        let ctx = ctx();
+        let mut p = reg.build("counter", &ctx).unwrap();
+        assert_eq!(p.iterate(&ctx).work_factor, 1.0);
+        assert_eq!(p.iterate(&ctx).work_factor, 2.0);
+        assert!(reg.build("unknown", &ctx).is_none());
+    }
+
+    #[test]
+    fn interchangeable_implementations_share_a_name_slot() {
+        let mut reg = PluginRegistry::new();
+        reg.register("cam", |_| Box::new(Counter { count: 0 }));
+        reg.register("cam", |_| Box::new(Counter { count: 100 }));
+        let ctx = ctx();
+        let mut p = reg.build("cam", &ctx).unwrap();
+        assert_eq!(p.iterate(&ctx).work_factor, 101.0);
+    }
+
+    #[test]
+    fn iteration_report_constructors() {
+        assert!(IterationReport::nominal().did_work);
+        assert!(!IterationReport::skipped().did_work);
+        assert_eq!(IterationReport::with_work(2.5).work_factor, 2.5);
+    }
+}

@@ -1,0 +1,416 @@
+//! The switchboard: ILLIXR's event-stream communication framework.
+//!
+//! Plugins never hold references to one another — they communicate only
+//! through named, typed event streams (paper §II-B):
+//!
+//! * a [`Writer`] publishes events;
+//! * a [`SyncReader`] sees **every** value the producer publishes
+//!   (synchronous dependence, e.g. VIO consuming every camera frame);
+//! * an [`AsyncReader`] asks for the **latest** value (asynchronous
+//!   dependence, e.g. reprojection sampling the freshest pose).
+//!
+//! # Examples
+//!
+//! ```
+//! use illixr_core::switchboard::Switchboard;
+//!
+//! let sb = Switchboard::new();
+//! let w = sb.writer::<&'static str>("imu");
+//! let sync = sb.sync_reader::<&'static str>("imu", 8);
+//! let latest = sb.async_reader::<&'static str>("imu");
+//!
+//! w.put("sample-0");
+//! w.put("sample-1");
+//!
+//! assert_eq!(sync.try_recv().unwrap().data, "sample-0"); // every value
+//! assert_eq!(sync.try_recv().unwrap().data, "sample-1");
+//! assert_eq!(latest.latest().unwrap().data, "sample-1"); // only the latest
+//! ```
+
+use std::any::{type_name, Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Mutex, RwLock};
+
+/// An event on a stream: payload plus a monotonically increasing sequence
+/// number assigned by the topic.
+#[derive(Debug)]
+pub struct Event<T> {
+    /// Sequence number, starting at 0 for the first event on the topic.
+    pub seq: u64,
+    /// The payload.
+    pub data: T,
+}
+
+impl<T> std::ops::Deref for Event<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.data
+    }
+}
+
+struct Topic<T> {
+    latest: RwLock<Option<Arc<Event<T>>>>,
+    subscribers: Mutex<Vec<Sender<Arc<Event<T>>>>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<T> Default for Topic<T> {
+    fn default() -> Self {
+        Self {
+            latest: RwLock::new(None),
+            subscribers: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T: Send + Sync> Topic<T> {
+    fn publish(&self, data: T) -> Arc<Event<T>> {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let event = Arc::new(Event { seq, data });
+        *self.latest.write() = Some(event.clone());
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => true,
+            Err(crossbeam::channel::TrySendError::Full(_)) => {
+                // Back-pressure policy: drop the event for this slow
+                // consumer but keep the subscription. The paper's runtime
+                // similarly favours freshness over completeness when a
+                // consumer cannot keep up.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+        });
+        event
+    }
+}
+
+/// Publishes events onto a named stream.
+pub struct Writer<T> {
+    topic: Arc<Topic<T>>,
+    name: String,
+}
+
+impl<T: Send + Sync> Writer<T> {
+    /// Publishes an event, delivering it to all synchronous readers and
+    /// making it the stream's latest value.
+    pub fn put(&self, data: T) {
+        self.topic.publish(data);
+    }
+
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of events published so far.
+    pub fn count(&self) -> u64 {
+        self.topic.seq.load(Ordering::SeqCst)
+    }
+
+    /// Number of events dropped because a synchronous reader's queue was
+    /// full — the runtime's freshness-over-completeness back-pressure
+    /// signal, summed over all subscribers of this stream.
+    pub fn dropped_count(&self) -> u64 {
+        self.topic.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> std::fmt::Debug for Writer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Writer<{}>({})", type_name::<T>(), self.name)
+    }
+}
+
+/// Reads the latest value of a stream (asynchronous dependence).
+pub struct AsyncReader<T> {
+    topic: Arc<Topic<T>>,
+    name: String,
+}
+
+impl<T: Send + Sync> AsyncReader<T> {
+    /// The most recent event on the stream, if any has been published.
+    pub fn latest_event(&self) -> Option<Arc<Event<T>>> {
+        self.topic.latest.read().clone()
+    }
+
+    /// The most recent payload on the stream.
+    pub fn latest(&self) -> Option<Arc<Event<T>>> {
+        self.latest_event()
+    }
+
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T> std::fmt::Debug for AsyncReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AsyncReader<{}>({})", type_name::<T>(), self.name)
+    }
+}
+
+/// Receives every event on a stream (synchronous dependence), buffered in
+/// a bounded queue.
+pub struct SyncReader<T> {
+    rx: Receiver<Arc<Event<T>>>,
+    name: String,
+}
+
+impl<T: Send + Sync> SyncReader<T> {
+    /// Pops the next event without blocking; `None` when the queue is
+    /// empty.
+    pub fn try_recv(&self) -> Option<Arc<Event<T>>> {
+        match self.rx.try_recv() {
+            Ok(e) => Some(e),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks until the next event arrives (live mode only).
+    pub fn recv(&self) -> Option<Arc<Event<T>>> {
+        self.rx.recv().ok()
+    }
+
+    /// Drains all currently queued events.
+    pub fn drain(&self) -> Vec<Arc<Event<T>>> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of events currently queued.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T> std::fmt::Debug for SyncReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SyncReader<{}>({})", type_name::<T>(), self.name)
+    }
+}
+
+/// The stream registry: hands out writers and readers for named, typed
+/// streams. Cloning is cheap and all clones share the same streams.
+#[derive(Clone, Default)]
+pub struct Switchboard {
+    #[allow(clippy::type_complexity)]
+    topics: Arc<RwLock<HashMap<String, (TypeId, Arc<dyn Any + Send + Sync>)>>>,
+}
+
+impl Switchboard {
+    /// Creates an empty switchboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn topic<T: Send + Sync + 'static>(&self, name: &str) -> Arc<Topic<T>> {
+        // Fast path: topic exists.
+        if let Some((tid, t)) = self.topics.read().get(name) {
+            assert_eq!(
+                *tid,
+                TypeId::of::<T>(),
+                "stream '{name}' already exists with a different payload type (requested {})",
+                type_name::<T>()
+            );
+            return t.clone().downcast::<Topic<T>>().expect("type id verified above");
+        }
+        // Slow path: create it.
+        let mut topics = self.topics.write();
+        let entry = topics
+            .entry(name.to_owned())
+            .or_insert_with(|| (TypeId::of::<T>(), Arc::new(Topic::<T>::default())));
+        assert_eq!(
+            entry.0,
+            TypeId::of::<T>(),
+            "stream '{name}' already exists with a different payload type (requested {})",
+            type_name::<T>()
+        );
+        entry.1.clone().downcast::<Topic<T>>().expect("type id verified above")
+    }
+
+    /// Returns a writer for stream `name` with payload type `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream already exists with a different payload type.
+    pub fn writer<T: Send + Sync + 'static>(&self, name: &str) -> Writer<T> {
+        Writer { topic: self.topic(name), name: name.to_owned() }
+    }
+
+    /// Returns an asynchronous (latest-value) reader for stream `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream already exists with a different payload type.
+    pub fn async_reader<T: Send + Sync + 'static>(&self, name: &str) -> AsyncReader<T> {
+        AsyncReader { topic: self.topic(name), name: name.to_owned() }
+    }
+
+    /// Returns a synchronous (every-value) reader for stream `name` with
+    /// the given queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream already exists with a different payload
+    /// type, or `capacity` is zero.
+    pub fn sync_reader<T: Send + Sync + 'static>(&self, name: &str, capacity: usize) -> SyncReader<T> {
+        assert!(capacity > 0, "sync reader capacity must be positive");
+        let topic = self.topic::<T>(name);
+        let (tx, rx) = bounded(capacity);
+        topic.subscribers.lock().push(tx);
+        SyncReader { rx, name: name.to_owned() }
+    }
+
+    /// Names of all streams created so far (sorted).
+    pub fn stream_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for Switchboard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Switchboard({} streams)", self.topics.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_reader_sees_latest_only() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        let r = sb.async_reader::<u32>("s");
+        assert!(r.latest().is_none());
+        w.put(1);
+        w.put(2);
+        assert_eq!(**r.latest().unwrap(), 2);
+    }
+
+    #[test]
+    fn sync_reader_sees_every_value_in_order() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        let r = sb.sync_reader::<u32>("s", 16);
+        for i in 0..5 {
+            w.put(i);
+        }
+        let values: Vec<u32> = r.drain().iter().map(|e| e.data).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sync_reader_only_sees_events_after_subscription() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        w.put(99);
+        let r = sb.sync_reader::<u32>("s", 4);
+        assert!(r.try_recv().is_none());
+        w.put(1);
+        assert_eq!(**r.try_recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_drops_for_slow_consumer_but_latest_works() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        let r = sb.sync_reader::<u32>("s", 2);
+        let latest = sb.async_reader::<u32>("s");
+        for i in 0..10 {
+            w.put(i);
+        }
+        // Queue holds only the first two; the rest were dropped for this
+        // subscriber, but the stream's latest value is unaffected.
+        assert_eq!(r.len(), 2);
+        assert_eq!(**latest.latest().unwrap(), 9);
+    }
+
+    #[test]
+    fn dropped_count_tracks_backpressure() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        let _r = sb.sync_reader::<u32>("s", 2);
+        for i in 0..10 {
+            w.put(i);
+        }
+        assert_eq!(w.count(), 10);
+        assert_eq!(w.dropped_count(), 8); // queue of 2, 10 published
+    }
+
+    #[test]
+    fn events_have_sequence_numbers() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<&str>("s");
+        let r = sb.sync_reader::<&str>("s", 4);
+        w.put("a");
+        w.put("b");
+        assert_eq!(r.try_recv().unwrap().seq, 0);
+        assert_eq!(r.try_recv().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_receive() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        let r1 = sb.sync_reader::<u32>("s", 4);
+        let r2 = sb.sync_reader::<u32>("s", 4);
+        w.put(7);
+        assert_eq!(**r1.try_recv().unwrap(), 7);
+        assert_eq!(**r2.try_recv().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different payload type")]
+    fn type_mismatch_panics() {
+        let sb = Switchboard::new();
+        let _w = sb.writer::<u32>("s");
+        let _r = sb.async_reader::<f64>("s");
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("s");
+        let r = sb.sync_reader::<u32>("s", 64);
+        let handle = std::thread::spawn(move || {
+            for i in 0..32 {
+                w.put(i);
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(r.drain().len(), 32);
+    }
+
+    #[test]
+    fn stream_names_listed() {
+        let sb = Switchboard::new();
+        let _ = sb.writer::<u32>("b");
+        let _ = sb.writer::<u32>("a");
+        assert_eq!(sb.stream_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

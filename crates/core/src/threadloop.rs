@@ -1,0 +1,172 @@
+//! Live-mode execution: one OS thread per periodic plugin.
+//!
+//! This is the paper's "threadloop" plugin base class: the runtime spawns
+//! a thread that invokes the plugin at its configured period, records
+//! telemetry and honours a stop flag. Use [`crate::sim`] instead for
+//! deterministic simulated runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::plugin::{Plugin, PluginContext};
+use crate::telemetry::FrameRecord;
+use crate::time::Time;
+
+/// Handle to a running plugin thread.
+#[derive(Debug)]
+pub struct ThreadLoopHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+    name: String,
+}
+
+impl ThreadLoopHandle {
+    /// Signals the loop to stop and waits for the thread to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// The plugin's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for ThreadLoopHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Spawns a thread that calls `plugin.iterate` every `period` until
+/// stopped, logging one [`FrameRecord`] per iteration.
+///
+/// The loop is drift-free: iteration *k* is released at `start + k·period`
+/// regardless of how long previous iterations took. If an iteration
+/// overruns its period the next release fires immediately (no catch-up
+/// burst: intermediate releases are counted as drops).
+pub fn spawn_threadloop(
+    mut plugin: Box<dyn Plugin>,
+    ctx: PluginContext,
+    period: Duration,
+) -> ThreadLoopHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_clone = stop.clone();
+    let name = plugin.name().to_owned();
+    let thread_name = name.clone();
+    let join = std::thread::Builder::new()
+        .name(thread_name.clone())
+        .spawn(move || {
+            plugin.start(&ctx);
+            let origin = Instant::now();
+            let mut k: u64 = 0;
+            while !stop_clone.load(Ordering::SeqCst) {
+                let release = origin + period * k as u32;
+                let now = Instant::now();
+                if release > now {
+                    std::thread::sleep(release - now);
+                }
+                if stop_clone.load(Ordering::SeqCst) {
+                    break;
+                }
+                let start_t = ctx.clock.now();
+                let cpu_start = Instant::now();
+                let report = plugin.iterate(&ctx);
+                let cpu = cpu_start.elapsed();
+                let end_t = ctx.clock.now();
+                let release_t = Time::from_nanos((period * k as u32).as_nanos() as u64);
+                if report.did_work {
+                    ctx.telemetry.log(
+                        plugin.name(),
+                        FrameRecord {
+                            release: release_t,
+                            start: start_t,
+                            end: end_t,
+                            cpu_time: cpu,
+                            work_factor: report.work_factor,
+                            missed_deadline: cpu > period,
+                        },
+                    );
+                }
+                // Skip any releases that elapsed while we were running.
+                let elapsed = origin.elapsed();
+                let next_k = (elapsed.as_nanos() / period.as_nanos().max(1)) as u64 + 1;
+                if next_k > k + 1 {
+                    for _ in (k + 1)..next_k {
+                        ctx.telemetry.log_drop(plugin.name());
+                    }
+                }
+                k = next_k.max(k + 1);
+            }
+            plugin.stop();
+        })
+        .expect("failed to spawn plugin thread");
+    ThreadLoopHandle { stop, join: Some(join), name }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::WallClock;
+    use crate::plugin::IterationReport;
+
+    struct Ticker;
+
+    impl Plugin for Ticker {
+        fn name(&self) -> &str {
+            "ticker"
+        }
+        fn start(&mut self, ctx: &PluginContext) {
+            let _ = ctx.switchboard.writer::<u64>("ticks");
+        }
+        fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+            ctx.switchboard.writer::<u64>("ticks").put(1);
+            IterationReport::nominal()
+        }
+    }
+
+    #[test]
+    fn threadloop_runs_at_period_and_stops() {
+        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let reader = ctx.switchboard.sync_reader::<u64>("ticks", 1024);
+        let handle = spawn_threadloop(Box::new(Ticker), ctx.clone(), Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(120));
+        handle.stop();
+        let n = reader.drain().len();
+        // ~24 expected; allow generous scheduling slack.
+        assert!(n >= 5, "expected at least 5 ticks, got {n}");
+        let stats = ctx.telemetry.stats("ticker").unwrap();
+        assert!(stats.invocations >= 5);
+    }
+
+    struct Slow;
+
+    impl Plugin for Slow {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+            std::thread::sleep(Duration::from_millis(12));
+            IterationReport::nominal()
+        }
+    }
+
+    #[test]
+    fn overrunning_plugin_records_drops() {
+        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let handle = spawn_threadloop(Box::new(Slow), ctx.clone(), Duration::from_millis(4));
+        std::thread::sleep(Duration::from_millis(100));
+        handle.stop();
+        let stats = ctx.telemetry.stats("slow").unwrap();
+        assert!(stats.drops > 0, "a 12ms task at a 4ms period must drop releases");
+        assert!(stats.deadline_misses > 0);
+    }
+}

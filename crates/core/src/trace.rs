@@ -1,0 +1,257 @@
+//! Stream tracing: record and replay switchboard traffic.
+//!
+//! Paper §V-G sketches using ILLIXR with architectural simulators by
+//! collecting *"input/output traces of each component via the ILLIXR
+//! runtime on a real machine, and organiz\[ing\] them like a rosbag to
+//! drive simulations of components of interest."* This module is that
+//! mechanism: a [`StreamRecorder`] captures every event on a stream with
+//! its capture time, and a [`TraceReplayer`] re-publishes a recorded
+//! trace onto a (possibly different) switchboard with the original
+//! timing — so a component under study can be driven by exactly the
+//! traffic a full-system run produced, without running the rest of the
+//! system.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::switchboard::{Switchboard, SyncReader, Writer};
+use crate::time::Time;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent<T> {
+    /// When the event was observed on the stream.
+    pub captured_at: Time,
+    /// Sequence number on the original stream.
+    pub seq: u64,
+    /// The payload.
+    pub data: T,
+}
+
+/// A recorded stream trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamTrace<T> {
+    /// Stream name the trace was captured from.
+    pub stream: String,
+    /// Events in capture order.
+    pub events: Vec<TracedEvent<T>>,
+}
+
+impl<T> StreamTrace<T> {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Duration spanned by the trace (zero for fewer than two events).
+    pub fn span(&self) -> std::time::Duration {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.captured_at - first.captured_at,
+            _ => std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Captures every event on one stream. Call [`StreamRecorder::pump`]
+/// periodically (or once at the end for sync-buffered streams) and
+/// [`StreamRecorder::finish`] to take the trace.
+pub struct StreamRecorder<T: Clone + Send + Sync + 'static> {
+    reader: SyncReader<T>,
+    clock: Arc<dyn Clock>,
+    trace: Mutex<StreamTrace<T>>,
+}
+
+impl<T: Clone + Send + Sync + 'static> StreamRecorder<T> {
+    /// Starts recording `stream` on `switchboard`.
+    ///
+    /// `capacity` bounds how many events can queue between pumps.
+    pub fn start(
+        switchboard: &Switchboard,
+        clock: Arc<dyn Clock>,
+        stream: &str,
+        capacity: usize,
+    ) -> Self {
+        Self {
+            reader: switchboard.sync_reader::<T>(stream, capacity),
+            clock,
+            trace: Mutex::new(StreamTrace { stream: stream.to_owned(), events: Vec::new() }),
+        }
+    }
+
+    /// Moves queued events into the trace, stamping them with the
+    /// current clock. Returns how many were captured.
+    pub fn pump(&self) -> usize {
+        let now = self.clock.now();
+        let mut trace = self.trace.lock();
+        let mut n = 0;
+        while let Some(e) = self.reader.try_recv() {
+            trace.events.push(TracedEvent { captured_at: now, seq: e.seq, data: e.data.clone() });
+            n += 1;
+        }
+        n
+    }
+
+    /// Pumps one final time and returns the trace.
+    pub fn finish(self) -> StreamTrace<T> {
+        self.pump();
+        self.trace.into_inner()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> std::fmt::Debug for StreamRecorder<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StreamRecorder({})", self.trace.lock().stream)
+    }
+}
+
+/// Replays a trace onto a switchboard with the original timing.
+///
+/// Drive it by calling [`TraceReplayer::pump`] as the clock advances
+/// (e.g. from a periodic plugin or a scheduler task): every event whose
+/// capture time has come due is re-published.
+pub struct TraceReplayer<T: Clone + Send + Sync + 'static> {
+    writer: Writer<T>,
+    events: Vec<TracedEvent<T>>,
+    next: usize,
+    /// Offset added to capture times (replay may start at a different
+    /// epoch).
+    offset: std::time::Duration,
+}
+
+impl<T: Clone + Send + Sync + 'static> TraceReplayer<T> {
+    /// Creates a replayer publishing onto `switchboard` under the
+    /// trace's original stream name.
+    pub fn new(switchboard: &Switchboard, trace: StreamTrace<T>) -> Self {
+        Self {
+            writer: switchboard.writer::<T>(&trace.stream),
+            events: trace.events,
+            next: 0,
+            offset: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Shifts every event's due time by `offset`.
+    pub fn with_offset(mut self, offset: std::time::Duration) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Publishes all events due at `now`. Returns how many were
+    /// published.
+    pub fn pump(&mut self, now: Time) -> usize {
+        let mut n = 0;
+        while self.next < self.events.len() {
+            let due = self.events[self.next].captured_at + self.offset;
+            if due > now {
+                break;
+            }
+            self.writer.put(self.events[self.next].data.clone());
+            self.next += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// True when every event has been replayed.
+    pub fn finished(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Events remaining.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> std::fmt::Debug for TraceReplayer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceReplayer({}/{} replayed)", self.next, self.events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    #[test]
+    fn record_captures_every_event_with_time() {
+        let sb = Switchboard::new();
+        let clock = SimClock::new();
+        let recorder =
+            StreamRecorder::<u32>::start(&sb, Arc::new(clock.clone()), "imu", 64);
+        let writer = sb.writer::<u32>("imu");
+        clock.advance_to(Time::from_millis(2));
+        writer.put(10);
+        writer.put(11);
+        recorder.pump();
+        clock.advance_to(Time::from_millis(4));
+        writer.put(12);
+        let trace = recorder.finish();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.events[0].captured_at, Time::from_millis(2));
+        assert_eq!(trace.events[2].captured_at, Time::from_millis(4));
+        assert_eq!(trace.events[2].data, 12);
+        assert_eq!(trace.span(), std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn replay_reproduces_timing_on_a_fresh_switchboard() {
+        // Record on system A.
+        let sb_a = Switchboard::new();
+        let clock_a = SimClock::new();
+        let recorder =
+            StreamRecorder::<&'static str>::start(&sb_a, Arc::new(clock_a.clone()), "camera", 16);
+        let writer = sb_a.writer::<&'static str>("camera");
+        for (ms, v) in [(0u64, "f0"), (66, "f1"), (133, "f2")] {
+            clock_a.advance_to(Time::from_millis(ms));
+            writer.put(v);
+            recorder.pump();
+        }
+        let trace = recorder.finish();
+
+        // Replay into system B (a component under study in isolation).
+        let sb_b = Switchboard::new();
+        let consumer = sb_b.sync_reader::<&'static str>("camera", 16);
+        let mut replayer = TraceReplayer::new(&sb_b, trace);
+        assert_eq!(replayer.pump(Time::from_millis(0)), 1);
+        assert_eq!(consumer.drain().len(), 1);
+        assert_eq!(replayer.pump(Time::from_millis(65)), 0); // f1 not due yet
+        assert_eq!(replayer.pump(Time::from_millis(66)), 1);
+        assert_eq!(consumer.try_recv().unwrap().data, "f1");
+        assert_eq!(replayer.pump(Time::from_millis(500)), 1);
+        assert!(replayer.finished());
+    }
+
+    #[test]
+    fn replay_offset_shifts_schedule() {
+        let sb = Switchboard::new();
+        let trace = StreamTrace {
+            stream: "s".into(),
+            events: vec![TracedEvent { captured_at: Time::from_millis(10), seq: 0, data: 1u32 }],
+        };
+        let reader = sb.sync_reader::<u32>("s", 4);
+        let mut replayer =
+            TraceReplayer::new(&sb, trace).with_offset(std::time::Duration::from_millis(100));
+        assert_eq!(replayer.pump(Time::from_millis(10)), 0);
+        assert_eq!(replayer.pump(Time::from_millis(110)), 1);
+        assert_eq!(reader.drain().len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let sb = Switchboard::new();
+        let trace = StreamTrace::<u32> { stream: "s".into(), events: Vec::new() };
+        let mut replayer = TraceReplayer::new(&sb, trace);
+        assert!(replayer.finished());
+        assert_eq!(replayer.remaining(), 0);
+        assert_eq!(replayer.pump(Time::from_millis(1000)), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Direct and FFT-based convolution, including a streaming overlap-save
+//! convolver for block-based audio processing.
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, ifft_in_place, next_power_of_two};
+
+/// Direct (time-domain) full convolution. Output length is
+/// `signal.len() + kernel.len() - 1`.
+pub fn convolve_direct(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; signal.len() + kernel.len() - 1];
+    for (i, &s) in signal.iter().enumerate() {
+        if s == 0.0 {
+            continue;
+        }
+        for (j, &k) in kernel.iter().enumerate() {
+            out[i + j] += s * k;
+        }
+    }
+    out
+}
+
+/// FFT-based full convolution. Matches [`convolve_direct`] to numerical
+/// precision but runs in `O(n log n)`.
+pub fn fft_convolve(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return Vec::new();
+    }
+    let out_len = signal.len() + kernel.len() - 1;
+    let n = next_power_of_two(out_len);
+    let mut a = vec![Complex::ZERO; n];
+    let mut b = vec![Complex::ZERO; n];
+    for (dst, &src) in a.iter_mut().zip(signal) {
+        dst.re = src;
+    }
+    for (dst, &src) in b.iter_mut().zip(kernel) {
+        dst.re = src;
+    }
+    fft_in_place(&mut a);
+    fft_in_place(&mut b);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    ifft_in_place(&mut a);
+    a.truncate(out_len);
+    a.into_iter().map(|c| c.re).collect()
+}
+
+/// Streaming overlap-save convolver: applies a fixed FIR kernel to a
+/// sequence of equally sized blocks with correct state carried between
+/// blocks. This is how the audio playback component applies HRTFs to
+/// 1024-sample blocks (paper Table III).
+///
+/// # Examples
+///
+/// ```
+/// use illixr_dsp::OverlapSave;
+/// let kernel = [0.5, 0.25];
+/// let mut conv = OverlapSave::new(&kernel, 8);
+/// let block = [1.0; 8];
+/// let out = conv.process(&block);
+/// assert_eq!(out.len(), 8);
+/// assert!((out[0] - 0.5).abs() < 1e-12);   // only kernel[0] overlaps sample 0
+/// assert!((out[1] - 0.75).abs() < 1e-12);  // steady state
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlapSave {
+    kernel_spectrum: Vec<Complex>,
+    fft_len: usize,
+    block_len: usize,
+    overlap: Vec<f64>,
+}
+
+impl OverlapSave {
+    /// Creates a convolver for `kernel` operating on blocks of
+    /// `block_len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel is empty or `block_len` is zero.
+    pub fn new(kernel: &[f64], block_len: usize) -> Self {
+        assert!(!kernel.is_empty(), "overlap-save kernel must not be empty");
+        assert!(block_len > 0, "block length must be positive");
+        let fft_len = next_power_of_two(block_len + kernel.len() - 1).max(2);
+        let mut spec = vec![Complex::ZERO; fft_len];
+        for (dst, &src) in spec.iter_mut().zip(kernel) {
+            dst.re = src;
+        }
+        fft_in_place(&mut spec);
+        Self { kernel_spectrum: spec, fft_len, block_len, overlap: vec![0.0; kernel.len() - 1] }
+    }
+
+    /// Filter (kernel) length in samples.
+    pub fn kernel_len(&self) -> usize {
+        self.overlap.len() + 1
+    }
+
+    /// Processes one block, returning exactly `block.len()` output samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block.len() != block_len` given at construction.
+    pub fn process(&mut self, block: &[f64]) -> Vec<f64> {
+        assert_eq!(block.len(), self.block_len, "block size must match constructor");
+        let m = self.overlap.len(); // kernel_len - 1
+        let mut buf = vec![Complex::ZERO; self.fft_len];
+        for (dst, &src) in buf.iter_mut().zip(self.overlap.iter().chain(block.iter())) {
+            dst.re = src;
+        }
+        fft_in_place(&mut buf);
+        for (x, y) in buf.iter_mut().zip(&self.kernel_spectrum) {
+            *x *= *y;
+        }
+        ifft_in_place(&mut buf);
+        // Valid samples start after the first `m` (contaminated) outputs.
+        let out: Vec<f64> = buf[m..m + self.block_len].iter().map(|c| c.re).collect();
+        // Save the tail of the input as the next block's history.
+        let hist: Vec<f64> = self
+            .overlap
+            .iter()
+            .copied()
+            .chain(block.iter().copied())
+            .collect();
+        let keep = hist.len() - m;
+        self.overlap.copy_from_slice(&hist[keep..]);
+        out
+    }
+
+    /// Resets the carried state (e.g. on seek).
+    pub fn reset(&mut self) {
+        self.overlap.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_direct() {
+        let signal: Vec<f64> = (0..37).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let kernel: Vec<f64> = (0..9).map(|i| (i as f64 * 0.3).sin()).collect();
+        let a = convolve_direct(&signal, &kernel);
+        let b = fft_convolve(&signal, &kernel);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(convolve_direct(&[], &[1.0]).is_empty());
+        assert!(fft_convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn identity_kernel() {
+        let signal = [1.0, 2.0, 3.0];
+        assert_eq!(convolve_direct(&signal, &[1.0]), signal.to_vec());
+    }
+
+    #[test]
+    fn overlap_save_matches_batch_convolution() {
+        let kernel: Vec<f64> = (0..17).map(|i| ((i * 3) % 7) as f64 * 0.1 - 0.2).collect();
+        let signal: Vec<f64> = (0..256).map(|i| ((i * 11) % 13) as f64 - 6.0).collect();
+        let block = 64;
+        let mut conv = OverlapSave::new(&kernel, block);
+        let mut streamed = Vec::new();
+        for chunk in signal.chunks(block) {
+            streamed.extend(conv.process(chunk));
+        }
+        let batch = convolve_direct(&signal, &kernel);
+        for (i, (a, b)) in streamed.iter().zip(batch.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-9, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn overlap_save_reset_clears_history() {
+        let mut conv = OverlapSave::new(&[1.0, 1.0], 4);
+        conv.process(&[1.0, 1.0, 1.0, 1.0]);
+        conv.reset();
+        let out = conv.process(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((out[0] - 1.0).abs() < 1e-12); // no leakage from before reset
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_save_wrong_block_size_panics() {
+        let mut conv = OverlapSave::new(&[1.0], 8);
+        conv.process(&[0.0; 4]);
+    }
+}

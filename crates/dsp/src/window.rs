@@ -1,0 +1,64 @@
+//! Window functions for spectral processing.
+
+use std::f64::consts::PI;
+
+/// Periodic Hann window of length `n`.
+pub fn hann(n: usize) -> Vec<f64> {
+    cosine_window(n, 0.5, 0.5)
+}
+
+/// Periodic Hamming window of length `n`.
+pub fn hamming(n: usize) -> Vec<f64> {
+    cosine_window(n, 0.54, 0.46)
+}
+
+/// Blackman window of length `n`.
+pub fn blackman(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * PI * i as f64 / n as f64;
+            0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
+        })
+        .collect()
+}
+
+fn cosine_window(n: usize, a0: f64, a1: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n).map(|i| a0 - a1 * (2.0 * PI * i as f64 / n as f64).cos()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_endpoints_and_peak() {
+        let w = hann(8);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_is_raised() {
+        let w = hamming(8);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_bounded() {
+        for w in [hann(33), hamming(33), blackman(33)] {
+            assert!(w.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        assert!(hann(0).is_empty());
+        assert!(blackman(0).is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! A small fixed-weight encoder-decoder segmentation CNN.
+//!
+//! Architecture (RITnet-shaped, scaled down): two conv+pool encoder
+//! stages, a bottleneck conv, two upsample+conv decoder stages, and a
+//! 1×1 classification head over 4 classes (background, sclera, iris,
+//! pupil). All convolutions are 3×3 except the head.
+//!
+//! Channel 0 is a hand-crafted "darkness" feature (inverted box blur)
+//! that is passed through every stage, so the classification head can
+//! threshold it into the four intensity bands of a synthetic eye; the
+//! remaining channels carry deterministic pseudo-random filters that
+//! contribute realistic compute and memory traffic (the paper's point is
+//! the workload shape: 74 % convolution time, weights ≪ activations).
+
+use illixr_image::GrayImage;
+
+/// Segmentation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EyeClass {
+    /// Skin / background.
+    Background = 0,
+    /// Sclera (white of the eye).
+    Sclera = 1,
+    /// Iris.
+    Iris = 2,
+    /// Pupil.
+    Pupil = 3,
+}
+
+impl EyeClass {
+    /// Converts a class index (0–3) to the enum.
+    ///
+    /// # Panics
+    ///
+    /// Panics for indices above 3.
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => Self::Background,
+            1 => Self::Sclera,
+            2 => Self::Iris,
+            3 => Self::Pupil,
+            _ => panic!("invalid eye class index {i}"),
+        }
+    }
+}
+
+/// A `channels × height × width` activation tensor.
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    /// Channels.
+    pub ch: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// CHW-ordered data.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero tensor.
+    pub fn zeros(ch: usize, h: usize, w: usize) -> Self {
+        Self { ch, h, w, data: vec![0.0; ch * h * w] }
+    }
+
+    #[inline]
+    fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    #[inline]
+    fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        self.data[(c * self.h + y) * self.w + x] = v;
+    }
+
+    #[inline]
+    fn get_clamped(&self, c: usize, y: isize, x: isize) -> f32 {
+        let yy = y.clamp(0, self.h as isize - 1) as usize;
+        let xx = x.clamp(0, self.w as isize - 1) as usize;
+        self.get(c, yy, xx)
+    }
+}
+
+/// A 3×3 convolution layer with per-output-channel bias.
+#[derive(Debug, Clone)]
+struct Conv3x3 {
+    in_ch: usize,
+    out_ch: usize,
+    /// `[out][in][ky][kx]` flattened.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv3x3 {
+    /// Deterministic pseudo-random weights with channel 0 configured as
+    /// either the darkness extractor (first layer) or a pass-through.
+    fn new(in_ch: usize, out_ch: usize, seed: u32, first_layer: bool) -> Self {
+        let mut weights = vec![0.0f32; out_ch * in_ch * 9];
+        let mut bias = vec![0.0f32; out_ch];
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        let mut next = || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 9) as f32 / (1 << 23) as f32 - 1.0) * 0.25
+        };
+        for o in 0..out_ch {
+            for i in 0..in_ch {
+                for k in 0..9 {
+                    weights[(o * in_ch + i) * 9 + k] = next();
+                }
+            }
+        }
+        // Channel 0: darkness feature.
+        if first_layer {
+            // out0 = 1 − box-blur(intensity)  (via bias 1, weights −1/9).
+            for w in weights.iter_mut().take(9) {
+                *w = -1.0 / 9.0;
+            }
+            bias[0] = 1.0;
+        } else {
+            // out0 = in0 (center tap 1, all other taps/channels 0).
+            for i in 0..in_ch {
+                for k in 0..9 {
+                    weights[i * 9 + k] = 0.0;
+                }
+            }
+            weights[4] = 1.0;
+            bias[0] = 0.0;
+        }
+        Self { in_ch, out_ch, weights, bias }
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ch, self.in_ch, "channel mismatch");
+        let mut out = Tensor::zeros(self.out_ch, x.h, x.w);
+        for o in 0..self.out_ch {
+            for y in 0..x.h {
+                for xx in 0..x.w {
+                    let mut acc = self.bias[o];
+                    for i in 0..self.in_ch {
+                        let base = (o * self.in_ch + i) * 9;
+                        for ky in 0..3usize {
+                            for kx in 0..3usize {
+                                let w = self.weights[base + ky * 3 + kx];
+                                if w == 0.0 {
+                                    continue;
+                                }
+                                let v = x.get_clamped(
+                                    i,
+                                    y as isize + ky as isize - 1,
+                                    xx as isize + kx as isize - 1,
+                                );
+                                acc += w * v;
+                            }
+                        }
+                    }
+                    // ReLU fused.
+                    out.set(o, y, xx, acc.max(0.0));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn max_pool2(x: &Tensor) -> Tensor {
+    let (h, w) = ((x.h / 2).max(1), (x.w / 2).max(1));
+    let mut out = Tensor::zeros(x.ch, h, w);
+    for c in 0..x.ch {
+        for y in 0..h {
+            for xx in 0..w {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        m = m.max(x.get_clamped(c, (2 * y + dy) as isize, (2 * xx + dx) as isize));
+                    }
+                }
+                out.set(c, y, xx, m);
+            }
+        }
+    }
+    out
+}
+
+fn upsample2(x: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(x.ch, x.h * 2, x.w * 2);
+    for c in 0..x.ch {
+        for y in 0..out.h {
+            for xx in 0..out.w {
+                out.set(c, y, xx, x.get(c, y / 2, xx / 2));
+            }
+        }
+    }
+    out
+}
+
+/// The segmentation network.
+#[derive(Debug, Clone)]
+pub struct SegmentationNet {
+    enc1: Conv3x3,
+    enc2: Conv3x3,
+    bottleneck: Conv3x3,
+    dec1: Conv3x3,
+    dec2: Conv3x3,
+    /// 1×1 head: `[class][channel]` weights + bias.
+    head_w: Vec<f32>,
+    head_b: Vec<f32>,
+    channels: usize,
+}
+
+impl Default for SegmentationNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SegmentationNet {
+    /// Builds the fixed-weight network (8 feature channels).
+    pub fn new() -> Self {
+        let ch = 8;
+        // Head: class scores are lines in the darkness feature v with
+        // increasing slopes, partitioning v into
+        // background < sclera < iris < pupil.
+        let mut head_w = vec![0.0f32; 4 * ch];
+        //                 slope      (channel 0 only)
+        head_w[0] = 0.0; // background
+        head_w[ch] = 4.0; // sclera
+        head_w[2 * ch] = 8.0; // iris
+        head_w[3 * ch] = 16.0; // pupil
+        let head_b = vec![0.0, -0.8, -2.8, -9.0];
+        Self {
+            enc1: Conv3x3::new(1, ch, 1, true),
+            enc2: Conv3x3::new(ch, ch, 2, false),
+            bottleneck: Conv3x3::new(ch, ch, 3, false),
+            dec1: Conv3x3::new(ch, ch, 4, false),
+            dec2: Conv3x3::new(ch, ch, 5, false),
+            head_w,
+            head_b,
+            channels: ch,
+        }
+    }
+
+    /// Approximate multiply-accumulate count for one forward pass on a
+    /// `w × h` input (used by the timing/energy models).
+    pub fn macs(&self, w: usize, h: usize) -> u64 {
+        let c = self.channels as u64;
+        let full = (w * h) as u64;
+        let quarter = full / 4;
+        let sixteenth = full / 16;
+        9 * c * full                    // enc1 (1→c at full res)
+            + 9 * c * c * quarter      // enc2
+            + 9 * c * c * sixteenth    // bottleneck
+            + 9 * c * c * quarter      // dec1
+            + 9 * c * c * full         // dec2
+            + 4 * c * full // head
+    }
+
+    /// Runs a forward pass, returning the per-pixel class mask.
+    #[allow(clippy::needless_range_loop)] // CHW index math
+    pub fn segment(&self, image: &GrayImage) -> Vec<EyeClass> {
+        let (w, h) = (image.width(), image.height());
+        assert!(w % 4 == 0 && h % 4 == 0, "input dimensions must be multiples of 4");
+        let mut input = Tensor::zeros(1, h, w);
+        for y in 0..h {
+            for x in 0..w {
+                input.set(0, y, x, image.get(x, y));
+            }
+        }
+        let e1 = self.enc1.forward(&input);
+        let p1 = max_pool2(&e1);
+        let e2 = self.enc2.forward(&p1);
+        let p2 = max_pool2(&e2);
+        let b = self.bottleneck.forward(&p2);
+        let u1 = upsample2(&b);
+        let d1 = self.dec1.forward(&u1);
+        let u2 = upsample2(&d1);
+        let d2 = self.dec2.forward(&u2);
+        // 1×1 classification head + argmax.
+        let mut mask = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let mut best = 0;
+                let mut best_score = f32::NEG_INFINITY;
+                for class in 0..4 {
+                    let mut s = self.head_b[class];
+                    for c in 0..self.channels {
+                        s += self.head_w[class * self.channels + c] * d2.get(c, y, x)
+                            * if c == 0 { 1.0 } else { 0.0 };
+                    }
+                    if s > best_score {
+                        best_score = s;
+                        best = class;
+                    }
+                }
+                mask.push(EyeClass::from_index(best));
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_intensity_bands() {
+        // Quadrants of distinct intensities map to distinct classes.
+        let img = GrayImage::from_fn(32, 32, |x, y| match (x < 16, y < 16) {
+            (true, true) => 0.95,  // bright → background
+            (false, true) => 0.65, // sclera band
+            (true, false) => 0.4,  // iris band
+            (false, false) => 0.05, // dark → pupil
+        });
+        let net = SegmentationNet::new();
+        let mask = net.segment(&img);
+        // Sample away from quadrant borders (blur + pooling smears edges).
+        let at = |x: usize, y: usize| mask[y * 32 + x];
+        assert_eq!(at(5, 5), EyeClass::Background);
+        assert_eq!(at(26, 5), EyeClass::Sclera);
+        assert_eq!(at(5, 26), EyeClass::Iris);
+        assert_eq!(at(26, 26), EyeClass::Pupil);
+    }
+
+    #[test]
+    fn output_covers_every_pixel() {
+        let img = GrayImage::from_fn(64, 32, |x, _| x as f32 / 64.0);
+        let mask = SegmentationNet::new().segment(&img);
+        assert_eq!(mask.len(), 64 * 32);
+    }
+
+    #[test]
+    fn deterministic() {
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * y) % 7) as f32 / 7.0);
+        let a = SegmentationNet::new().segment(&img);
+        let b = SegmentationNet::new().segment(&img);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn macs_scale_with_resolution() {
+        let net = SegmentationNet::new();
+        assert!(net.macs(64, 64) > 4 * net.macs(32, 32) / 2);
+        assert!(net.macs(64, 64) < net.macs(128, 128));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unaligned_input() {
+        let img = GrayImage::new(33, 32);
+        let _ = SegmentationNet::new().segment(&img);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simple rasterized drawing primitives used by the synthetic data
+//! generators (eye images, debug overlays, test patterns).
+
+use crate::gray::GrayImage;
+use crate::rgb::{Rgb, RgbImage};
+
+/// Fills a solid disk centered at `(cx, cy)` with the given radius.
+pub fn fill_circle_gray(img: &mut GrayImage, cx: f32, cy: f32, radius: f32, value: f32) {
+    let r2 = radius * radius;
+    let x0 = ((cx - radius).floor().max(0.0)) as usize;
+    let x1 = ((cx + radius).ceil().min(img.width() as f32 - 1.0)).max(0.0) as usize;
+    let y0 = ((cy - radius).floor().max(0.0)) as usize;
+    let y1 = ((cy + radius).ceil().min(img.height() as f32 - 1.0)).max(0.0) as usize;
+    for y in y0..=y1.min(img.height().saturating_sub(1)) {
+        for x in x0..=x1.min(img.width().saturating_sub(1)) {
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            if dx * dx + dy * dy <= r2 {
+                img.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Fills an axis-aligned ellipse.
+pub fn fill_ellipse_gray(img: &mut GrayImage, cx: f32, cy: f32, rx: f32, ry: f32, value: f32) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let x0 = ((cx - rx).floor().max(0.0)) as usize;
+    let x1 = ((cx + rx).ceil().min(img.width() as f32 - 1.0)).max(0.0) as usize;
+    let y0 = ((cy - ry).floor().max(0.0)) as usize;
+    let y1 = ((cy + ry).ceil().min(img.height() as f32 - 1.0)).max(0.0) as usize;
+    for y in y0..=y1.min(img.height().saturating_sub(1)) {
+        for x in x0..=x1.min(img.width().saturating_sub(1)) {
+            let dx = (x as f32 - cx) / rx;
+            let dy = (y as f32 - cy) / ry;
+            if dx * dx + dy * dy <= 1.0 {
+                img.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Draws a 1-pixel line with Bresenham's algorithm.
+pub fn draw_line_rgb(img: &mut RgbImage, x0: i32, y0: i32, x1: i32, y1: i32, color: Rgb) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        if x >= 0 && y >= 0 && (x as usize) < img.width() && (y as usize) < img.height() {
+            img.set(x as usize, y as usize, color);
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Fills a rectangle (clipped to the image).
+pub fn fill_rect_rgb(img: &mut RgbImage, x0: usize, y0: usize, w: usize, h: usize, color: Rgb) {
+    for y in y0..(y0 + h).min(img.height()) {
+        for x in x0..(x0 + w).min(img.width()) {
+            img.set(x, y, color);
+        }
+    }
+}
+
+/// A checkerboard test pattern — the classic distortion-calibration image.
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> RgbImage {
+    let cell = cell.max(1);
+    RgbImage::from_fn(width, height, |x, y| {
+        if (x / cell + y / cell).is_multiple_of(2) {
+            [1.0, 1.0, 1.0]
+        } else {
+            [0.0, 0.0, 0.0]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_fills_center_not_corner() {
+        let mut img = GrayImage::new(16, 16);
+        fill_circle_gray(&mut img, 8.0, 8.0, 3.0, 1.0);
+        assert_eq!(img.get(8, 8), 1.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn circle_clips_at_border() {
+        let mut img = GrayImage::new(8, 8);
+        fill_circle_gray(&mut img, 0.0, 0.0, 3.0, 1.0);
+        assert_eq!(img.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn ellipse_respects_radii() {
+        let mut img = GrayImage::new(32, 32);
+        fill_ellipse_gray(&mut img, 16.0, 16.0, 8.0, 2.0, 1.0);
+        assert_eq!(img.get(22, 16), 1.0); // inside along x
+        assert_eq!(img.get(16, 22), 0.0); // outside along y
+    }
+
+    #[test]
+    fn line_endpoints_drawn() {
+        let mut img = RgbImage::new(16, 16);
+        draw_line_rgb(&mut img, 1, 1, 12, 9, [1.0, 0.0, 0.0]);
+        assert_eq!(img.get(1, 1), [1.0, 0.0, 0.0]);
+        assert_eq!(img.get(12, 9), [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn line_clips_outside() {
+        let mut img = RgbImage::new(4, 4);
+        draw_line_rgb(&mut img, -5, 2, 10, 2, [0.0, 1.0, 0.0]);
+        assert_eq!(img.get(0, 2), [0.0, 1.0, 0.0]);
+        assert_eq!(img.get(3, 2), [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(8, 8, 2);
+        assert_eq!(img.get(0, 0), [1.0, 1.0, 1.0]);
+        assert_eq!(img.get(2, 0), [0.0, 0.0, 0.0]);
+        assert_eq!(img.get(2, 2), [1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Single-channel floating-point images.
+
+use core::fmt;
+
+/// A grayscale image with `f32` pixels, row-major.
+///
+/// Pixel values are nominally in `[0, 1]` but the container does not
+/// enforce a range (intermediate results of filters may exceed it).
+///
+/// # Examples
+///
+/// ```
+/// use illixr_image::GrayImage;
+/// let img = GrayImage::from_fn(4, 4, |x, y| (x * y) as f32);
+/// assert_eq!(img.get(2, 3), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0.0; width * height] }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` per pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Creates an image from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "pixel buffer size mismatch");
+        Self { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major pixel slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw pixel slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Returns the pixel at `(x, y)` clamping coordinates to the border.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Bilinear sample at floating-point coordinates (border-clamped).
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (xi, yi) = (x0 as isize, y0 as isize);
+        let p00 = self.get_clamped(xi, yi);
+        let p10 = self.get_clamped(xi + 1, yi);
+        let p01 = self.get_clamped(xi, yi + 1);
+        let p11 = self.get_clamped(xi + 1, yi + 1);
+        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+    }
+
+    /// Half-resolution downsample by 2×2 box averaging.
+    pub fn downsample_2x(&self) -> Self {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        Self::from_fn(w, h, |x, y| {
+            let (x2, y2) = (2 * x, 2 * y);
+            let a = self.get_clamped(x2 as isize, y2 as isize);
+            let b = self.get_clamped(x2 as isize + 1, y2 as isize);
+            let c = self.get_clamped(x2 as isize, y2 as isize + 1);
+            let d = self.get_clamped(x2 as isize + 1, y2 as isize + 1);
+            (a + b + c + d) * 0.25
+        })
+    }
+
+    /// Mean pixel value (0 for empty images).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Applies `f` to every pixel, returning a new image.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { width: self.width, height: self.height, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Mean absolute difference with another image of identical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn mean_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!((self.width, self.height), (other.width, other.height), "image size mismatch");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum::<f32>()
+            / self.data.len() as f32
+    }
+}
+
+impl fmt::Display for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GrayImage {}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (10 * y + x) as f32);
+        assert_eq!(img.get(2, 1), 12.0);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+    }
+
+    #[test]
+    fn clamped_access_at_borders() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (x + 2 * y) as f32);
+        assert_eq!(img.get_clamped(-5, -5), img.get(0, 0));
+        assert_eq!(img.get_clamped(10, 10), img.get(1, 1));
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoint() {
+        let img = GrayImage::from_fn(2, 1, |x, _| x as f32);
+        assert!((img.sample_bilinear(0.5, 0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bilinear_at_integer_coords_is_exact() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x * y) as f32);
+        assert_eq!(img.sample_bilinear(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = GrayImage::from_fn(8, 6, |_, _| 0.5);
+        let half = img.downsample_2x();
+        assert_eq!((half.width(), half.height()), (4, 3));
+        assert!((half.get(1, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_identical() {
+        let img = GrayImage::from_fn(5, 5, |x, y| (x ^ y) as f32);
+        assert_eq!(img.mean_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_size_mismatch_panics() {
+        let _ = GrayImage::from_vec(3, 3, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Three-channel floating-point images.
+
+use core::fmt;
+
+use crate::gray::GrayImage;
+
+/// An RGB color with `f32` channels in `[0, 1]`.
+pub type Rgb = [f32; 3];
+
+/// An RGB image with `f32` channels, row-major.
+///
+/// This is the frame format the application renderer produces and the
+/// visual pipeline (reprojection, distortion correction, chromatic
+/// aberration) consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    data: Vec<Rgb>,
+}
+
+impl RgbImage {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![[0.0; 3]; width * height] }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` per pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> Rgb) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw pixel slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Rgb] {
+        &self.data
+    }
+
+    /// Mutable raw pixel slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Rgb] {
+        &mut self.data
+    }
+
+    /// Returns the pixel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: Rgb) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Border-clamped access.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> Rgb {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Bilinear sample at floating-point coordinates (border-clamped).
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> Rgb {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (xi, yi) = (x0 as isize, y0 as isize);
+        let p00 = self.get_clamped(xi, yi);
+        let p10 = self.get_clamped(xi + 1, yi);
+        let p01 = self.get_clamped(xi, yi + 1);
+        let p11 = self.get_clamped(xi + 1, yi + 1);
+        let mut out = [0.0; 3];
+        for c in 0..3 {
+            out[c] = p00[c] * (1.0 - fx) * (1.0 - fy)
+                + p10[c] * fx * (1.0 - fy)
+                + p01[c] * (1.0 - fx) * fy
+                + p11[c] * fx * fy;
+        }
+        out
+    }
+
+    /// Bilinear sample of a single channel — used by the chromatic
+    /// aberration shader which warps each channel differently.
+    #[allow(clippy::needless_range_loop)]
+    pub fn sample_bilinear_channel(&self, x: f32, y: f32, channel: usize) -> f32 {
+        debug_assert!(channel < 3);
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (xi, yi) = (x0 as isize, y0 as isize);
+        let p00 = self.get_clamped(xi, yi)[channel];
+        let p10 = self.get_clamped(xi + 1, yi)[channel];
+        let p01 = self.get_clamped(xi, yi + 1)[channel];
+        let p11 = self.get_clamped(xi + 1, yi + 1)[channel];
+        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+    }
+
+    /// Converts to grayscale using Rec. 709 luma weights.
+    pub fn to_luma(&self) -> GrayImage {
+        GrayImage::from_vec(
+            self.width,
+            self.height,
+            self.data.iter().map(|p| 0.2126 * p[0] + 0.7152 * p[1] + 0.0722 * p[2]).collect(),
+        )
+    }
+
+    /// Extracts one channel as a grayscale image.
+    pub fn channel(&self, c: usize) -> GrayImage {
+        assert!(c < 3, "channel index out of range");
+        GrayImage::from_vec(self.width, self.height, self.data.iter().map(|p| p[c]).collect())
+    }
+
+    /// Mean per-channel absolute difference with another image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn mean_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!((self.width, self.height), (other.width, other.height), "image size mismatch");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let total: f32 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a[0] - b[0]).abs() + (a[1] - b[1]).abs() + (a[2] - b[2]).abs())
+            .sum();
+        total / (3 * self.data.len()) as f32
+    }
+}
+
+impl fmt::Display for RgbImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RgbImage {}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_extraction() {
+        let img = RgbImage::from_fn(2, 2, |x, y| [x as f32, y as f32, 0.5]);
+        assert_eq!(img.channel(0).get(1, 0), 1.0);
+        assert_eq!(img.channel(1).get(0, 1), 1.0);
+        assert_eq!(img.channel(2).get(0, 0), 0.5);
+    }
+
+    #[test]
+    fn luma_weights_sum_to_one() {
+        let img = RgbImage::from_fn(1, 1, |_, _| [1.0, 1.0, 1.0]);
+        assert!((img.to_luma().get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bilinear_channel_matches_full_sample() {
+        let img = RgbImage::from_fn(4, 4, |x, y| [(x + y) as f32, x as f32, y as f32]);
+        let full = img.sample_bilinear(1.3, 2.7);
+        for (c, &expected) in full.iter().enumerate() {
+            assert!((img.sample_bilinear_channel(1.3, 2.7, c) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_abs_diff_detects_difference() {
+        let a = RgbImage::from_fn(2, 2, |_, _| [0.0, 0.0, 0.0]);
+        let b = RgbImage::from_fn(2, 2, |_, _| [0.3, 0.3, 0.3]);
+        assert!((a.mean_abs_diff(&b) - 0.3).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Stencil kernels: Gaussian blur, Sobel gradients and the bilateral
+//! filter (the depth-preprocessing stage of scene reconstruction,
+//! Table VI "camera processing").
+
+use crate::gray::GrayImage;
+
+/// Builds a normalized 1-D Gaussian kernel with radius `⌈3σ⌉`.
+fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as isize;
+    let mut k: Vec<f32> = (-radius..=radius)
+        .map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let sum: f32 = k.iter().sum();
+    k.iter_mut().for_each(|v| *v /= sum);
+    k
+}
+
+/// Separable Gaussian blur with standard deviation `sigma`.
+///
+/// # Panics
+///
+/// Panics when `sigma <= 0`.
+pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
+    let kernel = gaussian_kernel(sigma);
+    let radius = (kernel.len() / 2) as isize;
+    let (w, h) = (img.width(), img.height());
+    // Horizontal pass.
+    let mut tmp = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                acc += kv * img.get_clamped(x as isize + i as isize - radius, y as isize);
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    // Vertical pass.
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in kernel.iter().enumerate() {
+                acc += kv * tmp.get_clamped(x as isize, y as isize + i as isize - radius);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Sobel gradients: returns `(gx, gy)` images.
+pub fn sobel_gradients(img: &GrayImage) -> (GrayImage, GrayImage) {
+    let (w, h) = (img.width(), img.height());
+    let mut gx = GrayImage::new(w, h);
+    let mut gy = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (xi, yi) = (x as isize, y as isize);
+            let tl = img.get_clamped(xi - 1, yi - 1);
+            let tc = img.get_clamped(xi, yi - 1);
+            let tr = img.get_clamped(xi + 1, yi - 1);
+            let ml = img.get_clamped(xi - 1, yi);
+            let mr = img.get_clamped(xi + 1, yi);
+            let bl = img.get_clamped(xi - 1, yi + 1);
+            let bc = img.get_clamped(xi, yi + 1);
+            let br = img.get_clamped(xi + 1, yi + 1);
+            gx.set(x, y, (tr + 2.0 * mr + br) - (tl + 2.0 * ml + bl));
+            gy.set(x, y, (bl + 2.0 * bc + br) - (tl + 2.0 * tc + tr));
+        }
+    }
+    (gx, gy)
+}
+
+/// Edge-preserving bilateral filter.
+///
+/// `sigma_space` controls the spatial footprint, `sigma_range` the
+/// intensity similarity. Pixels with value `<= invalid_below` are treated
+/// as invalid (depth holes) and skipped, matching ElasticFusion's
+/// invalid-depth rejection.
+///
+/// # Panics
+///
+/// Panics when either sigma is non-positive.
+pub fn bilateral_filter(
+    img: &GrayImage,
+    sigma_space: f32,
+    sigma_range: f32,
+    invalid_below: f32,
+) -> GrayImage {
+    assert!(sigma_space > 0.0 && sigma_range > 0.0, "sigmas must be positive");
+    let radius = (2.0 * sigma_space).ceil() as isize;
+    let (w, h) = (img.width(), img.height());
+    let inv_2ss = 1.0 / (2.0 * sigma_space * sigma_space);
+    let inv_2sr = 1.0 / (2.0 * sigma_range * sigma_range);
+    // Precompute the spatial kernel; only the range term depends on
+    // pixel values.
+    let side = (2 * radius + 1) as usize;
+    let mut spatial = vec![0.0f32; side * side];
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let ds = (dx * dx + dy * dy) as f32;
+            spatial[((dy + radius) * side as isize + dx + radius) as usize] = (-ds * inv_2ss).exp();
+        }
+    }
+    // Range weights from a lookup table over |Δv| up to 4σ (the standard
+    // real-time bilateral optimization; beyond 4σ the weight is ~0).
+    const LUT_SIZE: usize = 256;
+    let max_dr = 4.0 * sigma_range;
+    let lut: Vec<f32> = (0..LUT_SIZE)
+        .map(|i| {
+            let dr = i as f32 / (LUT_SIZE - 1) as f32 * max_dr;
+            (-dr * dr * inv_2sr).exp()
+        })
+        .collect();
+    let range_weight = |dr: f32| -> f32 {
+        let a = dr.abs();
+        if a >= max_dr {
+            0.0
+        } else {
+            lut[(a / max_dr * (LUT_SIZE - 1) as f32) as usize]
+        }
+    };
+    let mut out = GrayImage::new(w, h);
+    let data = img.as_slice();
+    let r = radius as usize;
+    for y in 0..h {
+        let interior_y = y >= r && y + r < h;
+        for x in 0..w {
+            let center = img.get(x, y);
+            if center <= invalid_below {
+                out.set(x, y, 0.0);
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut weight = 0.0;
+            if interior_y && x >= r && x + r < w {
+                // Interior fast path: direct indexing, no clamping.
+                let mut k = 0;
+                for dy in 0..side {
+                    let row = (y + dy - r) * w + (x - r);
+                    for v in &data[row..row + side] {
+                        let wgt = spatial[k] * range_weight(v - center);
+                        if *v > invalid_below {
+                            acc += wgt * v;
+                            weight += wgt;
+                        }
+                        k += 1;
+                    }
+                }
+            } else {
+                for dy in -radius..=radius {
+                    for dx in -radius..=radius {
+                        let v = img.get_clamped(x as isize + dx, y as isize + dy);
+                        if v <= invalid_below {
+                            continue;
+                        }
+                        let wgt = spatial[((dy + radius) * side as isize + dx + radius) as usize]
+                            * range_weight(v - center);
+                        acc += wgt * v;
+                        weight += wgt;
+                    }
+                }
+            }
+            out.set(x, y, if weight > 0.0 { acc / weight } else { 0.0 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_preserves_constant_image() {
+        let img = GrayImage::from_fn(16, 16, |_, _| 0.7);
+        let blurred = gaussian_blur(&img, 1.5);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert!((blurred.get(x, y) - 0.7).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_smooths_impulse() {
+        let mut img = GrayImage::new(9, 9);
+        img.set(4, 4, 1.0);
+        let blurred = gaussian_blur(&img, 1.0);
+        assert!(blurred.get(4, 4) < 1.0);
+        assert!(blurred.get(3, 4) > 0.0);
+        // Total mass preserved (interior impulse, kernel sums to 1).
+        let total: f32 = blurred.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let (gx, gy) = sobel_gradients(&img);
+        assert!(gx.get(4, 4).abs() > 1.0);
+        assert!(gy.get(4, 4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bilateral_preserves_edges_better_than_gaussian() {
+        let img = GrayImage::from_fn(16, 16, |x, _| if x < 8 { 0.2 } else { 0.8 });
+        let b = bilateral_filter(&img, 2.0, 0.05, -1.0);
+        let g = gaussian_blur(&img, 2.0);
+        // Just next to the edge the bilateral output stays close to the
+        // original while the Gaussian smears.
+        let edge_err_b = (b.get(6, 8) - 0.2).abs();
+        let edge_err_g = (g.get(6, 8) - 0.2).abs();
+        assert!(edge_err_b < edge_err_g, "bilateral {edge_err_b} vs gaussian {edge_err_g}");
+    }
+
+    #[test]
+    fn bilateral_skips_invalid_depth() {
+        let mut img = GrayImage::from_fn(8, 8, |_, _| 1.0);
+        img.set(3, 3, 0.0); // hole
+        let out = bilateral_filter(&img, 1.0, 0.1, 0.01);
+        assert_eq!(out.get(3, 3), 0.0);
+        assert!((out.get(4, 4) - 1.0).abs() < 1e-5);
+    }
+}

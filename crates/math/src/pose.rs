@@ -1,0 +1,168 @@
+//! Rigid-body poses (SE(3)): the common currency of the perception and
+//! visual pipelines.
+
+use core::fmt;
+
+use crate::matrix::Mat4;
+use crate::quat::Quat;
+use crate::vector::Vec3;
+use crate::Real;
+
+/// A rigid-body pose: position plus orientation.
+///
+/// The pose maps points from the *body* frame to the *world* frame:
+/// `p_world = orientation * p_body + position`.
+///
+/// # Examples
+///
+/// ```
+/// use illixr_math::{Pose, Quat, Vec3};
+/// let t = Pose::new(Vec3::new(0.0, 1.0, 0.0), Quat::IDENTITY);
+/// assert_eq!(t.transform_point(Vec3::ZERO), Vec3::new(0.0, 1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Position of the body origin in the world frame.
+    pub position: Vec3,
+    /// Orientation of the body frame relative to the world frame.
+    pub orientation: Quat,
+}
+
+impl Pose {
+    /// The identity pose.
+    pub const IDENTITY: Self = Self { position: Vec3::ZERO, orientation: Quat::IDENTITY };
+
+    /// Creates a pose from position and orientation.
+    #[inline]
+    pub fn new(position: Vec3, orientation: Quat) -> Self {
+        Self { position, orientation: orientation.normalized() }
+    }
+
+    /// Maps a point from the body frame to the world frame.
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.orientation.rotate(p) + self.position
+    }
+
+    /// Maps a direction from the body frame to the world frame.
+    #[inline]
+    pub fn transform_vector(&self, v: Vec3) -> Vec3 {
+        self.orientation.rotate(v)
+    }
+
+    /// The inverse pose (world → body).
+    pub fn inverse(&self) -> Self {
+        let inv_q = self.orientation.inverse();
+        Self { position: -(inv_q.rotate(self.position)), orientation: inv_q }
+    }
+
+    /// Pose composition: `self ∘ other` applies `other` first.
+    pub fn compose(&self, other: &Self) -> Self {
+        Self {
+            position: self.transform_point(other.position),
+            orientation: (self.orientation * other.orientation).normalized(),
+        }
+    }
+
+    /// The relative pose taking `self` to `other`: `self⁻¹ ∘ other`.
+    pub fn relative_to(&self, other: &Self) -> Self {
+        self.inverse().compose(other)
+    }
+
+    /// Converts to a homogeneous 4×4 transform.
+    pub fn to_matrix(&self) -> Mat4 {
+        Mat4::from_rotation_translation(self.orientation.to_rotation_matrix(), self.position)
+    }
+
+    /// Interpolates between two poses (lerp position, slerp orientation).
+    pub fn interpolate(&self, other: &Self, t: Real) -> Self {
+        Self {
+            position: self.position.lerp(other.position, t),
+            orientation: self.orientation.slerp(other.orientation, t),
+        }
+    }
+
+    /// Translation distance to another pose.
+    #[inline]
+    pub fn translation_distance(&self, other: &Self) -> Real {
+        (self.position - other.position).norm()
+    }
+
+    /// Rotation angle to another pose, in radians.
+    #[inline]
+    pub fn rotation_distance(&self, other: &Self) -> Real {
+        self.orientation.angle_to(other.orientation)
+    }
+
+    /// True when position and orientation are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite() && self.orientation.is_finite()
+    }
+}
+
+impl Default for Pose {
+    #[inline]
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl fmt::Display for Pose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pose[p={}, q={}]", self.position, self.orientation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn example() -> Pose {
+        Pose::new(Vec3::new(1.0, -2.0, 0.5), Quat::from_euler(0.3, -0.6, 1.2))
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = example();
+        let id = p.compose(&p.inverse());
+        assert!(id.translation_distance(&Pose::IDENTITY) < 1e-12);
+        assert!(id.rotation_distance(&Pose::IDENTITY) < 1e-10);
+    }
+
+    #[test]
+    fn compose_matches_matrix_product() {
+        let a = example();
+        let b = Pose::new(Vec3::new(0.2, 0.1, -3.0), Quat::from_euler(-1.0, 0.2, 0.0));
+        let c = a.compose(&b);
+        let mc = a.to_matrix() * b.to_matrix();
+        let p = Vec3::new(0.5, 0.6, 0.7);
+        assert!((c.transform_point(p) - mc.transform_point(p)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn relative_to_recovers_composition() {
+        let a = example();
+        let rel = Pose::new(Vec3::new(0.0, 0.0, -1.0), Quat::from_axis_angle(Vec3::UNIT_Y, FRAC_PI_2));
+        let b = a.compose(&rel);
+        let back = a.relative_to(&b);
+        assert!(back.translation_distance(&rel) < 1e-12);
+        assert!(back.rotation_distance(&rel) < 1e-10);
+    }
+
+    #[test]
+    fn interpolate_endpoints() {
+        let a = example();
+        let b = Pose::new(Vec3::new(5.0, 5.0, 5.0), Quat::from_euler(1.0, 1.0, 1.0));
+        assert!(a.interpolate(&b, 0.0).translation_distance(&a) < 1e-12);
+        assert!(a.interpolate(&b, 1.0).translation_distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn transform_point_matches_matrix() {
+        let a = example();
+        let p = Vec3::new(-1.0, 2.0, 3.0);
+        assert!((a.transform_point(p) - a.to_matrix().transform_point(p)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Streaming and batch statistics used by the telemetry and QoE layers.
+
+use crate::Real;
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use illixr_math::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: Real,
+    m2: Real,
+    min: Real,
+    max: Real,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: Real::INFINITY, max: Real::NEG_INFINITY }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: Real) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as Real;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> Real {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> Real {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as Real
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> Real {
+        self.variance().sqrt()
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> Real {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as Real
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> Real {
+        self.population_variance().sqrt()
+    }
+
+    /// Minimum sample (`+∞` when empty).
+    pub fn min(&self) -> Real {
+        self.min
+    }
+
+    /// Maximum sample (`-∞` when empty).
+    pub fn max(&self) -> Real {
+        self.max
+    }
+
+    /// Coefficient of variation (std-dev / mean), 0 when the mean is 0.
+    pub fn coefficient_of_variation(&self) -> Real {
+        let m = self.mean();
+        if m.abs() < Real::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as Real / total as Real;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as Real * other.n as Real) / total as Real;
+        self.n = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Returns the `p`-th percentile (0–100) of `data` by linear interpolation.
+///
+/// Returns `None` when `data` is empty. The input does not need to be sorted.
+pub fn percentile(data: &[Real], p: Real) -> Option<Real> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<Real> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as Real;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as Real;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Batch mean of a slice (0 when empty).
+pub fn mean(data: &[Real]) -> Real {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<Real>() / data.len() as Real
+    }
+}
+
+/// Batch unbiased standard deviation of a slice (0 when `len < 2`).
+pub fn std_dev(data: &[Real]) -> Real {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    (data.iter().map(|x| (x - m) * (x - m)).sum::<Real>() / (data.len() - 1) as Real).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let data = [1.5, 2.5, 3.5, -1.0, 0.0, 10.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert!((s.mean() - mean(&data)).abs() < 1e-12);
+        assert!((s.std_dev() - std_dev(&data)).abs() < 1e-12);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        a_data.iter().for_each(|&x| a.push(x));
+        b_data.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        let all: Vec<f64> = a_data.iter().chain(&b_data).copied().collect();
+        assert!((a.mean() - mean(&all)).abs() < 1e-12);
+        assert!((a.std_dev() - std_dev(&all)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 100.0), Some(5.0));
+        assert_eq!(percentile(&data, 50.0), Some(3.0));
+        assert_eq!(percentile(&data, 25.0), Some(2.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+}

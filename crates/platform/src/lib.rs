@@ -1,0 +1,37 @@
+//! Hardware platform models for ILLIXR-rs.
+//!
+//! The paper characterizes ILLIXR on three physical configurations: a
+//! high-end **desktop** (Intel Xeon E-2236 + RTX 2080), an NVIDIA Jetson
+//! AGX Xavier in a high-performance mode (**Jetson-HP**) and the same
+//! board at half clocks (**Jetson-LP**) (§III-A). None of that hardware is
+//! available to a simulation-only reproduction, so this crate provides
+//! *calibrated analytical models* of the three platforms:
+//!
+//! * [`spec`] — core counts, clock scaling, and per-platform compute
+//!   throughput scalars for CPU and GPU work;
+//! * [`timing`] — per-component execution-cost model (desktop-calibrated
+//!   base cost × platform scalar × input-dependent work factor ×
+//!   deterministic log-normal contention jitter), which drives the
+//!   discrete-event scheduler;
+//! * [`power`] — the five power rails reported by the Jetson
+//!   (`CPU`, `GPU`, `DDR`, `SoC`, `Sys`, §III-E) with
+//!   utilization-dependent draw, reproducing Fig 6;
+//! * [`uarch`] — an analytical CPU pipeline model mapping per-task
+//!   operation mixes onto IPC and top-down cycle breakdowns
+//!   (retiring / bad-speculation / frontend-bound / backend-bound),
+//!   reproducing Fig 8.
+//!
+//! Absolute numbers are model outputs, not measurements; the reproduction
+//! targets are the *relationships* the paper emphasizes (who misses
+//! deadlines where, rail shares, IPC spread).
+
+pub mod power;
+pub mod rng;
+pub mod spec;
+pub mod timing;
+pub mod uarch;
+
+pub use power::{PowerBreakdown, PowerModel, Rail};
+pub use spec::{Platform, PlatformSpec};
+pub use timing::{CostClass, CostEntry, TimingModel};
+pub use uarch::{CycleBreakdown, OpMix, UarchModel};

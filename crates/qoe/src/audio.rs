@@ -1,0 +1,142 @@
+//! Audio quality metrics.
+//!
+//! The paper measures no audio quality "beyond bitrate" and plans to add
+//! AMBIQUAL (§II-C). This module provides the testbed's first step in
+//! that direction: a log-spectral similarity score between a reference
+//! and a degraded binaural stream, sensitive to the distortions an XR
+//! audio pipeline introduces (dropped blocks, wrong rotation, filter
+//! misconfiguration), plus interaural-cue error — the quantity spatial
+//! hearing actually depends on.
+
+use illixr_dsp::fft::{fft_in_place, next_power_of_two};
+use illixr_dsp::Complex;
+
+/// Result of comparing two stereo streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AudioQuality {
+    /// Log-spectral similarity in `[0, 1]` (1 = spectra identical),
+    /// averaged over both ears.
+    pub spectral_similarity: f64,
+    /// Absolute error of the interaural level difference, dB.
+    pub ild_error_db: f64,
+}
+
+/// Compares a degraded stereo stream to a reference.
+///
+/// Both streams must have equal, nonzero length per channel.
+///
+/// # Panics
+///
+/// Panics on length mismatches or empty input.
+pub fn compare_stereo(
+    ref_left: &[f64],
+    ref_right: &[f64],
+    deg_left: &[f64],
+    deg_right: &[f64],
+) -> AudioQuality {
+    assert!(!ref_left.is_empty(), "empty reference");
+    assert_eq!(ref_left.len(), ref_right.len(), "reference channel mismatch");
+    assert_eq!(deg_left.len(), deg_right.len(), "degraded channel mismatch");
+    assert_eq!(ref_left.len(), deg_left.len(), "reference/degraded length mismatch");
+    let sim_l = spectral_similarity(ref_left, deg_left);
+    let sim_r = spectral_similarity(ref_right, deg_right);
+    let ild_ref = ild_db(ref_left, ref_right);
+    let ild_deg = ild_db(deg_left, deg_right);
+    AudioQuality {
+        spectral_similarity: 0.5 * (sim_l + sim_r),
+        ild_error_db: (ild_ref - ild_deg).abs(),
+    }
+}
+
+/// Interaural level difference in dB (left relative to right).
+pub fn ild_db(left: &[f64], right: &[f64]) -> f64 {
+    let rms = |x: &[f64]| {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len().max(1) as f64).sqrt().max(1e-12)
+    };
+    20.0 * (rms(left) / rms(right)).log10()
+}
+
+/// Log-spectral similarity of two signals in `[0, 1]`.
+fn spectral_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let n = next_power_of_two(a.len());
+    let spectrum = |x: &[f64]| -> Vec<f64> {
+        let mut buf = vec![Complex::ZERO; n];
+        for (dst, &src) in buf.iter_mut().zip(x) {
+            dst.re = src;
+        }
+        fft_in_place(&mut buf);
+        // Log magnitude over the positive frequencies, floored at -80 dB.
+        buf[..n / 2].iter().map(|c| (c.abs().max(1e-4)).ln()).collect()
+    };
+    let sa = spectrum(a);
+    let sb = spectrum(b);
+    // RMS log-spectral distance → similarity via exp(-d).
+    let d = (sa.iter().zip(&sb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+        / sa.len() as f64)
+        .sqrt();
+    (-d / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(len: usize, freq: f64, rate: f64, amp: f64) -> Vec<f64> {
+        (0..len).map(|i| (std::f64::consts::TAU * freq * i as f64 / rate).sin() * amp).collect()
+    }
+
+    #[test]
+    fn identical_streams_score_perfectly() {
+        let l = tone(1024, 440.0, 48_000.0, 0.5);
+        let r = tone(1024, 440.0, 48_000.0, 0.3);
+        let q = compare_stereo(&l, &r, &l, &r);
+        assert!(q.spectral_similarity > 0.999, "{q:?}");
+        assert!(q.ild_error_db < 1e-9);
+    }
+
+    #[test]
+    fn wrong_frequency_lowers_similarity() {
+        let ref_sig = tone(1024, 440.0, 48_000.0, 0.5);
+        let deg = tone(1024, 1200.0, 48_000.0, 0.5);
+        let q = compare_stereo(&ref_sig, &ref_sig, &deg, &deg);
+        assert!(q.spectral_similarity < 0.8, "{q:?}");
+    }
+
+    #[test]
+    fn dropped_blocks_lower_similarity() {
+        let ref_sig = tone(2048, 300.0, 48_000.0, 0.5);
+        let mut deg = ref_sig.clone();
+        for v in &mut deg[512..1024] {
+            *v = 0.0; // a dropped block
+        }
+        let q = compare_stereo(&ref_sig, &ref_sig, &deg, &deg);
+        assert!(q.spectral_similarity < 0.95, "{q:?}");
+    }
+
+    #[test]
+    fn spatial_error_shows_in_ild() {
+        // Reference: source on the left (left louder). Degraded: the
+        // rotation stage failed and the image is centered.
+        let l = tone(1024, 500.0, 48_000.0, 0.8);
+        let r = tone(1024, 500.0, 48_000.0, 0.3);
+        let c = tone(1024, 500.0, 48_000.0, 0.55);
+        let q = compare_stereo(&l, &r, &c, &c);
+        assert!(q.ild_error_db > 5.0, "{q:?}");
+    }
+
+    #[test]
+    fn ild_sign_convention() {
+        let loud = tone(256, 400.0, 48_000.0, 1.0);
+        let quiet = tone(256, 400.0, 48_000.0, 0.1);
+        assert!(ild_db(&loud, &quiet) > 0.0);
+        assert!(ild_db(&quiet, &loud) < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let a = vec![0.0; 10];
+        let b = vec![0.0; 12];
+        let _ = compare_stereo(&a, &a, &b, &b);
+    }
+}

@@ -1,0 +1,28 @@
+//! Quality-of-experience metrics (paper §II-C, §III-E).
+//!
+//! * [`mtp`] — motion-to-photon latency:
+//!   `latency = t_imu_age + t_reprojection + t_swap` (the exact formula
+//!   of §III-E, excluding `t_display` like the paper);
+//! * [`ate`] — absolute trajectory error for the VIO accuracy/performance
+//!   ablation (§V-E);
+//! * [`report`] — aggregation helpers that turn telemetry into the
+//!   mean ± std rows of Tables IV and V;
+//! * [`audio`] — a first audio-quality metric (log-spectral similarity +
+//!   interaural-cue error), the §II-C "plan to add AMBIQUAL" direction;
+//! * [`video`] — temporal coherence/jitter metrics, the §II-C
+//!   "VMAF/Video ATLAS" direction for video rather than image quality.
+//!
+//! SSIM and FLIP — the offline image-quality metrics of Table V — live in
+//! `illixr-image`, next to the pixel types they operate on.
+
+pub mod ate;
+pub mod audio;
+pub mod mtp;
+pub mod video;
+pub mod report;
+
+pub use ate::{absolute_trajectory_error, relative_pose_error};
+pub use audio::{compare_stereo, AudioQuality};
+pub use mtp::{MtpCalculator, MtpSample};
+pub use video::{pose_judder, temporal_jitter};
+pub use report::MeanStd;

@@ -1,0 +1,121 @@
+//! Temporal video-quality metrics.
+//!
+//! §II-C: *"both SSIM and FLIP are image metrics, whereas the final
+//! output of the visual pipeline is a video, requiring consideration of
+//! aspects such as temporal coherence and smoothness (jitter) as well."*
+//! This module provides the testbed's first temporal metrics: a
+//! frame-difference jitter score over displayed images, and a pose-judder
+//! score over the displayed pose sequence (the quantity users perceive
+//! when frames are dropped or reprojection works from stale poses).
+
+use illixr_image::RgbImage;
+use illixr_math::Pose;
+
+/// Mean absolute difference between consecutive frames.
+///
+/// Returns one value per frame pair (empty for fewer than two frames).
+pub fn frame_difference_series(frames: &[RgbImage]) -> Vec<f64> {
+    frames.windows(2).map(|w| w[0].mean_abs_diff(&w[1]) as f64).collect()
+}
+
+/// Temporal jitter: coefficient of variation of the frame-difference
+/// series. Smooth video changes by a consistent amount per frame
+/// (jitter → 0); dropped/repeated frames alternate between zero and
+/// double-sized differences (jitter grows).
+///
+/// Returns `None` for fewer than three frames.
+pub fn temporal_jitter(frames: &[RgbImage]) -> Option<f64> {
+    let diffs = frame_difference_series(frames);
+    if diffs.len() < 2 {
+        return None;
+    }
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    if mean <= 1e-12 {
+        return Some(0.0); // static video is perfectly smooth
+    }
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / diffs.len() as f64;
+    Some(var.sqrt() / mean)
+}
+
+/// Pose judder: root-mean-square second difference of displayed
+/// positions, meters — a discrete acceleration measure. A smoothly
+/// tracked display has near-zero judder; every dropped pose update
+/// contributes a spike.
+///
+/// Returns `None` for fewer than three poses.
+pub fn pose_judder(displayed: &[Pose]) -> Option<f64> {
+    if displayed.len() < 3 {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut n = 0;
+    for w in displayed.windows(3) {
+        let second_diff =
+            (w[2].position - w[1].position) - (w[1].position - w[0].position);
+        acc += second_diff.norm_squared();
+        n += 1;
+    }
+    Some((acc / n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use illixr_math::{Quat, Vec3};
+
+    fn sliding_frame(offset: f32) -> RgbImage {
+        RgbImage::from_fn(32, 32, |x, y| {
+            let v = ((x as f32 + offset) * 0.2).sin() * 0.5 + 0.5;
+            [v, v * 0.8, y as f32 / 32.0]
+        })
+    }
+
+    #[test]
+    fn smooth_motion_has_low_jitter() {
+        let frames: Vec<RgbImage> = (0..10).map(|k| sliding_frame(k as f32)).collect();
+        let j = temporal_jitter(&frames).unwrap();
+        assert!(j < 0.2, "smooth video jitter {j}");
+    }
+
+    #[test]
+    fn dropped_frames_raise_jitter() {
+        // Every other frame repeats (a 30 fps app on a 60 Hz display
+        // without reprojection).
+        let frames: Vec<RgbImage> =
+            (0..10).map(|k| sliding_frame((k / 2 * 2) as f32)).collect();
+        let smooth: Vec<RgbImage> = (0..10).map(|k| sliding_frame(k as f32)).collect();
+        let j_dropped = temporal_jitter(&frames).unwrap();
+        let j_smooth = temporal_jitter(&smooth).unwrap();
+        assert!(j_dropped > 3.0 * j_smooth, "dropped {j_dropped} vs smooth {j_smooth}");
+    }
+
+    #[test]
+    fn static_video_is_perfectly_smooth() {
+        let frames: Vec<RgbImage> = (0..5).map(|_| sliding_frame(0.0)).collect();
+        assert_eq!(temporal_jitter(&frames), Some(0.0));
+    }
+
+    #[test]
+    fn constant_velocity_has_zero_judder() {
+        let poses: Vec<Pose> = (0..10)
+            .map(|k| Pose::new(Vec3::new(k as f64 * 0.01, 0.0, 0.0), Quat::IDENTITY))
+            .collect();
+        assert!(pose_judder(&poses).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn held_poses_produce_judder() {
+        // Pose updates arrive every other display frame.
+        let held: Vec<Pose> = (0..10)
+            .map(|k| Pose::new(Vec3::new((k / 2 * 2) as f64 * 0.01, 0.0, 0.0), Quat::IDENTITY))
+            .collect();
+        let j = pose_judder(&held).unwrap();
+        assert!(j > 0.005, "judder {j}");
+    }
+
+    #[test]
+    fn short_sequences_return_none() {
+        assert!(temporal_jitter(&[sliding_frame(0.0)]).is_none());
+        assert!(pose_judder(&[Pose::IDENTITY, Pose::IDENTITY]).is_none());
+    }
+}

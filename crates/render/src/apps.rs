@@ -1,0 +1,372 @@
+//! The four XR applications (paper §III-C), graded by rendering
+//! complexity: **Sponza** (high-poly architectural atrium) > **Materials**
+//! (PBR-style sphere gallery) > **Platformer** (maze with moving
+//! "enemies", physics + collisions) > **AR Demo** (a few sparse virtual
+//! objects with an animated ball).
+
+use illixr_math::{Mat3, Mat4, Pose, Quat, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mesh::Mesh;
+use crate::raster::{DrawStats, Rasterizer};
+
+/// The four applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Application {
+    /// The Sponza atrium — most graphics-intensive.
+    Sponza,
+    /// Material-test spheres.
+    Materials,
+    /// A platformer maze with moving enemies.
+    Platformer,
+    /// The custom sparse AR demo.
+    ArDemo,
+}
+
+impl Application {
+    /// All four, most to least demanding (the paper's plotting order).
+    pub const ALL: [Application; 4] =
+        [Application::Sponza, Application::Materials, Application::Platformer, Application::ArDemo];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Application::Sponza => "Sponza",
+            Application::Materials => "Materials",
+            Application::Platformer => "Platformer",
+            Application::ArDemo => "AR Demo",
+        }
+    }
+
+    /// Relative rendering cost vs. Platformer ≈ 1 (drives the timing
+    /// model; ordering matches the paper's complexity grading).
+    pub fn render_cost_factor(self) -> f64 {
+        match self {
+            Application::Sponza => 3.2,
+            Application::Materials => 2.1,
+            Application::Platformer => 1.0,
+            Application::ArDemo => 0.35,
+        }
+    }
+
+    /// Builds the application's scene.
+    pub fn build(self, seed: u64) -> AppScene {
+        AppScene::new(self, seed)
+    }
+}
+
+impl std::fmt::Display for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A movable object with toy physics (Platformer enemies, AR ball).
+#[derive(Debug, Clone)]
+struct Dynamic {
+    mesh_index: usize,
+    position: Vec3,
+    velocity: Vec3,
+    bounds: Vec3,
+    bounce: bool,
+}
+
+/// An application's renderable scene with animation state.
+#[derive(Debug)]
+pub struct AppScene {
+    app: Application,
+    /// Static geometry, pre-merged into one mesh for cache-friendly draw.
+    static_mesh: Mesh,
+    /// Dynamic object meshes.
+    dynamic_meshes: Vec<Mesh>,
+    dynamics: Vec<Dynamic>,
+    time: f64,
+}
+
+impl AppScene {
+    /// Builds the scene for `app`.
+    pub fn new(app: Application, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA55);
+        let mut static_mesh = Mesh::new();
+        let mut dynamic_meshes = Vec::new();
+        let mut dynamics = Vec::new();
+        match app {
+            Application::Sponza => {
+                // Atrium: floor, colonnades of fluted columns, arches
+                // (spheres), upper gallery boxes — high triangle count.
+                static_mesh.append(&Mesh::floor(10.0, 16, [0.55, 0.5, 0.45]), &Mat4::identity());
+                for i in 0..12 {
+                    for side in [-1.0f64, 1.0] {
+                        let x = -8.0 + i as f64 * 1.5;
+                        let col = Mesh::cylinder(0.25, 4.0, 32, [0.8, 0.75, 0.65]);
+                        let t = translation(Vec3::new(x, 2.0, side * 3.0));
+                        static_mesh.append(&col, &t);
+                        let cap = Mesh::sphere(0.35, 12, 16, [0.75, 0.7, 0.6]);
+                        static_mesh.append(&cap, &translation(Vec3::new(x, 4.2, side * 3.0)));
+                    }
+                }
+                for i in 0..10 {
+                    let gallery = Mesh::cuboid(Vec3::new(0.7, 0.4, 0.5), [0.6, 0.45, 0.35]);
+                    static_mesh
+                        .append(&gallery, &translation(Vec3::new(-7.0 + i as f64 * 1.6, 5.0, 0.0)));
+                }
+                // Arch bosses along the nave centerline.
+                for i in 0..12 {
+                    let arch = Mesh::sphere(0.3, 10, 12, [0.72, 0.68, 0.58]);
+                    static_mesh
+                        .append(&arch, &translation(Vec3::new(-8.0 + i as f64 * 1.5, 4.8, 0.0)));
+                }
+                // Hanging banners (thin boxes) for fill-rate load.
+                for i in 0..6 {
+                    let banner = Mesh::cuboid(Vec3::new(0.4, 1.2, 0.02), [0.7, 0.15, 0.1]);
+                    static_mesh
+                        .append(&banner, &translation(Vec3::new(-5.0 + i as f64 * 2.0, 3.0, 0.0)));
+                }
+            }
+            Application::Materials => {
+                static_mesh.append(&Mesh::floor(6.0, 8, [0.3, 0.3, 0.32]), &Mat4::identity());
+                // A 4×3 gallery of high-tessellation spheres with varied
+                // "materials" (base colors standing in for PBR variants).
+                for i in 0..4 {
+                    for j in 0..3 {
+                        let color = [
+                            0.3 + 0.2 * i as f32,
+                            0.25 + 0.2 * j as f32,
+                            0.9 - 0.2 * i as f32,
+                        ];
+                        let sphere = Mesh::sphere(0.5, 16, 24, color);
+                        let t = translation(Vec3::new(
+                            -2.2 + i as f64 * 1.5,
+                            1.0,
+                            -1.5 + j as f64 * 1.5,
+                        ));
+                        static_mesh.append(&sphere, &t);
+                    }
+                }
+            }
+            Application::Platformer => {
+                static_mesh.append(&Mesh::floor(8.0, 12, [0.35, 0.4, 0.3]), &Mat4::identity());
+                // Maze walls.
+                for i in 0..20 {
+                    let w = Mesh::cuboid(Vec3::new(1.0, 0.6, 0.15), [0.5, 0.5, 0.55]);
+                    let t = translation(Vec3::new(
+                        rng.gen_range(-6.0..6.0),
+                        0.6,
+                        rng.gen_range(-6.0..6.0),
+                    ));
+                    let _ = i;
+                    static_mesh.append(&w, &t);
+                }
+                // Crab-like enemies: animated boxes that patrol and
+                // bounce off the maze bounds (the physics/collision
+                // showcase).
+                for _ in 0..6 {
+                    let mesh = Mesh::cuboid(Vec3::new(0.3, 0.2, 0.25), [0.8, 0.2, 0.15]);
+                    dynamic_meshes.push(mesh);
+                    dynamics.push(Dynamic {
+                        mesh_index: dynamic_meshes.len() - 1,
+                        position: Vec3::new(
+                            rng.gen_range(-5.0..5.0),
+                            0.3,
+                            rng.gen_range(-5.0..5.0),
+                        ),
+                        velocity: Vec3::new(rng.gen_range(-1.0..1.0), 0.0, rng.gen_range(-1.0..1.0)),
+                        bounds: Vec3::new(6.0, 0.0, 6.0),
+                        bounce: false,
+                    });
+                }
+            }
+            Application::ArDemo => {
+                // Sparse: one table-like box, a couple of virtual
+                // objects, and an animated bouncing ball.
+                static_mesh.append(
+                    &Mesh::cuboid(Vec3::new(0.8, 0.05, 0.5), [0.4, 0.3, 0.2]),
+                    &translation(Vec3::new(0.0, 0.8, -1.5)),
+                );
+                static_mesh.append(
+                    &Mesh::cuboid(Vec3::new(0.1, 0.1, 0.1), [0.2, 0.6, 0.9]),
+                    &translation(Vec3::new(-0.3, 1.0, -1.5)),
+                );
+                let ball = Mesh::sphere(0.08, 10, 12, [0.95, 0.8, 0.1]);
+                dynamic_meshes.push(ball);
+                dynamics.push(Dynamic {
+                    mesh_index: 0,
+                    position: Vec3::new(0.3, 1.4, -1.5),
+                    velocity: Vec3::new(0.0, 0.0, 0.0),
+                    bounds: Vec3::new(0.0, 0.9, 0.0),
+                    bounce: true,
+                });
+            }
+        }
+        Self { app, static_mesh, dynamic_meshes, dynamics, time: 0.0 }
+    }
+
+    /// Which application this scene belongs to.
+    pub fn application(&self) -> Application {
+        self.app
+    }
+
+    /// Total triangles in the scene.
+    pub fn triangle_count(&self) -> usize {
+        self.static_mesh.triangle_count()
+            + self
+                .dynamics
+                .iter()
+                .map(|d| self.dynamic_meshes[d.mesh_index].triangle_count())
+                .sum::<usize>()
+    }
+
+    /// Advances animation/physics to absolute time `t` seconds.
+    pub fn animate_to(&mut self, t: f64) {
+        let dt = (t - self.time).max(0.0);
+        self.time = t;
+        if dt == 0.0 {
+            return;
+        }
+        for d in &mut self.dynamics {
+            if d.bounce {
+                // Gravity ball bouncing on a plane at y = bounds.y.
+                d.velocity.y -= 9.8 * dt;
+                d.position += d.velocity * dt;
+                if d.position.y < d.bounds.y {
+                    d.position.y = d.bounds.y;
+                    d.velocity.y = d.velocity.y.abs() * 0.9 + 0.35;
+                }
+            } else {
+                // Patrol: integrate and reflect at the arena bounds
+                // (collision response).
+                d.position += d.velocity * dt;
+                for axis in [0usize, 2] {
+                    if d.position[axis].abs() > d.bounds[axis] {
+                        d.position[axis] = d.position[axis].clamp(-d.bounds[axis], d.bounds[axis]);
+                        d.velocity[axis] = -d.velocity[axis];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the scene from an eye pose into `raster`.
+    ///
+    /// Returns aggregate draw statistics (the work-factor source).
+    pub fn render(&self, raster: &mut Rasterizer, eye_pose: &Pose, fov_y: f64, aspect: f64) -> DrawStats {
+        let clear = if self.app == Application::ArDemo {
+            [0.05, 0.05, 0.06] // AR: mostly passthrough-black
+        } else {
+            [0.35, 0.55, 0.8] // sky
+        };
+        raster.clear(clear);
+        // The eye looks along its −Z axis (OpenGL convention); the view
+        // matrix is simply the inverse of the eye pose.
+        let proj = Mat4::perspective(fov_y, aspect, 0.1, 100.0);
+        let view = eye_pose.to_matrix().rigid_inverse();
+        let vp = proj * view;
+        let mut total = DrawStats::default();
+        let s = raster.draw(&self.static_mesh, &Mat4::identity(), &vp);
+        accumulate(&mut total, s);
+        for d in &self.dynamics {
+            let model = translation(d.position) * rotation_y(self.time * 1.3);
+            let s = raster.draw(&self.dynamic_meshes[d.mesh_index], &model, &vp);
+            accumulate(&mut total, s);
+        }
+        total
+    }
+
+    /// Position of the first dynamic object (tests/demo telemetry).
+    pub fn first_dynamic_position(&self) -> Option<Vec3> {
+        self.dynamics.first().map(|d| d.position)
+    }
+}
+
+fn accumulate(total: &mut DrawStats, s: DrawStats) {
+    total.triangles_in += s.triangles_in;
+    total.triangles_rasterized += s.triangles_rasterized;
+    total.fragments += s.fragments;
+}
+
+fn translation(t: Vec3) -> Mat4 {
+    Mat4::from_rotation_translation(Mat3::identity(), t)
+}
+
+fn rotation_y(angle: f64) -> Mat4 {
+    Quat::from_axis_angle(Vec3::UNIT_Y, angle).to_rotation_matrix().to_homogeneous()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_ordering_matches_paper() {
+        let counts: Vec<usize> =
+            Application::ALL.iter().map(|a| a.build(1).triangle_count()).collect();
+        assert!(counts[0] > counts[1], "Sponza > Materials: {counts:?}");
+        assert!(counts[1] > counts[2], "Materials > Platformer: {counts:?}");
+        assert!(counts[2] > counts[3], "Platformer > AR Demo: {counts:?}");
+        // Sponza is "high polygon count": several thousand triangles.
+        assert!(counts[0] > 5_000, "sponza tris {}", counts[0]);
+        assert!(counts[3] < 500, "ar demo tris {}", counts[3]);
+    }
+
+    #[test]
+    fn all_apps_render_fragments() {
+        for app in Application::ALL {
+            let mut scene = app.build(2);
+            scene.animate_to(0.5);
+            let mut r = Rasterizer::new(96, 96);
+            // Eye at human height looking forward along -Z... our pose
+            // convention: camera at origin looking -Z.
+            let eye = Pose::new(Vec3::new(0.0, 1.6, 4.0), Quat::IDENTITY);
+            let stats = scene.render(&mut r, &eye, 1.2, 1.0);
+            // The AR demo is deliberately sparse; everything else fills
+            // a good chunk of the 96×96 buffer.
+            let floor = if app == Application::ArDemo { 50 } else { 500 };
+            assert!(stats.fragments > floor, "{app} rendered {} fragments", stats.fragments);
+        }
+    }
+
+    #[test]
+    fn platformer_enemies_move_and_stay_in_bounds() {
+        let mut scene = Application::Platformer.build(3);
+        let p0 = scene.first_dynamic_position().unwrap();
+        for k in 1..200 {
+            scene.animate_to(k as f64 * 0.1);
+            let p = scene.first_dynamic_position().unwrap();
+            assert!(p.x.abs() <= 6.0 + 1e-9 && p.z.abs() <= 6.0 + 1e-9, "escaped: {p}");
+        }
+        let p1 = scene.first_dynamic_position().unwrap();
+        assert!((p1 - p0).norm() > 0.1, "enemy never moved");
+    }
+
+    #[test]
+    fn ar_ball_bounces() {
+        let mut scene = Application::ArDemo.build(4);
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for k in 0..300 {
+            scene.animate_to(k as f64 * 0.02);
+            let y = scene.first_dynamic_position().unwrap().y;
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        assert!(min_y >= 0.9 - 1e-9, "ball fell through the table: {min_y}");
+        assert!(max_y > min_y + 0.1, "ball never bounced");
+    }
+
+    #[test]
+    fn render_view_depends_on_pose() {
+        let mut scene = Application::Materials.build(5);
+        scene.animate_to(0.0);
+        let mut r1 = Rasterizer::new(64, 64);
+        let mut r2 = Rasterizer::new(64, 64);
+        scene.render(&mut r1, &Pose::new(Vec3::new(0.0, 1.0, 4.0), Quat::IDENTITY), 1.2, 1.0);
+        scene.render(
+            &mut r2,
+            &Pose::new(Vec3::new(1.0, 1.0, 4.0), Quat::from_axis_angle(Vec3::UNIT_Y, 0.2)),
+            1.2,
+            1.0,
+        );
+        assert!(r1.framebuffer().mean_abs_diff(r2.framebuffer()) > 0.005);
+    }
+}

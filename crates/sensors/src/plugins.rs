@@ -1,0 +1,251 @@
+//! Camera and IMU plugins.
+//!
+//! Two interchangeable providers publish the same `camera` and `imu`
+//! streams (paper §II-B, Table II lists ZED and RealSense variants):
+//!
+//! * [`SyntheticCameraPlugin`] + [`SyntheticImuPlugin`] — the
+//!   "live-synthetic" pair, generating sensor data on the fly from a
+//!   trajectory + world (the stand-in for walking a ZED Mini through a
+//!   lab);
+//! * [`OfflineImuCameraPlugin`] — the offline player, replaying a
+//!   pre-generated [`SyntheticDataset`] (the stand-in for EuRoC
+//!   playback). Downstream plugins cannot tell the difference.
+
+use std::sync::Arc;
+
+use illixr_core::plugin::{IterationReport, Plugin, PluginContext};
+use illixr_core::switchboard::Writer;
+#[cfg(test)]
+use illixr_core::Time;
+
+use crate::camera::StereoRig;
+use crate::dataset::SyntheticDataset;
+use crate::imu::{ImuModel, ImuNoise};
+use crate::trajectory::Trajectory;
+use crate::types::{streams, ImuSample, StereoFrame};
+use crate::world::LandmarkWorld;
+
+/// Publishes synthetic stereo frames on the `camera` stream.
+///
+/// Each `iterate` renders the frame for the current clock time from the
+/// world, so the frame content truly depends on the trajectory.
+pub struct SyntheticCameraPlugin {
+    trajectory: Trajectory,
+    world: Arc<LandmarkWorld>,
+    rig: StereoRig,
+    writer: Option<Writer<StereoFrame>>,
+    seq: u64,
+}
+
+impl SyntheticCameraPlugin {
+    /// Creates the plugin.
+    pub fn new(trajectory: Trajectory, world: Arc<LandmarkWorld>, rig: StereoRig) -> Self {
+        Self { trajectory, world, rig, writer: None, seq: 0 }
+    }
+}
+
+impl Plugin for SyntheticCameraPlugin {
+    fn name(&self) -> &str {
+        "camera"
+    }
+
+    fn start(&mut self, ctx: &PluginContext) {
+        self.writer = Some(ctx.switchboard.writer::<StereoFrame>(streams::CAMERA));
+    }
+
+    fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+        let t = ctx.clock.now();
+        let pose = self.trajectory.pose(t);
+        let left = Arc::new(self.world.render(&self.rig, &pose, 0));
+        let right = Arc::new(self.world.render(&self.rig, &pose, 1));
+        let frame = StereoFrame { timestamp: t, left, right, seq: self.seq };
+        self.seq += 1;
+        self.writer.as_ref().expect("start() must run before iterate()").put(frame);
+        IterationReport::nominal()
+    }
+}
+
+/// Publishes synthetic IMU samples on the `imu` stream.
+pub struct SyntheticImuPlugin {
+    model: ImuModel,
+    writer: Option<Writer<ImuSample>>,
+}
+
+impl SyntheticImuPlugin {
+    /// Creates the plugin sampling at `rate_hz` (paper: 500 Hz).
+    pub fn new(trajectory: Trajectory, noise: ImuNoise, rate_hz: f64, seed: u64) -> Self {
+        Self { model: ImuModel::new(trajectory, noise, rate_hz, seed), writer: None }
+    }
+}
+
+impl Plugin for SyntheticImuPlugin {
+    fn name(&self) -> &str {
+        "imu"
+    }
+
+    fn start(&mut self, ctx: &PluginContext) {
+        self.writer = Some(ctx.switchboard.writer::<ImuSample>(streams::IMU));
+    }
+
+    fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+        let sample = self.model.next_sample();
+        self.writer.as_ref().expect("start() must run before iterate()").put(sample);
+        IterationReport::nominal()
+    }
+}
+
+/// Replays a pre-generated dataset onto **both** the `camera` and `imu`
+/// streams — the offline camera+IMU component of paper §II-B.
+///
+/// Drive it at the IMU rate; camera frames are emitted whenever a camera
+/// timestamp falls due.
+pub struct OfflineImuCameraPlugin {
+    dataset: Arc<SyntheticDataset>,
+    rig: StereoRig,
+    imu_writer: Option<Writer<ImuSample>>,
+    cam_writer: Option<Writer<StereoFrame>>,
+    next_imu: usize,
+    next_cam: usize,
+}
+
+impl OfflineImuCameraPlugin {
+    /// Creates the player.
+    pub fn new(dataset: Arc<SyntheticDataset>, rig: StereoRig) -> Self {
+        Self { dataset, rig, imu_writer: None, cam_writer: None, next_imu: 0, next_cam: 0 }
+    }
+
+    /// True when the entire dataset has been replayed.
+    pub fn finished(&self) -> bool {
+        self.next_imu >= self.dataset.imu.len()
+    }
+}
+
+impl Plugin for OfflineImuCameraPlugin {
+    fn name(&self) -> &str {
+        "offline_imu_cam"
+    }
+
+    fn start(&mut self, ctx: &PluginContext) {
+        self.imu_writer = Some(ctx.switchboard.writer::<ImuSample>(streams::IMU));
+        self.cam_writer = Some(ctx.switchboard.writer::<StereoFrame>(streams::CAMERA));
+    }
+
+    fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+        let now = ctx.clock.now();
+        let mut emitted = 0u32;
+        // Emit every IMU sample that has come due.
+        while self.next_imu < self.dataset.imu.len()
+            && self.dataset.imu[self.next_imu].timestamp <= now
+        {
+            self.imu_writer
+                .as_ref()
+                .expect("start() must run before iterate()")
+                .put(self.dataset.imu[self.next_imu]);
+            self.next_imu += 1;
+            emitted += 1;
+        }
+        // Emit camera frames that have come due.
+        while self.next_cam < self.dataset.camera_times.len()
+            && self.dataset.camera_times[self.next_cam] <= now
+        {
+            let t = self.dataset.camera_times[self.next_cam];
+            let (left, right) = self.dataset.render_frame(&self.rig, self.next_cam);
+            self.cam_writer.as_ref().expect("start() must run before iterate()").put(StereoFrame {
+                timestamp: t,
+                left: Arc::new(left),
+                right: Arc::new(right),
+                seq: self.next_cam as u64,
+            });
+            self.next_cam += 1;
+            emitted += 1;
+        }
+        if emitted == 0 {
+            IterationReport::skipped()
+        } else {
+            IterationReport::with_work(emitted as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::PinholeCamera;
+    use illixr_core::SimClock;
+
+    fn sim_ctx() -> (PluginContext, SimClock) {
+        let clock = SimClock::new();
+        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        (ctx, clock)
+    }
+
+    #[test]
+    fn synthetic_camera_publishes_frames() {
+        let (ctx, clock) = sim_ctx();
+        let reader = ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 16);
+        let world = Arc::new(LandmarkWorld::new(50, illixr_math::Vec3::new(3.0, 2.0, 3.0), 1));
+        let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+        let mut plugin = SyntheticCameraPlugin::new(Trajectory::walking(1), world, rig);
+        plugin.start(&ctx);
+        clock.advance_to(Time::from_millis(66));
+        plugin.iterate(&ctx);
+        let frame = reader.try_recv().unwrap();
+        assert_eq!(frame.timestamp, Time::from_millis(66));
+        assert_eq!(frame.left.width(), 320);
+    }
+
+    #[test]
+    fn synthetic_imu_publishes_at_fixed_cadence() {
+        let (ctx, _clock) = sim_ctx();
+        let reader = ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 64);
+        let mut plugin = SyntheticImuPlugin::new(Trajectory::walking(2), ImuNoise::default(), 500.0, 2);
+        plugin.start(&ctx);
+        for _ in 0..5 {
+            plugin.iterate(&ctx);
+        }
+        let samples = reader.drain();
+        assert_eq!(samples.len(), 5);
+        assert_eq!((samples[1].timestamp - samples[0].timestamp).as_micros(), 2000);
+    }
+
+    #[test]
+    fn offline_player_is_stream_compatible() {
+        let (ctx, clock) = sim_ctx();
+        let imu_reader = ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 4096);
+        let cam_reader = ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 64);
+        let ds = Arc::new(SyntheticDataset::generate(
+            Trajectory::walking(3),
+            LandmarkWorld::new(40, illixr_math::Vec3::new(3.0, 2.0, 3.0), 3),
+            ImuNoise::default(),
+            0.5,
+            15.0,
+            500.0,
+            3,
+        ));
+        let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+        let mut plugin = OfflineImuCameraPlugin::new(ds.clone(), rig);
+        plugin.start(&ctx);
+        // First tick at t=0 publishes the first samples.
+        plugin.iterate(&ctx);
+        assert!(!imu_reader.is_empty());
+        assert_eq!(cam_reader.len(), 1);
+        // Advance 100 ms: ~50 IMU samples and 1–2 camera frames due.
+        clock.advance_to(Time::from_millis(100));
+        plugin.iterate(&ctx);
+        assert!(imu_reader.len() >= 50);
+        assert!(cam_reader.len() >= 2);
+        assert!(!plugin.finished());
+    }
+
+    #[test]
+    fn offline_player_reports_skip_when_idle() {
+        let (ctx, _clock) = sim_ctx();
+        let ds = Arc::new(SyntheticDataset::vicon_room_like(5, 0.1));
+        let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+        let mut plugin = OfflineImuCameraPlugin::new(ds, rig);
+        plugin.start(&ctx);
+        plugin.iterate(&ctx); // consumes t=0 data
+        let report = plugin.iterate(&ctx); // clock unchanged → nothing due
+        assert!(!report.did_work);
+    }
+}

@@ -1,0 +1,241 @@
+//! Smooth synthetic head trajectories.
+//!
+//! A trajectory is a sum of sinusoids per translational axis plus
+//! sinusoidal yaw/pitch/roll — infinitely differentiable, so the IMU
+//! model can sample exact analytic velocity, acceleration and angular
+//! velocity (no numerical differentiation noise). Presets mimic the kinds
+//! of motion in the paper's experiments: a user walking a practiced loop
+//! in a lab, and the EuRoC drone sequences.
+
+use illixr_core::Time;
+use illixr_math::{Pose, Quat, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sinusoidal term: `amplitude · sin(2π·freq·t + phase)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sinusoid {
+    amplitude: f64,
+    freq_hz: f64,
+    phase: f64,
+}
+
+impl Sinusoid {
+    fn value(&self, t: f64) -> f64 {
+        self.amplitude * (2.0 * std::f64::consts::PI * self.freq_hz * t + self.phase).sin()
+    }
+    fn d1(&self, t: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * self.freq_hz;
+        self.amplitude * w * (w * t + self.phase).cos()
+    }
+    fn d2(&self, t: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * self.freq_hz;
+        -self.amplitude * w * w * (w * t + self.phase).sin()
+    }
+}
+
+/// Motion intensity presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MotionProfile {
+    /// Slow head motion while seated (AR demo viewing).
+    Gentle,
+    /// A user walking a loop in a lab — the paper's live trajectory.
+    Walking,
+    /// Aggressive motion akin to EuRoC "medium/difficult" sequences.
+    Vigorous,
+}
+
+/// A smooth, deterministic 6-DoF trajectory.
+///
+/// # Examples
+///
+/// ```
+/// use illixr_sensors::Trajectory;
+/// use illixr_core::Time;
+///
+/// let traj = Trajectory::walking(42);
+/// let pose = traj.pose(Time::from_millis(500));
+/// assert!(pose.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    position: [Vec<Sinusoid>; 3],
+    attitude: [Vec<Sinusoid>; 3], // yaw, pitch, roll
+}
+
+impl Trajectory {
+    /// Creates a trajectory from a motion profile and RNG seed.
+    pub fn new(profile: MotionProfile, seed: u64) -> Self {
+        let (pos_amp, pos_freq, att_amp, att_freq, terms) = match profile {
+            MotionProfile::Gentle => (0.08, 0.3, 0.12, 0.25, 2),
+            MotionProfile::Walking => (0.5, 0.5, 0.35, 0.6, 3),
+            MotionProfile::Vigorous => (1.0, 1.1, 0.7, 1.3, 4),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen_terms = |amp: f64, freq: f64| -> Vec<Sinusoid> {
+            (0..terms)
+                .map(|k| Sinusoid {
+                    // Higher harmonics have smaller amplitudes (pink-ish).
+                    amplitude: amp * rng.gen_range(0.5..1.0) / (k + 1) as f64,
+                    freq_hz: freq * rng.gen_range(0.6..1.4) * (k + 1) as f64,
+                    phase: rng.gen_range(0.0..std::f64::consts::TAU),
+                })
+                .collect()
+        };
+        Self {
+            position: [gen_terms(pos_amp, pos_freq), gen_terms(pos_amp, pos_freq), gen_terms(pos_amp * 0.3, pos_freq)],
+            attitude: [gen_terms(att_amp, att_freq), gen_terms(att_amp * 0.5, att_freq), gen_terms(att_amp * 0.3, att_freq)],
+        }
+    }
+
+    /// A walking-profile trajectory (the paper's live setup).
+    pub fn walking(seed: u64) -> Self {
+        Self::new(MotionProfile::Walking, seed)
+    }
+
+    /// A gentle seated trajectory.
+    pub fn gentle(seed: u64) -> Self {
+        Self::new(MotionProfile::Gentle, seed)
+    }
+
+    fn sum(terms: &[Sinusoid], t: f64, f: impl Fn(&Sinusoid, f64) -> f64) -> f64 {
+        terms.iter().map(|s| f(s, t)).sum()
+    }
+
+    /// Euler angles (yaw, pitch, roll) at time `t` in seconds.
+    fn euler(&self, t: f64) -> (f64, f64, f64) {
+        (
+            Self::sum(&self.attitude[0], t, Sinusoid::value),
+            Self::sum(&self.attitude[1], t, Sinusoid::value),
+            Self::sum(&self.attitude[2], t, Sinusoid::value),
+        )
+    }
+
+    /// Pose (body → world) at time `t`.
+    pub fn pose(&self, t: Time) -> Pose {
+        let ts = t.as_secs_f64();
+        let p = Vec3::new(
+            Self::sum(&self.position[0], ts, Sinusoid::value),
+            Self::sum(&self.position[1], ts, Sinusoid::value),
+            Self::sum(&self.position[2], ts, Sinusoid::value),
+        );
+        let (yaw, pitch, roll) = self.euler(ts);
+        Pose::new(p, Quat::from_euler(yaw, pitch, roll))
+    }
+
+    /// Linear velocity in the world frame at time `t`, m/s.
+    pub fn velocity(&self, t: Time) -> Vec3 {
+        let ts = t.as_secs_f64();
+        Vec3::new(
+            Self::sum(&self.position[0], ts, Sinusoid::d1),
+            Self::sum(&self.position[1], ts, Sinusoid::d1),
+            Self::sum(&self.position[2], ts, Sinusoid::d1),
+        )
+    }
+
+    /// Linear acceleration in the world frame at time `t`, m/s².
+    pub fn acceleration(&self, t: Time) -> Vec3 {
+        let ts = t.as_secs_f64();
+        Vec3::new(
+            Self::sum(&self.position[0], ts, Sinusoid::d2),
+            Self::sum(&self.position[1], ts, Sinusoid::d2),
+            Self::sum(&self.position[2], ts, Sinusoid::d2),
+        )
+    }
+
+    /// Angular velocity in the **body** frame at time `t`, rad/s.
+    ///
+    /// Computed from the ZYX Euler-rate kinematics:
+    /// `ω_body = E(yaw,pitch,roll) · (yaẇ, pitcḣ, rolḣ)`.
+    pub fn angular_velocity(&self, t: Time) -> Vec3 {
+        let ts = t.as_secs_f64();
+        let (_, pitch, roll) = self.euler(ts);
+        let dyaw = Self::sum(&self.attitude[0], ts, Sinusoid::d1);
+        let dpitch = Self::sum(&self.attitude[1], ts, Sinusoid::d1);
+        let droll = Self::sum(&self.attitude[2], ts, Sinusoid::d1);
+        // Body rates for ZYX (yaw-pitch-roll) Euler angles.
+        let (sr, cr) = roll.sin_cos();
+        let (sp, cp) = pitch.sin_cos();
+        Vec3::new(
+            droll - dyaw * sp,
+            dpitch * cr + dyaw * cp * sr,
+            -dpitch * sr + dyaw * cp * cr,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Trajectory::walking(7);
+        let b = Trajectory::walking(7);
+        let t = Time::from_millis(1234);
+        assert_eq!(a.pose(t), b.pose(t));
+        let c = Trajectory::walking(8);
+        assert_ne!(a.pose(t), c.pose(t));
+    }
+
+    #[test]
+    fn velocity_matches_finite_difference() {
+        let traj = Trajectory::walking(3);
+        let t = 2.0;
+        let h = 1e-5;
+        let p1 = traj.pose(Time::from_secs_f64(t - h)).position;
+        let p2 = traj.pose(Time::from_secs_f64(t + h)).position;
+        let fd = (p2 - p1) / (2.0 * h);
+        let v = traj.velocity(Time::from_secs_f64(t));
+        assert!((fd - v).norm() < 1e-5, "fd {fd} analytic {v}");
+    }
+
+    #[test]
+    fn acceleration_matches_finite_difference() {
+        let traj = Trajectory::walking(3);
+        let t = 1.5;
+        let h = 1e-4;
+        let v1 = traj.velocity(Time::from_secs_f64(t - h));
+        let v2 = traj.velocity(Time::from_secs_f64(t + h));
+        let fd = (v2 - v1) / (2.0 * h);
+        let a = traj.acceleration(Time::from_secs_f64(t));
+        assert!((fd - a).norm() < 1e-4, "fd {fd} analytic {a}");
+    }
+
+    #[test]
+    fn angular_velocity_matches_quaternion_derivative() {
+        let traj = Trajectory::walking(5);
+        let t = 3.1;
+        let h = 1e-6;
+        let q1 = traj.pose(Time::from_secs_f64(t)).orientation;
+        let q2 = traj.pose(Time::from_secs_f64(t + h)).orientation;
+        // ω_body ≈ 2/h · vec(q1⁻¹ q2)
+        let dq = q1.inverse() * q2;
+        let fd = Vec3::new(dq.x, dq.y, dq.z) * (2.0 / h);
+        let w = traj.angular_velocity(Time::from_secs_f64(t));
+        assert!((fd - w).norm() < 1e-3, "fd {fd} analytic {w}");
+    }
+
+    #[test]
+    fn vigorous_moves_more_than_gentle() {
+        let g = Trajectory::new(MotionProfile::Gentle, 1);
+        let v = Trajectory::new(MotionProfile::Vigorous, 1);
+        let mut g_speed = 0.0;
+        let mut v_speed = 0.0;
+        for i in 0..100 {
+            let t = Time::from_millis(i * 100);
+            g_speed += g.velocity(t).norm();
+            v_speed += v.velocity(t).norm();
+        }
+        assert!(v_speed > 2.0 * g_speed);
+    }
+
+    #[test]
+    fn poses_are_always_finite() {
+        let traj = Trajectory::new(MotionProfile::Vigorous, 99);
+        for i in 0..1000 {
+            let t = Time::from_millis(i * 37);
+            assert!(traj.pose(t).is_finite());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Data types flowing on the perception pipeline's event streams.
+
+use std::sync::Arc;
+
+use illixr_core::Time;
+use illixr_image::GrayImage;
+use illixr_math::{Pose, Vec3};
+
+/// One inertial measurement (paper Table III: 500 Hz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Sample timestamp.
+    pub timestamp: Time,
+    /// Angular velocity in the body frame, rad/s.
+    pub gyro: Vec3,
+    /// Specific force in the body frame (acceleration minus gravity,
+    /// expressed in body coordinates), m/s².
+    pub accel: Vec3,
+}
+
+/// One stereo camera frame (paper Table III: 15 Hz, VGA).
+///
+/// Images are shared so the switchboard can fan a frame out to multiple
+/// consumers without copying — the paper's zero-copy event streams.
+#[derive(Debug, Clone)]
+pub struct StereoFrame {
+    /// Capture timestamp.
+    pub timestamp: Time,
+    /// Left camera image.
+    pub left: Arc<GrayImage>,
+    /// Right camera image.
+    pub right: Arc<GrayImage>,
+    /// Frame sequence number.
+    pub seq: u64,
+}
+
+/// A pose estimate on the `pose` streams: slow+accurate from VIO, fast
+/// from the IMU integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseEstimate {
+    /// The time this pose describes (sensor timestamp, not computation
+    /// completion time). The motion-to-photon calculation uses this as
+    /// the age of the pose.
+    pub timestamp: Time,
+    /// Estimated pose of the headset in the world frame.
+    pub pose: Pose,
+    /// Estimated linear velocity in the world frame (m/s).
+    pub velocity: Vec3,
+}
+
+impl PoseEstimate {
+    /// An identity estimate at time zero (startup placeholder).
+    pub fn identity() -> Self {
+        Self { timestamp: Time::ZERO, pose: Pose::IDENTITY, velocity: Vec3::ZERO }
+    }
+}
+
+/// Ground-truth state at a point in time (available from synthetic
+/// datasets, the role EuRoC's Vicon ground truth plays in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// Timestamp.
+    pub timestamp: Time,
+    /// True pose.
+    pub pose: Pose,
+    /// True linear velocity (world frame).
+    pub velocity: Vec3,
+}
+
+/// Standard stream names used by the reference pipeline assembly.
+pub mod streams {
+    /// Stereo camera frames (`StereoFrame`).
+    pub const CAMERA: &str = "camera";
+    /// IMU samples (`ImuSample`).
+    pub const IMU: &str = "imu";
+    /// Slow, accurate pose from VIO (`PoseEstimate`).
+    pub const SLOW_POSE: &str = "slow_pose";
+    /// Fast pose from the IMU integrator (`PoseEstimate`).
+    pub const FAST_POSE: &str = "fast_pose";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pose_estimate_identity() {
+        let p = PoseEstimate::identity();
+        assert_eq!(p.timestamp, Time::ZERO);
+        assert_eq!(p.pose, Pose::IDENTITY);
+    }
+
+    #[test]
+    fn stereo_frame_shares_images() {
+        let img = Arc::new(GrayImage::new(4, 4));
+        let f = StereoFrame { timestamp: Time::ZERO, left: img.clone(), right: img.clone(), seq: 0 };
+        let g = f.clone();
+        assert!(Arc::ptr_eq(&f.left, &g.left));
+    }
+}

@@ -1,0 +1,220 @@
+//! The synthetic landmark world the camera observes.
+//!
+//! A room-sized box populated with point landmarks. Frames are rendered
+//! by projecting landmarks through the stereo rig and splatting small
+//! Gaussian blobs over a low-frequency shaded background — enough real
+//! image structure for the VIO front end's FAST detector and KLT tracker
+//! to operate on actual pixels, which is what makes VIO's runtime
+//! input-dependent (paper §IV-B). The same world provides analytic depth
+//! images (distance to the room walls) for scene reconstruction.
+
+use illixr_image::GrayImage;
+use illixr_math::{Pose, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::camera::StereoRig;
+
+/// A box room with point landmarks.
+#[derive(Debug, Clone)]
+pub struct LandmarkWorld {
+    landmarks: Vec<Vec3>,
+    /// Half-extents of the room along x, y, z.
+    half_extent: Vec3,
+}
+
+impl LandmarkWorld {
+    /// Creates a world with `num_landmarks` points scattered on the walls
+    /// of a `2·half_extent` box, deterministically from `seed`.
+    pub fn new(num_landmarks: usize, half_extent: Vec3, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x576f_726c_6400); // "World" << 8
+        let mut landmarks = Vec::with_capacity(num_landmarks);
+        for _ in 0..num_landmarks {
+            // Pick a wall (one coordinate pinned to ±half extent) so
+            // landmarks sit on surfaces, like visual texture in a room.
+            let axis = rng.gen_range(0..3usize);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let mut p = Vec3::new(
+                rng.gen_range(-half_extent.x..half_extent.x),
+                rng.gen_range(-half_extent.y..half_extent.y),
+                rng.gen_range(-half_extent.z..half_extent.z),
+            );
+            p[axis] = sign * half_extent[axis];
+            landmarks.push(p);
+        }
+        Self { landmarks, half_extent }
+    }
+
+    /// A default lab-sized room (8 × 5 × 8 m) with 240 landmarks.
+    pub fn lab(seed: u64) -> Self {
+        Self::new(240, Vec3::new(4.0, 2.5, 4.0), seed)
+    }
+
+    /// The landmark positions.
+    pub fn landmarks(&self) -> &[Vec3] {
+        &self.landmarks
+    }
+
+    /// Renders the intensity image seen by `eye` (0 = left, 1 = right) of
+    /// the rig at `body_pose`.
+    pub fn render(&self, rig: &StereoRig, body_pose: &Pose, eye: usize) -> GrayImage {
+        let cam = rig.camera;
+        // Low-frequency background shading keyed to view direction so the
+        // image is not flat (KLT needs *some* gradient everywhere).
+        let fwd = body_pose.transform_vector(Vec3::UNIT_Z);
+        let mut img = GrayImage::from_fn(cam.width, cam.height, |x, y| {
+            let u = x as f32 / cam.width as f32;
+            let v = y as f32 / cam.height as f32;
+            0.28 + 0.08 * (u * 6.0 + fwd.x as f32).sin() * (v * 5.0 + fwd.z as f32).cos()
+        });
+        // Splat landmarks as Gaussian blobs; nearer landmarks are larger.
+        for (i, &lm) in self.landmarks.iter().enumerate() {
+            let Some(px) = rig.project_world(body_pose, lm, eye) else { continue };
+            let cam_pose = body_pose.compose(&rig.body_from_left);
+            let depth = cam_pose.inverse().transform_point(lm).z;
+            if depth <= 0.2 {
+                continue;
+            }
+            let radius = (3.5 / depth as f32).clamp(1.2, 5.0);
+            let brightness = 0.55 + 0.4 * ((i * 2654435761) % 97) as f32 / 97.0;
+            splat_gaussian(&mut img, px.x as f32, px.y as f32, radius, brightness);
+        }
+        img
+    }
+
+    /// Renders a depth image (meters to the room walls) for the left eye.
+    ///
+    /// This is the synthetic stand-in for the RGB-D input that
+    /// ElasticFusion consumes (dyson_lab dataset in the paper).
+    pub fn render_depth(&self, rig: &StereoRig, body_pose: &Pose) -> GrayImage {
+        let cam = rig.camera;
+        let cam_pose = body_pose.compose(&rig.body_from_left);
+        let origin = cam_pose.position;
+        GrayImage::from_fn(cam.width, cam.height, |x, y| {
+            let ray_cam = cam.unproject(illixr_math::Vec2::new(x as f64, y as f64)).normalized();
+            let ray_world = cam_pose.transform_vector(ray_cam);
+            match self.ray_to_box(origin, ray_world) {
+                Some(t) => t as f32,
+                None => 0.0, // invalid depth (outside the room looking out)
+            }
+        })
+    }
+
+    /// Distance along `dir` from `origin` to the inside of the room box.
+    fn ray_to_box(&self, origin: Vec3, dir: Vec3) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for axis in 0..3 {
+            for sign in [-1.0, 1.0] {
+                let wall = sign * self.half_extent[axis];
+                let d = dir[axis];
+                if d.abs() < 1e-12 {
+                    continue;
+                }
+                let t = (wall - origin[axis]) / d;
+                if t <= 1e-6 {
+                    continue;
+                }
+                // Check the hit point is within the other two extents.
+                let hit = origin + dir * t;
+                let ok = (0..3).all(|a| {
+                    a == axis || hit[a].abs() <= self.half_extent[a] + 1e-9
+                });
+                if ok && best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Additively splats a Gaussian blob (clamped to [0, 1]).
+fn splat_gaussian(img: &mut GrayImage, cx: f32, cy: f32, radius: f32, brightness: f32) {
+    let r = (radius * 2.5).ceil() as i32;
+    let inv_2s2 = 1.0 / (2.0 * radius * radius);
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let x = cx as i32 + dx;
+            let y = cy as i32 + dy;
+            if x < 0 || y < 0 || x as usize >= img.width() || y as usize >= img.height() {
+                continue;
+            }
+            let fx = x as f32 - cx;
+            let fy = y as f32 - cy;
+            let w = (-(fx * fx + fy * fy) * inv_2s2).exp();
+            let old = img.get(x as usize, y as usize);
+            img.set(x as usize, y as usize, (old + brightness * w).min(1.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::PinholeCamera;
+
+    fn setup() -> (LandmarkWorld, StereoRig) {
+        (LandmarkWorld::new(120, Vec3::new(4.0, 2.5, 4.0), 7), StereoRig::zed_mini(PinholeCamera::qvga()))
+    }
+
+    #[test]
+    fn landmarks_on_walls() {
+        let (world, _) = setup();
+        for lm in world.landmarks() {
+            let on_wall = (lm.x.abs() - 4.0).abs() < 1e-9
+                || (lm.y.abs() - 2.5).abs() < 1e-9
+                || (lm.z.abs() - 4.0).abs() < 1e-9;
+            assert!(on_wall, "landmark {lm} not on a wall");
+        }
+    }
+
+    #[test]
+    fn render_has_texture() {
+        let (world, rig) = setup();
+        let img = world.render(&rig, &Pose::IDENTITY, 0);
+        let mean = img.mean();
+        assert!(mean > 0.1 && mean < 0.9, "mean {mean}");
+        // Variance must be non-trivial (blobs + background).
+        let var: f32 = img
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / img.as_slice().len() as f32;
+        assert!(var > 1e-4, "variance {var}");
+    }
+
+    #[test]
+    fn render_changes_with_pose() {
+        let (world, rig) = setup();
+        let a = world.render(&rig, &Pose::IDENTITY, 0);
+        let moved = Pose::new(Vec3::new(0.5, 0.0, 0.0), illixr_math::Quat::IDENTITY);
+        let b = world.render(&rig, &moved, 0);
+        assert!(a.mean_abs_diff(&b) > 1e-4);
+    }
+
+    #[test]
+    fn stereo_eyes_differ() {
+        let (world, rig) = setup();
+        let l = world.render(&rig, &Pose::IDENTITY, 0);
+        let r = world.render(&rig, &Pose::IDENTITY, 1);
+        assert!(l.mean_abs_diff(&r) > 1e-5);
+    }
+
+    #[test]
+    fn depth_inside_room_is_bounded() {
+        let (world, rig) = setup();
+        let depth = world.render_depth(&rig, &Pose::IDENTITY);
+        let diag = (4.0f32 * 4.0 + 2.5 * 2.5 + 4.0 * 4.0).sqrt() * 2.0;
+        for &d in depth.as_slice() {
+            assert!(d > 0.0 && d <= diag, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = LandmarkWorld::new(50, Vec3::new(1.0, 1.0, 1.0), 3);
+        let b = LandmarkWorld::new(50, Vec3::new(1.0, 1.0, 1.0), 3);
+        assert_eq!(a.landmarks(), b.landmarks());
+    }
+}

@@ -1,0 +1,32 @@
+//! The integrated ILLIXR-rs system.
+//!
+//! Assembles the plugins of all three pipelines (perception, visual,
+//! audio) behind the runtime, in the two execution modes the testbed
+//! supports:
+//!
+//! * [`testbed`] — **live mode**: one OS thread per plugin at the
+//!   Table III rates on the wall clock (what the paper runs on real
+//!   hardware);
+//! * [`experiment`] — **simulated mode**: the same plugins on the
+//!   discrete-event engine with per-platform timing/power models, which
+//!   is how one machine reproduces the desktop / Jetson-HP / Jetson-LP
+//!   comparisons of §IV deterministically;
+//! * [`openxr`] — a minimal OpenXR-style application interface
+//!   (`wait_frame` / `locate_views` / `submit_frame`), the Monado role
+//!   in the paper's stack;
+//! * [`config`] — the tuned system parameters of Table III and the
+//!   device aspirations of Table I.
+
+pub mod config;
+pub mod experiment;
+pub mod offload;
+pub mod openxr;
+pub mod registry;
+pub mod testbed;
+
+pub use config::{SystemConfig, TableIRequirements};
+pub use experiment::{ExperimentConfig, ExperimentResult, IntegratedExperiment};
+pub use offload::{OffloadLink, OffloadedPlugin};
+pub use openxr::{XrFrameState, XrInstance, XrSession};
+pub use registry::{standard_registry, RegistryEnvironment};
+pub use testbed::LiveTestbed;

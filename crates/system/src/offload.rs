@@ -1,0 +1,315 @@
+//! Component offloading: running a plugin "remotely" behind a modeled
+//! network link.
+//!
+//! The paper's footnote 2: *"Since component interfaces are well-specified
+//! and modular, a local component can be easily swapped with a remote one
+//! without modifying the rest of the system. We have already implemented
+//! offloading some components and plan a generalized offloading module
+//! that any component can use."* This module is that generalized
+//! mechanism for ILLIXR-rs: [`OffloadedPlugin`] wraps any plugin in its
+//! own private switchboard and *bridges* its input and output streams
+//! across an [`OffloadLink`] with configurable uplink/downlink latency
+//! and jitter. The rest of the system keeps talking to the same stream
+//! names and cannot tell the component moved to an edge server — except
+//! through the added latency, which is precisely the research question
+//! (device–edge partitioning, §V-F).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use illixr_core::plugin::{IterationReport, Plugin, PluginContext};
+use illixr_core::{Switchboard, Time};
+use illixr_platform::rng::SplitMix64;
+
+/// A modeled network link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadLink {
+    /// Device → server latency.
+    pub uplink: Duration,
+    /// Server → device latency.
+    pub downlink: Duration,
+    /// Log-normal jitter sigma applied to each transfer (0 = none).
+    pub jitter_sigma: f64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl OffloadLink {
+    /// A symmetric link with the given one-way latency and no jitter.
+    pub fn symmetric(one_way: Duration) -> Self {
+        Self { uplink: one_way, downlink: one_way, jitter_sigma: 0.0, seed: 0 }
+    }
+
+    /// Adds log-normal jitter with the given sigma.
+    pub fn with_jitter(mut self, sigma: f64, seed: u64) -> Self {
+        self.jitter_sigma = sigma;
+        self.seed = seed;
+        self
+    }
+}
+
+/// A one-direction, one-stream bridge pumped by the wrapper each
+/// iteration: events read on the source switchboard become visible on
+/// the destination switchboard after the link delay.
+/// A deferred bridge constructor, run at `start` when the outer context
+/// is known.
+type BridgeFactory =
+    Box<dyn FnOnce(&PluginContext, &Switchboard, OffloadLink) -> Box<dyn Bridge> + Send>;
+
+trait Bridge: Send {
+    /// Moves due events; `now` is the runtime clock.
+    fn pump(&mut self, now: Time);
+    /// Events currently in flight.
+    fn in_flight(&self) -> usize;
+}
+
+struct StreamBridge<T: Clone + Send + Sync + 'static> {
+    reader: illixr_core::SyncReader<T>,
+    writer: illixr_core::Writer<T>,
+    delay: Duration,
+    jitter_sigma: f64,
+    rng: SplitMix64,
+    queue: VecDeque<(Time, T)>,
+}
+
+impl<T: Clone + Send + Sync + 'static> Bridge for StreamBridge<T> {
+    fn pump(&mut self, now: Time) {
+        // Ingest new events with their delivery times.
+        while let Some(event) = self.reader.try_recv() {
+            let jitter = if self.jitter_sigma > 0.0 {
+                self.rng.next_lognormal(self.jitter_sigma)
+            } else {
+                1.0
+            };
+            let delay = Duration::from_secs_f64(self.delay.as_secs_f64() * jitter);
+            self.queue.push_back((now + delay, event.data.clone()));
+        }
+        // Deliver what has arrived.
+        while let Some((due, _)) = self.queue.front() {
+            if *due > now {
+                break;
+            }
+            let (_, value) = self.queue.pop_front().expect("checked front");
+            self.writer.put(value);
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A plugin running behind a network link.
+///
+/// Construct with [`OffloadedPlugin::new`], then declare which streams
+/// cross the link with [`OffloadedPlugin::uplink`] (inputs) and
+/// [`OffloadedPlugin::downlink`] (outputs) *before* the runtime calls
+/// `start`.
+pub struct OffloadedPlugin {
+    inner: Box<dyn Plugin>,
+    link: OffloadLink,
+    /// The remote side's private switchboard.
+    remote_switchboard: Switchboard,
+    /// Deferred bridge constructors (run at start, when the outer
+    /// context is known).
+    pending: Vec<BridgeFactory>,
+    bridges: Vec<Box<dyn Bridge>>,
+    remote_ctx: Option<PluginContext>,
+    name: String,
+}
+
+impl std::fmt::Debug for OffloadedPlugin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OffloadedPlugin({}, {} bridges)", self.name, self.bridges.len())
+    }
+}
+
+impl OffloadedPlugin {
+    /// Wraps `inner` behind `link`.
+    pub fn new(inner: Box<dyn Plugin>, link: OffloadLink) -> Self {
+        let name = format!("{}@remote", inner.name());
+        Self {
+            inner,
+            link,
+            remote_switchboard: Switchboard::new(),
+            pending: Vec::new(),
+            bridges: Vec::new(),
+            remote_ctx: None,
+            name,
+        }
+    }
+
+    /// Declares an input stream that crosses the uplink (device →
+    /// server): events published locally reach the remote component
+    /// after `link.uplink`.
+    pub fn uplink<T: Clone + Send + Sync + 'static>(mut self, stream: &str) -> Self {
+        let stream = stream.to_owned();
+        let seed_salt = self.pending.len() as u64;
+        self.pending.push(Box::new(move |outer, remote, link| {
+            Box::new(StreamBridge::<T> {
+                reader: outer.switchboard.sync_reader::<T>(&stream, 4096),
+                writer: remote.writer::<T>(&stream),
+                delay: link.uplink,
+                jitter_sigma: link.jitter_sigma,
+                rng: SplitMix64::new(link.seed ^ (0xB0A7 + seed_salt)),
+                queue: VecDeque::new(),
+            })
+        }));
+        self
+    }
+
+    /// Declares an output stream that crosses the downlink (server →
+    /// device).
+    pub fn downlink<T: Clone + Send + Sync + 'static>(mut self, stream: &str) -> Self {
+        let stream = stream.to_owned();
+        let seed_salt = 0x1000 + self.pending.len() as u64;
+        self.pending.push(Box::new(move |outer, remote, link| {
+            Box::new(StreamBridge::<T> {
+                reader: remote.sync_reader::<T>(&stream, 4096),
+                writer: outer.switchboard.writer::<T>(&stream),
+                delay: link.downlink,
+                jitter_sigma: link.jitter_sigma,
+                rng: SplitMix64::new(link.seed ^ (0xD030 + seed_salt)),
+                queue: VecDeque::new(),
+            })
+        }));
+        self
+    }
+
+    /// Total events currently in flight on the link.
+    pub fn in_flight(&self) -> usize {
+        self.bridges.iter().map(|b| b.in_flight()).sum()
+    }
+}
+
+impl Plugin for OffloadedPlugin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn start(&mut self, ctx: &PluginContext) {
+        // The remote component lives in its own context: private
+        // switchboard, shared clock and telemetry.
+        let remote_ctx = PluginContext {
+            switchboard: self.remote_switchboard.clone(),
+            phonebook: ctx.phonebook.clone(),
+            clock: ctx.clock.clone(),
+            telemetry: ctx.telemetry.clone(),
+        };
+        for make in self.pending.drain(..) {
+            self.bridges.push(make(ctx, &self.remote_switchboard, self.link));
+        }
+        self.inner.start(&remote_ctx);
+        // Keep the remote context for iterate.
+        self.remote_ctx = Some(remote_ctx);
+    }
+
+    fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+        let now = ctx.clock.now();
+        // Pump uplinks, run the remote component, pump downlinks.
+        for b in &mut self.bridges {
+            b.pump(now);
+        }
+        let remote_ctx = self.remote_ctx.as_ref().expect("start() must run before iterate()");
+        let report = self.inner.iterate(remote_ctx);
+        for b in &mut self.bridges {
+            b.pump(now);
+        }
+        report
+    }
+
+    fn stop(&mut self) {
+        self.inner.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use illixr_core::SimClock;
+    use std::sync::Arc;
+
+    struct Echo {
+        reader: Option<illixr_core::SyncReader<u32>>,
+        writer: Option<illixr_core::Writer<u32>>,
+    }
+    impl Plugin for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn start(&mut self, ctx: &PluginContext) {
+            self.reader = Some(ctx.switchboard.sync_reader::<u32>("in", 64));
+            self.writer = Some(ctx.switchboard.writer::<u32>("out"));
+        }
+        fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+            let mut any = false;
+            while let Some(v) = self.reader.as_ref().expect("started").try_recv() {
+                self.writer.as_ref().expect("started").put(v.data + 1);
+                any = true;
+            }
+            if any {
+                IterationReport::nominal()
+            } else {
+                IterationReport::skipped()
+            }
+        }
+    }
+
+    fn echo() -> Box<dyn Plugin> {
+        Box::new(Echo { reader: None, writer: None })
+    }
+
+    #[test]
+    fn events_cross_the_link_with_delay() {
+        let clock = SimClock::new();
+        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(10)))
+            .uplink::<u32>("in")
+            .downlink::<u32>("out");
+        remote.start(&ctx);
+        let out = ctx.switchboard.sync_reader::<u32>("out", 16);
+        ctx.switchboard.writer::<u32>("in").put(41);
+        // t=0: the event is still on the uplink.
+        remote.iterate(&ctx);
+        assert!(out.is_empty());
+        // t=10ms: arrives at the server, gets processed, response enters
+        // the downlink.
+        clock.advance_to(Time::from_millis(10));
+        remote.iterate(&ctx);
+        assert!(out.is_empty(), "response must still be on the downlink");
+        // t=20ms: response arrives at the device.
+        clock.advance_to(Time::from_millis(20));
+        remote.iterate(&ctx);
+        assert_eq!(**out.try_recv().expect("response delivered"), 42);
+    }
+
+    #[test]
+    fn zero_latency_link_is_transparent() {
+        let clock = SimClock::new();
+        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::ZERO))
+            .uplink::<u32>("in")
+            .downlink::<u32>("out");
+        remote.start(&ctx);
+        let out = ctx.switchboard.sync_reader::<u32>("out", 16);
+        ctx.switchboard.writer::<u32>("in").put(1);
+        remote.iterate(&ctx);
+        remote.iterate(&ctx);
+        assert_eq!(**out.try_recv().expect("instant delivery"), 2);
+    }
+
+    #[test]
+    fn in_flight_counts_queued_transfers() {
+        let clock = SimClock::new();
+        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(50)))
+            .uplink::<u32>("in")
+            .downlink::<u32>("out");
+        remote.start(&ctx);
+        for v in 0..5 {
+            ctx.switchboard.writer::<u32>("in").put(v);
+        }
+        remote.iterate(&ctx);
+        assert_eq!(remote.in_flight(), 5);
+    }
+}

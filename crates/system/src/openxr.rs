@@ -1,0 +1,209 @@
+//! A minimal OpenXR-style application interface.
+//!
+//! The paper's applications talk to ILLIXR exclusively through the
+//! OpenXR API, provided by Monado with ILLIXR as its device driver
+//! (§II-B). This module reproduces that architectural boundary: an
+//! application never touches plugins or streams directly — it creates an
+//! [`XrInstance`], begins an [`XrSession`], and runs the canonical
+//! OpenXR frame loop:
+//!
+//! ```text
+//! loop {
+//!     let state = session.wait_frame();
+//!     session.begin_frame();
+//!     let views = session.locate_views(state.predicted_display_time);
+//!     // … render both eyes with those poses …
+//!     session.end_frame(state, left, right, pose_used);
+//! }
+//! ```
+
+use std::sync::Arc;
+
+use illixr_core::plugin::PluginContext;
+use illixr_core::switchboard::{AsyncReader, Writer};
+use illixr_core::Time;
+use illixr_image::RgbImage;
+use illixr_math::{Pose, Vec3};
+use illixr_render::plugin::{RenderedFrame, EYEBUFFER_STREAM, IPD};
+use illixr_sensors::types::{streams, PoseEstimate};
+
+use crate::config::SystemConfig;
+
+/// The XR runtime entry point (one per process in real OpenXR).
+#[derive(Debug)]
+pub struct XrInstance {
+    ctx: PluginContext,
+    config: SystemConfig,
+}
+
+/// Frame pacing information returned by [`XrSession::wait_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XrFrameState {
+    /// When the frame being rendered is predicted to reach the display.
+    pub predicted_display_time: Time,
+    /// The display refresh period.
+    pub predicted_display_period: std::time::Duration,
+}
+
+/// Per-eye view poses for rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XrView {
+    /// Eye pose in the world (tracking) space.
+    pub pose: Pose,
+    /// Vertical field of view, radians.
+    pub fov_y: f64,
+}
+
+impl XrInstance {
+    /// Creates an instance bound to a runtime context.
+    pub fn create(ctx: PluginContext, config: SystemConfig) -> Self {
+        Self { ctx, config }
+    }
+
+    /// Begins a session (acquires the pose stream and frame submission
+    /// queue).
+    pub fn begin_session(&self) -> XrSession {
+        XrSession {
+            pose_reader: self.ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE),
+            frame_writer: self.ctx.switchboard.writer::<RenderedFrame>(EYEBUFFER_STREAM),
+            clock: self.ctx.clock.clone(),
+            config: self.config,
+            frame_index: 0,
+        }
+    }
+}
+
+/// An active XR session: the application's only handle onto the system.
+pub struct XrSession {
+    pose_reader: AsyncReader<PoseEstimate>,
+    frame_writer: Writer<RenderedFrame>,
+    clock: Arc<dyn illixr_core::Clock>,
+    config: SystemConfig,
+    frame_index: u64,
+}
+
+impl std::fmt::Debug for XrSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XrSession(frame {})", self.frame_index)
+    }
+}
+
+impl XrSession {
+    /// Blocks (conceptually) until the runtime wants the next frame and
+    /// returns its pacing info.
+    pub fn wait_frame(&mut self) -> XrFrameState {
+        let now = self.clock.now();
+        let period = self.config.display_period();
+        XrFrameState {
+            predicted_display_time: now + period,
+            predicted_display_period: period,
+        }
+    }
+
+    /// Marks the start of rendering (a no-op marker, as in OpenXR).
+    pub fn begin_frame(&mut self) {
+        self.frame_index += 1;
+    }
+
+    /// Returns the predicted view poses for both eyes at `display_time`.
+    ///
+    /// Uses the freshest tracked pose, linearly extrapolated by its
+    /// velocity to the display time — the pose prediction the paper's
+    /// footnote 3 describes.
+    pub fn locate_views(&self, display_time: Time) -> [XrView; 2] {
+        let est = self.pose_reader.latest().map(|e| e.data).unwrap_or_else(PoseEstimate::identity);
+        let dt = (display_time - est.timestamp).as_secs_f64();
+        let predicted = Pose::new(est.pose.position + est.velocity * dt, est.pose.orientation);
+        let eye = |offset: f64| XrView {
+            pose: Pose::new(
+                predicted.transform_point(Vec3::new(offset, 0.0, 0.0)),
+                predicted.orientation,
+            ),
+            fov_y: self.config.fov_rad(),
+        };
+        [eye(-IPD / 2.0), eye(IPD / 2.0)]
+    }
+
+    /// Submits the rendered eye buffers for the frame.
+    pub fn end_frame(
+        &mut self,
+        state: XrFrameState,
+        left: Arc<RgbImage>,
+        right: Arc<RgbImage>,
+        render_pose: Pose,
+    ) {
+        let now = self.clock.now();
+        let _ = state;
+        self.frame_writer.put(RenderedFrame {
+            render_pose: PoseEstimate { timestamp: now, pose: render_pose, velocity: Vec3::ZERO },
+            submit_time: now,
+            left,
+            right,
+        });
+    }
+
+    /// Frames submitted so far.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use illixr_core::SimClock;
+    use illixr_math::Quat;
+
+    fn setup() -> (PluginContext, SimClock) {
+        let clock = SimClock::new();
+        (PluginContext::new(Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn frame_loop_submits_frames() {
+        let (ctx, clock) = setup();
+        let frames = ctx.switchboard.sync_reader::<RenderedFrame>(EYEBUFFER_STREAM, 8);
+        let instance = XrInstance::create(ctx.clone(), SystemConfig::default());
+        let mut session = instance.begin_session();
+        clock.advance_to(Time::from_millis(100));
+        let state = session.wait_frame();
+        assert!(state.predicted_display_time > Time::from_millis(100));
+        session.begin_frame();
+        let views = session.locate_views(state.predicted_display_time);
+        assert_eq!(views.len(), 2);
+        let img = Arc::new(RgbImage::new(8, 8));
+        session.end_frame(state, img.clone(), img, views[0].pose);
+        assert_eq!(session.frame_count(), 1);
+        assert_eq!(frames.drain().len(), 1);
+    }
+
+    #[test]
+    fn locate_views_uses_latest_pose_with_prediction() {
+        let (ctx, clock) = setup();
+        let instance = XrInstance::create(ctx.clone(), SystemConfig::default());
+        let session = instance.begin_session();
+        ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE).put(PoseEstimate {
+            timestamp: Time::from_millis(10),
+            pose: Pose::new(Vec3::new(1.0, 0.0, 0.0), Quat::IDENTITY),
+            velocity: Vec3::new(0.5, 0.0, 0.0),
+        });
+        clock.advance_to(Time::from_millis(10));
+        // Predicting 100 ms ahead moves the eye by 5 cm.
+        let views = session.locate_views(Time::from_millis(110));
+        let center = (views[0].pose.position + views[1].pose.position) / 2.0;
+        assert!((center.x - 1.05).abs() < 1e-9, "center {center}");
+        // Eyes separated by the IPD.
+        let sep = (views[1].pose.position - views[0].pose.position).norm();
+        assert!((sep - IPD).abs() < 1e-12);
+    }
+
+    #[test]
+    fn views_identity_before_tracking() {
+        let (ctx, _clock) = setup();
+        let instance = XrInstance::create(ctx, SystemConfig::default());
+        let session = instance.begin_session();
+        let views = session.locate_views(Time::from_millis(50));
+        let center = (views[0].pose.position + views[1].pose.position) / 2.0;
+        assert!(center.norm() < 1e-12);
+    }
+}

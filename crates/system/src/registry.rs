@@ -1,0 +1,239 @@
+//! The standard plugin registry: every stock component implementation,
+//! constructible by name.
+//!
+//! The paper's artifact selects plugin implementations per run from YAML
+//! configs (`ILLIXR/configs/${app}.yaml`); this registry is the ILLIXR-rs
+//! equivalent — a name → constructor table covering each Table II
+//! component and its alternatives, so a pipeline can be assembled from a
+//! list of strings.
+//!
+//! Naming convention: `component/variant`, e.g. `"vio/msckf-fast"`,
+//! `"integrator/rk4"`, `"timewarp/translational"`.
+
+use std::sync::Arc;
+
+use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
+use illixr_core::plugin::PluginRegistry;
+use illixr_core::Time;
+use illixr_eyetrack::plugin::EyeTrackingPlugin;
+use illixr_reconstruction::plugin::SceneReconstructionPlugin;
+use illixr_render::apps::Application;
+use illixr_render::plugin::ApplicationPlugin;
+use illixr_sensors::camera::{PinholeCamera, StereoRig};
+use illixr_sensors::dataset::SyntheticDataset;
+use illixr_sensors::imu::ImuNoise;
+use illixr_sensors::plugins::{OfflineImuCameraPlugin, SyntheticCameraPlugin, SyntheticImuPlugin};
+use illixr_sensors::trajectory::Trajectory;
+use illixr_sensors::world::LandmarkWorld;
+use illixr_vio::integrator::{ImuState, Scheme};
+use illixr_vio::msckf::VioConfig;
+use illixr_vio::plugins::{GroundTruthPosePlugin, ImuIntegratorPlugin, VioPlugin};
+use illixr_visual::distortion::DistortionParams;
+use illixr_visual::hologram::HologramConfig;
+use illixr_visual::plugins::{HologramPlugin, TimewarpPlugin};
+use illixr_visual::reprojection::ReprojectionConfig;
+
+use crate::config::SystemConfig;
+
+/// Shared inputs the stock constructors need (trajectory, world, rig,
+/// initial state, …).
+#[derive(Debug, Clone)]
+pub struct RegistryEnvironment {
+    /// Head trajectory driving the synthetic sensors.
+    pub trajectory: Trajectory,
+    /// The observed world.
+    pub world: Arc<LandmarkWorld>,
+    /// Stereo camera rig.
+    pub rig: StereoRig,
+    /// System parameters (rates, resolutions).
+    pub system: SystemConfig,
+    /// Workload application.
+    pub app: Application,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RegistryEnvironment {
+    /// A ready-to-use environment.
+    pub fn new(app: Application, seed: u64) -> Self {
+        Self {
+            trajectory: Trajectory::walking(seed),
+            world: Arc::new(LandmarkWorld::lab(seed)),
+            rig: StereoRig::zed_mini(PinholeCamera::qvga()),
+            system: SystemConfig::default(),
+            app,
+            seed,
+        }
+    }
+
+    fn initial_state(&self) -> ImuState {
+        ImuState::from_pose(
+            Time::ZERO,
+            self.trajectory.pose(Time::ZERO),
+            self.trajectory.velocity(Time::ZERO),
+        )
+    }
+}
+
+/// Builds the registry of every stock plugin implementation.
+///
+/// Registered names:
+///
+/// | component | variants |
+/// |---|---|
+/// | camera | `camera/synthetic`, `camera_imu/offline` |
+/// | imu | `imu/synthetic` |
+/// | vio | `vio/msckf-fast`, `vio/msckf-accurate`, `vio/frame-to-frame` |
+/// | integrator | `integrator/rk4`, `integrator/midpoint` |
+/// | pose | `pose/ground-truth` |
+/// | application | `application/scene` |
+/// | timewarp | `timewarp/rotational`, `timewarp/translational` |
+/// | hologram | `hologram/weighted-gs` |
+/// | audio | `audio/encoding`, `audio/playback` |
+/// | extras | `eye_tracking/ritnet-like`, `scene_reconstruction/surfel` |
+pub fn standard_registry(env: &RegistryEnvironment) -> PluginRegistry {
+    let mut reg = PluginRegistry::new();
+
+    let e = env.clone();
+    reg.register("camera/synthetic", move |_| {
+        Box::new(SyntheticCameraPlugin::new(e.trajectory.clone(), e.world.clone(), e.rig))
+    });
+    let e = env.clone();
+    reg.register("camera_imu/offline", move |_| {
+        let ds = Arc::new(SyntheticDataset::vicon_room_like(e.seed, 10.0));
+        Box::new(OfflineImuCameraPlugin::new(ds, e.rig))
+    });
+    let e = env.clone();
+    reg.register("imu/synthetic", move |_| {
+        Box::new(SyntheticImuPlugin::new(
+            e.trajectory.clone(),
+            ImuNoise::default(),
+            e.system.imu_hz,
+            e.seed,
+        ))
+    });
+    let e = env.clone();
+    reg.register("vio/msckf-fast", move |_| {
+        Box::new(VioPlugin::new(VioConfig::fast(e.rig.camera), e.initial_state()))
+    });
+    let e = env.clone();
+    reg.register("vio/msckf-accurate", move |_| {
+        Box::new(VioPlugin::new(VioConfig::accurate(e.rig.camera), e.initial_state()))
+    });
+    let e = env.clone();
+    reg.register("vio/frame-to-frame", move |_| {
+        Box::new(illixr_vio::plugins::AlternativeVioPlugin::new(
+            illixr_vio::alternative::FrameToFrameConfig::default(),
+            e.rig,
+            e.initial_state(),
+        ))
+    });
+    let e = env.clone();
+    reg.register("integrator/rk4", move |_| {
+        Box::new(ImuIntegratorPlugin::new(e.initial_state()).with_scheme(Scheme::Rk4))
+    });
+    let e = env.clone();
+    reg.register("integrator/midpoint", move |_| {
+        Box::new(ImuIntegratorPlugin::new(e.initial_state()).with_scheme(Scheme::Midpoint))
+    });
+    let e = env.clone();
+    reg.register("pose/ground-truth", move |_| {
+        Box::new(GroundTruthPosePlugin::new(e.trajectory.clone()))
+    });
+    let e = env.clone();
+    reg.register("application/scene", move |_| {
+        Box::new(ApplicationPlugin::new(e.app, e.seed, e.system.eye_width, e.system.eye_height))
+    });
+    let e = env.clone();
+    reg.register("timewarp/rotational", move |_| {
+        Box::new(TimewarpPlugin::new(
+            ReprojectionConfig::rotational(
+                e.system.fov_rad(),
+                e.system.eye_width as f64 / e.system.eye_height as f64,
+            ),
+            DistortionParams::default(),
+        ))
+    });
+    let e = env.clone();
+    reg.register("timewarp/translational", move |_| {
+        Box::new(TimewarpPlugin::new(
+            ReprojectionConfig::translational(
+                e.system.fov_rad(),
+                e.system.eye_width as f64 / e.system.eye_height as f64,
+                2.0,
+            ),
+            DistortionParams::default(),
+        ))
+    });
+    reg.register("hologram/weighted-gs", |_| {
+        Box::new(HologramPlugin::new(HologramConfig::default()))
+    });
+    let e = env.clone();
+    reg.register("audio/encoding", move |_| {
+        Box::new(AudioEncodingPlugin::with_default_scene(e.seed))
+    });
+    reg.register("audio/playback", |_| Box::new(AudioPlaybackPlugin::new()));
+    reg.register("eye_tracking/ritnet-like", |_| Box::new(EyeTrackingPlugin::new()));
+    let e = env.clone();
+    reg.register("scene_reconstruction/surfel", move |_| {
+        Box::new(SceneReconstructionPlugin::new(
+            e.world.clone(),
+            e.rig,
+            e.trajectory.clone(),
+        ))
+    });
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use illixr_core::plugin::PluginContext;
+    use illixr_core::SimClock;
+    use illixr_sensors::types::{streams, PoseEstimate};
+
+    #[test]
+    fn every_registered_plugin_builds_and_starts() {
+        let env = RegistryEnvironment::new(Application::ArDemo, 3);
+        let reg = standard_registry(&env);
+        let names = reg.names();
+        assert!(names.len() >= 16, "registry has {} entries", names.len());
+        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        for name in names {
+            let mut plugin = reg.build(&name, &ctx).expect("registered name builds");
+            plugin.start(&ctx);
+            assert!(!plugin.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn pipeline_assembled_from_names_produces_poses() {
+        let env = RegistryEnvironment::new(Application::Platformer, 5);
+        let reg = standard_registry(&env);
+        let clock = SimClock::new();
+        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let mut pipeline: Vec<_> = ["camera/synthetic", "imu/synthetic", "vio/msckf-fast", "integrator/rk4"]
+            .iter()
+            .map(|n| reg.build(n, &ctx).expect("stock plugin"))
+            .collect();
+        for p in &mut pipeline {
+            p.start(&ctx);
+        }
+        let fast = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+        for k in 1..20u64 {
+            clock.advance_to(Time::from_millis(k * 67));
+            for p in &mut pipeline {
+                p.iterate(&ctx);
+            }
+        }
+        assert!(fast.latest().is_some(), "names-only pipeline produced no poses");
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        let env = RegistryEnvironment::new(Application::Sponza, 1);
+        let reg = standard_registry(&env);
+        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        assert!(reg.build("vio/does-not-exist", &ctx).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! AR head tracking over an offline dataset: the perception pipeline in
+//! isolation.
+//!
+//! Replays a pre-recorded (synthetic EuRoC-like) camera+IMU sequence
+//! through the offline-player plugin, tracks it with the MSCKF VIO and
+//! the RK4 IMU integrator, and reports trajectory accuracy against
+//! ground truth — the workflow a robotics/SLAM user of the testbed runs
+//! daily.
+//!
+//! ```bash
+//! cargo run --release --example ar_tracking
+//! ```
+
+use std::sync::Arc;
+
+use illixr_testbed::core::plugin::{Plugin, PluginContext};
+use illixr_testbed::core::{SimClock, Time};
+use illixr_testbed::qoe::ate::absolute_trajectory_error;
+use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
+use illixr_testbed::sensors::dataset::SyntheticDataset;
+use illixr_testbed::sensors::plugins::OfflineImuCameraPlugin;
+use illixr_testbed::sensors::types::{streams, PoseEstimate};
+use illixr_testbed::vio::integrator::ImuState;
+use illixr_testbed::vio::msckf::VioConfig;
+use illixr_testbed::vio::plugins::{ImuIntegratorPlugin, VioPlugin};
+
+fn main() {
+    println!("AR tracking over an offline dataset (EuRoC-replacement)\n");
+    let duration_s = 6.0;
+    let ds = Arc::new(SyntheticDataset::vicon_room_like(11, duration_s));
+    let cam = PinholeCamera::qvga();
+    let rig = StereoRig::zed_mini(cam);
+
+    // Demonstrate the dataset's CSV round trip (the archival format).
+    let csv = std::env::temp_dir().join("illixr_example_seq.csv");
+    ds.save_csv(&csv).expect("dataset saved");
+    let (imu_rows, _gt) = SyntheticDataset::load_csv(&csv).expect("dataset loaded");
+    println!("dataset: {:.1} s, {} IMU rows (CSV round trip OK)", duration_s, imu_rows.len());
+    std::fs::remove_file(&csv).ok();
+
+    let clock = SimClock::new();
+    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let gt0 = &ds.ground_truth[0];
+    let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
+    let mut source = OfflineImuCameraPlugin::new(ds.clone(), rig);
+    let mut vio = VioPlugin::new(VioConfig::fast(cam), init);
+    let mut integrator = ImuIntegratorPlugin::new(init);
+    source.start(&ctx);
+    vio.start(&ctx);
+    integrator.start(&ctx);
+    let fast_pose = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+
+    let mut est = Vec::new();
+    let mut truth = Vec::new();
+    let steps = (duration_s * 15.0) as u64;
+    for k in 1..steps {
+        clock.advance_to(Time::from_secs_f64(k as f64 / 15.0));
+        source.iterate(&ctx);
+        vio.iterate(&ctx);
+        integrator.iterate(&ctx);
+        if let Some(pose) = fast_pose.latest() {
+            est.push(pose.pose);
+            truth.push(ds.ground_truth_pose(pose.timestamp));
+        }
+    }
+
+    let ate_cm = absolute_trajectory_error(&est, &truth).expect("poses collected") * 100.0;
+    let final_err_cm = est.last().unwrap().translation_distance(truth.last().unwrap()) * 100.0;
+    println!("tracked {} pose samples over {:.1} s", est.len(), duration_s);
+    println!("absolute trajectory error: {ate_cm:.1} cm (final drift {final_err_cm:.1} cm)");
+    println!("(paper §V-E reports 4.9–8.1 cm ATE on EuRoC Vicon Room 1 Medium)");
+    assert!(ate_cm < 60.0, "tracking diverged");
+}

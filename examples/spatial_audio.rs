@@ -1,0 +1,46 @@
+//! Spatial audio standalone: encode moving sources into a soundfield,
+//! rotate it with a scripted head motion, and binauralize.
+//!
+//! Prints the interaural level difference over time — you can "see" the
+//! lecturer sweep from left to right as the listener turns their head.
+//!
+//! ```bash
+//! cargo run --release --example spatial_audio
+//! ```
+
+use illixr_testbed::audio::ambisonics::Soundfield;
+use illixr_testbed::audio::binaural::{default_ring_bank, BinauralDecoder};
+use illixr_testbed::audio::rotation::rotate_yaw;
+use illixr_testbed::audio::sources::SoundSource;
+use illixr_testbed::audio::{encode_block, psychoacoustic_filter};
+
+fn main() {
+    let rate = 48_000.0;
+    let block = 1024;
+    println!("Spatial audio: a lecturer 60° to the left, listener turning toward them\n");
+    let mut lecturer = SoundSource::lecture(rate, 1.05, 3); // ~60° left
+    let bank = default_ring_bank(rate);
+    let mut decoder = BinauralDecoder::new(&bank, block);
+
+    println!("{:>8} {:>10} {:>10} {:>10} {:>16}", "t (s)", "head yaw", "L rms", "R rms", "balance (L-R dB)");
+    println!("{}", "-".repeat(60));
+    let blocks = 48; // ~1 s
+    for k in 0..blocks {
+        let t = k as f64 * block as f64 / rate;
+        // The listener turns from straight ahead to facing the lecturer.
+        let yaw = 1.05 * (t / 1.0).min(1.0);
+        let mono = lecturer.next_block(block);
+        let field: Soundfield = encode_block(&mono, lecturer.azimuth, 0.0);
+        let rotated = rotate_yaw(&field, yaw);
+        let filtered = psychoacoustic_filter(&rotated, rate);
+        let stereo = decoder.process(&filtered);
+        if k % 8 == 0 {
+            let rms = |x: &[f64]| (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt();
+            let l = rms(&stereo.left);
+            let r = rms(&stereo.right);
+            let db = 20.0 * (l.max(1e-12) / r.max(1e-12)).log10();
+            println!("{t:>8.2} {:>9.2}° {l:>10.4} {r:>10.4} {db:>15.1}dB", yaw.to_degrees());
+        }
+    }
+    println!("\nAs the head turns toward the source, the interaural balance approaches 0 dB.");
+}

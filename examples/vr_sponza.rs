@@ -1,0 +1,97 @@
+//! A VR application written against the OpenXR-style API.
+//!
+//! This is the paper's application-side view: the app knows nothing
+//! about plugins or streams — it runs the canonical OpenXR frame loop
+//! (`wait_frame` → `begin_frame` → `locate_views` → render →
+//! `end_frame`) against the runtime, which supplies tracked poses and
+//! accepts submitted eye buffers. The runtime side warps the submitted
+//! frames to fresher poses with timewarp.
+//!
+//! ```bash
+//! cargo run --release --example vr_sponza
+//! ```
+
+use std::sync::Arc;
+
+use illixr_testbed::core::plugin::{Plugin, PluginContext};
+use illixr_testbed::core::{Clock, SimClock, Time};
+use illixr_testbed::math::Vec3;
+use illixr_testbed::render::apps::Application;
+use illixr_testbed::render::raster::Rasterizer;
+use illixr_testbed::sensors::trajectory::Trajectory;
+use illixr_testbed::system::config::SystemConfig;
+use illixr_testbed::system::openxr::XrInstance;
+use illixr_testbed::visual::distortion::DistortionParams;
+use illixr_testbed::visual::plugins::{TimewarpPlugin, WarpedFrame, DISPLAY_STREAM};
+use illixr_testbed::visual::reprojection::ReprojectionConfig;
+use illixr_testbed::vio::plugins::GroundTruthPosePlugin;
+
+fn main() {
+    println!("VR Sponza via the OpenXR-style API\n");
+    let clock = SimClock::new();
+    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let config = SystemConfig { eye_width: 96, eye_height: 96, ..Default::default() };
+
+    // Runtime side: a pose provider and the timewarp compositor.
+    let mut tracker = GroundTruthPosePlugin::new(Trajectory::gentle(7));
+    let mut compositor = TimewarpPlugin::new(
+        ReprojectionConfig::rotational(config.fov_rad(), 1.0),
+        DistortionParams::default(),
+    );
+    tracker.start(&ctx);
+    compositor.start(&ctx);
+    let display = ctx.switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 256);
+
+    // Application side: pure OpenXR.
+    let instance = XrInstance::create(ctx.clone(), config);
+    let mut session = instance.begin_session();
+    let mut scene = Application::Sponza.build(7);
+    let mut raster_l = Rasterizer::new(96, 96);
+    let mut raster_r = Rasterizer::new(96, 96);
+
+    let frames = 24;
+    for k in 0..frames {
+        clock.advance_to(Time::from_millis(8 * (k + 1)));
+        tracker.iterate(&ctx); // runtime publishes a fresh pose
+
+        let state = session.wait_frame();
+        session.begin_frame();
+        let views = session.locate_views(state.predicted_display_time);
+        scene.animate_to(clock.now().as_secs_f64());
+        // Offset the viewpoint back so the atrium is in frame.
+        let mut pose_l = views[0].pose;
+        let mut pose_r = views[1].pose;
+        pose_l.position += Vec3::new(0.0, 1.6, 6.0);
+        pose_r.position += Vec3::new(0.0, 1.6, 6.0);
+        scene.render(&mut raster_l, &pose_l, views[0].fov_y, 1.0);
+        scene.render(&mut raster_r, &pose_r, views[1].fov_y, 1.0);
+        session.end_frame(
+            state,
+            Arc::new(raster_l.take_framebuffer()),
+            Arc::new(raster_r.take_framebuffer()),
+            views[0].pose,
+        );
+
+        compositor.iterate(&ctx); // runtime warps to the freshest pose
+    }
+
+    let shown = display.drain();
+    println!("submitted {} frames, compositor displayed {}", session.frame_count(), shown.len());
+    let mean_age_ms = shown
+        .iter()
+        .map(|f| f.pose_age.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / shown.len().max(1) as f64;
+    println!("mean pose age at warp: {mean_age_ms:.2} ms");
+    let last = shown.last().expect("frames were displayed");
+    let nonblack =
+        last.left.as_slice().iter().filter(|p| p[0] + p[1] + p[2] > 0.05).count();
+    println!(
+        "final frame: {}x{}, {:.0}% lit pixels",
+        last.left.width(),
+        last.left.height(),
+        100.0 * nonblack as f64 / (96.0 * 96.0)
+    );
+    assert!(shown.len() as u64 >= session.frame_count() - 1, "compositor kept up");
+    println!("\nOK: the app ran entirely against the OpenXR-style boundary.");
+}

@@ -1,0 +1,15 @@
+//! Workspace façade re-exporting the ILLIXR-rs crates.
+pub use illixr_audio as audio;
+pub use illixr_core as core;
+pub use illixr_dsp as dsp;
+pub use illixr_eyetrack as eyetrack;
+pub use illixr_image as image;
+pub use illixr_math as math;
+pub use illixr_platform as platform;
+pub use illixr_qoe as qoe;
+pub use illixr_reconstruction as reconstruction;
+pub use illixr_render as render;
+pub use illixr_sensors as sensors;
+pub use illixr_system as system;
+pub use illixr_vio as vio;
+pub use illixr_visual as visual;

@@ -1,0 +1,196 @@
+//! The paper's modularity claim (§II-B): "each plugin is interchangeable
+//! with another as long as it complies with the event-stream interface."
+//! These tests swap alternative implementations behind the same streams
+//! and verify downstream consumers cannot tell the difference.
+
+use std::sync::Arc;
+
+use illixr_testbed::core::plugin::{Plugin, PluginContext, PluginRegistry};
+use illixr_testbed::core::{Clock, SimClock, Time};
+use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
+use illixr_testbed::sensors::dataset::SyntheticDataset;
+use illixr_testbed::sensors::imu::ImuNoise;
+use illixr_testbed::sensors::plugins::{
+    OfflineImuCameraPlugin, SyntheticCameraPlugin, SyntheticImuPlugin,
+};
+use illixr_testbed::sensors::trajectory::Trajectory;
+use illixr_testbed::sensors::types::{streams, ImuSample, PoseEstimate, StereoFrame};
+use illixr_testbed::sensors::world::LandmarkWorld;
+use illixr_testbed::vio::integrator::{ImuState, Scheme};
+use illixr_testbed::vio::msckf::VioConfig;
+use illixr_testbed::vio::plugins::{ImuIntegratorPlugin, VioPlugin};
+
+fn rig() -> StereoRig {
+    StereoRig::zed_mini(PinholeCamera::qvga())
+}
+
+/// Runs VIO against whatever camera/IMU provider is plugged in and
+/// returns the final pose error; the provider is opaque to VIO.
+fn track_with_provider(
+    mut providers: Vec<Box<dyn Plugin>>,
+    ds: &SyntheticDataset,
+) -> f64 {
+    let clock = SimClock::new();
+    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let gt0 = &ds.ground_truth[0];
+    let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
+    let mut vio = VioPlugin::new(VioConfig::fast(PinholeCamera::qvga()), init);
+    for p in &mut providers {
+        p.start(&ctx);
+    }
+    vio.start(&ctx);
+    for k in 1..30u64 {
+        clock.advance_to(Time::from_secs_f64(k as f64 / 15.0));
+        for p in &mut providers {
+            p.iterate(&ctx);
+        }
+        vio.iterate(&ctx);
+    }
+    let truth = ds.ground_truth_pose(clock.now());
+    vio.state().pose.translation_distance(&truth)
+}
+
+#[test]
+fn offline_and_synthetic_providers_are_interchangeable() {
+    let seed = 5;
+    let ds = SyntheticDataset::vicon_room_like(seed, 2.0);
+    // Provider A: offline dataset player (one plugin feeding two streams).
+    let err_offline = track_with_provider(
+        vec![Box::new(OfflineImuCameraPlugin::new(Arc::new(ds.clone()), rig()))],
+        &ds,
+    );
+    // Provider B: live-synthetic camera + IMU (two plugins, same streams,
+    // same underlying trajectory).
+    let world = Arc::new(ds.world.clone());
+    let err_synth = track_with_provider(
+        vec![
+            Box::new(SyntheticCameraPlugin::new(ds.trajectory.clone(), world, rig())),
+            Box::new(SyntheticImuPlugin::new(
+                ds.trajectory.clone(),
+                ImuNoise::default(),
+                500.0,
+                seed,
+            )),
+        ],
+        &ds,
+    );
+    // VIO tracked successfully with both providers — the modularity
+    // claim. (Errors differ because live-synthetic regenerates noise.)
+    assert!(err_offline < 0.5, "offline provider: error {err_offline}");
+    assert!(err_synth < 0.5, "synthetic provider: error {err_synth}");
+}
+
+#[test]
+fn integrator_schemes_are_interchangeable() {
+    // RK4 (OpenVINS) vs midpoint (GTSAM stand-in), same streams.
+    for scheme in [Scheme::Rk4, Scheme::Midpoint] {
+        let clock = SimClock::new();
+        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ds = SyntheticDataset::vicon_room_like(9, 1.0);
+        let gt0 = &ds.ground_truth[0];
+        let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
+        let mut source = OfflineImuCameraPlugin::new(Arc::new(ds.clone()), rig());
+        let mut integ = ImuIntegratorPlugin::new(init).with_scheme(scheme);
+        source.start(&ctx);
+        integ.start(&ctx);
+        let fast = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+        for k in 1..15u64 {
+            clock.advance_to(Time::from_millis(k * 66));
+            source.iterate(&ctx);
+            integ.iterate(&ctx);
+        }
+        let pose = fast.latest().expect("fast pose published");
+        let truth = ds.ground_truth_pose(pose.timestamp);
+        let err = pose.pose.translation_distance(&truth);
+        assert!(err < 0.3, "{scheme:?}: drift {err}");
+    }
+}
+
+#[test]
+fn vio_implementations_are_interchangeable() {
+    // Table II lists two VIO implementations; swap them behind the same
+    // streams and verify downstream consumers keep working.
+    use illixr_testbed::vio::alternative::FrameToFrameConfig;
+    use illixr_testbed::vio::plugins::AlternativeVioPlugin;
+
+    let ds = SyntheticDataset::vicon_room_like(13, 2.0);
+    let gt0 = ds.ground_truth[0];
+    let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
+    type PluginFactory<'a> = Box<dyn Fn() -> Box<dyn Plugin> + 'a>;
+    let build: Vec<(&str, PluginFactory)> = vec![
+        (
+            "msckf",
+            Box::new(move || {
+                Box::new(VioPlugin::new(VioConfig::fast(PinholeCamera::qvga()), init))
+            }),
+        ),
+        (
+            "frame-to-frame",
+            Box::new(move || {
+                Box::new(AlternativeVioPlugin::new(FrameToFrameConfig::default(), rig(), init))
+            }),
+        ),
+    ];
+    for (name, make) in build {
+        let err = track_with_provider_vio(make(), &ds);
+        assert!(err < 0.8, "{name}: drift {err:.3} m");
+    }
+}
+
+/// Like `track_with_provider` but swaps the VIO instead of the source.
+fn track_with_provider_vio(mut vio: Box<dyn Plugin>, ds: &SyntheticDataset) -> f64 {
+    let clock = SimClock::new();
+    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let mut source = OfflineImuCameraPlugin::new(Arc::new(ds.clone()), rig());
+    source.start(&ctx);
+    vio.start(&ctx);
+    let slow = ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE);
+    for k in 1..30u64 {
+        clock.advance_to(Time::from_secs_f64(k as f64 / 15.0));
+        source.iterate(&ctx);
+        vio.iterate(&ctx);
+    }
+    let pose = slow.latest().expect("vio published poses");
+    pose.pose.translation_distance(&ds.ground_truth_pose(pose.timestamp))
+}
+
+#[test]
+fn plugin_registry_builds_alternatives_by_name() {
+    // The registry is the paper's plugin loader: configurations pick
+    // implementations by name.
+    let seed = 3;
+    let ds = Arc::new(SyntheticDataset::vicon_room_like(seed, 0.5));
+    let mut registry = PluginRegistry::new();
+    let ds_for_offline = ds.clone();
+    registry.register("camera_imu/offline", move |_| {
+        Box::new(OfflineImuCameraPlugin::new(ds_for_offline.clone(), rig()))
+    });
+    registry.register("camera_imu/synthetic", move |_| {
+        Box::new(SyntheticCameraPlugin::new(
+            Trajectory::walking(seed),
+            Arc::new(LandmarkWorld::lab(seed)),
+            rig(),
+        ))
+    });
+    let clock = SimClock::new();
+    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    for name in ["camera_imu/offline", "camera_imu/synthetic"] {
+        let cam_reader = ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 16);
+        let mut plugin = registry.build(name, &ctx).expect("registered plugin builds");
+        plugin.start(&ctx);
+        clock.advance_to(clock.now() + std::time::Duration::from_millis(100));
+        plugin.iterate(&ctx);
+        assert!(!cam_reader.is_empty(), "{name} published no camera frames");
+    }
+}
+
+#[test]
+fn stream_typing_is_enforced_across_crates() {
+    let ctx = PluginContext::new(Arc::new(SimClock::new()));
+    let _imu = ctx.switchboard.writer::<ImuSample>(streams::IMU);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Wrong payload type on an existing stream must panic loudly.
+        let _bad = ctx.switchboard.writer::<StereoFrame>(streams::IMU);
+    }));
+    assert!(result.is_err(), "type confusion on a stream must be rejected");
+}
