@@ -67,15 +67,15 @@ pub fn sh_coefficients(azimuth: f64, elevation: f64) -> [f64; CHANNELS] {
     let y = ce * sa;
     let z = se;
     [
-        1.0,                                    // W  (ACN 0)
-        y,                                      // Y  (ACN 1)
-        z,                                      // Z  (ACN 2)
-        x,                                      // X  (ACN 3)
-        3.0f64.sqrt() / 2.0 * ce * ce * s2a,    // V  (ACN 4)
-        3.0f64.sqrt() / 2.0 * (2.0 * z * y),    // T  (ACN 5)
-        0.5 * (3.0 * z * z - 1.0),              // R  (ACN 6)
-        3.0f64.sqrt() / 2.0 * (2.0 * z * x),    // S  (ACN 7)
-        3.0f64.sqrt() / 2.0 * ce * ce * c2a,    // U  (ACN 8)
+        1.0,                                 // W  (ACN 0)
+        y,                                   // Y  (ACN 1)
+        z,                                   // Z  (ACN 2)
+        x,                                   // X  (ACN 3)
+        3.0f64.sqrt() / 2.0 * ce * ce * s2a, // V  (ACN 4)
+        3.0f64.sqrt() / 2.0 * (2.0 * z * y), // T  (ACN 5)
+        0.5 * (3.0 * z * z - 1.0),           // R  (ACN 6)
+        3.0f64.sqrt() / 2.0 * (2.0 * z * x), // S  (ACN 7)
+        3.0f64.sqrt() / 2.0 * ce * ce * c2a, // U  (ACN 8)
     ]
 }
 

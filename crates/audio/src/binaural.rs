@@ -91,7 +91,10 @@ impl BinauralDecoder {
             }
             gains.push(g);
             let p = bank.pair(i);
-            convolvers.push((OverlapSave::new(&p.left, block_len), OverlapSave::new(&p.right, block_len)));
+            convolvers.push((
+                OverlapSave::new(&p.left, block_len),
+                OverlapSave::new(&p.right, block_len),
+            ));
         }
         Self { gains, convolvers, block_len }
     }
@@ -151,8 +154,7 @@ pub fn binauralize(field: &Soundfield, bank: &HrirBank, sample_rate: f64) -> Ste
 
 /// A standard 8-speaker horizontal ring bank at `sample_rate`.
 pub fn default_ring_bank(sample_rate: f64) -> HrirBank {
-    let azimuths: Vec<f64> =
-        (0..8).map(|i| i as f64 * std::f64::consts::TAU / 8.0).collect();
+    let azimuths: Vec<f64> = (0..8).map(|i| i as f64 * std::f64::consts::TAU / 8.0).collect();
     HrirBank::synthesize(sample_rate, &azimuths)
 }
 
@@ -181,7 +183,12 @@ mod tests {
         for _ in 0..4 {
             out = decoder.process(&field);
         }
-        assert!(rms(&out.left) > 1.3 * rms(&out.right), "L {} R {}", rms(&out.left), rms(&out.right));
+        assert!(
+            rms(&out.left) > 1.3 * rms(&out.right),
+            "L {} R {}",
+            rms(&out.left),
+            rms(&out.right)
+        );
     }
 
     #[test]
@@ -226,10 +233,7 @@ mod tests {
         }
         // Max sample-to-sample jump in the steady state should be small
         // relative to the amplitude (a tone at 500 Hz changes slowly).
-        let max_jump = all_left[300..]
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .fold(0.0, f64::max);
+        let max_jump = all_left[300..].windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
         let amp = all_left[300..].iter().cloned().fold(0.0, |a: f64, b| a.max(b.abs()));
         assert!(max_jump < 0.25 * amp.max(1e-9), "seam discontinuity {max_jump} vs amp {amp}");
     }

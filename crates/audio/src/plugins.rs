@@ -134,7 +134,8 @@ impl Plugin for AudioPlaybackPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.field_reader = Some(ctx.switchboard.sync_reader::<Arc<Soundfield>>(SOUNDFIELD_STREAM, 8));
+        self.field_reader =
+            Some(ctx.switchboard.sync_reader::<Arc<Soundfield>>(SOUNDFIELD_STREAM, 8));
         self.pose_reader = Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE));
         self.writer = Some(ctx.switchboard.writer::<Arc<StereoBlock>>(BINAURAL_STREAM));
     }
@@ -231,7 +232,8 @@ mod tests {
                 pose: Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Z, yaw)),
                 velocity: Vec3::ZERO,
             });
-            let mut enc = AudioEncodingPlugin::new(vec![SoundSource::tone(SAMPLE_RATE, 500.0, 1.2)]);
+            let mut enc =
+                AudioEncodingPlugin::new(vec![SoundSource::tone(SAMPLE_RATE, 500.0, 1.2)]);
             let mut play = AudioPlaybackPlugin::new();
             enc.start(&ctx);
             play.start(&ctx);

@@ -117,7 +117,7 @@ mod tests {
         let rate = 48_000.0;
         let mut src = SoundSource::tone(rate, 1000.0, 0.0);
         let block = src.next_block(4800); // 0.1 s
-        // Count zero crossings: 1 kHz over 0.1 s → ~200 crossings.
+                                          // Count zero crossings: 1 kHz over 0.1 s → ~200 crossings.
         let crossings = block.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
         assert!((crossings as i64 - 200).abs() <= 2, "crossings {crossings}");
     }

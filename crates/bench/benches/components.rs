@@ -9,21 +9,21 @@ use illixr_audio::ambisonics::encode_block;
 use illixr_audio::binaural::{default_ring_bank, psychoacoustic_filter, BinauralDecoder};
 use illixr_dsp::fft::fft_in_place;
 use illixr_dsp::Complex;
+use illixr_eyetrack::eye::{render_eye, EyeParams};
+use illixr_eyetrack::net::SegmentationNet;
 use illixr_image::{flip, ssim, GrayImage, RgbImage};
+use illixr_math::DMatrix;
 use illixr_math::{Pose, Quat, Vec3};
+use illixr_reconstruction::maps::{normal_map, preprocess_depth, vertex_map};
+use illixr_reconstruction::tsdf::TsdfVolume;
 use illixr_render::apps::Application;
 use illixr_render::raster::Rasterizer;
 use illixr_sensors::camera::{PinholeCamera, StereoRig};
 use illixr_sensors::dataset::SyntheticDataset;
 use illixr_sensors::types::StereoFrame;
-use illixr_eyetrack::eye::{render_eye, EyeParams};
-use illixr_eyetrack::net::SegmentationNet;
-use illixr_math::DMatrix;
-use illixr_reconstruction::maps::{normal_map, preprocess_depth, vertex_map};
-use illixr_reconstruction::tsdf::TsdfVolume;
 use illixr_vio::fast::detect_fast;
-use illixr_vio::klt::{track_points, KltParams};
 use illixr_vio::integrator::{propagate, ImuState, Scheme};
+use illixr_vio::klt::{track_points, KltParams};
 use illixr_vio::msckf::{Msckf, VioConfig};
 use illixr_visual::distortion::{DistortionMesh, DistortionParams};
 use illixr_visual::hologram::{compute_hologram, HologramConfig};
@@ -79,7 +79,12 @@ fn bench_vio(c: &mut Criterion) {
                     }
                     let (l, r) = ds.render_frame(&rig, k);
                     filter.process_frame(
-                        &StereoFrame { timestamp: t, left: Arc::new(l), right: Arc::new(r), seq: k as u64 },
+                        &StereoFrame {
+                            timestamp: t,
+                            left: Arc::new(l),
+                            right: Arc::new(r),
+                            seq: k as u64,
+                        },
                         None,
                     );
                 }
@@ -89,7 +94,10 @@ fn bench_vio(c: &mut Criterion) {
                     imu_idx += 1;
                 }
                 let (l, r) = ds.render_frame(&rig, 3);
-                (filter, StereoFrame { timestamp: t, left: Arc::new(l), right: Arc::new(r), seq: 3 })
+                (
+                    filter,
+                    StereoFrame { timestamp: t, left: Arc::new(l), right: Arc::new(r), seq: 3 },
+                )
             },
             |(mut filter, frame)| filter.process_frame(&frame, None),
             criterion::BatchSize::LargeInput,
@@ -137,8 +145,7 @@ fn bench_perception_kernels(c: &mut Criterion) {
         b.iter(|| track_points(&left, &left2, &points, None, &KltParams::default()));
     });
     let _ = right;
-    let depth_cam =
-        PinholeCamera { fx: 95.0, fy: 95.0, cx: 48.0, cy: 36.0, width: 96, height: 72 };
+    let depth_cam = PinholeCamera { fx: 95.0, fy: 95.0, cx: 48.0, cy: 36.0, width: 96, height: 72 };
     let depth_rig = StereoRig::zed_mini(depth_cam);
     let world = illixr_sensors::world::LandmarkWorld::lab(2);
     let depth = world.render_depth(&depth_rig, &illixr_math::Pose::IDENTITY);
@@ -172,9 +179,8 @@ fn bench_perception_kernels(c: &mut Criterion) {
 fn bench_visual(c: &mut Criterion) {
     let mut group = c.benchmark_group("visual");
     group.sample_size(30);
-    let img = RgbImage::from_fn(256, 256, |x, y| {
-        [(x % 31) as f32 / 31.0, (y % 17) as f32 / 17.0, 0.5]
-    });
+    let img =
+        RgbImage::from_fn(256, 256, |x, y| [(x % 31) as f32 / 31.0, (y % 17) as f32 / 17.0, 0.5]);
     let cfg = ReprojectionConfig::rotational(1.57, 1.0);
     let display = Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Y, 0.03));
     group.bench_function("reproject_256", |b| {
@@ -185,9 +191,8 @@ fn bench_visual(c: &mut Criterion) {
         b.iter(|| mesh.apply(&img));
     });
     let holo_cfg = HologramConfig { iterations: 3, ..Default::default() };
-    let target = GrayImage::from_fn(holo_cfg.width, holo_cfg.height, |x, y| {
-        ((x / 8 + y / 8) % 2) as f32
-    });
+    let target =
+        GrayImage::from_fn(holo_cfg.width, holo_cfg.height, |x, y| ((x / 8 + y / 8) % 2) as f32);
     group.bench_function("hologram_64_2planes_3iter", |b| {
         b.iter(|| compute_hologram(&[target.clone(), target.clone()], &holo_cfg, None));
     });

@@ -24,11 +24,14 @@ struct AblationRow {
     mean_frame_ms: f64,
 }
 
-
-fn run(name: &'static str, config: VioConfig, ds: &SyntheticDataset, rig: &StereoRig) -> AblationRow {
+fn run(
+    name: &'static str,
+    config: VioConfig,
+    ds: &SyntheticDataset,
+    rig: &StereoRig,
+) -> AblationRow {
     let gt0 = &ds.ground_truth[0];
-    let mut filter =
-        Msckf::new(config, ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity));
+    let mut filter = Msckf::new(config, ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity));
     let mut imu_idx = 0;
     let mut est = Vec::new();
     let mut gt: Vec<Pose> = Vec::new();

@@ -32,8 +32,7 @@ fn main() {
         // Print the (down-sampled) time series itself — the figure's
         // content — at most 60 points.
         let stride = (series.len() / 60).max(1);
-        let pts: Vec<String> =
-            series.iter().step_by(stride).map(|v| format!("{v:.2}")).collect();
+        let pts: Vec<String> = series.iter().step_by(stride).map(|v| format!("{v:.2}")).collect();
         println!("  series(ms): {}", pts.join(" "));
     }
 }

@@ -20,9 +20,7 @@ fn main() {
         rule(16 + 12 * 4);
         let shares: Vec<Vec<(String, f64)>> = Application::ALL
             .iter()
-            .map(|&app| {
-                IntegratedExperiment::run(&experiment_config(app, platform)).cpu_shares()
-            })
+            .map(|&app| IntegratedExperiment::run(&experiment_config(app, platform)).cpu_shares())
             .collect();
         for name in COMPONENTS {
             print!("{name:<16}");

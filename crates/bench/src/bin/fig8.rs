@@ -10,7 +10,10 @@ fn main() {
     println!("(paper: IPC spans 0.3 (reprojection, frontend-bound driver code) to 3.5");
     println!(" (audio playback, 86 % retiring); top-down identity retiring = IPC/4)\n");
     print!("{:<16}", "component");
-    println!(" {:>9} {:>9} {:>9} {:>9} {:>6}", "retiring", "bad-spec", "frontend", "backend", "IPC");
+    println!(
+        " {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "retiring", "bad-spec", "frontend", "backend", "IPC"
+    );
     rule(16 + 10 * 4 + 7);
     let model = UarchModel::new();
     for (name, mix) in component_op_mixes() {

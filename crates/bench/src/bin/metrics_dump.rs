@@ -3,7 +3,9 @@
 //! which its analysis scripts then turn into the figures.
 //!
 //! Usage: `cargo run -p illixr-bench --release --bin metrics_dump`
-//! (writes `results/metrics/metrics-<platform>-<app>.csv`).
+//! (writes `results/metrics/metrics-<platform>-<app>.csv` and a
+//! companion `streams-<platform>-<app>.csv` with per-stream switchboard
+//! counters: publishes, back-pressure drops, subscriptions).
 
 use illixr_bench::experiment_config;
 use illixr_platform::spec::Platform;
@@ -23,6 +25,12 @@ fn main() -> std::io::Result<()> {
             );
             let path = dir.join(&name);
             r.telemetry.save_csv(&path)?;
+            let mut streams_csv = String::from("stream,published,dropped,subscribers\n");
+            for s in &r.stream_stats {
+                streams_csv
+                    .push_str(&format!("{},{},{},{}\n", s.name, s.seq, s.dropped, s.subscribers));
+            }
+            std::fs::write(dir.join(name.replace("metrics-", "streams-")), streams_csv)?;
             println!(
                 "{:<40} {:>8} records, {:>7.1} J",
                 path.display(),

@@ -1,0 +1,105 @@
+//! Session-scaling study: how motion-to-photon latency, frame drops
+//! and admission decisions evolve as client sessions pile onto one
+//! edge server (the multi-user counterpart of the paper's single-user
+//! QoE tables).
+//!
+//! Usage: `cargo run --release -p illixr-bench --bin scaling_sessions`
+//! (honours `ILLIXR_SECONDS`; writes `results/scaling_sessions.txt`).
+//!
+//! Every run is fully deterministic — simulated clock, seeded
+//! trajectories, seeded link jitter — so two invocations produce a
+//! bit-identical output file.
+
+use std::fmt::Write as _;
+
+use illixr_bench::{rule, sim_duration};
+use illixr_server::{MultiSessionServer, ServerConfig};
+
+const SESSION_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() -> std::io::Result<()> {
+    let duration = sim_duration();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Session scaling on one edge server ({}s simulated per point)",
+        duration.as_secs()
+    )
+    .unwrap();
+    writeln!(out, "# Shared link: Wi-Fi class (200 Mbit/s up, 400 Mbit/s down, 2 ms)").unwrap();
+    writeln!(out, "# VIO pool: 2 workers, batched per 4 ms server tick; real MSCKF per session")
+        .unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>9} {:>9} {:>9} {:>12} {:>11} {:>10} {:>13} {:>13} {:>10}",
+        "sessions",
+        "admitted",
+        "degraded",
+        "rejected",
+        "mtp_mean_ms",
+        "mtp_p99_ms",
+        "drop_rate",
+        "up_queue_ms",
+        "down_queue_ms",
+        "pool_util"
+    )
+    .unwrap();
+
+    println!("Session scaling ({duration:?} simulated per point)");
+    rule(112);
+
+    let mut details = String::new();
+    let mut mean_curve: Vec<f64> = Vec::new();
+    let mut drops_or_rejections_seen = false;
+    for &n in &SESSION_COUNTS {
+        let mut config = ServerConfig::new(n, duration);
+        config.real_vio = true;
+        let report = MultiSessionServer::new(config).run();
+        let mean_ms = report.mean_mtp().as_secs_f64() * 1e3;
+        let row = format!(
+            "{:>8} {:>9} {:>9} {:>9} {:>12.3} {:>11.3} {:>10.4} {:>13.3} {:>13.3} {:>10.4}",
+            n,
+            report.admitted(),
+            report.degraded(),
+            report.count(illixr_server::SessionState::Rejected),
+            mean_ms,
+            report.p99_mtp().as_secs_f64() * 1e3,
+            report.drop_rate(),
+            report.uplink.mean_queue_delay().as_secs_f64() * 1e3,
+            report.downlink.mean_queue_delay().as_secs_f64() * 1e3,
+            report.pool_utilization,
+        );
+        println!("{row}");
+        writeln!(out, "{row}").unwrap();
+        writeln!(details, "\n## {n} sessions\n{}", report.summary_text()).unwrap();
+        mean_curve.push(mean_ms);
+        if report.drop_rate() > 0.0 || report.count(illixr_server::SessionState::Rejected) > 0 {
+            drops_or_rejections_seen = true;
+        }
+    }
+
+    // The whole point of the curve: contention can only make things
+    // worse. Flag any inversion loudly (deterministic, so this is a
+    // model regression, not noise).
+    let monotone = mean_curve.windows(2).all(|w| w[1] >= w[0] - 1e-9);
+    writeln!(
+        out,
+        "\nmean_mtp_monotone_nondecreasing={monotone} drops_or_rejections_at_scale={drops_or_rejections_seen}"
+    )
+    .unwrap();
+    out.push_str(&details);
+
+    rule(112);
+    println!("mean MTP monotone non-decreasing: {monotone}");
+    println!("drops or rejections at scale: {drops_or_rejections_seen}");
+    if !monotone {
+        eprintln!(
+            "WARNING: mean MTP decreased while adding sessions — contention model regression"
+        );
+    }
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/scaling_sessions.txt", &out)?;
+    println!("wrote results/scaling_sessions.txt");
+    Ok(())
+}

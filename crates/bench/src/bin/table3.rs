@@ -9,10 +9,30 @@ fn main() {
     rule(66);
     println!("{:<28} {:>14} {:>14}", "parameter", "tuned", "deadline");
     rule(66);
-    println!("{:<28} {:>14} {:>14}", "Camera (VIO) rate", format!("{} Hz", c.camera_hz), format!("{:.1} ms", c.camera_period().as_secs_f64() * 1e3));
-    println!("{:<28} {:>14} {:>14}", "IMU (integrator) rate", format!("{} Hz", c.imu_hz), format!("{:.1} ms", c.imu_period().as_secs_f64() * 1e3));
-    println!("{:<28} {:>14} {:>14}", "Display rate", format!("{} Hz", c.display_hz), format!("{:.2} ms", c.display_period().as_secs_f64() * 1e3));
-    println!("{:<28} {:>14} {:>14}", "Audio block rate", format!("{} Hz", c.audio_hz), format!("{:.1} ms", c.audio_period().as_secs_f64() * 1e3));
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Camera (VIO) rate",
+        format!("{} Hz", c.camera_hz),
+        format!("{:.1} ms", c.camera_period().as_secs_f64() * 1e3)
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "IMU (integrator) rate",
+        format!("{} Hz", c.imu_hz),
+        format!("{:.1} ms", c.imu_period().as_secs_f64() * 1e3)
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Display rate",
+        format!("{} Hz", c.display_hz),
+        format!("{:.2} ms", c.display_period().as_secs_f64() * 1e3)
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Audio block rate",
+        format!("{} Hz", c.audio_hz),
+        format!("{:.1} ms", c.audio_period().as_secs_f64() * 1e3)
+    );
     println!("{:<28} {:>14} {:>14}", "Audio block size", format!("{}", c.audio_block), "-");
     println!("{:<28} {:>14} {:>14}", "Field of view", format!("{}°", c.fov_deg), "-");
     println!(

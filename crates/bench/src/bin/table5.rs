@@ -16,10 +16,8 @@ fn main() {
     }
     println!();
     rule(10 + 13 * 3);
-    let results: Vec<_> = Platform::ALL
-        .iter()
-        .map(|&p| image_quality(Application::Sponza, p, 42, 8.0))
-        .collect();
+    let results: Vec<_> =
+        Platform::ALL.iter().map(|&p| image_quality(Application::Sponza, p, 42, 8.0)).collect();
     print!("{:<10}", "SSIM");
     for r in &results {
         print!(" {:>12}", format!("{:.2}", r.ssim));

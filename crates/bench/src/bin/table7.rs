@@ -39,10 +39,8 @@ fn main() {
     // Drive the timewarp plugin on 2K-aspect frames (scaled down).
     let clock = SimClock::new();
     let ctx = PluginContext::new(Arc::new(clock.clone()));
-    let mut tw = TimewarpPlugin::new(
-        ReprojectionConfig::rotational(1.57, 1.0),
-        DistortionParams::default(),
-    );
+    let mut tw =
+        TimewarpPlugin::new(ReprojectionConfig::rotational(1.57, 1.0), DistortionParams::default());
     tw.start(&ctx);
     let img = Arc::new(RgbImage::from_fn(256, 256, |x, y| {
         [(x % 37) as f32 / 37.0, (y % 23) as f32 / 23.0, ((x ^ y) % 11) as f32 / 11.0]

@@ -110,7 +110,8 @@ mod tests {
 
     #[test]
     fn clock_is_object_safe() {
-        let clocks: Vec<Box<dyn Clock>> = vec![Box::new(WallClock::new()), Box::new(SimClock::new())];
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(WallClock::new()), Box::new(SimClock::new())];
         for c in &clocks {
             let _ = c.now();
         }

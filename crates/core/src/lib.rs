@@ -50,7 +50,7 @@ pub mod trace;
 pub use clock::{Clock, SimClock, WallClock};
 pub use phonebook::Phonebook;
 pub use plugin::{Plugin, PluginContext, PluginRegistry};
-pub use switchboard::{AsyncReader, Switchboard, SyncReader, Writer};
+pub use switchboard::{AsyncReader, Switchboard, SyncReader, TopicStats, Writer};
 pub use telemetry::{ComponentStats, FrameRecord, RecordLogger, TaskTimer};
 pub use time::Time;
 pub use trace::{StreamRecorder, StreamTrace, TraceReplayer};

@@ -138,8 +138,12 @@ struct Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.kind_order, self.task, self.generation)
-            .cmp(&(other.time, other.kind_order, other.task, other.generation))
+        (self.time, self.kind_order, self.task, self.generation).cmp(&(
+            other.time,
+            other.kind_order,
+            other.task,
+            other.generation,
+        ))
     }
 }
 
@@ -207,7 +211,11 @@ impl SimEngine {
     /// # Panics
     ///
     /// Panics when either capacity is zero.
-    pub fn new(cpu_cores: usize, gpu_slots: usize, telemetry: std::sync::Arc<RecordLogger>) -> Self {
+    pub fn new(
+        cpu_cores: usize,
+        gpu_slots: usize,
+        telemetry: std::sync::Arc<RecordLogger>,
+    ) -> Self {
         assert!(cpu_cores > 0 && gpu_slots > 0, "resource capacities must be positive");
         Self {
             clock: SimClock::new(),
@@ -641,11 +649,7 @@ mod tests {
             engine.add_task(spec("b", Resource::Cpu, 11, true), fixed_cost(5));
             engine.add_task(spec("c", Resource::Gpu, 13, true), fixed_cost(4));
             engine.run_for(Duration::from_millis(700));
-            (
-                telemetry.records("a"),
-                telemetry.records("b"),
-                telemetry.records("c"),
-            )
+            (telemetry.records("a"), telemetry.records("b"), telemetry.records("c"))
         };
         assert_eq!(run(), run());
     }

@@ -92,6 +92,43 @@ impl<T: Send + Sync> Topic<T> {
     }
 }
 
+/// Type-erased view of a topic's counters, so the switchboard can
+/// report on streams whose payload type it no longer knows.
+trait TopicMeta: Send + Sync {
+    fn seq(&self) -> u64;
+    fn dropped(&self) -> u64;
+    fn subscribers(&self) -> usize;
+}
+
+impl<T: Send + Sync> TopicMeta for Topic<T> {
+    fn seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn subscribers(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+/// Point-in-time counters for one stream, from [`Switchboard::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Stream name.
+    pub name: String,
+    /// Events published so far.
+    pub seq: u64,
+    /// Events dropped across all synchronous readers (back-pressure).
+    pub dropped: u64,
+    /// Live synchronous subscriptions (disconnected readers are only
+    /// garbage-collected on the next publish, so this can briefly
+    /// over-count).
+    pub subscribers: usize,
+}
+
 /// Publishes events onto a named stream.
 pub struct Writer<T> {
     topic: Arc<Topic<T>>,
@@ -215,8 +252,15 @@ impl<T> std::fmt::Debug for SyncReader<T> {
 /// streams. Cloning is cheap and all clones share the same streams.
 #[derive(Clone, Default)]
 pub struct Switchboard {
-    #[allow(clippy::type_complexity)]
-    topics: Arc<RwLock<HashMap<String, (TypeId, Arc<dyn Any + Send + Sync>)>>>,
+    topics: Arc<RwLock<HashMap<String, TopicEntry>>>,
+}
+
+/// A registered stream: the typed topic behind an `Any` for readers and
+/// writers, plus a type-erased counter view for [`Switchboard::stats`].
+struct TopicEntry {
+    type_id: TypeId,
+    topic: Arc<dyn Any + Send + Sync>,
+    meta: Arc<dyn TopicMeta>,
 }
 
 impl Switchboard {
@@ -227,27 +271,28 @@ impl Switchboard {
 
     fn topic<T: Send + Sync + 'static>(&self, name: &str) -> Arc<Topic<T>> {
         // Fast path: topic exists.
-        if let Some((tid, t)) = self.topics.read().get(name) {
+        if let Some(entry) = self.topics.read().get(name) {
             assert_eq!(
-                *tid,
+                entry.type_id,
                 TypeId::of::<T>(),
                 "stream '{name}' already exists with a different payload type (requested {})",
                 type_name::<T>()
             );
-            return t.clone().downcast::<Topic<T>>().expect("type id verified above");
+            return entry.topic.clone().downcast::<Topic<T>>().expect("type id verified above");
         }
         // Slow path: create it.
         let mut topics = self.topics.write();
-        let entry = topics
-            .entry(name.to_owned())
-            .or_insert_with(|| (TypeId::of::<T>(), Arc::new(Topic::<T>::default())));
+        let entry = topics.entry(name.to_owned()).or_insert_with(|| {
+            let topic = Arc::new(Topic::<T>::default());
+            TopicEntry { type_id: TypeId::of::<T>(), topic: topic.clone(), meta: topic }
+        });
         assert_eq!(
-            entry.0,
+            entry.type_id,
             TypeId::of::<T>(),
             "stream '{name}' already exists with a different payload type (requested {})",
             type_name::<T>()
         );
-        entry.1.clone().downcast::<Topic<T>>().expect("type id verified above")
+        entry.topic.clone().downcast::<Topic<T>>().expect("type id verified above")
     }
 
     /// Returns a writer for stream `name` with payload type `T`.
@@ -275,7 +320,11 @@ impl Switchboard {
     ///
     /// Panics when the stream already exists with a different payload
     /// type, or `capacity` is zero.
-    pub fn sync_reader<T: Send + Sync + 'static>(&self, name: &str, capacity: usize) -> SyncReader<T> {
+    pub fn sync_reader<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> SyncReader<T> {
         assert!(capacity > 0, "sync reader capacity must be positive");
         let topic = self.topic::<T>(name);
         let (tx, rx) = bounded(capacity);
@@ -288,6 +337,25 @@ impl Switchboard {
         let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Point-in-time counters for every stream, sorted by name: events
+    /// published, events dropped to back-pressure, and live synchronous
+    /// subscriptions.
+    pub fn stats(&self) -> Vec<TopicStats> {
+        let mut stats: Vec<TopicStats> = self
+            .topics
+            .read()
+            .iter()
+            .map(|(name, entry)| TopicStats {
+                name: name.clone(),
+                seq: entry.meta.seq(),
+                dropped: entry.meta.dropped(),
+                subscribers: entry.meta.subscribers(),
+            })
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
     }
 }
 
@@ -404,6 +472,27 @@ mod tests {
         });
         handle.join().unwrap();
         assert_eq!(r.drain().len(), 32);
+    }
+
+    #[test]
+    fn stats_report_per_stream_counters() {
+        let sb = Switchboard::new();
+        let w = sb.writer::<u32>("imu");
+        let _fast = sb.sync_reader::<u32>("imu", 2);
+        let _slow = sb.sync_reader::<u32>("imu", 64);
+        let _other = sb.writer::<&str>("camera");
+        for i in 0..10 {
+            w.put(i);
+        }
+        let stats = sb.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "camera");
+        assert_eq!(stats[0].seq, 0);
+        let imu = &stats[1];
+        assert_eq!(imu.name, "imu");
+        assert_eq!(imu.seq, 10);
+        assert_eq!(imu.dropped, 8); // capacity-2 reader missed 8 of 10
+        assert_eq!(imu.subscribers, 2);
     }
 
     #[test]

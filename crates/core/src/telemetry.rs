@@ -123,7 +123,8 @@ impl RecordLogger {
                 total_cpu: Duration::ZERO,
             });
         }
-        let exec_secs: Vec<f64> = log.records.iter().map(|r| r.execution_time().as_secs_f64()).collect();
+        let exec_secs: Vec<f64> =
+            log.records.iter().map(|r| r.execution_time().as_secs_f64()).collect();
         let mean = exec_secs.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
             exec_secs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
@@ -180,7 +181,8 @@ impl RecordLogger {
         let logs = self.logs.lock();
         let mut names: Vec<&String> = logs.keys().collect();
         names.sort();
-        let mut out = String::from("component,release_ns,start_ns,end_ns,cpu_ns,work_factor,missed\n");
+        let mut out =
+            String::from("component,release_ns,start_ns,end_ns,cpu_ns,work_factor,missed\n");
         for name in names {
             for r in &logs[name].records {
                 out.push_str(&format!(

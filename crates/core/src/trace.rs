@@ -185,8 +185,7 @@ mod tests {
     fn record_captures_every_event_with_time() {
         let sb = Switchboard::new();
         let clock = SimClock::new();
-        let recorder =
-            StreamRecorder::<u32>::start(&sb, Arc::new(clock.clone()), "imu", 64);
+        let recorder = StreamRecorder::<u32>::start(&sb, Arc::new(clock.clone()), "imu", 64);
         let writer = sb.writer::<u32>("imu");
         clock.advance_to(Time::from_millis(2));
         writer.put(10);

@@ -117,12 +117,7 @@ impl OverlapSave {
         // Valid samples start after the first `m` (contaminated) outputs.
         let out: Vec<f64> = buf[m..m + self.block_len].iter().map(|c| c.re).collect();
         // Save the tail of the input as the next block's history.
-        let hist: Vec<f64> = self
-            .overlap
-            .iter()
-            .copied()
-            .chain(block.iter().copied())
-            .collect();
+        let hist: Vec<f64> = self.overlap.iter().copied().chain(block.iter().copied()).collect();
         let keep = hist.len() - m;
         self.overlap.copy_from_slice(&hist[keep..]);
         out

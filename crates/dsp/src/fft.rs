@@ -185,7 +185,8 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let signal: Vec<Complex> = (0..32).map(|i| Complex::new((i as f64 * 0.7).cos(), 0.0)).collect();
+        let signal: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64 * 0.7).cos(), 0.0)).collect();
         let spec = fft(&signal);
         let time_energy: f64 = signal.iter().map(|v| v.norm_sqr()).sum();
         let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 32.0;

@@ -283,7 +283,8 @@ impl SegmentationNet {
                 for class in 0..4 {
                     let mut s = self.head_b[class];
                     for c in 0..self.channels {
-                        s += self.head_w[class * self.channels + c] * d2.get(c, y, x)
+                        s += self.head_w[class * self.channels + c]
+                            * d2.get(c, y, x)
                             * if c == 0 { 1.0 } else { 0.0 };
                     }
                     if s > best_score {
@@ -306,9 +307,9 @@ mod tests {
     fn classifies_intensity_bands() {
         // Quadrants of distinct intensities map to distinct classes.
         let img = GrayImage::from_fn(32, 32, |x, y| match (x < 16, y < 16) {
-            (true, true) => 0.95,  // bright → background
-            (false, true) => 0.65, // sclera band
-            (true, false) => 0.4,  // iris band
+            (true, true) => 0.95,   // bright → background
+            (false, true) => 0.65,  // sclera band
+            (true, false) => 0.4,   // iris band
             (false, false) => 0.05, // dark → pupil
         });
         let net = SegmentationNet::new();

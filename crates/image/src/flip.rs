@@ -182,7 +182,13 @@ mod tests {
     #[test]
     fn flip_map_in_unit_range() {
         let a = gradient_image(24, 24);
-        let b = RgbImage::from_fn(24, 24, |x, y| if (x / 4 + y / 4) % 2 == 0 { [1.0, 1.0, 1.0] } else { [0.0, 0.0, 0.0] });
+        let b = RgbImage::from_fn(24, 24, |x, y| {
+            if (x / 4 + y / 4) % 2 == 0 {
+                [1.0, 1.0, 1.0]
+            } else {
+                [0.0, 0.0, 0.0]
+            }
+        });
         let map = flip_map(&a, &b);
         assert!(map.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }

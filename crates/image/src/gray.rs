@@ -109,7 +109,10 @@ impl GrayImage {
         let p10 = self.get_clamped(xi + 1, yi);
         let p01 = self.get_clamped(xi, yi + 1);
         let p11 = self.get_clamped(xi + 1, yi + 1);
-        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
     }
 
     /// Half-resolution downsample by 2×2 box averaging.
@@ -137,7 +140,11 @@ impl GrayImage {
 
     /// Applies `f` to every pixel, returning a new image.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { width: self.width, height: self.height, data: self.data.iter().map(|&v| f(v)).collect() }
+        Self {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Mean absolute difference with another image of identical size.

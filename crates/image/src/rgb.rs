@@ -117,7 +117,10 @@ impl RgbImage {
         let p10 = self.get_clamped(xi + 1, yi)[channel];
         let p01 = self.get_clamped(xi, yi + 1)[channel];
         let p11 = self.get_clamped(xi + 1, yi + 1)[channel];
-        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
     }
 
     /// Converts to grayscale using Rec. 709 luma weights.

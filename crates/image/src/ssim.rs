@@ -77,7 +77,8 @@ mod tests {
 
     fn textured(w: usize, h: usize) -> GrayImage {
         GrayImage::from_fn(w, h, |x, y| {
-            (0.5 + 0.3 * ((x as f32) * 0.35).sin() + 0.2 * ((y as f32) * 0.22).cos()).clamp(0.0, 1.0)
+            (0.5 + 0.3 * ((x as f32) * 0.35).sin() + 0.2 * ((y as f32) * 0.22).cos())
+                .clamp(0.0, 1.0)
         })
     }
 

@@ -8,9 +8,8 @@ use crate::gray::GrayImage;
 fn gaussian_kernel(sigma: f32) -> Vec<f32> {
     assert!(sigma > 0.0, "sigma must be positive");
     let radius = (3.0 * sigma).ceil() as isize;
-    let mut k: Vec<f32> = (-radius..=radius)
-        .map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp())
-        .collect();
+    let mut k: Vec<f32> =
+        (-radius..=radius).map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp()).collect();
     let sum: f32 = k.iter().sum();
     k.iter_mut().for_each(|v| *v /= sum);
     k

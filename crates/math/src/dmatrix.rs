@@ -256,7 +256,12 @@ impl Index<(usize, usize)> for DMatrix {
     type Output = Real;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &Real {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -264,7 +269,12 @@ impl Index<(usize, usize)> for DMatrix {
 impl IndexMut<(usize, usize)> for DMatrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Real {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -312,7 +322,11 @@ impl Sub for &DMatrix {
 impl Mul for &DMatrix {
     type Output = DMatrix;
     fn mul(self, rhs: Self) -> DMatrix {
-        assert_eq!(self.cols, rhs.rows, "mul: inner dimension mismatch ({}x{} * {}x{})", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "mul: inner dimension mismatch ({}x{} * {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = DMatrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order for cache-friendly row-major access.
         for i in 0..self.rows {

@@ -144,7 +144,8 @@ mod tests {
     #[test]
     fn relative_to_recovers_composition() {
         let a = example();
-        let rel = Pose::new(Vec3::new(0.0, 0.0, -1.0), Quat::from_axis_angle(Vec3::UNIT_Y, FRAC_PI_2));
+        let rel =
+            Pose::new(Vec3::new(0.0, 0.0, -1.0), Quat::from_axis_angle(Vec3::UNIT_Y, FRAC_PI_2));
         let b = a.compose(&rel);
         let back = a.relative_to(&b);
         assert!(back.translation_distance(&rel) < 1e-12);

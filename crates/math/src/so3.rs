@@ -46,7 +46,11 @@ pub fn so3_log(r: &Mat3) -> Vec3 {
         // symmetric part: R ≈ 2aaᵀ - I.
         let diag = Vec3::new(r.m[0][0], r.m[1][1], r.m[2][2]);
         let axis_sq = (diag + Vec3::splat(1.0)) * 0.5;
-        let mut axis = Vec3::new(axis_sq.x.max(0.0).sqrt(), axis_sq.y.max(0.0).sqrt(), axis_sq.z.max(0.0).sqrt());
+        let mut axis = Vec3::new(
+            axis_sq.x.max(0.0).sqrt(),
+            axis_sq.y.max(0.0).sqrt(),
+            axis_sq.z.max(0.0).sqrt(),
+        );
         // Fix signs using off-diagonal terms relative to the largest axis component.
         if axis.x >= axis.y && axis.x >= axis.z {
             axis.y = axis.y.copysign(r.m[0][1] + r.m[1][0]);

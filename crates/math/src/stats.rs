@@ -114,9 +114,8 @@ impl OnlineStats {
         let total = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as Real / total as Real;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as Real * other.n as Real) / total as Real;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as Real * other.n as Real) / total as Real;
         self.n = total;
         self.mean = mean;
         self.m2 = m2;

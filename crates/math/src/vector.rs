@@ -1,7 +1,9 @@
 //! Small fixed-size vectors used throughout the XR pipelines.
 
 use core::fmt;
-use core::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 use crate::Real;
 

@@ -225,7 +225,9 @@ mod tests {
     #[test]
     fn higher_utilization_draws_more_power() {
         let m = PowerModel::new(Platform::JetsonHP);
-        assert!(m.breakdown_from_compute(0.9, 0.9).total() > m.breakdown_from_compute(0.1, 0.1).total());
+        assert!(
+            m.breakdown_from_compute(0.9, 0.9).total() > m.breakdown_from_compute(0.1, 0.1).total()
+        );
     }
 
     #[test]

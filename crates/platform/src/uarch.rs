@@ -161,8 +161,7 @@ impl UarchModel {
         // doing useful work; the remainder splits proportionally to the
         // stall CPIs.
         let retiring = ipc / ISSUE_WIDTH;
-        let stall_total =
-            (cpi_base - 1.0 / ISSUE_WIDTH) + cpi_memory + cpi_frontend + cpi_badspec;
+        let stall_total = (cpi_base - 1.0 / ISSUE_WIDTH) + cpi_memory + cpi_frontend + cpi_badspec;
         let lost = (1.0 - retiring).max(0.0);
         let (bad, front, back) = if stall_total > 1e-12 {
             let backend_cpi = (cpi_base - 1.0 / ISSUE_WIDTH) + cpi_memory;

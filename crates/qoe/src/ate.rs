@@ -16,11 +16,7 @@ pub fn absolute_trajectory_error(estimated: &[Pose], ground_truth: &[Pose]) -> O
     if estimated.is_empty() {
         return None;
     }
-    let sum: f64 = estimated
-        .iter()
-        .zip(ground_truth)
-        .map(|(e, g)| e.translation_distance(g))
-        .sum();
+    let sum: f64 = estimated.iter().zip(ground_truth).map(|(e, g)| e.translation_distance(g)).sum();
     Some(sum / estimated.len() as f64)
 }
 

@@ -71,9 +71,8 @@ fn spectral_similarity(a: &[f64], b: &[f64]) -> f64 {
     let sa = spectrum(a);
     let sb = spectrum(b);
     // RMS log-spectral distance → similarity via exp(-d).
-    let d = (sa.iter().zip(&sb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
-        / sa.len() as f64)
-        .sqrt();
+    let d =
+        (sa.iter().zip(&sb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / sa.len() as f64).sqrt();
     (-d / 2.0).exp()
 }
 

@@ -18,11 +18,11 @@
 pub mod ate;
 pub mod audio;
 pub mod mtp;
-pub mod video;
 pub mod report;
+pub mod video;
 
 pub use ate::{absolute_trajectory_error, relative_pose_error};
 pub use audio::{compare_stereo, AudioQuality};
 pub use mtp::{MtpCalculator, MtpSample};
-pub use video::{pose_judder, temporal_jitter};
 pub use report::MeanStd;
+pub use video::{pose_judder, temporal_jitter};

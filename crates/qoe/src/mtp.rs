@@ -82,11 +82,7 @@ mod tests {
     #[test]
     fn sample_decomposes_latency() {
         let c = calc();
-        let s = c.sample(
-            Time::from_millis(10),
-            Time::from_millis(12),
-            Time::from_micros(12_800),
-        );
+        let s = c.sample(Time::from_millis(10), Time::from_millis(12), Time::from_micros(12_800));
         assert_eq!(s.imu_age, Duration::from_millis(2));
         assert_eq!(s.reprojection, Duration::from_micros(800));
         // Next vsync after 12.8 ms is 16.667 ms.

@@ -50,8 +50,7 @@ pub fn pose_judder(displayed: &[Pose]) -> Option<f64> {
     let mut acc = 0.0;
     let mut n = 0;
     for w in displayed.windows(3) {
-        let second_diff =
-            (w[2].position - w[1].position) - (w[1].position - w[0].position);
+        let second_diff = (w[2].position - w[1].position) - (w[1].position - w[0].position);
         acc += second_diff.norm_squared();
         n += 1;
     }
@@ -81,8 +80,7 @@ mod tests {
     fn dropped_frames_raise_jitter() {
         // Every other frame repeats (a 30 fps app on a 60 Hz display
         // without reprojection).
-        let frames: Vec<RgbImage> =
-            (0..10).map(|k| sliding_frame((k / 2 * 2) as f32)).collect();
+        let frames: Vec<RgbImage> = (0..10).map(|k| sliding_frame((k / 2 * 2) as f32)).collect();
         let smooth: Vec<RgbImage> = (0..10).map(|k| sliding_frame(k as f32)).collect();
         let j_dropped = temporal_jitter(&frames).unwrap();
         let j_smooth = temporal_jitter(&smooth).unwrap();

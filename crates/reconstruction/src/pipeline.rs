@@ -232,10 +232,10 @@ impl ScenePipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::Time;
     use illixr_sensors::camera::StereoRig;
     use illixr_sensors::trajectory::Trajectory;
     use illixr_sensors::world::LandmarkWorld;
-    use illixr_core::Time;
 
     fn small_cam() -> PinholeCamera {
         PinholeCamera { fx: 60.0, fy: 60.0, cx: 32.0, cy: 24.0, width: 64, height: 48 }
@@ -325,9 +325,13 @@ mod tests {
             pipe.process(&depth, None, Some(&timer));
         }
         let names: Vec<String> = timer.shares().into_iter().map(|(n, _)| n).collect();
-        for expected in
-            ["camera processing", "image processing", "pose estimation", "surfel prediction", "map fusion"]
-        {
+        for expected in [
+            "camera processing",
+            "image processing",
+            "pose estimation",
+            "surfel prediction",
+            "map fusion",
+        ] {
             assert!(names.iter().any(|n| n == expected), "missing '{expected}' in {names:?}");
         }
     }

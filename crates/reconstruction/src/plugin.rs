@@ -107,11 +107,8 @@ mod tests {
         let reader = ctx.switchboard.sync_reader::<SceneUpdate>(SCENE_STREAM, 64);
         let cam = PinholeCamera { fx: 60.0, fy: 60.0, cx: 32.0, cy: 24.0, width: 64, height: 48 };
         let world = Arc::new(LandmarkWorld::new(60, Vec3::new(4.0, 2.5, 4.0), 2));
-        let mut plugin = SceneReconstructionPlugin::new(
-            world,
-            StereoRig::zed_mini(cam),
-            Trajectory::gentle(2),
-        );
+        let mut plugin =
+            SceneReconstructionPlugin::new(world, StereoRig::zed_mini(cam), Trajectory::gentle(2));
         plugin.start(&ctx);
         for k in 0..6 {
             clock.advance_to(Time::from_millis(k * 120));
@@ -129,11 +126,8 @@ mod tests {
         let ctx = PluginContext::new(Arc::new(clock.clone()));
         let cam = PinholeCamera { fx: 60.0, fy: 60.0, cx: 32.0, cy: 24.0, width: 64, height: 48 };
         let world = Arc::new(LandmarkWorld::new(60, Vec3::new(4.0, 2.5, 4.0), 5));
-        let mut plugin = SceneReconstructionPlugin::new(
-            world,
-            StereoRig::zed_mini(cam),
-            Trajectory::gentle(5),
-        );
+        let mut plugin =
+            SceneReconstructionPlugin::new(world, StereoRig::zed_mini(cam), Trajectory::gentle(5));
         plugin.pipeline.set_refine_interval(3);
         plugin.start(&ctx);
         let mut works = Vec::new();

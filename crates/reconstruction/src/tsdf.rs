@@ -122,11 +122,8 @@ impl TsdfVolume {
         for dz in 0..2usize {
             for dy in 0..2usize {
                 for dx in 0..2usize {
-                    let idx = self.index(
-                        (x0 as usize) + dx,
-                        (y0 as usize) + dy,
-                        (z0 as usize) + dz,
-                    );
+                    let idx =
+                        self.index((x0 as usize) + dx, (y0 as usize) + dy, (z0 as usize) + dz);
                     if self.weight[idx] <= 0.0 {
                         return None;
                     }
@@ -154,7 +151,8 @@ impl TsdfVolume {
         let step = self.voxel_size;
         for py in 0..h {
             for px in 0..w {
-                let ray_cam = cam.unproject(illixr_math::Vec2::new(px as f64, py as f64)).normalized();
+                let ray_cam =
+                    cam.unproject(illixr_math::Vec2::new(px as f64, py as f64)).normalized();
                 let ray_world = cam_pose.transform_vector(ray_cam);
                 let origin = cam_pose.position;
                 // March until a sign change from + to −.

@@ -130,11 +130,8 @@ impl AppScene {
                 // "materials" (base colors standing in for PBR variants).
                 for i in 0..4 {
                     for j in 0..3 {
-                        let color = [
-                            0.3 + 0.2 * i as f32,
-                            0.25 + 0.2 * j as f32,
-                            0.9 - 0.2 * i as f32,
-                        ];
+                        let color =
+                            [0.3 + 0.2 * i as f32, 0.25 + 0.2 * j as f32, 0.9 - 0.2 * i as f32];
                         let sphere = Mesh::sphere(0.5, 16, 24, color);
                         let t = translation(Vec3::new(
                             -2.2 + i as f64 * 1.5,
@@ -171,7 +168,11 @@ impl AppScene {
                             0.3,
                             rng.gen_range(-5.0..5.0),
                         ),
-                        velocity: Vec3::new(rng.gen_range(-1.0..1.0), 0.0, rng.gen_range(-1.0..1.0)),
+                        velocity: Vec3::new(
+                            rng.gen_range(-1.0..1.0),
+                            0.0,
+                            rng.gen_range(-1.0..1.0),
+                        ),
                         bounds: Vec3::new(6.0, 0.0, 6.0),
                         bounce: false,
                     });
@@ -250,7 +251,13 @@ impl AppScene {
     /// Renders the scene from an eye pose into `raster`.
     ///
     /// Returns aggregate draw statistics (the work-factor source).
-    pub fn render(&self, raster: &mut Rasterizer, eye_pose: &Pose, fov_y: f64, aspect: f64) -> DrawStats {
+    pub fn render(
+        &self,
+        raster: &mut Rasterizer,
+        eye_pose: &Pose,
+        fov_y: f64,
+        aspect: f64,
+    ) -> DrawStats {
         let clear = if self.app == Application::ArDemo {
             [0.05, 0.05, 0.06] // AR: mostly passthrough-black
         } else {

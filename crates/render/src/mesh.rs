@@ -105,8 +105,16 @@ impl Mesh {
         for s in 0..=sectors {
             let theta = 2.0 * std::f64::consts::PI * s as f64 / sectors as f64;
             let n = Vec3::new(theta.cos(), 0.0, theta.sin());
-            mesh.vertices.push(Vertex { position: n * radius + Vec3::new(0.0, -half, 0.0), normal: n, color });
-            mesh.vertices.push(Vertex { position: n * radius + Vec3::new(0.0, half, 0.0), normal: n, color });
+            mesh.vertices.push(Vertex {
+                position: n * radius + Vec3::new(0.0, -half, 0.0),
+                normal: n,
+                color,
+            });
+            mesh.vertices.push(Vertex {
+                position: n * radius + Vec3::new(0.0, half, 0.0),
+                normal: n,
+                color,
+            });
         }
         for s in 0..sectors as u32 {
             let a = 2 * s;
@@ -167,7 +175,10 @@ mod tests {
     fn append_transforms_positions() {
         let mut a = Mesh::new();
         let b = Mesh::cuboid(Vec3::splat(0.5), [0.0, 1.0, 0.0]);
-        let t = Mat4::from_rotation_translation(illixr_math::Mat3::identity(), Vec3::new(10.0, 0.0, 0.0));
+        let t = Mat4::from_rotation_translation(
+            illixr_math::Mat3::identity(),
+            Vec3::new(10.0, 0.0, 0.0),
+        );
         a.append(&b, &t);
         assert_eq!(a.triangle_count(), 12);
         assert!(a.vertices.iter().all(|v| v.position.x > 9.0));

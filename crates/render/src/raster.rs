@@ -90,7 +90,8 @@ impl Rasterizer {
             })
             .collect();
         for tri in &mesh.indices {
-            let (a, b, c) = (&shaded[tri[0] as usize], &shaded[tri[1] as usize], &shaded[tri[2] as usize]);
+            let (a, b, c) =
+                (&shaded[tri[0] as usize], &shaded[tri[1] as usize], &shaded[tri[2] as usize]);
             // Near-plane reject (no clipping — scenes keep geometry in
             // front of the camera).
             if a.clip.w <= 1e-6 || b.clip.w <= 1e-6 || c.clip.w <= 1e-6 {
@@ -106,12 +107,7 @@ impl Rasterizer {
                 continue;
             }
             stats.triangles_rasterized += 1;
-            stats.fragments += self.fill_triangle(
-                (pa, a.lit),
-                (pb, b.lit),
-                (pc, c.lit),
-                area,
-            );
+            stats.fragments += self.fill_triangle((pa, a.lit), (pb, b.lit), (pc, c.lit), area);
         }
         stats
     }
@@ -119,11 +115,7 @@ impl Rasterizer {
     /// Clip → screen: returns `(x, y, depth)`.
     fn to_screen(&self, clip: Vec4) -> (f64, f64, f64) {
         let ndc = clip.project();
-        (
-            (ndc.x + 1.0) * 0.5 * self.width as f64,
-            (1.0 - ndc.y) * 0.5 * self.height as f64,
-            ndc.z,
-        )
+        ((ndc.x + 1.0) * 0.5 * self.width as f64, (1.0 - ndc.y) * 0.5 * self.height as f64, ndc.z)
     }
 
     #[allow(clippy::type_complexity)]
@@ -203,7 +195,10 @@ mod tests {
         let far_cube = Mesh::cuboid(Vec3::splat(1.5), [0.0, 1.0, 0.0]);
         let near_cube = Mesh::cuboid(Vec3::splat(0.5), [1.0, 0.0, 0.0]);
         // Draw near first, then far: far must not overwrite the center.
-        let near_model = Mat4::from_rotation_translation(illixr_math::Mat3::identity(), Vec3::new(0.0, 0.0, 2.0));
+        let near_model = Mat4::from_rotation_translation(
+            illixr_math::Mat3::identity(),
+            Vec3::new(0.0, 0.0, 2.0),
+        );
         r.draw(&near_cube, &near_model, &vp);
         r.draw(&far_cube, &Mat4::identity(), &vp);
         let c = r.framebuffer().get(32, 32);
@@ -215,7 +210,10 @@ mod tests {
         let mut r = Rasterizer::new(32, 32);
         r.clear([0.0; 3]);
         let cube = Mesh::cuboid(Vec3::splat(1.0), [1.0; 3]);
-        let behind = Mat4::from_rotation_translation(illixr_math::Mat3::identity(), Vec3::new(0.0, 0.0, 20.0));
+        let behind = Mat4::from_rotation_translation(
+            illixr_math::Mat3::identity(),
+            Vec3::new(0.0, 0.0, 20.0),
+        );
         let stats = r.draw(&cube, &behind, &view_proj());
         assert_eq!(stats.fragments, 0);
     }
@@ -232,7 +230,8 @@ mod tests {
         r.draw(&cube, &Mat4::identity(), &(proj * view));
         // Sample many pixels; brightest should be ~1.0 (top face), and
         // there must be darker lit side faces too.
-        let pixels: Vec<f32> = r.framebuffer().as_slice().iter().map(|p| p[0]).filter(|&v| v > 0.0).collect();
+        let pixels: Vec<f32> =
+            r.framebuffer().as_slice().iter().map(|p| p[0]).filter(|&v| v > 0.0).collect();
         let max = pixels.iter().cloned().fold(0.0f32, f32::max);
         let min = pixels.iter().cloned().fold(1.0f32, f32::min);
         assert!(max > 0.9, "max {max}");

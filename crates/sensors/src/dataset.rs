@@ -33,7 +33,9 @@ impl std::fmt::Display for DatasetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "dataset i/o error: {e}"),
-            Self::Parse { line, message } => write!(f, "dataset parse error at line {line}: {message}"),
+            Self::Parse { line, message } => {
+                write!(f, "dataset parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -79,7 +81,10 @@ impl SyntheticDataset {
         imu_hz: f64,
         seed: u64,
     ) -> Self {
-        assert!(duration_s > 0.0 && camera_hz > 0.0 && imu_hz > 0.0, "rates/duration must be positive");
+        assert!(
+            duration_s > 0.0 && camera_hz > 0.0 && imu_hz > 0.0,
+            "rates/duration must be positive"
+        );
         let mut imu_model = ImuModel::new(trajectory.clone(), noise, imu_hz, seed);
         let n_imu = (duration_s * imu_hz).ceil() as usize;
         let mut imu = Vec::with_capacity(n_imu);
@@ -94,8 +99,7 @@ impl SyntheticDataset {
             imu.push(s);
         }
         let n_cam = (duration_s * camera_hz).ceil() as usize;
-        let camera_times =
-            (0..n_cam).map(|k| Time::from_secs_f64(k as f64 / camera_hz)).collect();
+        let camera_times = (0..n_cam).map(|k| Time::from_secs_f64(k as f64 / camera_hz)).collect();
         Self { imu, camera_times, ground_truth, trajectory, world }
     }
 
@@ -151,10 +155,19 @@ impl SyntheticDataset {
                 w,
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 s.timestamp.as_nanos(),
-                s.gyro.x, s.gyro.y, s.gyro.z,
-                s.accel.x, s.accel.y, s.accel.z,
-                p.x, p.y, p.z,
-                q.w, q.x, q.y, q.z,
+                s.gyro.x,
+                s.gyro.y,
+                s.gyro.z,
+                s.accel.x,
+                s.accel.y,
+                s.accel.z,
+                p.x,
+                p.y,
+                p.z,
+                q.w,
+                q.x,
+                q.y,
+                q.z,
             )?;
         }
         Ok(())
@@ -204,7 +217,12 @@ impl SyntheticDataset {
             });
             let pose = Pose::new(
                 Vec3::new(parse(fields[7])?, parse(fields[8])?, parse(fields[9])?),
-                Quat::new(parse(fields[10])?, parse(fields[11])?, parse(fields[12])?, parse(fields[13])?),
+                Quat::new(
+                    parse(fields[10])?,
+                    parse(fields[11])?,
+                    parse(fields[12])?,
+                    parse(fields[13])?,
+                ),
             );
             gt.push(GroundTruth { timestamp: t, pose, velocity: Vec3::ZERO });
         }

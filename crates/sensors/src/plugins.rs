@@ -198,7 +198,8 @@ mod tests {
     fn synthetic_imu_publishes_at_fixed_cadence() {
         let (ctx, _clock) = sim_ctx();
         let reader = ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 64);
-        let mut plugin = SyntheticImuPlugin::new(Trajectory::walking(2), ImuNoise::default(), 500.0, 2);
+        let mut plugin =
+            SyntheticImuPlugin::new(Trajectory::walking(2), ImuNoise::default(), 500.0, 2);
         plugin.start(&ctx);
         for _ in 0..5 {
             plugin.iterate(&ctx);

@@ -83,8 +83,16 @@ impl Trajectory {
                 .collect()
         };
         Self {
-            position: [gen_terms(pos_amp, pos_freq), gen_terms(pos_amp, pos_freq), gen_terms(pos_amp * 0.3, pos_freq)],
-            attitude: [gen_terms(att_amp, att_freq), gen_terms(att_amp * 0.5, att_freq), gen_terms(att_amp * 0.3, att_freq)],
+            position: [
+                gen_terms(pos_amp, pos_freq),
+                gen_terms(pos_amp, pos_freq),
+                gen_terms(pos_amp * 0.3, pos_freq),
+            ],
+            attitude: [
+                gen_terms(att_amp, att_freq),
+                gen_terms(att_amp * 0.5, att_freq),
+                gen_terms(att_amp * 0.3, att_freq),
+            ],
         }
     }
 
@@ -156,11 +164,7 @@ impl Trajectory {
         // Body rates for ZYX (yaw-pitch-roll) Euler angles.
         let (sr, cr) = roll.sin_cos();
         let (sp, cp) = pitch.sin_cos();
-        Vec3::new(
-            droll - dyaw * sp,
-            dpitch * cr + dyaw * cp * sr,
-            -dpitch * sr + dyaw * cp * cr,
-        )
+        Vec3::new(droll - dyaw * sp, dpitch * cr + dyaw * cp * sr, -dpitch * sr + dyaw * cp * cr)
     }
 }
 

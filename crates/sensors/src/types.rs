@@ -93,7 +93,8 @@ mod tests {
     #[test]
     fn stereo_frame_shares_images() {
         let img = Arc::new(GrayImage::new(4, 4));
-        let f = StereoFrame { timestamp: Time::ZERO, left: img.clone(), right: img.clone(), seq: 0 };
+        let f =
+            StereoFrame { timestamp: Time::ZERO, left: img.clone(), right: img.clone(), seq: 0 };
         let g = f.clone();
         assert!(Arc::ptr_eq(&f.left, &g.left));
     }

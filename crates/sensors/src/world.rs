@@ -116,9 +116,7 @@ impl LandmarkWorld {
                 }
                 // Check the hit point is within the other two extents.
                 let hit = origin + dir * t;
-                let ok = (0..3).all(|a| {
-                    a == axis || hit[a].abs() <= self.half_extent[a] + 1e-9
-                });
+                let ok = (0..3).all(|a| a == axis || hit[a].abs() <= self.half_extent[a] + 1e-9);
                 if ok && best.is_none_or(|b| t < b) {
                     best = Some(t);
                 }
@@ -154,7 +152,10 @@ mod tests {
     use crate::camera::PinholeCamera;
 
     fn setup() -> (LandmarkWorld, StereoRig) {
-        (LandmarkWorld::new(120, Vec3::new(4.0, 2.5, 4.0), 7), StereoRig::zed_mini(PinholeCamera::qvga()))
+        (
+            LandmarkWorld::new(120, Vec3::new(4.0, 2.5, 4.0), 7),
+            StereoRig::zed_mini(PinholeCamera::qvga()),
+        )
     }
 
     #[test]
@@ -175,11 +176,7 @@ mod tests {
         let mean = img.mean();
         assert!(mean > 0.1 && mean < 0.9, "mean {mean}");
         // Variance must be non-trivial (blobs + background).
-        let var: f32 = img
-            .as_slice()
-            .iter()
-            .map(|&v| (v - mean) * (v - mean))
-            .sum::<f32>()
+        let var: f32 = img.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
             / img.as_slice().len() as f32;
         assert!(var > 1e-4, "variance {var}");
     }

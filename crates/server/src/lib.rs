@@ -1,0 +1,42 @@
+//! illixr-server: a multi-session XR runtime server.
+//!
+//! The single-client testbed answers "what latency does one headset
+//! see"; this crate answers "what happens when N headsets share one
+//! edge server". It instantiates N independent client sessions — each
+//! with its own switchboard, synthetic sensors along a per-seed
+//! trajectory, and IMU integrator — against shared server
+//! infrastructure, all under one deterministic simulated clock
+//! (FleXR-style device/edge split: perception capture and late warp on
+//! the device, VIO and rendering in the cloud).
+//!
+//! The pieces:
+//!
+//! * [`session::ClientSession`] — the thin client: camera + IMU + fast
+//!   pose, shipping VIO jobs uplink and displaying rendered frame
+//!   tokens at vsync;
+//! * [`link::SharedLink`] — finite uplink/downlink bandwidth shared by
+//!   every session; queueing delay grows with concurrency
+//!   (generalizing the point-to-point `OffloadLink`);
+//! * [`scheduler::BatchScheduler`] — server-side worker pool batching
+//!   homogeneous VIO updates per tick;
+//! * [`admission::AdmissionController`] — accept / degrade / reject on
+//!   a projected-load estimate;
+//! * [`server::MultiSessionServer`] — the discrete-event loop tying it
+//!   together and emitting per-session plus aggregate telemetry
+//!   (motion-to-photon latency, frame drops, admission decisions, link
+//!   queue depths).
+//!
+//! The `scaling_sessions` bench binary sweeps the session count and
+//! writes the sessions-vs-MTP/drop-rate curve.
+
+pub mod admission;
+pub mod link;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionRecord};
+pub use link::{Direction, DirectionStats, LinkConfig, SharedLink};
+pub use scheduler::{BatchScheduler, SchedulerConfig, SchedulerStats};
+pub use server::{MultiSessionServer, ServerConfig, ServerReport, SessionReport};
+pub use session::{ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState};

@@ -1,0 +1,267 @@
+//! The shared, contended device↔edge link.
+//!
+//! [`illixr_system::offload::OffloadLink`] models a private
+//! point-to-point pipe: every transfer sees the same one-way latency
+//! regardless of who else is talking. That is the right model for one
+//! client, but a multi-session server shares *finite* uplink and
+//! downlink bandwidth across every connected client, so a transfer's
+//! delay has three parts:
+//!
+//! 1. **queueing** — wait until the direction's serializer is free
+//!    (grows with concurrent sessions; zero on an idle link);
+//! 2. **serialization** — `bytes / bandwidth`;
+//! 3. **propagation** — the base one-way latency, optionally jittered
+//!    (log-normal, deterministic per seed), exactly like `OffloadLink`.
+//!
+//! [`SharedLink`] is the generalization: with infinite bandwidth it
+//! degenerates to `OffloadLink`'s fixed-latency behaviour (see
+//! [`LinkConfig::from_point_to_point`] and the tests).
+
+use std::time::Duration;
+
+use illixr_core::Time;
+use illixr_platform::rng::SplitMix64;
+use illixr_system::offload::OffloadLink;
+
+/// Transfer direction on the shared link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Device → edge server.
+    Uplink,
+    /// Edge server → device.
+    Downlink,
+}
+
+/// Shared-link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Uplink bandwidth, bits per second.
+    pub uplink_bps: f64,
+    /// Downlink bandwidth, bits per second.
+    pub downlink_bps: f64,
+    /// One-way propagation latency, both directions.
+    pub base_latency: Duration,
+    /// Log-normal jitter sigma on the propagation term (0 = none).
+    pub jitter_sigma: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// An 802.11ac-class wireless edge link: 200 Mbit/s up, 400 Mbit/s
+    /// down, 2 ms one-way, no jitter.
+    pub fn wifi() -> Self {
+        Self {
+            uplink_bps: 200e6,
+            downlink_bps: 400e6,
+            base_latency: Duration::from_millis(2),
+            jitter_sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Embeds a point-to-point [`OffloadLink`] in the shared model:
+    /// infinite bandwidth (no serialization, no queueing), so every
+    /// transfer sees exactly the uplink latency plus jitter. Only the
+    /// uplink latency is representable per config — build one config
+    /// per direction if the link is asymmetric.
+    pub fn from_point_to_point(link: &OffloadLink) -> Self {
+        Self {
+            uplink_bps: f64::INFINITY,
+            downlink_bps: f64::INFINITY,
+            base_latency: link.uplink,
+            jitter_sigma: link.jitter_sigma,
+            seed: link.seed,
+        }
+    }
+}
+
+/// Aggregate counters for one run, per direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DirectionStats {
+    /// Transfers completed.
+    pub transfers: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Sum of per-transfer queueing delays, ns.
+    pub queue_delay_ns: u64,
+    /// Worst single queueing delay, ns.
+    pub max_queue_delay_ns: u64,
+}
+
+impl DirectionStats {
+    /// Mean queueing delay per transfer.
+    pub fn mean_queue_delay(&self) -> Duration {
+        if self.transfers == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.queue_delay_ns / self.transfers)
+        }
+    }
+}
+
+/// The contended link: all sessions' transfers serialize through one
+/// pipe per direction.
+#[derive(Debug)]
+pub struct SharedLink {
+    config: LinkConfig,
+    up_busy_until: Time,
+    down_busy_until: Time,
+    rng: SplitMix64,
+    up: DirectionStats,
+    down: DirectionStats,
+}
+
+impl SharedLink {
+    /// Creates an idle link.
+    pub fn new(config: LinkConfig) -> Self {
+        Self {
+            config,
+            up_busy_until: Time::ZERO,
+            down_busy_until: Time::ZERO,
+            rng: SplitMix64::new(config.seed ^ 0x51A2_ED11),
+            up: DirectionStats::default(),
+            down: DirectionStats::default(),
+        }
+    }
+
+    /// The link parameters.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Starts a transfer of `bytes` at `now` and returns its delivery
+    /// time. FIFO per direction: the transfer first waits for the
+    /// serializer to drain whatever earlier transfers queued.
+    pub fn transfer(&mut self, direction: Direction, now: Time, bytes: u64) -> Time {
+        let (bps, busy_until) = match direction {
+            Direction::Uplink => (self.config.uplink_bps, &mut self.up_busy_until),
+            Direction::Downlink => (self.config.downlink_bps, &mut self.down_busy_until),
+        };
+        let start = (*busy_until).max(now);
+        let queue = start - now;
+        let serialization = if bps.is_finite() {
+            Duration::from_secs_f64(bytes as f64 * 8.0 / bps)
+        } else {
+            Duration::ZERO
+        };
+        *busy_until = start + serialization;
+        let jitter = if self.config.jitter_sigma > 0.0 {
+            self.rng.next_lognormal(self.config.jitter_sigma)
+        } else {
+            1.0
+        };
+        let propagation = Duration::from_secs_f64(self.config.base_latency.as_secs_f64() * jitter);
+        let stats = match direction {
+            Direction::Uplink => &mut self.up,
+            Direction::Downlink => &mut self.down,
+        };
+        stats.transfers += 1;
+        stats.bytes += bytes;
+        stats.queue_delay_ns += queue.as_nanos() as u64;
+        stats.max_queue_delay_ns = stats.max_queue_delay_ns.max(queue.as_nanos() as u64);
+        start + serialization + propagation
+    }
+
+    /// How long a transfer issued at `now` would wait before its first
+    /// byte goes out — the direction's current queue depth in time.
+    pub fn queue_delay(&self, direction: Direction, now: Time) -> Duration {
+        let busy_until = match direction {
+            Direction::Uplink => self.up_busy_until,
+            Direction::Downlink => self.down_busy_until,
+        };
+        busy_until - now
+    }
+
+    /// Counters for one direction.
+    pub fn stats(&self, direction: Direction) -> &DirectionStats {
+        match direction {
+            Direction::Uplink => &self.up,
+            Direction::Downlink => &self.down,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_link(bps: f64) -> SharedLink {
+        SharedLink::new(LinkConfig {
+            uplink_bps: bps,
+            downlink_bps: bps,
+            base_latency: Duration::from_millis(2),
+            jitter_sigma: 0.0,
+            seed: 0,
+        })
+    }
+
+    #[test]
+    fn idle_link_has_no_queueing() {
+        let mut link = flat_link(8e6); // 1 MB/s
+        let t = link.transfer(Direction::Uplink, Time::ZERO, 1000);
+        // 1 kB at 1 MB/s = 1 ms serialization + 2 ms propagation.
+        assert_eq!(t, Time::from_millis(3));
+        assert_eq!(link.stats(Direction::Uplink).queue_delay_ns, 0);
+    }
+
+    #[test]
+    fn concurrent_transfers_queue_fifo() {
+        let mut link = flat_link(8e6);
+        let first = link.transfer(Direction::Uplink, Time::ZERO, 1000);
+        let second = link.transfer(Direction::Uplink, Time::ZERO, 1000);
+        // Second transfer waits out the first's serialization.
+        assert_eq!(second - first, Duration::from_millis(1));
+        assert_eq!(
+            link.stats(Direction::Uplink).queue_delay_ns,
+            Duration::from_millis(1).as_nanos() as u64
+        );
+    }
+
+    #[test]
+    fn directions_do_not_contend_with_each_other() {
+        let mut link = flat_link(8e6);
+        link.transfer(Direction::Uplink, Time::ZERO, 100_000);
+        let down = link.transfer(Direction::Downlink, Time::ZERO, 1000);
+        assert_eq!(down, Time::from_millis(3), "downlink must not see uplink queueing");
+    }
+
+    #[test]
+    fn queue_delay_drains_over_time() {
+        let mut link = flat_link(8e6);
+        link.transfer(Direction::Uplink, Time::ZERO, 8000); // 8 ms of serialization
+        assert_eq!(link.queue_delay(Direction::Uplink, Time::ZERO), Duration::from_millis(8));
+        assert_eq!(
+            link.queue_delay(Direction::Uplink, Time::from_millis(5)),
+            Duration::from_millis(3)
+        );
+        assert_eq!(link.queue_delay(Direction::Uplink, Time::from_millis(20)), Duration::ZERO);
+    }
+
+    #[test]
+    fn infinite_bandwidth_degenerates_to_offload_link() {
+        let p2p = OffloadLink::symmetric(Duration::from_millis(7));
+        let mut link = SharedLink::new(LinkConfig::from_point_to_point(&p2p));
+        // Back-to-back huge transfers all arrive after exactly the base
+        // latency — OffloadLink semantics.
+        for _ in 0..4 {
+            let t = link.transfer(Direction::Uplink, Time::from_millis(1), 10_000_000);
+            assert_eq!(t, Time::from_millis(8));
+        }
+        assert_eq!(link.stats(Direction::Uplink).queue_delay_ns, 0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let config = LinkConfig { jitter_sigma: 0.3, seed: 9, ..LinkConfig::wifi() };
+        let mut a = SharedLink::new(config);
+        let mut b = SharedLink::new(config);
+        for i in 0..32 {
+            let now = Time::from_millis(i * 3);
+            assert_eq!(
+                a.transfer(Direction::Downlink, now, 5000),
+                b.transfer(Direction::Downlink, now, 5000)
+            );
+        }
+    }
+}

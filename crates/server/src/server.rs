@@ -1,0 +1,789 @@
+//! The multi-session edge server: a deterministic discrete-event loop
+//! coupling N client sessions to shared infrastructure.
+//!
+//! Three shared resources create the contention the scaling benchmark
+//! measures:
+//!
+//! * the [`SharedLink`](crate::link::SharedLink) — every VIO job, pose,
+//!   render request and frame token serializes through finite
+//!   uplink/downlink bandwidth;
+//! * the [`BatchScheduler`](crate::scheduler::BatchScheduler) — VIO
+//!   updates from all sessions are batched per server tick onto a fixed
+//!   worker pool;
+//! * the renderer — one cloud render per request, modeled as a fixed
+//!   cost (the pool contention story lives in the VIO scheduler).
+//!
+//! Everything runs under one simulated clock. Events are ordered by
+//! `(time, kind priority, session, insertion seq)`, so two runs with
+//! identical configs produce bit-identical reports — the determinism
+//! the ISSUE's acceptance test checks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_core::{SimClock, Time, TopicStats};
+use illixr_sensors::camera::PinholeCamera;
+use illixr_sensors::types::PoseEstimate;
+use illixr_vio::integrator::ImuState;
+use illixr_vio::msckf::{Msckf, VioConfig};
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionRecord};
+use crate::link::{Direction, DirectionStats, LinkConfig, SharedLink};
+use crate::scheduler::{BatchScheduler, SchedulerConfig, SchedulerStats};
+use crate::session::{
+    ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState, SessionTelemetry,
+    VioJob,
+};
+
+/// Full server-run parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The sessions to run (index = session id).
+    pub sessions: Vec<SessionConfig>,
+    /// Shared link parameters.
+    pub link: LinkConfig,
+    /// VIO worker-pool parameters.
+    pub scheduler: SchedulerConfig,
+    /// Admission thresholds.
+    pub admission: AdmissionConfig,
+    /// Simulated run length.
+    pub duration: Duration,
+    /// Server tick period: pending VIO jobs are batched every tick.
+    pub server_tick: Duration,
+    /// Cloud render cost per requested frame.
+    pub render_cost: Duration,
+    /// Client-side warp cost per displayed frame.
+    pub warp_cost: Duration,
+    /// Uplink payload per VIO job (stereo frame + IMU window).
+    pub job_bytes: u64,
+    /// Downlink payload per pose estimate.
+    pub pose_bytes: u64,
+    /// Uplink payload per render request.
+    pub request_bytes: u64,
+    /// Downlink payload per rendered frame token.
+    pub token_bytes: u64,
+    /// Run the real per-session MSCKF server-side. When false the
+    /// server returns ground-truth poses — the cheap mode unit tests
+    /// and admission studies use.
+    pub real_vio: bool,
+}
+
+impl ServerConfig {
+    /// `n` sessions with distinct seeds on a Wi-Fi-class link, paper
+    /// Table III/IV constants elsewhere. QVGA stereo ≈ 150 kB per job
+    /// for the frame pair plus IMU window; tokens model a compressed
+    /// eye-buffer pair (~50 kB), so one session takes ~12% of the
+    /// downlink and ~8% of the VIO pool — the server saturates around
+    /// ten clients, which is where admission control starts degrading
+    /// and rejecting.
+    pub fn new(n: usize, duration: Duration) -> Self {
+        Self {
+            sessions: (0..n).map(|i| SessionConfig::new(11 + 2 * i as u64)).collect(),
+            link: LinkConfig::wifi(),
+            scheduler: SchedulerConfig::default(),
+            admission: AdmissionConfig::default(),
+            duration,
+            server_tick: Duration::from_millis(4),
+            render_cost: Duration::from_millis(5),
+            warp_cost: Duration::from_millis(1),
+            job_bytes: 150_000,
+            pose_bytes: 64,
+            request_bytes: 64,
+            token_bytes: 50_000,
+            real_vio: false,
+        }
+    }
+}
+
+/// What happens at an event's fire time. Payload-carrying variants
+/// compare by event key only.
+enum EventKind {
+    Connect,
+    ImuTick { step: u64 },
+    CameraTick { step: u64 },
+    JobArrive(VioJob),
+    ServerBatch,
+    VioComplete(Vec<VioJob>),
+    PoseDeliver(PoseEstimate),
+    RequestArrive(RenderRequest),
+    TokenRendered(RenderRequest),
+    TokenDeliver(RenderToken),
+    Vsync { index: u64 },
+    Disconnect,
+}
+
+impl EventKind {
+    /// Tie-break order at equal times. IMU before camera keeps frames
+    /// covered by inertial data; deliveries before vsync let a frame
+    /// arriving exactly on the deadline be shown.
+    fn priority(&self) -> u8 {
+        match self {
+            Self::Connect => 0,
+            Self::ImuTick { .. } => 1,
+            Self::CameraTick { .. } => 2,
+            Self::JobArrive(_) => 3,
+            Self::ServerBatch => 4,
+            Self::VioComplete(_) => 5,
+            Self::PoseDeliver(_) => 6,
+            Self::RequestArrive(_) => 7,
+            Self::TokenRendered(_) => 8,
+            Self::TokenDeliver(_) => 9,
+            Self::Vsync { .. } => 10,
+            Self::Disconnect => 11,
+        }
+    }
+}
+
+struct Event {
+    time: Time,
+    session: u32,
+    /// Insertion counter: the final, total tie-break.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Event {
+    fn key(&self) -> (Time, u8, u32, u64) {
+        (self.time, self.kind.priority(), self.session, self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    /// Reversed so the `BinaryHeap` pops the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Server-side state for one admitted session.
+struct ServerSideSession {
+    /// The per-session VIO filter (`None` in ground-truth mode).
+    filter: Option<Msckf>,
+}
+
+/// Per-session results.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Session id.
+    pub id: u32,
+    /// Final lifecycle state.
+    pub state: SessionState,
+    /// Run counters.
+    pub telemetry: SessionTelemetry,
+    /// Fast-pose error against ground truth at end of run, meters.
+    pub pose_error: Option<f64>,
+    /// The session's switchboard counters.
+    pub stream_stats: Vec<TopicStats>,
+}
+
+/// Aggregate results for one server run.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Per-session results, by id.
+    pub sessions: Vec<SessionReport>,
+    /// Every admission decision.
+    pub admission: Vec<AdmissionRecord>,
+    /// Shared-link uplink counters.
+    pub uplink: DirectionStats,
+    /// Shared-link downlink counters.
+    pub downlink: DirectionStats,
+    /// VIO pool counters.
+    pub scheduler: SchedulerStats,
+    /// VIO pool utilization over the run.
+    pub pool_utilization: f64,
+    /// Simulated run length.
+    pub duration: Duration,
+}
+
+impl ServerReport {
+    /// Sessions that ended in a given state.
+    pub fn count(&self, state: SessionState) -> usize {
+        self.sessions.iter().filter(|s| s.state == state).count()
+    }
+
+    /// Sessions admission accepted or degraded (i.e. that actually ran).
+    pub fn admitted(&self) -> usize {
+        self.sessions.len() - self.count(SessionState::Rejected)
+    }
+
+    /// Sessions admitted at degraded rates. Counted from the admission
+    /// log — final lifecycle states all collapse to `Disconnected` at
+    /// the end of the run.
+    pub fn degraded(&self) -> usize {
+        self.admission
+            .iter()
+            .filter(|a| a.decision == crate::admission::AdmissionDecision::Degrade)
+            .count()
+    }
+
+    /// Mean MTP across every displayed frame of every session.
+    pub fn mean_mtp(&self) -> Duration {
+        let (sum, n) = self.sessions.iter().fold((0u64, 0u64), |(s, n), r| {
+            (s + r.telemetry.mtp_ns.iter().sum::<u64>(), n + r.telemetry.mtp_ns.len() as u64)
+        });
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(sum / n)
+        }
+    }
+
+    /// 99th-percentile MTP across all sessions (nearest-rank).
+    pub fn p99_mtp(&self) -> Duration {
+        let mut all: Vec<u64> =
+            self.sessions.iter().flat_map(|r| r.telemetry.mtp_ns.iter().copied()).collect();
+        if all.is_empty() {
+            return Duration::ZERO;
+        }
+        all.sort_unstable();
+        let rank = ((all.len() as f64 * 0.99).ceil() as usize).clamp(1, all.len());
+        Duration::from_nanos(all[rank - 1])
+    }
+
+    /// Dropped fraction of vsyncs across all admitted sessions.
+    pub fn drop_rate(&self) -> f64 {
+        let (dropped, total) = self.sessions.iter().fold((0u64, 0u64), |(d, t), r| {
+            (
+                d + r.telemetry.frames_dropped,
+                t + r.telemetry.frames_dropped + r.telemetry.frames_displayed,
+            )
+        });
+        if total == 0 {
+            0.0
+        } else {
+            dropped as f64 / total as f64
+        }
+    }
+
+    /// Deterministic text rendering: identical runs produce identical
+    /// strings, which is what the scaling benchmark's bit-identity
+    /// check compares.
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sessions={} admitted={} degraded={} rejected={}\n",
+            self.sessions.len(),
+            self.admitted(),
+            self.degraded(),
+            self.count(SessionState::Rejected),
+        ));
+        out.push_str(&format!(
+            "mtp_mean_ms={:.3} mtp_p99_ms={:.3} drop_rate={:.4}\n",
+            self.mean_mtp().as_secs_f64() * 1e3,
+            self.p99_mtp().as_secs_f64() * 1e3,
+            self.drop_rate(),
+        ));
+        out.push_str(&format!(
+            "uplink: transfers={} bytes={} mean_queue_ms={:.3} max_queue_ms={:.3}\n",
+            self.uplink.transfers,
+            self.uplink.bytes,
+            self.uplink.mean_queue_delay().as_secs_f64() * 1e3,
+            self.uplink.max_queue_delay_ns as f64 / 1e6,
+        ));
+        out.push_str(&format!(
+            "downlink: transfers={} bytes={} mean_queue_ms={:.3} max_queue_ms={:.3}\n",
+            self.downlink.transfers,
+            self.downlink.bytes,
+            self.downlink.mean_queue_delay().as_secs_f64() * 1e3,
+            self.downlink.max_queue_delay_ns as f64 / 1e6,
+        ));
+        out.push_str(&format!(
+            "vio_pool: batches={} jobs={} mean_batch={:.2} max_batch={} utilization={:.4}\n",
+            self.scheduler.batches,
+            self.scheduler.jobs,
+            self.scheduler.mean_batch(),
+            self.scheduler.max_batch,
+            self.pool_utilization,
+        ));
+        for a in &self.admission {
+            out.push_str(&format!(
+                "admission t={:.3}s session={} load={:.3} offered={:.3} -> {}\n",
+                a.time.as_secs_f64(),
+                a.session,
+                a.load_before,
+                a.offered,
+                a.decision.label(),
+            ));
+        }
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "session {} [{}]: mtp_mean_ms={:.3} mtp_p99_ms={:.3} displayed={} dropped={} \
+                 jobs={} poses={} tokens={}\n",
+                s.id,
+                s.state.label(),
+                s.telemetry.mean_mtp().as_secs_f64() * 1e3,
+                s.telemetry.p99_mtp().as_secs_f64() * 1e3,
+                s.telemetry.frames_displayed,
+                s.telemetry.frames_dropped,
+                s.telemetry.vio_jobs,
+                s.telemetry.poses_received,
+                s.telemetry.tokens_received,
+            ));
+        }
+        out
+    }
+}
+
+/// The server runtime.
+pub struct MultiSessionServer {
+    config: ServerConfig,
+    clock: SimClock,
+    sessions: Vec<ClientSession>,
+    server_side: Vec<ServerSideSession>,
+    link: SharedLink,
+    scheduler: BatchScheduler,
+    admission: AdmissionController,
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    pending_jobs: Vec<VioJob>,
+}
+
+impl MultiSessionServer {
+    /// Builds the server and its client sessions.
+    pub fn new(config: ServerConfig) -> Self {
+        let clock = SimClock::new();
+        let clock_arc: Arc<SimClock> = Arc::new(clock.clone());
+        let sessions: Vec<ClientSession> = config
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClientSession::new(i as u32, *c, clock_arc.clone()))
+            .collect();
+        let server_side = sessions.iter().map(|_| ServerSideSession { filter: None }).collect();
+        Self {
+            link: SharedLink::new(config.link),
+            scheduler: BatchScheduler::new(config.scheduler),
+            admission: AdmissionController::new(config.admission),
+            clock,
+            sessions,
+            server_side,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending_jobs: Vec::new(),
+            config,
+        }
+    }
+
+    fn push(&mut self, time: Time, session: u32, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, session, seq, kind });
+    }
+
+    /// The load one session adds at full rates: the largest share it
+    /// takes of any shared resource — uplink bits, downlink bits, or
+    /// VIO pool time per second.
+    fn offered_load(&self, config: &SessionConfig) -> f64 {
+        let c = &self.config;
+        let up_bits = (c.job_bytes as f64 * config.camera_hz
+            + c.request_bytes as f64 * config.display_hz)
+            * 8.0;
+        let down_bits = (c.pose_bytes as f64 * config.camera_hz
+            + c.token_bytes as f64 * config.display_hz)
+            * 8.0;
+        let up = if c.link.uplink_bps.is_finite() { up_bits / c.link.uplink_bps } else { 0.0 };
+        let down =
+            if c.link.downlink_bps.is_finite() { down_bits / c.link.downlink_bps } else { 0.0 };
+        let pool =
+            c.scheduler.per_job.as_secs_f64() * config.camera_hz / c.scheduler.workers as f64;
+        up.max(down).max(pool)
+    }
+
+    /// Load currently admitted sessions place on the server. Degraded
+    /// sessions run camera and render streams at half rate.
+    fn current_load(&self) -> f64 {
+        self.sessions
+            .iter()
+            .map(|s| match s.state {
+                SessionState::Running => self.offered_load(&s.config),
+                SessionState::Degraded => self.offered_load(&s.config) * 0.5,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Time of IMU step `k` for a session — the exact expression the
+    /// IMU model uses, so event times and sample timestamps agree
+    /// bit-for-bit.
+    fn imu_step_time(config: &SessionConfig, step: u64) -> Time {
+        Time::from_secs_f64(step as f64 / config.imu_hz)
+    }
+
+    fn vsync_time(config: &SessionConfig, index: u64) -> Time {
+        let period = Duration::from_secs_f64(1.0 / config.display_hz).as_nanos() as u64;
+        Time::from_nanos(index * period)
+    }
+
+    /// Last instant the session participates in.
+    fn session_end(&self, id: u32) -> Time {
+        let end = Time::ZERO + self.config.duration;
+        match self.sessions[id as usize].config.disconnect_at {
+            Some(t) if t < end => t,
+            _ => end,
+        }
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(mut self) -> ServerReport {
+        let end = Time::ZERO + self.config.duration;
+        // Seed the schedule: one connect per session, plus the global
+        // batching tick.
+        for (i, s) in self.config.sessions.clone().iter().enumerate() {
+            let at = s.connect_at.min(end);
+            self.push(at, i as u32, EventKind::Connect);
+        }
+        let tick = self.config.server_tick;
+        let mut t = Time::ZERO + tick;
+        while t <= end {
+            self.push(t, u32::MAX, EventKind::ServerBatch);
+            t = t + tick;
+        }
+
+        while let Some(event) = self.heap.pop() {
+            if event.time > end {
+                break;
+            }
+            self.clock.advance_to(event.time);
+            self.dispatch(event);
+        }
+
+        // Flush any sessions still attached at the horizon.
+        for s in &mut self.sessions {
+            if matches!(s.state, SessionState::Running | SessionState::Degraded) {
+                s.disconnect();
+            }
+        }
+
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|s| SessionReport {
+                id: s.id,
+                state: s.state,
+                telemetry: s.telemetry.clone(),
+                pose_error: s.pose_error(),
+                stream_stats: s.stream_stats(),
+            })
+            .collect();
+        ServerReport {
+            sessions,
+            admission: self.admission.records().to_vec(),
+            uplink: *self.link.stats(Direction::Uplink),
+            downlink: *self.link.stats(Direction::Downlink),
+            scheduler: *self.scheduler.stats(),
+            pool_utilization: self.scheduler.utilization(self.config.duration),
+            duration: self.config.duration,
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        let now = event.time;
+        let id = event.session;
+        match event.kind {
+            EventKind::Connect => self.on_connect(now, id),
+            EventKind::ImuTick { step } => {
+                self.sessions[id as usize].on_imu_due();
+                let next = Self::imu_step_time(&self.sessions[id as usize].config, step + 1);
+                if next <= self.session_end(id) {
+                    self.push(next, id, EventKind::ImuTick { step: step + 1 });
+                }
+            }
+            EventKind::CameraTick { step } => {
+                let job = self.sessions[id as usize].on_camera_due();
+                let arrive = self.link.transfer(Direction::Uplink, now, self.config.job_bytes);
+                self.push(arrive, id, EventKind::JobArrive(job));
+                let stride = self.sessions[id as usize].camera_steps();
+                let next = Self::imu_step_time(&self.sessions[id as usize].config, step + stride);
+                if next <= self.session_end(id) {
+                    self.push(next, id, EventKind::CameraTick { step: step + stride });
+                }
+            }
+            EventKind::JobArrive(job) => self.pending_jobs.push(job),
+            EventKind::ServerBatch => {
+                if self.pending_jobs.is_empty() {
+                    return;
+                }
+                let jobs = std::mem::take(&mut self.pending_jobs);
+                let done = self.scheduler.schedule_batch(now, jobs.len());
+                self.push(done, u32::MAX, EventKind::VioComplete(jobs));
+            }
+            EventKind::VioComplete(jobs) => {
+                for job in jobs {
+                    let sid = job.session;
+                    if !self.session_is_attached(sid) {
+                        continue;
+                    }
+                    let pose = self.run_vio(&job);
+                    let arrive =
+                        self.link.transfer(Direction::Downlink, now, self.config.pose_bytes);
+                    self.push(arrive, sid, EventKind::PoseDeliver(pose));
+                }
+            }
+            EventKind::PoseDeliver(pose) => {
+                if self.session_is_attached(id) {
+                    self.sessions[id as usize].on_pose_delivered(pose);
+                }
+            }
+            EventKind::RequestArrive(request) => {
+                let done = now + self.config.render_cost;
+                self.push(done, id, EventKind::TokenRendered(request));
+            }
+            EventKind::TokenRendered(request) => {
+                let token =
+                    RenderToken { seq: request.seq, pose_timestamp: request.pose_timestamp };
+                let arrive = self.link.transfer(Direction::Downlink, now, self.config.token_bytes);
+                self.push(arrive, id, EventKind::TokenDeliver(token));
+            }
+            EventKind::TokenDeliver(token) => {
+                if self.session_is_attached(id) {
+                    self.sessions[id as usize].on_token_delivered(token);
+                }
+            }
+            EventKind::Vsync { index } => {
+                if let Some(request) =
+                    self.sessions[id as usize].on_vsync(now, self.config.warp_cost)
+                {
+                    let arrive =
+                        self.link.transfer(Direction::Uplink, now, self.config.request_bytes);
+                    self.push(arrive, id, EventKind::RequestArrive(request));
+                }
+                let next = Self::vsync_time(&self.sessions[id as usize].config, index + 1);
+                if next <= self.session_end(id) {
+                    self.push(next, id, EventKind::Vsync { index: index + 1 });
+                }
+            }
+            EventKind::Disconnect => {
+                if self.session_is_attached(id) {
+                    self.sessions[id as usize].disconnect();
+                }
+            }
+        }
+    }
+
+    fn session_is_attached(&self, id: u32) -> bool {
+        matches!(self.sessions[id as usize].state, SessionState::Running | SessionState::Degraded)
+    }
+
+    fn on_connect(&mut self, now: Time, id: u32) {
+        let offered = self.offered_load(&self.sessions[id as usize].config);
+        let load_before = self.current_load();
+        let decision = self.admission.admit(now, id, load_before, offered);
+        let degraded = match decision {
+            crate::admission::AdmissionDecision::Accept => false,
+            crate::admission::AdmissionDecision::Degrade => true,
+            crate::admission::AdmissionDecision::Reject => {
+                self.sessions[id as usize].state = SessionState::Rejected;
+                return;
+            }
+        };
+        let first_step = self.sessions[id as usize].connect(now, degraded);
+        let config = self.sessions[id as usize].config;
+        // Server-side VIO starts from ground truth at the connect time,
+        // the standard benchmark initialization.
+        if self.config.real_vio {
+            let trajectory = self.sessions[id as usize].trajectory();
+            let initial = ImuState::from_pose(
+                Self::imu_step_time(&config, first_step),
+                trajectory.pose(now),
+                trajectory.velocity(now),
+            );
+            self.server_side[id as usize].filter =
+                Some(Msckf::new(VioConfig::fast(PinholeCamera::qvga()), initial));
+        }
+        let end = self.session_end(id);
+        self.push(
+            Self::imu_step_time(&config, first_step),
+            id,
+            EventKind::ImuTick { step: first_step },
+        );
+        // First camera frame one full period after connect, so its IMU
+        // window is populated.
+        let stride = self.sessions[id as usize].camera_steps();
+        let cam_step = first_step + stride;
+        if Self::imu_step_time(&config, cam_step) <= end {
+            self.push(
+                Self::imu_step_time(&config, cam_step),
+                id,
+                EventKind::CameraTick { step: cam_step },
+            );
+        }
+        // First vsync strictly after connect.
+        let period = Duration::from_secs_f64(1.0 / config.display_hz).as_nanos() as u64;
+        let vsync_index = now.as_nanos() / period + 1;
+        if Self::vsync_time(&config, vsync_index) <= end {
+            self.push(
+                Self::vsync_time(&config, vsync_index),
+                id,
+                EventKind::Vsync { index: vsync_index },
+            );
+        }
+        if let Some(at) = config.disconnect_at {
+            if at <= Time::ZERO + self.config.duration {
+                self.push(at, id, EventKind::Disconnect);
+            }
+        }
+    }
+
+    /// Processes one offloaded VIO job, returning the pose estimate to
+    /// ship back.
+    fn run_vio(&mut self, job: &VioJob) -> PoseEstimate {
+        let side = &mut self.server_side[job.session as usize];
+        match side.filter.as_mut() {
+            Some(filter) => {
+                for sample in &job.imu {
+                    filter.process_imu(*sample);
+                }
+                let out = filter.process_frame(&job.frame, None);
+                PoseEstimate {
+                    timestamp: job.frame.timestamp,
+                    pose: out.state.pose,
+                    velocity: out.state.velocity,
+                }
+            }
+            None => {
+                // Ideal-VIO mode: ground truth at the frame time.
+                let trajectory = self.sessions[job.session as usize].trajectory();
+                PoseEstimate {
+                    timestamp: job.frame.timestamp,
+                    pose: trajectory.pose(job.frame.timestamp),
+                    velocity: trajectory.velocity(job.frame.timestamp),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize) -> ServerConfig {
+        ServerConfig::new(n, Duration::from_secs(2))
+    }
+
+    #[test]
+    fn zero_sessions_is_an_empty_run() {
+        let report = MultiSessionServer::new(quick(0)).run();
+        assert!(report.sessions.is_empty());
+        assert!(report.admission.is_empty());
+        assert_eq!(report.mean_mtp(), Duration::ZERO);
+        assert_eq!(report.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_session_runs_the_full_pipeline() {
+        let report = MultiSessionServer::new(quick(1)).run();
+        assert_eq!(report.admitted(), 1);
+        let s = &report.sessions[0];
+        assert_eq!(s.state, SessionState::Disconnected);
+        // 2 s at 15 Hz minus the first period: ~29 jobs.
+        assert!(s.telemetry.vio_jobs >= 25, "jobs {}", s.telemetry.vio_jobs);
+        assert!(s.telemetry.poses_received >= 20, "poses {}", s.telemetry.poses_received);
+        assert!(s.telemetry.frames_displayed >= 100, "displayed {}", s.telemetry.frames_displayed);
+        assert!(report.mean_mtp() > Duration::ZERO);
+        // Ideal VIO + prompt anchoring: the fast pose stays accurate.
+        assert!(s.pose_error.unwrap() < 0.5, "pose error {:?}", s.pose_error);
+        // Stream stats cover the client pipeline.
+        assert!(s.stream_stats.iter().any(|t| t.name == "imu" && t.seq > 900));
+    }
+
+    #[test]
+    fn rejection_at_saturation() {
+        let mut config = quick(4);
+        // Thresholds so tight only the first session fits.
+        config.admission = AdmissionConfig { degrade_threshold: 0.1, reject_threshold: 0.1 };
+        config.scheduler.workers = 1;
+        config.scheduler.per_job = Duration::from_millis(7); // 15 Hz × 7 ms ≈ 0.105 load
+        let report = MultiSessionServer::new(config).run();
+        assert_eq!(report.count(SessionState::Rejected), 3);
+        assert_eq!(report.admitted(), 1);
+        // Rejected sessions produced no traffic.
+        for s in &report.sessions[1..] {
+            assert_eq!(s.telemetry.vio_jobs, 0);
+            assert_eq!(s.telemetry.frames_displayed + s.telemetry.frames_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn degraded_sessions_run_at_half_rate() {
+        let mut config = quick(2);
+        // First session accepted, second lands in the degrade band.
+        config.admission = AdmissionConfig { degrade_threshold: 0.13, reject_threshold: 0.5 };
+        config.scheduler.workers = 1;
+        config.scheduler.per_job = Duration::from_millis(7);
+        let report = MultiSessionServer::new(config).run();
+        assert_eq!(report.sessions[0].state, SessionState::Disconnected);
+        assert_eq!(report.count(SessionState::Rejected), 0);
+        let full = report.sessions[0].telemetry.vio_jobs;
+        let half = report.sessions[1].telemetry.vio_jobs;
+        assert!(
+            half * 2 <= full + 2 && half * 2 + 4 >= full,
+            "degraded session should send about half the jobs: {half} vs {full}"
+        );
+        assert_eq!(report.admission[1].decision, crate::admission::AdmissionDecision::Degrade);
+    }
+
+    #[test]
+    fn mid_run_disconnect_stops_traffic() {
+        let mut config = quick(1);
+        config.sessions[0].disconnect_at = Some(Time::from_millis(500));
+        let report = MultiSessionServer::new(config).run();
+        let s = &report.sessions[0];
+        assert_eq!(s.state, SessionState::Disconnected);
+        // Only the first half-second of vsyncs happened: ≤ 60 of 240.
+        let vsyncs = s.telemetry.frames_displayed + s.telemetry.frames_dropped;
+        assert!(vsyncs <= 61, "vsyncs after disconnect: {vsyncs}");
+        assert!(s.telemetry.vio_jobs <= 8);
+    }
+
+    #[test]
+    fn staggered_connect_joins_late() {
+        let mut config = quick(2);
+        config.sessions[1].connect_at = Time::from_millis(1000);
+        let report = MultiSessionServer::new(config).run();
+        let early = report.sessions[0].telemetry.vio_jobs;
+        let late = report.sessions[1].telemetry.vio_jobs;
+        assert!(late < early, "late joiner sends fewer jobs: {late} vs {early}");
+        assert!(late >= 10, "late joiner still runs its second half: {late}");
+        assert_eq!(report.admission[1].time, Time::from_millis(1000));
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let a = MultiSessionServer::new(quick(3)).run().summary_text();
+        let b = MultiSessionServer::new(quick(3)).run().summary_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contention_grows_mtp_with_session_count() {
+        let mut narrow = quick(1);
+        narrow.link.downlink_bps = 60e6; // tight enough that 6 sessions queue
+        let one = MultiSessionServer::new(narrow.clone()).run();
+        let mut six = narrow.clone();
+        six.sessions = (0..6).map(|i| SessionConfig::new(11 + 2 * i as u64)).collect();
+        six.admission.degrade_threshold = 10.0; // no degradation: isolate queueing
+        six.admission.reject_threshold = 10.0;
+        let many = MultiSessionServer::new(six).run();
+        assert!(
+            many.mean_mtp() > one.mean_mtp(),
+            "contention must raise MTP: {:?} vs {:?}",
+            many.mean_mtp(),
+            one.mean_mtp()
+        );
+        assert!(many.downlink.mean_queue_delay() > one.downlink.mean_queue_delay());
+    }
+}

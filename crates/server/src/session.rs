@@ -1,0 +1,491 @@
+//! One client session: a thin-client XR device attached to the server.
+//!
+//! Each session owns a full client-side runtime — its own switchboard,
+//! synthetic camera + IMU along a per-seed trajectory, and the IMU
+//! integrator publishing the fast pose — exactly the perception half of
+//! the single-client pipeline. The heavy stages are offloaded: VIO runs
+//! server-side on [`VioJob`]s (one camera frame plus the IMU window
+//! since the previous frame), and rendering is cloud-side — the client
+//! receives [`RenderToken`]s, warps the newest one at each vsync, and
+//! measures motion-to-photon latency from the pose the server rendered
+//! with. The session never advances time itself; the server's event
+//! loop drives [`ClientSession::on_imu_due`] /
+//! [`ClientSession::on_camera_due`] / [`ClientSession::on_vsync`] under
+//! the shared simulated clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_core::plugin::{Plugin, PluginContext};
+use illixr_core::switchboard::{AsyncReader, SyncReader, Writer};
+use illixr_core::{Clock, Time, TopicStats};
+use illixr_qoe::mtp::MtpCalculator;
+use illixr_sensors::camera::{PinholeCamera, StereoRig};
+use illixr_sensors::imu::ImuNoise;
+use illixr_sensors::plugins::{SyntheticCameraPlugin, SyntheticImuPlugin};
+use illixr_sensors::trajectory::Trajectory;
+use illixr_sensors::types::{streams, ImuSample, PoseEstimate, StereoFrame};
+use illixr_sensors::world::LandmarkWorld;
+use illixr_vio::integrator::ImuState;
+use illixr_vio::plugins::ImuIntegratorPlugin;
+
+/// Per-session parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Seed for the session's trajectory, world and IMU noise — distinct
+    /// seeds give every client an independent walk through its own room.
+    pub seed: u64,
+    /// When the session asks the server to admit it.
+    pub connect_at: Time,
+    /// Mid-run departure, if any.
+    pub disconnect_at: Option<Time>,
+    /// Camera frame rate (paper Table III: 15 Hz).
+    pub camera_hz: f64,
+    /// IMU sample rate (500 Hz).
+    pub imu_hz: f64,
+    /// Display refresh rate (120 Hz).
+    pub display_hz: f64,
+}
+
+impl SessionConfig {
+    /// Paper Table III rates, connecting at t=0.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            connect_at: Time::ZERO,
+            disconnect_at: None,
+            camera_hz: 15.0,
+            imu_hz: 500.0,
+            display_hz: 120.0,
+        }
+    }
+}
+
+/// Session lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Created, not yet at its connect time.
+    Pending,
+    /// Admitted at full rates.
+    Running,
+    /// Admitted at halved camera/render rates.
+    Degraded,
+    /// Refused by admission control; never attached.
+    Rejected,
+    /// Departed (mid-run or at end of run).
+    Disconnected,
+}
+
+impl SessionState {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Pending => "pending",
+            Self::Running => "running",
+            Self::Degraded => "degraded",
+            Self::Rejected => "rejected",
+            Self::Disconnected => "disconnected",
+        }
+    }
+}
+
+/// One unit of offloaded VIO work: a camera frame plus the IMU window
+/// covering it.
+#[derive(Debug, Clone)]
+pub struct VioJob {
+    /// Originating session.
+    pub session: u32,
+    /// The frame to process.
+    pub frame: StereoFrame,
+    /// IMU samples since the previous frame, through the frame time.
+    pub imu: Vec<ImuSample>,
+}
+
+/// A request for one cloud-rendered frame, stamped with the freshest
+/// client pose.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderRequest {
+    /// Originating session.
+    pub session: u32,
+    /// Request sequence number.
+    pub seq: u64,
+    /// Sensor timestamp of the pose the server should render with.
+    pub pose_timestamp: Time,
+}
+
+/// A cloud-rendered frame arriving at the client. No pixels — the
+/// model tracks only what latency accounting needs.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderToken {
+    /// Matches the originating request's sequence number.
+    pub seq: u64,
+    /// Sensor timestamp of the pose the frame was rendered with; its
+    /// age at display time is the dominant MTP term.
+    pub pose_timestamp: Time,
+}
+
+/// Per-session run counters.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTelemetry {
+    /// Total motion-to-photon latency per displayed frame, ns.
+    pub mtp_ns: Vec<u64>,
+    /// Vsyncs that displayed a fresh cloud frame.
+    pub frames_displayed: u64,
+    /// Vsyncs with no fresh frame to show.
+    pub frames_dropped: u64,
+    /// VIO jobs shipped uplink.
+    pub vio_jobs: u64,
+    /// Server pose estimates received.
+    pub poses_received: u64,
+    /// Render tokens received.
+    pub tokens_received: u64,
+    /// Render requests sent.
+    pub requests_sent: u64,
+}
+
+impl SessionTelemetry {
+    /// Mean MTP across displayed frames.
+    pub fn mean_mtp(&self) -> Duration {
+        if self.mtp_ns.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.mtp_ns.iter().sum::<u64>() / self.mtp_ns.len() as u64)
+        }
+    }
+
+    /// 99th-percentile MTP (nearest-rank).
+    pub fn p99_mtp(&self) -> Duration {
+        if self.mtp_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.mtp_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len());
+        Duration::from_nanos(sorted[rank - 1])
+    }
+
+    /// Dropped fraction of vsyncs.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.frames_displayed + self.frames_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.frames_dropped as f64 / total as f64
+        }
+    }
+}
+
+/// The client half of one session.
+pub struct ClientSession {
+    /// Session id (index into the server's session table).
+    pub id: u32,
+    /// The session's parameters.
+    pub config: SessionConfig,
+    /// Current lifecycle state.
+    pub state: SessionState,
+    /// Run counters.
+    pub telemetry: SessionTelemetry,
+    trajectory: Trajectory,
+    ctx: PluginContext,
+    camera: SyntheticCameraPlugin,
+    imu: SyntheticImuPlugin,
+    integrator: ImuIntegratorPlugin,
+    /// Uplink taps: what the remote-VIO client ships to the server.
+    camera_reader: Option<SyncReader<StereoFrame>>,
+    imu_reader: Option<SyncReader<ImuSample>>,
+    /// Server pose estimates re-enter the client pipeline here.
+    slow_pose_writer: Option<Writer<PoseEstimate>>,
+    fast_pose: Option<AsyncReader<PoseEstimate>>,
+    mtp: MtpCalculator,
+    /// IMU window accumulating between camera frames.
+    imu_window: Vec<ImuSample>,
+    latest_token: Option<RenderToken>,
+    displayed_seq: Option<u64>,
+    request_seq: u64,
+    vsync_index: u64,
+}
+
+impl ClientSession {
+    /// Builds the client for session `id`. Nothing runs until
+    /// [`ClientSession::connect`].
+    pub fn new(id: u32, config: SessionConfig, clock: Arc<dyn Clock>) -> Self {
+        let trajectory = Trajectory::walking(config.seed);
+        let world = Arc::new(LandmarkWorld::lab(config.seed));
+        let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+        Self {
+            id,
+            config,
+            state: SessionState::Pending,
+            telemetry: SessionTelemetry::default(),
+            camera: SyntheticCameraPlugin::new(trajectory.clone(), world, rig),
+            imu: SyntheticImuPlugin::new(
+                trajectory.clone(),
+                ImuNoise::default(),
+                config.imu_hz,
+                config.seed,
+            ),
+            integrator: ImuIntegratorPlugin::new(ImuState::from_pose(
+                config.connect_at,
+                trajectory.pose(config.connect_at),
+                trajectory.velocity(config.connect_at),
+            )),
+            trajectory,
+            ctx: PluginContext::new(clock),
+            camera_reader: None,
+            imu_reader: None,
+            slow_pose_writer: None,
+            fast_pose: None,
+            mtp: MtpCalculator::new(Duration::from_secs_f64(1.0 / config.display_hz)),
+            imu_window: Vec::new(),
+            latest_token: None,
+            displayed_seq: None,
+            request_seq: 0,
+            vsync_index: 0,
+        }
+    }
+
+    /// The session's ground-truth trajectory (the server's ideal-VIO
+    /// mode and final-error accounting read it).
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// IMU sample period.
+    pub fn imu_period(&self) -> Duration {
+        Duration::from_secs_f64(1.0 / self.config.imu_hz)
+    }
+
+    /// Camera period in IMU steps: frames land exactly on IMU sample
+    /// times so every frame arrives already covered by inertial data.
+    /// Degraded sessions run the camera at half rate.
+    pub fn camera_steps(&self) -> u64 {
+        let steps = (self.config.imu_hz / self.config.camera_hz).round().max(1.0) as u64;
+        if self.state == SessionState::Degraded {
+            steps * 2
+        } else {
+            steps
+        }
+    }
+
+    /// Display refresh period.
+    pub fn vsync_period(&self) -> Duration {
+        Duration::from_secs_f64(1.0 / self.config.display_hz)
+    }
+
+    /// Attaches the session at `now`: starts the client plugins,
+    /// fast-forwards the IMU model so its sample times align with the
+    /// shared clock (the model emits on its own 1/rate grid from t=0),
+    /// and only then subscribes the pipeline readers — late joiners must
+    /// not see a backlog of pre-connect samples.
+    ///
+    /// Returns the IMU step index of the first live sample; the server
+    /// schedules ticks from there.
+    pub fn connect(&mut self, now: Time, degraded: bool) -> u64 {
+        self.camera.start(&self.ctx);
+        self.imu.start(&self.ctx);
+        // Burn pre-connect samples while nothing is subscribed.
+        let first_step = (now.as_secs_f64() * self.config.imu_hz).round() as u64;
+        for _ in 0..first_step {
+            self.imu.iterate(&self.ctx);
+        }
+        self.integrator.start(&self.ctx);
+        self.camera_reader = Some(self.ctx.switchboard.sync_reader(streams::CAMERA, 8));
+        self.imu_reader = Some(self.ctx.switchboard.sync_reader(streams::IMU, 2048));
+        self.slow_pose_writer = Some(self.ctx.switchboard.writer(streams::SLOW_POSE));
+        self.fast_pose = Some(self.ctx.switchboard.async_reader(streams::FAST_POSE));
+        self.state = if degraded { SessionState::Degraded } else { SessionState::Running };
+        first_step
+    }
+
+    /// One IMU tick: emit the next sample and let the integrator
+    /// re-propagate the fast pose.
+    pub fn on_imu_due(&mut self) {
+        self.imu.iterate(&self.ctx);
+        self.integrator.iterate(&self.ctx);
+        let reader = self.imu_reader.as_ref().expect("connect() must run first");
+        while let Some(s) = reader.try_recv() {
+            self.imu_window.push(s.data);
+        }
+    }
+
+    /// One camera tick: render the frame for the current clock time and
+    /// package it with the accumulated IMU window as an offload job.
+    pub fn on_camera_due(&mut self) -> VioJob {
+        self.camera.iterate(&self.ctx);
+        let frame = self
+            .camera_reader
+            .as_ref()
+            .expect("connect() must run first")
+            .try_recv()
+            .expect("camera plugin publishes one frame per tick")
+            .data
+            .clone();
+        let imu = std::mem::take(&mut self.imu_window);
+        self.telemetry.vio_jobs += 1;
+        VioJob { session: self.id, frame, imu }
+    }
+
+    /// A server pose estimate arrived over the downlink: feed it back
+    /// into the client pipeline as the slow pose (the integrator
+    /// re-anchors on it at the next IMU tick).
+    pub fn on_pose_delivered(&mut self, pose: PoseEstimate) {
+        self.telemetry.poses_received += 1;
+        self.slow_pose_writer.as_ref().expect("connect() must run first").put(pose);
+    }
+
+    /// A cloud-rendered frame arrived. Newest wins; an out-of-order
+    /// older token is dropped.
+    pub fn on_token_delivered(&mut self, token: RenderToken) {
+        self.telemetry.tokens_received += 1;
+        if self.latest_token.is_none_or(|t| token.seq > t.seq) {
+            self.latest_token = Some(token);
+        }
+    }
+
+    /// One vsync: display the newest undisplayed token (warping it for
+    /// `warp_cost`) or record a dropped frame, then issue the next
+    /// render request stamped with the freshest local pose. Degraded
+    /// sessions request on every other vsync.
+    pub fn on_vsync(&mut self, now: Time, warp_cost: Duration) -> Option<RenderRequest> {
+        match self.latest_token {
+            Some(token) if self.displayed_seq.is_none_or(|d| token.seq > d) => {
+                self.displayed_seq = Some(token.seq);
+                let sample = self.mtp.sample(token.pose_timestamp, now, now + warp_cost);
+                self.telemetry.mtp_ns.push(sample.total().as_nanos() as u64);
+                self.telemetry.frames_displayed += 1;
+            }
+            _ => self.telemetry.frames_dropped += 1,
+        }
+        self.vsync_index += 1;
+        if self.state == SessionState::Degraded && self.vsync_index % 2 == 0 {
+            return None;
+        }
+        let pose_timestamp = self
+            .fast_pose
+            .as_ref()
+            .expect("connect() must run first")
+            .latest()
+            .map(|p| p.timestamp)
+            .unwrap_or(self.config.connect_at);
+        let seq = self.request_seq;
+        self.request_seq += 1;
+        self.telemetry.requests_sent += 1;
+        Some(RenderRequest { session: self.id, seq, pose_timestamp })
+    }
+
+    /// Detaches the session.
+    pub fn disconnect(&mut self) {
+        self.camera.stop();
+        self.imu.stop();
+        self.integrator.stop();
+        self.state = SessionState::Disconnected;
+    }
+
+    /// The freshest local pose estimate, if any.
+    pub fn latest_fast_pose(&self) -> Option<PoseEstimate> {
+        self.fast_pose.as_ref().and_then(|r| r.latest()).map(|p| **p)
+    }
+
+    /// Translation error of the freshest fast pose against ground
+    /// truth, meters.
+    pub fn pose_error(&self) -> Option<f64> {
+        self.latest_fast_pose()
+            .map(|p| p.pose.translation_distance(&self.trajectory.pose(p.timestamp)))
+    }
+
+    /// End-of-run switchboard counters for this session's streams.
+    pub fn stream_stats(&self) -> Vec<TopicStats> {
+        self.ctx.switchboard.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use illixr_core::SimClock;
+
+    fn session_at(connect: Time) -> (ClientSession, SimClock) {
+        let clock = SimClock::new();
+        let mut config = SessionConfig::new(7);
+        config.connect_at = connect;
+        let session = ClientSession::new(0, config, Arc::new(clock.clone()));
+        (session, clock)
+    }
+
+    #[test]
+    fn imu_fast_forward_aligns_timestamps_with_the_clock() {
+        let connect = Time::from_millis(500);
+        let (mut s, clock) = session_at(connect);
+        clock.advance_to(connect);
+        let first_step = s.connect(connect, false);
+        assert_eq!(first_step, 250, "500 ms at 500 Hz");
+        s.on_imu_due();
+        let sample = s.imu_window.last().expect("tick emits a sample");
+        assert_eq!(sample.timestamp, Time::from_secs_f64(250.0 / 500.0));
+    }
+
+    #[test]
+    fn camera_tick_packages_the_imu_window() {
+        let (mut s, clock) = session_at(Time::ZERO);
+        s.connect(Time::ZERO, false);
+        for k in 0..=33 {
+            clock.advance_to(Time::from_secs_f64(k as f64 / 500.0));
+            s.on_imu_due();
+        }
+        let job = s.on_camera_due();
+        assert_eq!(job.imu.len(), 34);
+        assert_eq!(job.frame.timestamp, Time::from_secs_f64(33.0 / 500.0));
+        // The window covers the frame: last IMU sample is at frame time.
+        assert_eq!(job.imu.last().unwrap().timestamp, job.frame.timestamp);
+        // The window does not carry over.
+        assert!(s.imu_window.is_empty());
+    }
+
+    #[test]
+    fn vsync_without_token_drops_and_with_token_displays_once() {
+        let (mut s, clock) = session_at(Time::ZERO);
+        s.connect(Time::ZERO, false);
+        let vsync = Time::from_secs_f64(1.0 / 120.0);
+        clock.advance_to(vsync);
+        s.on_vsync(vsync, Duration::from_millis(1));
+        assert_eq!(s.telemetry.frames_dropped, 1);
+        s.on_token_delivered(RenderToken { seq: 0, pose_timestamp: Time::ZERO });
+        let v2 = Time::from_secs_f64(2.0 / 120.0);
+        s.on_vsync(v2, Duration::from_millis(1));
+        assert_eq!(s.telemetry.frames_displayed, 1);
+        // Same token again: stale, counts as a drop.
+        s.on_vsync(Time::from_secs_f64(3.0 / 120.0), Duration::from_millis(1));
+        assert_eq!(s.telemetry.frames_dropped, 2);
+        let mtp = Duration::from_nanos(s.telemetry.mtp_ns[0]);
+        // Pose from t=0 displayed after v2 + 1 ms warp + swap.
+        assert!(mtp >= v2 - Time::ZERO, "mtp {mtp:?}");
+    }
+
+    #[test]
+    fn degraded_session_requests_every_other_vsync() {
+        let (mut s, _clock) = session_at(Time::ZERO);
+        s.connect(Time::ZERO, true);
+        assert_eq!(s.state, SessionState::Degraded);
+        let mut requests = 0;
+        for k in 0..8 {
+            let t = Time::from_secs_f64(k as f64 / 120.0);
+            if s.on_vsync(t, Duration::from_millis(1)).is_some() {
+                requests += 1;
+            }
+        }
+        assert_eq!(requests, 4);
+        // Degraded camera runs at half rate: twice the IMU steps.
+        assert_eq!(s.camera_steps(), 66);
+    }
+
+    #[test]
+    fn telemetry_percentiles_and_drop_rate() {
+        let mut t = SessionTelemetry::default();
+        t.mtp_ns = (1..=100u64).map(|k| k * 1_000_000).collect();
+        t.frames_displayed = 100;
+        t.frames_dropped = 25;
+        assert_eq!(t.p99_mtp(), Duration::from_millis(99));
+        assert_eq!(t.drop_rate(), 0.2);
+        assert_eq!(t.mean_mtp(), Duration::from_nanos(50_500_000));
+    }
+}

@@ -122,6 +122,9 @@ pub struct ExperimentResult {
     /// Total modeled energy over the run, joules (the paper's custom
     /// profiler reports average power *and* average energy, §III-E).
     pub energy_joules: f64,
+    /// End-of-run switchboard counters per stream (publishes, drops to
+    /// back-pressure, live subscriptions).
+    pub stream_stats: Vec<illixr_core::TopicStats>,
 }
 
 impl ExperimentResult {
@@ -163,8 +166,7 @@ impl ExperimentResult {
 
     /// MTP mean ± std in milliseconds (Table IV).
     pub fn mtp_ms(&self) -> Option<MeanStd> {
-        let samples: Vec<f64> =
-            self.mtp.iter().map(|s| s.total().as_secs_f64() * 1e3).collect();
+        let samples: Vec<f64> = self.mtp.iter().map(|s| s.total().as_secs_f64() * 1e3).collect();
         MeanStd::of(&samples)
     }
 
@@ -231,12 +233,20 @@ impl IntegratedExperiment {
 
         // --- Plugins -----------------------------------------------------
         let camera = SyntheticCameraPlugin::new(trajectory.clone(), world.clone(), rig);
-        let imu = SyntheticImuPlugin::new(trajectory.clone(), ImuNoise::default(), sys.imu_hz, config.seed);
+        let imu = SyntheticImuPlugin::new(
+            trajectory.clone(),
+            ImuNoise::default(),
+            sys.imu_hz,
+            config.seed,
+        );
         let vio = VioPlugin::new(VioConfig::fast(cam), init);
         let integrator = ImuIntegratorPlugin::new(init);
         let app = ApplicationPlugin::new(config.app, config.seed, sys.eye_width, sys.eye_height);
         let timewarp = TimewarpPlugin::new(
-            ReprojectionConfig::rotational(sys.fov_rad(), sys.eye_width as f64 / sys.eye_height as f64),
+            ReprojectionConfig::rotational(
+                sys.fov_rad(),
+                sys.eye_width as f64 / sys.eye_height as f64,
+            ),
             DistortionParams::default(),
         );
         let audio_enc = AudioEncodingPlugin::with_default_scene(config.seed);
@@ -246,16 +256,17 @@ impl IntegratedExperiment {
         // (§II-B): release at vsync − reserve, deadline at vsync.
         let tw_reserve_s = timing.mean_cost("timewarp", 1.0).as_secs_f64() * 2.0;
         let display_period = sys.display_period();
-        let tw_reserve = Duration::from_secs_f64(tw_reserve_s.min(display_period.as_secs_f64() * 0.8));
+        let tw_reserve =
+            Duration::from_secs_f64(tw_reserve_s.min(display_period.as_secs_f64() * 0.8));
         let tw_offset = display_period.saturating_sub(tw_reserve);
 
         let add = |engine: &mut SimEngine,
-                       plugin: Box<dyn Plugin>,
-                       resource: Resource,
-                       period: Duration,
-                       offset: Duration,
-                       deadline: Duration,
-                       priority: u8| {
+                   plugin: Box<dyn Plugin>,
+                   resource: Resource,
+                   period: Duration,
+                   offset: Duration,
+                   deadline: Duration,
+                   priority: u8| {
             let mut plugin = plugin;
             plugin.start(&ctx);
             let name = plugin.name().to_owned();
@@ -291,10 +302,26 @@ impl IntegratedExperiment {
         let cam_period = sys.camera_period();
         let imu_period = sys.imu_period();
         let audio_period = sys.audio_period();
-        add(&mut engine, Box::new(camera), Resource::Cpu, cam_period, Duration::ZERO, cam_period, 0);
+        add(
+            &mut engine,
+            Box::new(camera),
+            Resource::Cpu,
+            cam_period,
+            Duration::ZERO,
+            cam_period,
+            0,
+        );
         add(&mut engine, Box::new(imu), Resource::Cpu, imu_period, Duration::ZERO, imu_period, 2);
         // VIO releases just after the camera so the frame is available.
-        add(&mut engine, Box::new(vio), Resource::Cpu, cam_period, Duration::from_micros(100), cam_period, 0);
+        add(
+            &mut engine,
+            Box::new(vio),
+            Resource::Cpu,
+            cam_period,
+            Duration::from_micros(100),
+            cam_period,
+            0,
+        );
         add(
             &mut engine,
             Box::new(integrator),
@@ -304,10 +331,26 @@ impl IntegratedExperiment {
             imu_period,
             2,
         );
-        add(&mut engine, Box::new(app), Resource::Gpu, display_period, Duration::ZERO, display_period, 0);
+        add(
+            &mut engine,
+            Box::new(app),
+            Resource::Gpu,
+            display_period,
+            Duration::ZERO,
+            display_period,
+            0,
+        );
         // The compositor runs at high GPU priority, like every real
         // XR runtime (it must never starve behind the application).
-        add(&mut engine, Box::new(timewarp), Resource::Gpu, display_period, tw_offset, tw_reserve, 10);
+        add(
+            &mut engine,
+            Box::new(timewarp),
+            Resource::Gpu,
+            display_period,
+            tw_offset,
+            tw_reserve,
+            10,
+        );
         add(
             &mut engine,
             Box::new(audio_enc),
@@ -404,6 +447,7 @@ impl IntegratedExperiment {
             gpu_util,
             power,
             energy_joules,
+            stream_stats: ctx.switchboard.stats(),
         }
     }
 }
@@ -520,10 +564,18 @@ pub fn image_quality(
         };
         let ideal_rendered = render_image(&gt_render);
         let actual_rendered = render_image(&act_render);
-        let ideal_final =
-            illixr_visual::reprojection::reproject(&ideal_rendered, &gt_render, &gt_display, &reproj_cfg);
-        let actual_final =
-            illixr_visual::reprojection::reproject(&actual_rendered, &act_render, &act_display, &reproj_cfg);
+        let ideal_final = illixr_visual::reprojection::reproject(
+            &ideal_rendered,
+            &gt_render,
+            &gt_display,
+            &reproj_cfg,
+        );
+        let actual_final = illixr_visual::reprojection::reproject(
+            &actual_rendered,
+            &act_render,
+            &act_display,
+            &reproj_cfg,
+        );
         ssim_vals.push(ssim(&ideal_final.to_luma(), &actual_final.to_luma()) as f64);
         flip_vals.push(1.0 - flip(&ideal_final, &actual_final) as f64);
     }
@@ -638,7 +690,8 @@ mod tests {
             Platform::Desktop,
         ));
         let shares = r.cpu_shares();
-        let get = |name: &str| shares.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or(0.0);
+        let get =
+            |name: &str| shares.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or(0.0);
         // Fig 5: VIO and the application are the largest CPU consumers
         // (application cycles here stand in for its CPU-side cost).
         assert!(get("vio") > 0.2, "vio share {}", get("vio"));

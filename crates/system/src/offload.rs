@@ -263,9 +263,10 @@ mod tests {
     fn events_cross_the_link_with_delay() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(10)))
-            .uplink::<u32>("in")
-            .downlink::<u32>("out");
+        let mut remote =
+            OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(10)))
+                .uplink::<u32>("in")
+                .downlink::<u32>("out");
         remote.start(&ctx);
         let out = ctx.switchboard.sync_reader::<u32>("out", 16);
         ctx.switchboard.writer::<u32>("in").put(41);
@@ -302,9 +303,10 @@ mod tests {
     fn in_flight_counts_queued_transfers() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(50)))
-            .uplink::<u32>("in")
-            .downlink::<u32>("out");
+        let mut remote =
+            OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(50)))
+                .uplink::<u32>("in")
+                .downlink::<u32>("out");
         remote.start(&ctx);
         for v in 0..5 {
             ctx.switchboard.writer::<u32>("in").put(v);

@@ -94,10 +94,7 @@ impl XrSession {
     pub fn wait_frame(&mut self) -> XrFrameState {
         let now = self.clock.now();
         let period = self.config.display_period();
-        XrFrameState {
-            predicted_display_time: now + period,
-            predicted_display_period: period,
-        }
+        XrFrameState { predicted_display_time: now + period, predicted_display_period: period }
     }
 
     /// Marks the start of rendering (a no-op marker, as in OpenXR).

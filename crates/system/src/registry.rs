@@ -176,11 +176,7 @@ pub fn standard_registry(env: &RegistryEnvironment) -> PluginRegistry {
     reg.register("eye_tracking/ritnet-like", |_| Box::new(EyeTrackingPlugin::new()));
     let e = env.clone();
     reg.register("scene_reconstruction/surfel", move |_| {
-        Box::new(SceneReconstructionPlugin::new(
-            e.world.clone(),
-            e.rig,
-            e.trajectory.clone(),
-        ))
+        Box::new(SceneReconstructionPlugin::new(e.world.clone(), e.rig, e.trajectory.clone()))
     });
     reg
 }
@@ -212,10 +208,11 @@ mod tests {
         let reg = standard_registry(&env);
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let mut pipeline: Vec<_> = ["camera/synthetic", "imu/synthetic", "vio/msckf-fast", "integrator/rk4"]
-            .iter()
-            .map(|n| reg.build(n, &ctx).expect("stock plugin"))
-            .collect();
+        let mut pipeline: Vec<_> =
+            ["camera/synthetic", "imu/synthetic", "vio/msckf-fast", "integrator/rk4"]
+                .iter()
+                .map(|n| reg.build(n, &ctx).expect("stock plugin"))
+                .collect();
         for p in &mut pipeline {
             p.start(&ctx);
         }

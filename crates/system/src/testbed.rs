@@ -92,7 +92,10 @@ impl LiveTestbed {
             )),
             scaled(config.display_period()),
         );
-        spawn(Box::new(AudioEncodingPlugin::with_default_scene(seed)), scaled(config.audio_period()));
+        spawn(
+            Box::new(AudioEncodingPlugin::with_default_scene(seed)),
+            scaled(config.audio_period()),
+        );
         spawn(Box::new(AudioPlaybackPlugin::new()), scaled(config.audio_period()));
 
         Self { ctx, handles }
@@ -132,10 +135,7 @@ mod tests {
             0.25,
         );
         let frames = testbed.context().switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 1024);
-        let poses = testbed
-            .context()
-            .switchboard
-            .async_reader::<PoseEstimate>(streams::FAST_POSE);
+        let poses = testbed.context().switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
         testbed.run_for(Duration::from_millis(1200));
         let n = frames.drain().len();
         let have_pose = poses.latest().is_some();

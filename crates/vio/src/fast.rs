@@ -8,8 +8,22 @@ use illixr_image::GrayImage;
 
 /// Offsets of the 16-pixel Bresenham circle of radius 3.
 const CIRCLE: [(i32, i32); 16] = [
-    (0, -3), (1, -3), (2, -2), (3, -1), (3, 0), (3, 1), (2, 2), (1, 3),
-    (0, 3), (-1, 3), (-2, 2), (-3, 1), (-3, 0), (-3, -1), (-2, -2), (-1, -3),
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
 ];
 
 /// Number of contiguous circle pixels required (FAST-9).
@@ -33,7 +47,12 @@ pub struct Corner {
 /// # Panics
 ///
 /// Panics when `cell` is zero.
-pub fn detect_fast(img: &GrayImage, threshold: f32, max_corners: usize, cell: usize) -> Vec<Corner> {
+pub fn detect_fast(
+    img: &GrayImage,
+    threshold: f32,
+    max_corners: usize,
+    cell: usize,
+) -> Vec<Corner> {
     assert!(cell > 0, "NMS cell size must be positive");
     let (w, h) = (img.width(), img.height());
     if w < 8 || h < 8 {

@@ -104,7 +104,8 @@ impl FrontEnd {
             let _guard = timer.map(|t| t.scope("feature matching"));
             if let Some(prev_pyr) = &self.prev_left_pyramid {
                 let points: Vec<Vec2> = self.tracks.iter().map(|t| t.left).collect();
-                let results = track_points_pyramids(prev_pyr, &left_pyr, &points, None, &self.params.klt);
+                let results =
+                    track_points_pyramids(prev_pyr, &left_pyr, &points, None, &self.params.klt);
                 let mut kept = Vec::with_capacity(self.tracks.len());
                 for (track, result) in self.tracks.iter().zip(&results) {
                     if let TrackResult::Ok { position, .. } = result {

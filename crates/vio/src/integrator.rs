@@ -198,7 +198,8 @@ mod tests {
     fn midpoint_tracks_but_less_accurately_over_long_runs() {
         let traj = Trajectory::walking(13);
         let samples = ideal_samples(&traj, 500.0, 4.0);
-        let state0 = ImuState::from_pose(Time::ZERO, traj.pose(Time::ZERO), traj.velocity(Time::ZERO));
+        let state0 =
+            ImuState::from_pose(Time::ZERO, traj.pose(Time::ZERO), traj.velocity(Time::ZERO));
         let rk4 = propagate(&state0, &samples, Scheme::Rk4);
         let mid = propagate(&state0, &samples, Scheme::Midpoint);
         let truth = traj.pose(rk4.timestamp);

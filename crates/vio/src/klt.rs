@@ -203,7 +203,10 @@ mod tests {
             match r {
                 TrackResult::Ok { position, .. } => {
                     let expected = points[i] + Vec2::new(3.5, 1.0);
-                    assert!((*position - expected).norm() < 0.5, "point {i}: {position:?} vs {expected:?}");
+                    assert!(
+                        (*position - expected).norm() < 0.5,
+                        "point {i}: {position:?} vs {expected:?}"
+                    );
                 }
                 TrackResult::Lost => panic!("point {i} lost"),
             }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use illixr_core::telemetry::TaskTimer;
 use illixr_core::Time;
-use illixr_math::{skew, so3_exp, Cholesky, DMatrix, Pose, Quat, Qr, Vec2, Vec3};
+use illixr_math::{skew, so3_exp, Cholesky, DMatrix, Pose, Qr, Quat, Vec2, Vec3};
 use illixr_sensors::camera::PinholeCamera;
 use illixr_sensors::types::{ImuSample, StereoFrame};
 
@@ -125,7 +125,12 @@ pub struct Msckf {
 
 impl std::fmt::Debug for Msckf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Msckf({} clones, {} tracked features)", self.clones.len(), self.observations.len())
+        write!(
+            f,
+            "Msckf({} clones, {} tracked features)",
+            self.clones.len(),
+            self.observations.len()
+        )
     }
 }
 
@@ -215,9 +220,8 @@ impl Msckf {
                     self.initialize_feature(&obs)
                 };
                 if let Some(p_f) = feature {
-                    let _g = timer.map(|t| {
-                        t.scope(if is_slam { "SLAM update" } else { "MSCKF update" })
-                    });
+                    let _g = timer
+                        .map(|t| t.scope(if is_slam { "SLAM update" } else { "MSCKF update" }));
                     if let Some((h, r)) = self.feature_jacobians(&obs, p_f) {
                         if self.chi2_gate(&h, &r) {
                             update_rows += r.rows();
@@ -406,10 +410,7 @@ impl Msckf {
             let (x, y, zc) = (p_c.x, p_c.y, p_c.z);
             let res = Vec2::new(z.x - x / zc, z.y - y / zc);
             // J_π (2×3)
-            let jpi = [
-                [1.0 / zc, 0.0, -x / (zc * zc)],
-                [0.0, 1.0 / zc, -y / (zc * zc)],
-            ];
+            let jpi = [[1.0 / zc, 0.0, -x / (zc * zc)], [0.0, 1.0 / zc, -y / (zc * zc)]];
             // ∂p_c/∂δθ_i = [p_c]× ; ∂p_c/∂δp_i = -R_cw ; ∂p_c/∂p_f = R_cw.
             let dth = skew(p_c);
             let col_base = IMU_DIM + idx * CLONE_DIM;
@@ -708,7 +709,14 @@ mod tests {
             );
         }
         let names: Vec<String> = timer.shares().into_iter().map(|(n, _)| n).collect();
-        for expected in ["feature detection", "feature matching", "feature initialization", "MSCKF update", "marginalization", "other"] {
+        for expected in [
+            "feature detection",
+            "feature matching",
+            "feature initialization",
+            "MSCKF update",
+            "marginalization",
+            "other",
+        ] {
             assert!(names.iter().any(|n| n == expected), "missing task '{expected}' in {names:?}");
         }
     }

@@ -84,10 +84,7 @@ impl Plugin for VioPlugin {
             let cam = self.camera_reader.as_ref().expect("start() must run before iterate()");
             self.pending_frame = cam.try_recv().map(|e| e.data.clone());
         }
-        let ready = self
-            .pending_frame
-            .as_ref()
-            .is_some_and(|f| self.latest_imu >= f.timestamp);
+        let ready = self.pending_frame.as_ref().is_some_and(|f| self.latest_imu >= f.timestamp);
         if !ready {
             return IterationReport::skipped();
         }
@@ -147,7 +144,8 @@ impl Plugin for ImuIntegratorPlugin {
 
     fn start(&mut self, ctx: &PluginContext) {
         self.imu_reader = Some(ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 2048));
-        self.slow_pose_reader = Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE));
+        self.slow_pose_reader =
+            Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE));
         self.fast_writer = Some(ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE));
     }
 
@@ -258,10 +256,7 @@ impl Plugin for AlternativeVioPlugin {
             let cam = self.camera_reader.as_ref().expect("start() must run before iterate()");
             self.pending_frame = cam.try_recv().map(|e| e.data.clone());
         }
-        let ready = self
-            .pending_frame
-            .as_ref()
-            .is_some_and(|f| self.latest_imu >= f.timestamp);
+        let ready = self.pending_frame.as_ref().is_some_and(|f| self.latest_imu >= f.timestamp);
         if !ready {
             return IterationReport::skipped();
         }
@@ -311,7 +306,6 @@ impl Plugin for GroundTruthPosePlugin {
         IterationReport::nominal()
     }
 }
-
 
 #[cfg(test)]
 mod tests {

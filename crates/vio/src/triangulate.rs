@@ -48,10 +48,8 @@ fn linear_triangulation(observations: &[Observation]) -> Option<Vec3> {
     let mut a = DMatrix::zeros(3, 3);
     let mut b = DMatrix::zeros(3, 1);
     for obs in observations {
-        let d = obs
-            .cam_pose
-            .transform_vector(Vec3::new(obs.point.x, obs.point.y, 1.0))
-            .normalized();
+        let d =
+            obs.cam_pose.transform_vector(Vec3::new(obs.point.x, obs.point.y, 1.0)).normalized();
         let c = obs.cam_pose.position;
         // M = I - d dᵀ
         for r in 0..3 {
@@ -97,16 +95,8 @@ fn gauss_newton_refine(
             let du = Vec3::new(1.0 / z, 0.0, -x / (z * z));
             let dv = Vec3::new(0.0, 1.0 / z, -y / (z * z));
             // p_cam = R_wc p + t → ∂p_cam/∂p = R_wc (rows of `r`).
-            let ju = Vec3::new(
-                du.dot(r.col(0)),
-                du.dot(r.col(1)),
-                du.dot(r.col(2)),
-            );
-            let jv = Vec3::new(
-                dv.dot(r.col(0)),
-                dv.dot(r.col(1)),
-                dv.dot(r.col(2)),
-            );
+            let ju = Vec3::new(du.dot(r.col(0)), du.dot(r.col(1)), du.dot(r.col(2)));
+            let jv = Vec3::new(dv.dot(r.col(0)), dv.dot(r.col(1)), dv.dot(r.col(2)));
             for a in 0..3 {
                 for b2 in 0..3 {
                     h[(a, b2)] += ju[a] * ju[b2] + jv[a] * jv[b2];

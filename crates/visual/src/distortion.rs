@@ -61,7 +61,8 @@ impl DistortionMesh {
                     // Centered coordinates in [-1, 1].
                     let cx = u * 2.0 - 1.0;
                     let cy = v * 2.0 - 1.0;
-                    let r2 = (cx * cx + cy * cy) * params.channel_scale[c] * params.channel_scale[c];
+                    let r2 =
+                        (cx * cx + cy * cy) * params.channel_scale[c] * params.channel_scale[c];
                     let factor = 1.0 + params.k1 * r2 + params.k2 * r2 * r2;
                     let sx = cx * factor * params.channel_scale[c];
                     let sy = cy * factor * params.channel_scale[c];
@@ -87,7 +88,10 @@ impl DistortionMesh {
         let p10 = self.uvs[channel][y0 * stride + x0 + 1];
         let p01 = self.uvs[channel][(y0 + 1) * stride + x0];
         let p11 = self.uvs[channel][(y0 + 1) * stride + x0 + 1];
-        p00 * (1.0 - tx) * (1.0 - ty) + p10 * tx * (1.0 - ty) + p01 * (1.0 - tx) * ty + p11 * tx * ty
+        p00 * (1.0 - tx) * (1.0 - ty)
+            + p10 * tx * (1.0 - ty)
+            + p01 * (1.0 - tx) * ty
+            + p11 * tx * ty
     }
 
     /// Applies the distortion + chromatic-aberration correction to an
@@ -183,7 +187,8 @@ mod tests {
 
     #[test]
     fn zero_coefficients_are_identity() {
-        let params = DistortionParams { k1: 0.0, k2: 0.0, channel_scale: [1.0; 3], mesh_resolution: 16 };
+        let params =
+            DistortionParams { k1: 0.0, k2: 0.0, channel_scale: [1.0; 3], mesh_resolution: 16 };
         let mesh = DistortionMesh::new(&params);
         let img = checkerboard(32, 32, 4);
         let out = mesh.apply(&img);

@@ -110,7 +110,8 @@ pub fn compute_hologram(
         .map(|i| {
             let x = (i % w) as f64 / w as f64 - 0.5;
             let y = (i / w) as f64 / h as f64 - 0.5;
-            std::f64::consts::PI * (7.1 * x * x + 11.3 * y * y) + ((i * 2654435761) % 628) as f64 / 100.0
+            std::f64::consts::PI * (7.1 * x * x + 11.3 * y * y)
+                + ((i * 2654435761) % 628) as f64 / 100.0
         })
         .collect();
     let mut weights = vec![1.0f64; num_planes];
@@ -242,11 +243,7 @@ mod tests {
         let cfg = HologramConfig { plane_depths: vec![0.2], iterations: 12, ..Default::default() };
         let target = disk_target(cfg.width, cfg.height);
         let holo = compute_hologram(&[target], &cfg, None);
-        assert!(
-            holo.plane_correlation[0] > 0.5,
-            "correlation {}",
-            holo.plane_correlation[0]
-        );
+        assert!(holo.plane_correlation[0] > 0.5, "correlation {}", holo.plane_correlation[0]);
     }
 
     #[test]
@@ -261,7 +258,8 @@ mod tests {
 
     #[test]
     fn more_iterations_do_not_hurt() {
-        let mut cfg = HologramConfig { plane_depths: vec![0.2], iterations: 2, ..Default::default() };
+        let mut cfg =
+            HologramConfig { plane_depths: vec![0.2], iterations: 2, ..Default::default() };
         let target = disk_target(cfg.width, cfg.height);
         let short = compute_hologram(std::slice::from_ref(&target), &cfg, None);
         cfg.iterations = 14;

@@ -220,13 +220,18 @@ impl Plugin for HologramPlugin {
                 0.0
             }
         });
-        let far = illixr_image::GrayImage::from_fn(w, h, |x, y| {
-            if y < h / 2 {
-                resized.get(x, y)
-            } else {
-                0.0
-            }
-        });
+        let far =
+            illixr_image::GrayImage::from_fn(
+                w,
+                h,
+                |x, y| {
+                    if y < h / 2 {
+                        resized.get(x, y)
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let holo = compute_hologram(&[near, far], &self.config, Some(&self.timer));
         self.out_writer
             .as_ref()
@@ -243,15 +248,10 @@ mod tests {
     use illixr_math::{Pose, Quat, Vec3};
 
     fn publish_frame(ctx: &PluginContext, t: Time) {
-        let img = Arc::new(RgbImage::from_fn(64, 64, |x, y| {
-            [x as f32 / 64.0, y as f32 / 64.0, 0.5]
-        }));
+        let img =
+            Arc::new(RgbImage::from_fn(64, 64, |x, y| [x as f32 / 64.0, y as f32 / 64.0, 0.5]));
         ctx.switchboard.writer::<RenderedFrame>(EYEBUFFER_STREAM).put(RenderedFrame {
-            render_pose: PoseEstimate {
-                timestamp: t,
-                pose: Pose::IDENTITY,
-                velocity: Vec3::ZERO,
-            },
+            render_pose: PoseEstimate { timestamp: t, pose: Pose::IDENTITY, velocity: Vec3::ZERO },
             submit_time: t,
             left: img.clone(),
             right: img,
@@ -355,11 +355,8 @@ mod tests {
         tw.iterate(&ctx);
         let report = holo.iterate(&ctx);
         assert!(report.did_work);
-        let result = ctx
-            .switchboard
-            .async_reader::<HologramResult>(HOLOGRAM_STREAM)
-            .latest()
-            .unwrap();
+        let result =
+            ctx.switchboard.async_reader::<HologramResult>(HOLOGRAM_STREAM).latest().unwrap();
         assert_eq!(result.plane_correlation.len(), 2);
     }
 }

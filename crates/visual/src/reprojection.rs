@@ -56,7 +56,8 @@ pub fn reproject(
     // Rotation taking display-eye directions into render-eye directions.
     let q_rel = render_pose.orientation.inverse() * display_pose.orientation;
     // Translation of the display eye expressed in the render eye frame.
-    let t_rel = render_pose.orientation.inverse().rotate(display_pose.position - render_pose.position);
+    let t_rel =
+        render_pose.orientation.inverse().rotate(display_pose.position - render_pose.position);
     RgbImage::from_fn(w, h, |x, y| {
         // Pixel → normalized device coords → ray in the display eye.
         let ndc_x = (x as f64 + 0.5) / w as f64 * 2.0 - 1.0;

@@ -25,7 +25,16 @@ fn main() {
     let telemetry = testbed.context().telemetry.clone();
     println!("{:<16} {:>8} {:>8} {:>12} {:>8}", "component", "runs", "drops", "mean exec", "rate");
     println!("{}", "-".repeat(58));
-    for name in ["camera", "imu", "vio", "imu_integrator", "application", "timewarp", "audio_encoding", "audio_playback"] {
+    for name in [
+        "camera",
+        "imu",
+        "vio",
+        "imu_integrator",
+        "application",
+        "timewarp",
+        "audio_encoding",
+        "audio_playback",
+    ] {
         if let Some(s) = telemetry.stats(name) {
             println!(
                 "{:<16} {:>8} {:>8} {:>9.2} ms {:>6.1}Hz",

@@ -19,7 +19,9 @@ use illixr_testbed::eyetrack::eye::EyeParams;
 use illixr_testbed::eyetrack::gaze::gaze_error;
 use illixr_testbed::eyetrack::net::SegmentationNet;
 use illixr_testbed::math::Vec3;
-use illixr_testbed::reconstruction::plugin::{SceneReconstructionPlugin, SceneUpdate, SCENE_STREAM};
+use illixr_testbed::reconstruction::plugin::{
+    SceneReconstructionPlugin, SceneUpdate, SCENE_STREAM,
+};
 use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
 use illixr_testbed::sensors::trajectory::Trajectory;
 use illixr_testbed::sensors::world::LandmarkWorld;
@@ -67,6 +69,9 @@ fn main() {
         worst = worst.max(err);
         println!("{:>9.2}° {:>9.2}° {:>13.2}°", gx.to_degrees(), gy.to_degrees(), err.to_degrees());
     }
-    println!("\nworst gaze error {:.2}° across the sweep (one CNN pass per eye, batch 2 —", worst.to_degrees());
+    println!(
+        "\nworst gaze error {:.2}° across the sweep (one CNN pass per eye, batch 2 —",
+        worst.to_degrees()
+    );
     println!("the paper's low-GPU-utilization observation for eye tracking).");
 }

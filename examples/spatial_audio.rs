@@ -22,7 +22,10 @@ fn main() {
     let bank = default_ring_bank(rate);
     let mut decoder = BinauralDecoder::new(&bank, block);
 
-    println!("{:>8} {:>10} {:>10} {:>10} {:>16}", "t (s)", "head yaw", "L rms", "R rms", "balance (L-R dB)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>16}",
+        "t (s)", "head yaw", "L rms", "R rms", "balance (L-R dB)"
+    );
     println!("{}", "-".repeat(60));
     let blocks = 48; // ~1 s
     for k in 0..blocks {

@@ -89,7 +89,11 @@ fn main() {
     let replayed: Vec<PoseEstimate> = poses_b.drain().iter().map(|e| e.data).collect();
 
     // --- Compare ----------------------------------------------------------
-    println!("  reference run produced {} poses, trace-driven run {}", reference.len(), replayed.len());
+    println!(
+        "  reference run produced {} poses, trace-driven run {}",
+        reference.len(),
+        replayed.len()
+    );
     assert_eq!(reference.len(), replayed.len());
     let max_diff = reference
         .iter()

@@ -21,10 +21,10 @@ use illixr_testbed::render::raster::Rasterizer;
 use illixr_testbed::sensors::trajectory::Trajectory;
 use illixr_testbed::system::config::SystemConfig;
 use illixr_testbed::system::openxr::XrInstance;
+use illixr_testbed::vio::plugins::GroundTruthPosePlugin;
 use illixr_testbed::visual::distortion::DistortionParams;
 use illixr_testbed::visual::plugins::{TimewarpPlugin, WarpedFrame, DISPLAY_STREAM};
 use illixr_testbed::visual::reprojection::ReprojectionConfig;
-use illixr_testbed::vio::plugins::GroundTruthPosePlugin;
 
 fn main() {
     println!("VR Sponza via the OpenXR-style API\n");
@@ -77,15 +77,11 @@ fn main() {
 
     let shown = display.drain();
     println!("submitted {} frames, compositor displayed {}", session.frame_count(), shown.len());
-    let mean_age_ms = shown
-        .iter()
-        .map(|f| f.pose_age.as_secs_f64() * 1e3)
-        .sum::<f64>()
+    let mean_age_ms = shown.iter().map(|f| f.pose_age.as_secs_f64() * 1e3).sum::<f64>()
         / shown.len().max(1) as f64;
     println!("mean pose age at warp: {mean_age_ms:.2} ms");
     let last = shown.last().expect("frames were displayed");
-    let nonblack =
-        last.left.as_slice().iter().filter(|p| p[0] + p[1] + p[2] > 0.05).count();
+    let nonblack = last.left.as_slice().iter().filter(|p| p[0] + p[1] + p[2] > 0.05).count();
     println!(
         "final frame: {}x{}, {:.0}% lit pixels",
         last.left.width(),

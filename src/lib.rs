@@ -10,6 +10,7 @@ pub use illixr_qoe as qoe;
 pub use illixr_reconstruction as reconstruction;
 pub use illixr_render as render;
 pub use illixr_sensors as sensors;
+pub use illixr_server as server;
 pub use illixr_system as system;
 pub use illixr_vio as vio;
 pub use illixr_visual as visual;

@@ -1,9 +1,9 @@
-use std::sync::Arc;
 use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
 use illixr_testbed::sensors::dataset::SyntheticDataset;
 use illixr_testbed::sensors::types::StereoFrame;
 use illixr_testbed::vio::alternative::{FrameToFrameConfig, FrameToFrameVio};
 use illixr_testbed::vio::integrator::ImuState;
+use std::sync::Arc;
 
 #[test]
 fn alternative_vio_never_diverges_across_seeds() {
@@ -12,16 +12,23 @@ fn alternative_vio_never_diverges_across_seeds() {
     for seed in [1u64, 7, 13, 21, 27, 42, 55, 99] {
         let ds = SyntheticDataset::vicon_room_like(seed, 4.0);
         let gt0 = ds.ground_truth[0];
-        let mut vio = FrameToFrameVio::new(FrameToFrameConfig::default(), rig,
-            ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity));
+        let mut vio = FrameToFrameVio::new(
+            FrameToFrameConfig::default(),
+            rig,
+            ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity),
+        );
         let mut imu_idx = 0;
         let mut worst = 0.0f64;
         for (k, &t) in ds.camera_times.iter().enumerate() {
             while imu_idx < ds.imu.len() && ds.imu[imu_idx].timestamp <= t {
-                vio.process_imu(ds.imu[imu_idx]); imu_idx += 1;
+                vio.process_imu(ds.imu[imu_idx]);
+                imu_idx += 1;
             }
             let (l, r) = ds.render_frame(&rig, k);
-            let out = vio.process_frame(&StereoFrame{timestamp:t,left:Arc::new(l),right:Arc::new(r),seq:k as u64}, None);
+            let out = vio.process_frame(
+                &StereoFrame { timestamp: t, left: Arc::new(l), right: Arc::new(r), seq: k as u64 },
+                None,
+            );
             worst = worst.max(out.state.pose.translation_distance(&ds.ground_truth_pose(t)));
         }
         // The lightweight tracker's accuracy class is decimeters-to-

@@ -45,7 +45,11 @@ fn sponza_on_desktop_misses_application_deadline_like_the_paper() {
     let ar = IntegratedExperiment::run(&quick(Application::ArDemo, Platform::Desktop));
     let sponza_app = sponza.stats("application").unwrap();
     let ar_app = ar.stats("application").unwrap();
-    assert!(sponza_app.achieved_hz < 80.0, "Sponza app should miss 120 Hz: {}", sponza_app.achieved_hz);
+    assert!(
+        sponza_app.achieved_hz < 80.0,
+        "Sponza app should miss 120 Hz: {}",
+        sponza_app.achieved_hz
+    );
     assert!(ar_app.achieved_hz > 110.0, "AR Demo app should meet 120 Hz: {}", ar_app.achieved_hz);
     // But reprojection compensates: timewarp still hits the target.
     assert!(sponza.stats("timewarp").unwrap().achieved_hz > 110.0);

@@ -26,10 +26,7 @@ fn rig() -> StereoRig {
 
 /// Runs VIO against whatever camera/IMU provider is plugged in and
 /// returns the final pose error; the provider is opaque to VIO.
-fn track_with_provider(
-    mut providers: Vec<Box<dyn Plugin>>,
-    ds: &SyntheticDataset,
-) -> f64 {
+fn track_with_provider(mut providers: Vec<Box<dyn Plugin>>, ds: &SyntheticDataset) -> f64 {
     let clock = SimClock::new();
     let ctx = PluginContext::new(Arc::new(clock.clone()));
     let gt0 = &ds.ground_truth[0];
@@ -52,7 +49,10 @@ fn track_with_provider(
 
 #[test]
 fn offline_and_synthetic_providers_are_interchangeable() {
-    let seed = 5;
+    // Dataset instances are a function of the RNG stream; this seed is
+    // calibrated to a mid-difficulty trajectory under the vendored
+    // third_party/rand generator.
+    let seed = 3;
     let ds = SyntheticDataset::vicon_room_like(seed, 2.0);
     // Provider A: offline dataset player (one plugin feeding two streams).
     let err_offline = track_with_provider(

@@ -1,0 +1,95 @@
+//! Property-based tests for the offloading bridge: whatever the link
+//! latency and jitter, offloading must stay deterministic per seed and
+//! must never reorder a stream.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_testbed::core::plugin::{IterationReport, Plugin, PluginContext};
+use illixr_testbed::core::{SimClock, SyncReader, Time, Writer};
+use illixr_testbed::system::offload::{OffloadLink, OffloadedPlugin};
+use proptest::prelude::*;
+
+/// A remote component that echoes `in` to `out` unchanged, preserving
+/// arrival order.
+struct Relay {
+    reader: Option<SyncReader<u64>>,
+    writer: Option<Writer<u64>>,
+}
+
+impl Plugin for Relay {
+    fn name(&self) -> &str {
+        "relay"
+    }
+    fn start(&mut self, ctx: &PluginContext) {
+        self.reader = Some(ctx.switchboard.sync_reader::<u64>("in", 4096));
+        self.writer = Some(ctx.switchboard.writer::<u64>("out"));
+    }
+    fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+        while let Some(v) = self.reader.as_ref().expect("started").try_recv() {
+            self.writer.as_ref().expect("started").put(v.data);
+        }
+        IterationReport::nominal()
+    }
+}
+
+/// Drives `values` through an offloaded relay: publish one value per
+/// tick, then idle long enough for the link to drain. Returns the
+/// values received on `out`, in delivery order.
+fn run_offloaded(values: &[u64], latency_ms: u64, sigma: f64, seed: u64) -> Vec<u64> {
+    let clock = SimClock::new();
+    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let link = OffloadLink::symmetric(Duration::from_millis(latency_ms)).with_jitter(sigma, seed);
+    let mut remote = OffloadedPlugin::new(Box::new(Relay { reader: None, writer: None }), link)
+        .uplink::<u64>("in")
+        .downlink::<u64>("out");
+    remote.start(&ctx);
+    let out = ctx.switchboard.sync_reader::<u64>("out", 4096);
+    let writer = ctx.switchboard.writer::<u64>("in");
+    let tick = Duration::from_millis(2);
+    let mut t = Time::ZERO;
+    for &v in values {
+        writer.put(v);
+        remote.iterate(&ctx);
+        t = t + tick;
+        clock.advance_to(t);
+    }
+    // Idle ticks: generous headroom for the worst log-normal draw.
+    let drain = 40 * latency_ms.max(1) + 200;
+    for _ in 0..drain {
+        remote.iterate(&ctx);
+        t = t + tick;
+        clock.advance_to(t);
+    }
+    remote.iterate(&ctx);
+    out.drain().iter().map(|e| e.data).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // A jittered link is a deterministic function of its seed: the
+    // same traffic over the same link twice gives identical delivery.
+    #[test]
+    fn jittered_link_is_deterministic_per_seed(
+        params in (1usize..40, 0u64..30, 0.0..0.8f64, 0u64..1000),
+    ) {
+        let (n, latency_ms, sigma, seed) = params;
+        let values: Vec<u64> = (0..n as u64).collect();
+        let a = run_offloaded(&values, latency_ms, sigma, seed);
+        let b = run_offloaded(&values, latency_ms, sigma, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    // Jitter delays individual transfers but the bridge is FIFO per
+    // stream: every published event arrives, in publication order.
+    #[test]
+    fn per_stream_order_survives_jitter(
+        params in (1usize..40, 0u64..30, 0.0..0.8f64, 0u64..1000),
+    ) {
+        let (n, latency_ms, sigma, seed) = params;
+        let values: Vec<u64> = (0..n as u64).collect();
+        let delivered = run_offloaded(&values, latency_ms, sigma, seed);
+        prop_assert_eq!(delivered, values);
+    }
+}

@@ -7,8 +7,8 @@ use illixr_testbed::dsp::convolution::{convolve_direct, fft_convolve, OverlapSav
 use illixr_testbed::dsp::fft::{fft, ifft};
 use illixr_testbed::dsp::Complex;
 use illixr_testbed::image::{flip, ssim, GrayImage, RgbImage};
-use illixr_testbed::math::{so3_exp, so3_log, Cholesky, DMatrix, Pose, Quat, Vec3};
 use illixr_testbed::math::Svd;
+use illixr_testbed::math::{so3_exp, so3_log, Cholesky, DMatrix, Pose, Quat, Vec3};
 use illixr_testbed::qoe::mtp::MtpCalculator;
 use illixr_testbed::visual::distortion::{DistortionMesh, DistortionParams};
 use proptest::prelude::*;

@@ -12,7 +12,6 @@ use illixr_testbed::platform::spec::Platform;
 use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
 use illixr_testbed::visual::hologram::{compute_hologram, HologramConfig};
 
-
 #[test]
 fn stereo_camera_centers_are_baseline_apart() {
     let rig = StereoRig::zed_mini(PinholeCamera::vga());

@@ -1,0 +1,163 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the group/bench_function/iter surface the workspace benches
+//! use, backed by a simple wall-clock sampler: each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and prints the
+//! median per-iteration time. No statistics, plots, or baselines —
+//! enough to run `cargo bench` offline and eyeball relative costs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size }
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One warm-up sample, discarded.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<Duration> = bencher.samples;
+        per_iter.sort();
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or_default();
+        println!("  {}/{id}: median {median:?} over {} samples", self.name, per_iter.len());
+        self
+    }
+
+    /// Ends the group (upstream emits summaries here; the shim prints
+    /// as it goes).
+    pub fn finish(&mut self) {}
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs one routine
+/// call per sample regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` on a fresh input from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_requested_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel`'s bounded channels
+//! (`bounded`, `Sender::try_send`, `Receiver::{try_recv, recv, len,
+//! is_empty}` and the matching error enums), so this shim implements
+//! exactly that surface over a `Mutex<VecDeque>` + `Condvar`. Semantics
+//! match crossbeam where the workspace depends on them:
+//!
+//! * `try_send` on a full queue returns [`channel::TrySendError::Full`]
+//!   with the value, without blocking;
+//! * dropping the receiver makes subsequent sends return
+//!   `Disconnected` (how the switchboard garbage-collects
+//!   subscriptions);
+//! * dropping all senders wakes blocked `recv` calls with an error.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the value is handed back.
+        Full(T),
+        /// The receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// No message is queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        available: Condvar,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded channel with room for `capacity` messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            available: Condvar::new(),
+        });
+        (Sender { inner: inner.clone() }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TrySendError::Full`] when the queue is at capacity
+        /// and [`TrySendError::Disconnected`] when the receiver has been
+        /// dropped; the value is handed back in both cases.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.inner.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            q.push_back(value);
+            drop(q);
+            self.inner.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Self { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake any blocked receiver.
+                self.inner.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pops the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally every sender
+        /// has been dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.inner.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and no sender
+        /// remains.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_delivers_in_order() {
+            let (tx, rx) = bounded(4);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn full_queue_rejects_without_blocking() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.len(), 1);
+        }
+
+        #[test]
+        fn dropped_receiver_disconnects_sender() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.try_send(7), Err(TrySendError::Disconnected(7)));
+        }
+
+        #[test]
+        fn dropped_senders_disconnect_receiver() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_blocks_until_send() {
+            let (tx, rx) = bounded(2);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                tx.try_send(42).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(42));
+            handle.join().unwrap();
+        }
+    }
+}
