@@ -60,7 +60,9 @@ impl Plugin for AudioEncodingPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.writer = Some(ctx.switchboard.writer::<Arc<Soundfield>>(SOUNDFIELD_STREAM));
+        self.writer = Some(
+            ctx.switchboard.topic::<Arc<Soundfield>>(SOUNDFIELD_STREAM).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
@@ -134,10 +136,21 @@ impl Plugin for AudioPlaybackPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.field_reader =
-            Some(ctx.switchboard.sync_reader::<Arc<Soundfield>>(SOUNDFIELD_STREAM, 8));
-        self.pose_reader = Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE));
-        self.writer = Some(ctx.switchboard.writer::<Arc<StereoBlock>>(BINAURAL_STREAM));
+        self.field_reader = Some(
+            ctx.switchboard
+                .topic::<Arc<Soundfield>>(SOUNDFIELD_STREAM)
+                .expect("stream")
+                .sync_reader(8),
+        );
+        self.pose_reader = Some(
+            ctx.switchboard
+                .topic::<PoseEstimate>(streams::FAST_POSE)
+                .expect("stream")
+                .async_reader(),
+        );
+        self.writer = Some(
+            ctx.switchboard.topic::<Arc<StereoBlock>>(BINAURAL_STREAM).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
@@ -189,7 +202,11 @@ mod tests {
     #[test]
     fn encoding_publishes_blocks_with_table_vii_tasks() {
         let ctx = PluginContext::new(Arc::new(SimClock::new()));
-        let reader = ctx.switchboard.sync_reader::<Arc<Soundfield>>(SOUNDFIELD_STREAM, 4);
+        let reader = ctx
+            .switchboard
+            .topic::<Arc<Soundfield>>(SOUNDFIELD_STREAM)
+            .expect("stream")
+            .sync_reader(4);
         let mut enc = AudioEncodingPlugin::with_default_scene(1);
         enc.start(&ctx);
         enc.iterate(&ctx);
@@ -205,7 +222,11 @@ mod tests {
     #[test]
     fn playback_consumes_every_block() {
         let ctx = PluginContext::new(Arc::new(SimClock::new()));
-        let out = ctx.switchboard.sync_reader::<Arc<StereoBlock>>(BINAURAL_STREAM, 8);
+        let out = ctx
+            .switchboard
+            .topic::<Arc<StereoBlock>>(BINAURAL_STREAM)
+            .expect("stream")
+            .sync_reader(8);
         let mut enc = AudioEncodingPlugin::with_default_scene(2);
         let mut play = AudioPlaybackPlugin::new();
         enc.start(&ctx);
@@ -226,12 +247,20 @@ mod tests {
     fn head_rotation_changes_binaural_output() {
         let run = |yaw: f64| -> StereoBlock {
             let ctx = PluginContext::new(Arc::new(SimClock::new()));
-            let out = ctx.switchboard.sync_reader::<Arc<StereoBlock>>(BINAURAL_STREAM, 8);
-            ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE).put(PoseEstimate {
-                timestamp: illixr_core::Time::ZERO,
-                pose: Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Z, yaw)),
-                velocity: Vec3::ZERO,
-            });
+            let out = ctx
+                .switchboard
+                .topic::<Arc<StereoBlock>>(BINAURAL_STREAM)
+                .expect("stream")
+                .sync_reader(8);
+            ctx.switchboard
+                .topic::<PoseEstimate>(streams::FAST_POSE)
+                .expect("stream")
+                .writer()
+                .put(PoseEstimate {
+                    timestamp: illixr_core::Time::ZERO,
+                    pose: Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Z, yaw)),
+                    velocity: Vec3::ZERO,
+                });
             let mut enc =
                 AudioEncodingPlugin::new(vec![SoundSource::tone(SAMPLE_RATE, 500.0, 1.2)]);
             let mut play = AudioPlaybackPlugin::new();

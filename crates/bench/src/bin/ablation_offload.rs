@@ -48,8 +48,10 @@ fn run(link: Option<OffloadLink>, label: &str) -> Row {
     source.start(&ctx);
     vio.start(&ctx);
     integ.start(&ctx);
-    let slow = ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE);
-    let fast = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+    let slow =
+        ctx.switchboard.topic::<PoseEstimate>(streams::SLOW_POSE).expect("stream").async_reader();
+    let fast =
+        ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").async_reader();
 
     let mut age_sum = 0.0;
     let mut age_n = 0;

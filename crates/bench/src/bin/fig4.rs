@@ -2,14 +2,15 @@
 //! the desktop. The top panel of the paper's figure shows VIO and the
 //! application; the bottom panel the remaining components.
 
-use illixr_bench::experiment_config;
+use illixr_bench::{experiment_config, write_obs_artifacts};
 use illixr_platform::spec::Platform;
 use illixr_render::apps::Application;
 use illixr_system::experiment::{IntegratedExperiment, COMPONENTS};
 
 fn main() {
-    let result =
-        IntegratedExperiment::run(&experiment_config(Application::Platformer, Platform::Desktop));
+    let result = IntegratedExperiment::run(
+        &experiment_config(Application::Platformer, Platform::Desktop).with_trace(),
+    );
     println!("Fig 4: per-frame execution time (ms), Platformer on Desktop");
     println!("(paper: VIO 5–25 ms with high variance; other components ≤ ~2 ms, all jittery)\n");
     for name in COMPONENTS {
@@ -35,4 +36,8 @@ fn main() {
         let pts: Vec<String> = series.iter().step_by(stride).map(|v| format!("{v:.2}")).collect();
         println!("  series(ms): {}", pts.join(" "));
     }
+    // The same run as a Perfetto trace: every per-frame slice above is
+    // a span, with switchboard flows linking producers to consumers.
+    std::fs::create_dir_all("results").expect("create results dir");
+    write_obs_artifacts("fig4", &result.tracer, &result.metrics).expect("write obs artifacts");
 }

@@ -1,7 +1,7 @@
 //! Fig 5: contribution of each component to total CPU time, per
 //! application and platform.
 
-use illixr_bench::{experiment_config, rule};
+use illixr_bench::{experiment_config, rule, write_obs_artifacts};
 use illixr_platform::spec::Platform;
 use illixr_render::apps::Application;
 use illixr_system::experiment::{IntegratedExperiment, COMPONENTS};
@@ -20,7 +20,18 @@ fn main() {
         rule(16 + 12 * 4);
         let shares: Vec<Vec<(String, f64)>> = Application::ALL
             .iter()
-            .map(|&app| IntegratedExperiment::run(&experiment_config(app, platform)).cpu_shares())
+            .map(|&app| {
+                // One representative run carries the trace export.
+                let mut cfg = experiment_config(app, platform);
+                cfg.trace = platform == Platform::Desktop && app == Application::Platformer;
+                let result = IntegratedExperiment::run(&cfg);
+                if cfg.trace {
+                    std::fs::create_dir_all("results").expect("create results dir");
+                    write_obs_artifacts("fig5", &result.tracer, &result.metrics)
+                        .expect("write obs artifacts");
+                }
+                result.cpu_shares()
+            })
             .collect();
         for name in COMPONENTS {
             print!("{name:<16}");

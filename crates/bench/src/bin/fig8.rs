@@ -16,6 +16,7 @@ fn main() {
     );
     rule(16 + 10 * 4 + 7);
     let model = UarchModel::new();
+    let metrics = illixr_core::obs::Metrics::new();
     for (name, mix) in component_op_mixes() {
         let b = model.evaluate(&mix);
         println!(
@@ -26,5 +27,14 @@ fn main() {
             b.backend_bound * 100.0,
             b.ipc
         );
+        let key = name.to_lowercase().replace([' ', '.'], "_");
+        metrics.set_gauge(&format!("uarch.{key}.ipc"), b.ipc);
+        metrics.set_gauge(&format!("uarch.{key}.retiring"), b.retiring);
+        metrics.set_gauge(&format!("uarch.{key}.backend_bound"), b.backend_bound);
     }
+    // The breakdown as a machine-readable gauge CSV alongside the table.
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/fig8.metrics.csv", illixr_core::obs::metrics_csv(&metrics))
+        .expect("write fig8 metrics");
+    println!("\nwrote results/fig8.metrics.csv");
 }

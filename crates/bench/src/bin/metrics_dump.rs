@@ -17,7 +17,21 @@ fn main() -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for platform in Platform::ALL {
         for app in Application::ALL {
-            let r = IntegratedExperiment::run(&experiment_config(app, platform));
+            // One representative pair additionally exports span/flow
+            // observability artifacts (Perfetto trace + histogram CSV).
+            let mut cfg = experiment_config(app, platform);
+            cfg.trace = platform == Platform::Desktop && app == Application::Platformer;
+            let r = IntegratedExperiment::run(&cfg);
+            if cfg.trace {
+                let (trace, csv) = illixr_core::obs::write_artifacts(
+                    dir,
+                    "obs-desktop-platformer",
+                    &r.tracer,
+                    &r.metrics,
+                )?;
+                println!("{:<40} obs trace", trace.display());
+                println!("{:<40} obs histograms", csv.display());
+            }
             let name = format!(
                 "metrics-{}-{}.csv",
                 platform.label().to_lowercase().replace('-', ""),

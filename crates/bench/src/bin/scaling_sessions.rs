@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use illixr_bench::{rule, sim_duration};
+use illixr_bench::{mtp_stage_summary, rule, sim_duration, write_obs_artifacts};
 use illixr_server::{MultiSessionServer, ServerConfig};
 
 const SESSION_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -98,8 +98,22 @@ fn main() -> std::io::Result<()> {
         );
     }
 
+    // Traced run at a modest scale: spans for every pipeline stage,
+    // switchboard flow events and per-stage MTP histograms, exported
+    // as a Perfetto-loadable trace plus a metrics CSV. Deterministic:
+    // re-running produces bit-identical artifacts.
+    let traced_duration = duration.min(std::time::Duration::from_secs(4));
+    let mut traced_config = ServerConfig::new(4, traced_duration).with_trace();
+    traced_config.real_vio = true;
+    let traced = MultiSessionServer::new(traced_config).run();
+    let stages = mtp_stage_summary(&traced.metrics);
+    print!("{stages}");
+    writeln!(out, "\n## traced run (4 sessions, {}s)\n{stages}", traced_duration.as_secs())
+        .unwrap();
+
     std::fs::create_dir_all("results")?;
     std::fs::write("results/scaling_sessions.txt", &out)?;
     println!("wrote results/scaling_sessions.txt");
+    write_obs_artifacts("scaling_sessions", &traced.tracer, &traced.metrics)?;
     Ok(())
 }

@@ -45,12 +45,14 @@ fn main() {
     let img = Arc::new(RgbImage::from_fn(256, 256, |x, y| {
         [(x % 37) as f32 / 37.0, (y % 23) as f32 / 23.0, ((x ^ y) % 11) as f32 / 11.0]
     }));
-    ctx.switchboard.writer::<RenderedFrame>(EYEBUFFER_STREAM).put(RenderedFrame {
-        render_pose: PoseEstimate::identity(),
-        submit_time: Time::ZERO,
-        left: img.clone(),
-        right: img,
-    });
+    ctx.switchboard.topic::<RenderedFrame>(EYEBUFFER_STREAM).expect("stream").writer().put(
+        RenderedFrame {
+            render_pose: PoseEstimate::identity(),
+            submit_time: Time::ZERO,
+            left: img.clone(),
+            right: img,
+        },
+    );
     for k in 0..20u64 {
         clock.advance_to(Time::from_millis(8 * (k + 1)));
         tw.iterate(&ctx);

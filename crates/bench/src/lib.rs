@@ -189,6 +189,60 @@ pub fn experiment_config(
     cfg
 }
 
+/// Writes `results/<stem>.trace.json` + `results/<stem>.metrics.csv`
+/// from a run's observability handles and announces the paths. Open
+/// the trace in <https://ui.perfetto.dev> or `chrome://tracing`.
+pub fn write_obs_artifacts(
+    stem: &str,
+    tracer: &illixr_core::obs::Tracer,
+    metrics: &illixr_core::obs::Metrics,
+) -> std::io::Result<()> {
+    let (trace, csv) =
+        illixr_core::obs::write_artifacts(std::path::Path::new("results"), stem, tracer, metrics)?;
+    println!("wrote {} ({} spans)", trace.display(), tracer.spans().len());
+    println!("wrote {}", csv.display());
+    Ok(())
+}
+
+/// Renders the per-stage motion-to-photon decomposition recorded under
+/// `mtp.*` histogram names: one line per stage plus a closure check
+/// that the stage means sum to the end-to-end mean (they partition it
+/// frame by frame, so the relative gap should be ≈ 0).
+pub fn mtp_stage_summary(metrics: &illixr_core::obs::Metrics) -> String {
+    let mut out = String::new();
+    let snapshots = metrics.snapshots();
+    let stages: Vec<_> =
+        snapshots.iter().filter(|(n, _)| n.starts_with("mtp.") && n != "mtp.total").collect();
+    let Some((_, total)) = snapshots.iter().find(|(n, _)| n == "mtp.total") else {
+        return out;
+    };
+    out.push_str("mtp stage decomposition (per displayed frame):\n");
+    let mut stage_mean_sum = 0.0;
+    for (name, h) in &stages {
+        let mean_ms = h.mean_ns() as f64 / 1e6;
+        stage_mean_sum += h.sum_ns as f64 / h.count.max(1) as f64;
+        out.push_str(&format!(
+            "  {:<18} mean={:>8.3} ms  p50={:>8.3} p90={:>8.3} p99={:>8.3} max={:>8.3}\n",
+            name,
+            mean_ms,
+            h.p50_ns as f64 / 1e6,
+            h.p90_ns as f64 / 1e6,
+            h.p99_ns as f64 / 1e6,
+            h.max_ns as f64 / 1e6,
+        ));
+    }
+    let total_mean = total.sum_ns as f64 / total.count.max(1) as f64;
+    let gap = if total_mean > 0.0 { (stage_mean_sum - total_mean).abs() / total_mean } else { 0.0 };
+    out.push_str(&format!(
+        "  {:<18} mean={:>8.3} ms  (stage sum {:.3} ms, relative gap {:.5})\n",
+        "mtp.total",
+        total_mean / 1e6,
+        stage_mean_sum / 1e6,
+        gap,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,9 @@
 //! * **[`trace`]** — rosbag-style record/replay of stream traffic, the
 //!   §V-G mechanism for driving component simulations from full-system
 //!   traces.
+//! * **[`obs`]** — glue onto the `illixr-obs` observability layer:
+//!   span tracing, switchboard flow events, latency histograms, and
+//!   the Chrome/Perfetto trace exporter.
 //!
 //! # Examples
 //!
@@ -31,13 +34,15 @@
 //! use illixr_core::switchboard::Switchboard;
 //!
 //! let sb = Switchboard::new();
-//! let writer = sb.writer::<i32>("pose");
-//! let reader = sb.async_reader::<i32>("pose");
+//! let pose = sb.topic::<i32>("pose").unwrap();
+//! let writer = pose.writer();
+//! let reader = pose.async_reader();
 //! writer.put(42);
 //! assert_eq!(**reader.latest().unwrap(), 42);
 //! ```
 
 pub mod clock;
+pub mod obs;
 pub mod phonebook;
 pub mod plugin;
 pub mod sim;
@@ -50,7 +55,9 @@ pub mod trace;
 pub use clock::{Clock, SimClock, WallClock};
 pub use phonebook::Phonebook;
 pub use plugin::{Plugin, PluginContext, PluginRegistry};
-pub use switchboard::{AsyncReader, Switchboard, SyncReader, TopicStats, Writer};
+pub use switchboard::{
+    AsyncReader, Switchboard, SwitchboardError, SyncReader, Topic, TopicStats, Writer,
+};
 pub use telemetry::{ComponentStats, FrameRecord, RecordLogger, TaskTimer};
 pub use time::Time;
 pub use trace::{StreamRecorder, StreamTrace, TraceReplayer};

@@ -16,12 +16,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::clock::Clock;
+use crate::obs::{Metrics, Tracer};
 use crate::phonebook::Phonebook;
 use crate::switchboard::Switchboard;
 use crate::telemetry::RecordLogger;
 
 /// Everything a plugin can reach: the switchboard for streams, the
-/// phonebook for services, the runtime clock and the telemetry logger.
+/// phonebook for services, the runtime clock, the telemetry logger and
+/// the observability handles.
 #[derive(Clone)]
 pub struct PluginContext {
     /// Event-stream registry.
@@ -32,17 +34,31 @@ pub struct PluginContext {
     pub clock: Arc<dyn Clock>,
     /// Telemetry sink.
     pub telemetry: Arc<RecordLogger>,
+    /// Span/flow tracer (disabled by default; see
+    /// [`PluginContext::with_obs`]).
+    pub tracer: Tracer,
+    /// Histogram/gauge registry (disabled by default).
+    pub metrics: Metrics,
 }
 
 impl PluginContext {
-    /// Creates a context with a fresh switchboard/phonebook and the given
-    /// clock.
+    /// Creates a context with a fresh switchboard/phonebook, the given
+    /// clock, and observability disabled.
     pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_obs(clock, Tracer::disabled(), Metrics::disabled())
+    }
+
+    /// Creates a context whose switchboard, threadloops and plugins
+    /// record through `tracer`/`metrics` (pass a tracer built from
+    /// `obs::tracer_for(clock)` for deterministic simulated traces).
+    pub fn with_obs(clock: Arc<dyn Clock>, tracer: Tracer, metrics: Metrics) -> Self {
         Self {
-            switchboard: Switchboard::new(),
+            switchboard: Switchboard::with_obs(tracer.clone(), metrics.clone()),
             phonebook: Phonebook::new(),
             clock,
             telemetry: Arc::new(RecordLogger::new()),
+            tracer,
+            metrics,
         }
     }
 }

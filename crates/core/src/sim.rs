@@ -21,6 +21,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::time::Duration;
 
 use crate::clock::{Clock, SimClock};
+use crate::obs::{Metrics, Tracer};
 use crate::telemetry::{FrameRecord, RecordLogger};
 use crate::time::Time;
 
@@ -203,6 +204,8 @@ pub struct SimEngine {
     events: BinaryHeap<Reverse<Event>>,
     telemetry: std::sync::Arc<RecordLogger>,
     started: bool,
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl SimEngine {
@@ -225,6 +228,8 @@ impl SimEngine {
             events: BinaryHeap::new(),
             telemetry,
             started: false,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -232,6 +237,14 @@ impl SimEngine {
     /// read "now").
     pub fn clock(&self) -> SimClock {
         self.clock.clone()
+    }
+
+    /// Installs observability handles: every completed invocation then
+    /// records an execution span (plus a `{name}.wait` span when it
+    /// queued) and `exec.{name}` / `response.{name}` histograms.
+    pub fn set_obs(&mut self, tracer: Tracer, metrics: Metrics) {
+        self.tracer = tracer;
+        self.metrics = metrics;
     }
 
     /// Registers a periodic task; returns its id.
@@ -398,6 +411,32 @@ impl SimEngine {
             record.end = now;
             record.missed_deadline = now > record.release + self.tasks[id].spec.deadline;
             let name = self.tasks[id].spec.name.clone();
+            if self.tracer.is_enabled() {
+                if record.start > record.release {
+                    // Queueing delay gets its own track so it never
+                    // overlaps the next invocation's execution slice.
+                    self.tracer.record_span(
+                        &format!("{name}.wait"),
+                        "wait",
+                        record.release.as_nanos(),
+                        record.start.as_nanos(),
+                    );
+                }
+                self.tracer.record_span_args(
+                    &name,
+                    &name,
+                    record.start.as_nanos(),
+                    now.as_nanos(),
+                    &[
+                        ("work_factor", format!("{:.3}", record.work_factor)),
+                        ("missed_deadline", record.missed_deadline.to_string()),
+                    ],
+                );
+            }
+            if self.metrics.is_enabled() {
+                self.metrics.record(&format!("exec.{name}"), now - record.start);
+                self.metrics.record(&format!("response.{name}"), now - record.release);
+            }
             self.telemetry.log(&name, record);
         }
         if held_slot {

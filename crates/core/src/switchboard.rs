@@ -9,15 +9,23 @@
 //! * an [`AsyncReader`] asks for the **latest** value (asynchronous
 //!   dependence, e.g. reprojection sampling the freshest pose).
 //!
+//! Streams are obtained through typed [`Topic`] handles; a payload-type
+//! conflict or duplicate registration surfaces as a [`SwitchboardError`]
+//! instead of a panic. When the switchboard is built with
+//! [`Switchboard::with_obs`], every `put`/`recv` pair additionally emits
+//! a flow event with a deterministic id, letting the obs exporter
+//! stitch producer→consumer causal chains across a trace.
+//!
 //! # Examples
 //!
 //! ```
 //! use illixr_core::switchboard::Switchboard;
 //!
 //! let sb = Switchboard::new();
-//! let w = sb.writer::<&'static str>("imu");
-//! let sync = sb.sync_reader::<&'static str>("imu", 8);
-//! let latest = sb.async_reader::<&'static str>("imu");
+//! let topic = sb.topic::<&'static str>("imu").unwrap();
+//! let w = topic.writer();
+//! let sync = topic.sync_reader(8);
+//! let latest = topic.async_reader();
 //!
 //! w.put("sample-0");
 //! w.put("sample-1");
@@ -25,6 +33,9 @@
 //! assert_eq!(sync.try_recv().unwrap().data, "sample-0"); // every value
 //! assert_eq!(sync.try_recv().unwrap().data, "sample-1");
 //! assert_eq!(latest.latest().unwrap().data, "sample-1"); // only the latest
+//!
+//! // Type conflicts are Results, not panics:
+//! assert!(sb.topic::<u32>("imu").is_err());
 //! ```
 
 use std::any::{type_name, Any, TypeId};
@@ -34,6 +45,8 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
+
+use crate::obs::{flow_id, FlowPhase, Metrics, Tracer};
 
 /// An event on a stream: payload plus a monotonically increasing sequence
 /// number assigned by the topic.
@@ -52,25 +65,63 @@ impl<T> std::ops::Deref for Event<T> {
     }
 }
 
-struct Topic<T> {
+/// Why a [`Topic`] handle could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchboardError {
+    /// The stream exists with a different payload type.
+    TypeMismatch {
+        /// Stream name.
+        name: String,
+        /// Payload type the caller asked for.
+        requested: &'static str,
+        /// Payload type the stream was created with.
+        registered: &'static str,
+    },
+    /// [`Switchboard::register_topic`] found the stream already present.
+    AlreadyRegistered {
+        /// Stream name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SwitchboardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TypeMismatch { name, requested, registered } => write!(
+                f,
+                "stream '{name}' already exists with a different payload type \
+                 (requested {requested}, registered {registered})"
+            ),
+            Self::AlreadyRegistered { name } => {
+                write!(f, "stream '{name}' is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchboardError {}
+
+struct TopicState<T> {
     latest: RwLock<Option<Arc<Event<T>>>>,
     subscribers: Mutex<Vec<Sender<Arc<Event<T>>>>>,
     seq: AtomicU64,
     dropped: AtomicU64,
+    last_publish_ns: AtomicU64,
 }
 
-impl<T> Default for Topic<T> {
+impl<T> Default for TopicState<T> {
     fn default() -> Self {
         Self {
             latest: RwLock::new(None),
             subscribers: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            last_publish_ns: AtomicU64::new(u64::MAX),
         }
     }
 }
 
-impl<T: Send + Sync> Topic<T> {
+impl<T: Send + Sync> TopicState<T> {
     fn publish(&self, data: T) -> Arc<Event<T>> {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         let event = Arc::new(Event { seq, data });
@@ -98,9 +149,10 @@ trait TopicMeta: Send + Sync {
     fn seq(&self) -> u64;
     fn dropped(&self) -> u64;
     fn subscribers(&self) -> usize;
+    fn queue_depth(&self) -> usize;
 }
 
-impl<T: Send + Sync> TopicMeta for Topic<T> {
+impl<T: Send + Sync> TopicMeta for TopicState<T> {
     fn seq(&self) -> u64 {
         self.seq.load(Ordering::SeqCst)
     }
@@ -111,6 +163,10 @@ impl<T: Send + Sync> TopicMeta for Topic<T> {
 
     fn subscribers(&self) -> usize {
         self.subscribers.lock().len()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.subscribers.lock().iter().map(Sender::len).sum()
     }
 }
 
@@ -127,19 +183,124 @@ pub struct TopicStats {
     /// garbage-collected on the next publish, so this can briefly
     /// over-count).
     pub subscribers: usize,
+    /// Events currently queued, summed over all synchronous readers.
+    pub queue_depth: usize,
+}
+
+/// Shared observability context for one stream: the (possibly
+/// disabled) tracer and metrics plus the scope-qualified stream name
+/// that seeds deterministic flow ids.
+#[derive(Clone)]
+struct TopicObs {
+    tracer: Tracer,
+    metrics: Metrics,
+    flow_name: Arc<str>,
+}
+
+impl TopicObs {
+    fn on_put(&self, track: &str, state: &AtomicU64, seq: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let now = self.tracer.now_ns();
+        self.tracer.flow(
+            track,
+            &self.flow_name,
+            flow_id(&self.flow_name, seq),
+            now,
+            FlowPhase::Begin,
+        );
+        let last = state.swap(now, Ordering::SeqCst);
+        if self.metrics.is_enabled() && last != u64::MAX && now >= last {
+            self.metrics
+                .record_ns(&format!("topic.{}.publish_interval_ns", self.flow_name), now - last);
+        }
+    }
+
+    fn on_recv(&self, track: &str, seq: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let now = self.tracer.now_ns();
+        self.tracer.flow(
+            track,
+            &self.flow_name,
+            flow_id(&self.flow_name, seq),
+            now,
+            FlowPhase::End,
+        );
+    }
+}
+
+/// Typed handle onto one stream, from [`Switchboard::topic`]. Vends
+/// writers and readers; cloning is cheap and clones address the same
+/// stream.
+pub struct Topic<T> {
+    state: Arc<TopicState<T>>,
+    name: String,
+    obs: TopicObs,
+}
+
+impl<T> Clone for Topic<T> {
+    fn clone(&self) -> Self {
+        Self { state: self.state.clone(), name: self.name.clone(), obs: self.obs.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for Topic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Topic<{}>({})", type_name::<T>(), self.name)
+    }
+}
+
+impl<T: Send + Sync + 'static> Topic<T> {
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A writer publishing onto this stream.
+    pub fn writer(&self) -> Writer<T> {
+        Writer { topic: self.state.clone(), name: self.name.clone(), obs: self.obs.clone() }
+    }
+
+    /// An asynchronous (latest-value) reader.
+    pub fn async_reader(&self) -> AsyncReader<T> {
+        AsyncReader {
+            topic: self.state.clone(),
+            name: self.name.clone(),
+            obs: self.obs.clone(),
+            last_seen: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// A synchronous (every-value) reader buffering up to `capacity`
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn sync_reader(&self, capacity: usize) -> SyncReader<T> {
+        assert!(capacity > 0, "sync reader capacity must be positive");
+        let (tx, rx) = bounded(capacity);
+        self.state.subscribers.lock().push(tx);
+        SyncReader { rx, name: self.name.clone(), obs: self.obs.clone() }
+    }
 }
 
 /// Publishes events onto a named stream.
 pub struct Writer<T> {
-    topic: Arc<Topic<T>>,
+    topic: Arc<TopicState<T>>,
     name: String,
+    obs: TopicObs,
 }
 
 impl<T: Send + Sync> Writer<T> {
     /// Publishes an event, delivering it to all synchronous readers and
     /// making it the stream's latest value.
     pub fn put(&self, data: T) {
-        self.topic.publish(data);
+        let event = self.topic.publish(data);
+        self.obs.on_put(&self.name, &self.topic.last_publish_ns, event.seq);
     }
 
     /// Stream name.
@@ -168,19 +329,35 @@ impl<T> std::fmt::Debug for Writer<T> {
 
 /// Reads the latest value of a stream (asynchronous dependence).
 pub struct AsyncReader<T> {
-    topic: Arc<Topic<T>>,
+    topic: Arc<TopicState<T>>,
     name: String,
+    obs: TopicObs,
+    /// Highest sequence number already reported as a flow end, so
+    /// repeated `latest()` polls of one event emit one flow event.
+    last_seen: AtomicU64,
 }
 
 impl<T: Send + Sync> AsyncReader<T> {
     /// The most recent event on the stream, if any has been published.
-    pub fn latest_event(&self) -> Option<Arc<Event<T>>> {
-        self.topic.latest.read().clone()
+    ///
+    /// This is the one latest-value accessor; the payload is a
+    /// dereference away (`reader.latest().unwrap().data`).
+    pub fn latest(&self) -> Option<Arc<Event<T>>> {
+        let event = self.topic.latest.read().clone();
+        if let Some(e) = &event {
+            // Report each event at most once per reader so a 500 Hz
+            // poller doesn't flood the trace with duplicate flow ends.
+            if self.last_seen.swap(e.seq, Ordering::SeqCst) != e.seq {
+                self.obs.on_recv(&format!("{}.recv", self.name), e.seq);
+            }
+        }
+        event
     }
 
-    /// The most recent payload on the stream.
-    pub fn latest(&self) -> Option<Arc<Event<T>>> {
-        self.latest_event()
+    /// The most recent event on the stream.
+    #[deprecated(since = "0.2.0", note = "alias of `latest`; call `latest` instead")]
+    pub fn latest_event(&self) -> Option<Arc<Event<T>>> {
+        self.latest()
     }
 
     /// Stream name.
@@ -200,6 +377,7 @@ impl<T> std::fmt::Debug for AsyncReader<T> {
 pub struct SyncReader<T> {
     rx: Receiver<Arc<Event<T>>>,
     name: String,
+    obs: TopicObs,
 }
 
 impl<T: Send + Sync> SyncReader<T> {
@@ -207,23 +385,33 @@ impl<T: Send + Sync> SyncReader<T> {
     /// empty.
     pub fn try_recv(&self) -> Option<Arc<Event<T>>> {
         match self.rx.try_recv() {
-            Ok(e) => Some(e),
+            Ok(e) => {
+                self.obs.on_recv(&format!("{}.recv", self.name), e.seq);
+                Some(e)
+            }
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
         }
     }
 
     /// Blocks until the next event arrives (live mode only).
     pub fn recv(&self) -> Option<Arc<Event<T>>> {
-        self.rx.recv().ok()
+        let event = self.rx.recv().ok();
+        if let Some(e) = &event {
+            self.obs.on_recv(&format!("{}.recv", self.name), e.seq);
+        }
+        event
     }
 
-    /// Drains all currently queued events.
+    /// Drains currently queued events lazily, without allocating.
+    /// Stops at the first empty poll, like [`SyncReader::drain`].
+    pub fn drain_iter(&self) -> DrainIter<'_, T> {
+        DrainIter { reader: self }
+    }
+
+    /// Drains all currently queued events into a `Vec`. Hot loops
+    /// should prefer [`SyncReader::drain_iter`].
     pub fn drain(&self) -> Vec<Arc<Event<T>>> {
-        let mut out = Vec::new();
-        while let Some(e) = self.try_recv() {
-            out.push(e);
-        }
-        out
+        self.drain_iter().collect()
     }
 
     /// Number of events currently queued.
@@ -248,51 +436,137 @@ impl<T> std::fmt::Debug for SyncReader<T> {
     }
 }
 
-/// The stream registry: hands out writers and readers for named, typed
+/// Lazy draining iterator over a [`SyncReader`]'s queued events, from
+/// [`SyncReader::drain_iter`].
+#[derive(Debug)]
+pub struct DrainIter<'a, T> {
+    reader: &'a SyncReader<T>,
+}
+
+impl<T: Send + Sync> Iterator for DrainIter<'_, T> {
+    type Item = Arc<Event<T>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.try_recv()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Lower bound 0: concurrent consumers may win the race.
+        (0, None)
+    }
+}
+
+/// The stream registry: hands out typed [`Topic`] handles for named
 /// streams. Cloning is cheap and all clones share the same streams.
 #[derive(Clone, Default)]
 pub struct Switchboard {
     topics: Arc<RwLock<HashMap<String, TopicEntry>>>,
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 /// A registered stream: the typed topic behind an `Any` for readers and
 /// writers, plus a type-erased counter view for [`Switchboard::stats`].
 struct TopicEntry {
     type_id: TypeId,
+    type_name: &'static str,
     topic: Arc<dyn Any + Send + Sync>,
     meta: Arc<dyn TopicMeta>,
 }
 
 impl Switchboard {
-    /// Creates an empty switchboard.
+    /// Creates an empty switchboard with observability disabled.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn topic<T: Send + Sync + 'static>(&self, name: &str) -> Arc<Topic<T>> {
+    /// Creates an empty switchboard that emits flow events through
+    /// `tracer` on every `put`/`recv` and per-topic publish-interval
+    /// histograms into `metrics`. Flow ids are seeded with the
+    /// tracer's scope, so per-session scoped tracers keep sessions
+    /// distinguishable.
+    pub fn with_obs(tracer: Tracer, metrics: Metrics) -> Self {
+        Self { topics: Arc::new(RwLock::new(HashMap::new())), tracer, metrics }
+    }
+
+    fn handle<T: Send + Sync + 'static>(&self, name: &str, state: Arc<TopicState<T>>) -> Topic<T> {
+        Topic {
+            state,
+            name: name.to_owned(),
+            obs: TopicObs {
+                tracer: self.tracer.clone(),
+                metrics: self.metrics.clone(),
+                flow_name: Arc::from(format!("{}{}", self.tracer.scope(), name)),
+            },
+        }
+    }
+
+    /// Returns a typed handle onto stream `name`, creating the stream
+    /// on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchboardError::TypeMismatch`] when the stream already
+    /// exists with a different payload type.
+    pub fn topic<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<Topic<T>, SwitchboardError> {
         // Fast path: topic exists.
         if let Some(entry) = self.topics.read().get(name) {
-            assert_eq!(
-                entry.type_id,
-                TypeId::of::<T>(),
-                "stream '{name}' already exists with a different payload type (requested {})",
-                type_name::<T>()
-            );
-            return entry.topic.clone().downcast::<Topic<T>>().expect("type id verified above");
+            return entry
+                .topic
+                .clone()
+                .downcast::<TopicState<T>>()
+                .map(|state| self.handle(name, state))
+                .map_err(|_| SwitchboardError::TypeMismatch {
+                    name: name.to_owned(),
+                    requested: type_name::<T>(),
+                    registered: entry.type_name,
+                });
         }
-        // Slow path: create it.
+        // Slow path: create it (another thread may have won the race).
         let mut topics = self.topics.write();
         let entry = topics.entry(name.to_owned()).or_insert_with(|| {
-            let topic = Arc::new(Topic::<T>::default());
-            TopicEntry { type_id: TypeId::of::<T>(), topic: topic.clone(), meta: topic }
+            let topic = Arc::new(TopicState::<T>::default());
+            TopicEntry {
+                type_id: TypeId::of::<T>(),
+                type_name: type_name::<T>(),
+                topic: topic.clone(),
+                meta: topic,
+            }
         });
-        assert_eq!(
-            entry.type_id,
-            TypeId::of::<T>(),
-            "stream '{name}' already exists with a different payload type (requested {})",
-            type_name::<T>()
-        );
-        entry.topic.clone().downcast::<Topic<T>>().expect("type id verified above")
+        if entry.type_id != TypeId::of::<T>() {
+            return Err(SwitchboardError::TypeMismatch {
+                name: name.to_owned(),
+                requested: type_name::<T>(),
+                registered: entry.type_name,
+            });
+        }
+        let state =
+            entry.topic.clone().downcast::<TopicState<T>>().expect("type id verified above");
+        Ok(self.handle(name, state))
+    }
+
+    /// Registers stream `name`, failing when it already exists — for
+    /// callers that own a stream and want double-registration caught.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchboardError::AlreadyRegistered`] when the stream exists
+    /// (with any payload type).
+    pub fn register_topic<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<Topic<T>, SwitchboardError> {
+        if self.topics.read().contains_key(name) {
+            return Err(SwitchboardError::AlreadyRegistered { name: name.to_owned() });
+        }
+        self.topic(name)
+    }
+
+    fn topic_or_panic<T: Send + Sync + 'static>(&self, name: &str) -> Topic<T> {
+        self.topic(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns a writer for stream `name` with payload type `T`.
@@ -300,8 +574,9 @@ impl Switchboard {
     /// # Panics
     ///
     /// Panics when the stream already exists with a different payload type.
+    #[deprecated(since = "0.2.0", note = "use `topic::<T>(name)?.writer()`")]
     pub fn writer<T: Send + Sync + 'static>(&self, name: &str) -> Writer<T> {
-        Writer { topic: self.topic(name), name: name.to_owned() }
+        self.topic_or_panic(name).writer()
     }
 
     /// Returns an asynchronous (latest-value) reader for stream `name`.
@@ -309,8 +584,9 @@ impl Switchboard {
     /// # Panics
     ///
     /// Panics when the stream already exists with a different payload type.
+    #[deprecated(since = "0.2.0", note = "use `topic::<T>(name)?.async_reader()`")]
     pub fn async_reader<T: Send + Sync + 'static>(&self, name: &str) -> AsyncReader<T> {
-        AsyncReader { topic: self.topic(name), name: name.to_owned() }
+        self.topic_or_panic(name).async_reader()
     }
 
     /// Returns a synchronous (every-value) reader for stream `name` with
@@ -320,16 +596,13 @@ impl Switchboard {
     ///
     /// Panics when the stream already exists with a different payload
     /// type, or `capacity` is zero.
+    #[deprecated(since = "0.2.0", note = "use `topic::<T>(name)?.sync_reader(capacity)`")]
     pub fn sync_reader<T: Send + Sync + 'static>(
         &self,
         name: &str,
         capacity: usize,
     ) -> SyncReader<T> {
-        assert!(capacity > 0, "sync reader capacity must be positive");
-        let topic = self.topic::<T>(name);
-        let (tx, rx) = bounded(capacity);
-        topic.subscribers.lock().push(tx);
-        SyncReader { rx, name: name.to_owned() }
+        self.topic_or_panic(name).sync_reader(capacity)
     }
 
     /// Names of all streams created so far (sorted).
@@ -340,8 +613,8 @@ impl Switchboard {
     }
 
     /// Point-in-time counters for every stream, sorted by name: events
-    /// published, events dropped to back-pressure, and live synchronous
-    /// subscriptions.
+    /// published, events dropped to back-pressure, live synchronous
+    /// subscriptions, and total queued events.
     pub fn stats(&self) -> Vec<TopicStats> {
         let mut stats: Vec<TopicStats> = self
             .topics
@@ -352,6 +625,7 @@ impl Switchboard {
                 seq: entry.meta.seq(),
                 dropped: entry.meta.dropped(),
                 subscribers: entry.meta.subscribers(),
+                queue_depth: entry.meta.queue_depth(),
             })
             .collect();
         stats.sort_by(|a, b| a.name.cmp(&b.name));
@@ -369,11 +643,16 @@ impl std::fmt::Debug for Switchboard {
 mod tests {
     use super::*;
 
+    fn topic<T: Send + Sync + 'static>(sb: &Switchboard, name: &str) -> Topic<T> {
+        sb.topic::<T>(name).expect("topic")
+    }
+
     #[test]
     fn async_reader_sees_latest_only() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
-        let r = sb.async_reader::<u32>("s");
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r = t.async_reader();
         assert!(r.latest().is_none());
         w.put(1);
         w.put(2);
@@ -383,8 +662,9 @@ mod tests {
     #[test]
     fn sync_reader_sees_every_value_in_order() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
-        let r = sb.sync_reader::<u32>("s", 16);
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r = t.sync_reader(16);
         for i in 0..5 {
             w.put(i);
         }
@@ -393,11 +673,30 @@ mod tests {
     }
 
     #[test]
+    fn drain_iter_is_lazy_and_complete() {
+        let sb = Switchboard::new();
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r = t.sync_reader(16);
+        for i in 0..5 {
+            w.put(i);
+        }
+        let mut it = r.drain_iter();
+        assert_eq!(**it.next().unwrap(), 0);
+        // Events published mid-drain are still observed (lazy pull).
+        w.put(99);
+        let rest: Vec<u32> = it.map(|e| e.data).collect();
+        assert_eq!(rest, vec![1, 2, 3, 4, 99]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn sync_reader_only_sees_events_after_subscription() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
         w.put(99);
-        let r = sb.sync_reader::<u32>("s", 4);
+        let r = t.sync_reader(4);
         assert!(r.try_recv().is_none());
         w.put(1);
         assert_eq!(**r.try_recv().unwrap(), 1);
@@ -406,9 +705,10 @@ mod tests {
     #[test]
     fn bounded_queue_drops_for_slow_consumer_but_latest_works() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
-        let r = sb.sync_reader::<u32>("s", 2);
-        let latest = sb.async_reader::<u32>("s");
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r = t.sync_reader(2);
+        let latest = t.async_reader();
         for i in 0..10 {
             w.put(i);
         }
@@ -421,8 +721,9 @@ mod tests {
     #[test]
     fn dropped_count_tracks_backpressure() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
-        let _r = sb.sync_reader::<u32>("s", 2);
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let _r = t.sync_reader(2);
         for i in 0..10 {
             w.put(i);
         }
@@ -433,8 +734,9 @@ mod tests {
     #[test]
     fn events_have_sequence_numbers() {
         let sb = Switchboard::new();
-        let w = sb.writer::<&str>("s");
-        let r = sb.sync_reader::<&str>("s", 4);
+        let t = topic::<&str>(&sb, "s");
+        let w = t.writer();
+        let r = t.sync_reader(4);
         w.put("a");
         w.put("b");
         assert_eq!(r.try_recv().unwrap().seq, 0);
@@ -444,27 +746,84 @@ mod tests {
     #[test]
     fn multiple_subscribers_all_receive() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
-        let r1 = sb.sync_reader::<u32>("s", 4);
-        let r2 = sb.sync_reader::<u32>("s", 4);
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r1 = t.sync_reader(4);
+        let r2 = t.sync_reader(4);
         w.put(7);
         assert_eq!(**r1.try_recv().unwrap(), 7);
         assert_eq!(**r2.try_recv().unwrap(), 7);
     }
 
     #[test]
-    #[should_panic(expected = "different payload type")]
-    fn type_mismatch_panics() {
+    fn type_mismatch_is_an_error_not_a_panic() {
         let sb = Switchboard::new();
-        let _w = sb.writer::<u32>("s");
+        let _t = topic::<u32>(&sb, "s");
+        match sb.topic::<f64>("s") {
+            Err(SwitchboardError::TypeMismatch { name, requested, registered }) => {
+                assert_eq!(name, "s");
+                assert!(requested.contains("f64"), "requested {requested}");
+                assert!(registered.contains("u32"), "registered {registered}");
+            }
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_topic_rejects_duplicates() {
+        let sb = Switchboard::new();
+        assert!(sb.register_topic::<u32>("s").is_ok());
+        assert_eq!(
+            sb.register_topic::<u32>("s").unwrap_err(),
+            SwitchboardError::AlreadyRegistered { name: "s".to_owned() }
+        );
+        // A plain typed handle is still fine.
+        assert!(sb.topic::<u32>("s").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "different payload type")]
+    fn deprecated_wrapper_still_panics_on_type_mismatch() {
+        let sb = Switchboard::new();
+        let _t = topic::<u32>(&sb, "s");
+        #[allow(deprecated)]
         let _r = sb.async_reader::<f64>("s");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_typed_handles() {
+        // The stringly methods must address exactly the streams that
+        // Topic handles do: a value published through the deprecated
+        // writer is seen by typed-handle readers and vice versa.
+        let sb = Switchboard::new();
+        let legacy_w = sb.writer::<u32>("s");
+        let t = topic::<u32>(&sb, "s");
+        let typed_r = t.sync_reader(8);
+        let legacy_r = sb.sync_reader::<u32>("s", 8);
+        let typed_w = t.writer();
+
+        legacy_w.put(1);
+        typed_w.put(2);
+
+        let via_typed: Vec<u32> = typed_r.drain().iter().map(|e| e.data).collect();
+        let via_legacy: Vec<u32> = legacy_r.drain().iter().map(|e| e.data).collect();
+        assert_eq!(via_typed, vec![1, 2]);
+        assert_eq!(via_legacy, via_typed);
+        assert_eq!(sb.async_reader::<u32>("s").latest().unwrap().seq, 1);
+        assert_eq!(t.async_reader().latest().unwrap().seq, 1);
+        assert_eq!(legacy_w.count(), typed_w.count());
+        // latest_event is a deprecated alias of latest.
+        let ar = t.async_reader();
+        assert_eq!(ar.latest_event().unwrap().seq, ar.latest().unwrap().seq);
     }
 
     #[test]
     fn cross_thread_delivery() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("s");
-        let r = sb.sync_reader::<u32>("s", 64);
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r = t.sync_reader(64);
         let handle = std::thread::spawn(move || {
             for i in 0..32 {
                 w.put(i);
@@ -477,10 +836,11 @@ mod tests {
     #[test]
     fn stats_report_per_stream_counters() {
         let sb = Switchboard::new();
-        let w = sb.writer::<u32>("imu");
-        let _fast = sb.sync_reader::<u32>("imu", 2);
-        let _slow = sb.sync_reader::<u32>("imu", 64);
-        let _other = sb.writer::<&str>("camera");
+        let t = topic::<u32>(&sb, "imu");
+        let w = t.writer();
+        let _fast = t.sync_reader(2);
+        let _slow = t.sync_reader(64);
+        let _other = topic::<&str>(&sb, "camera");
         for i in 0..10 {
             w.put(i);
         }
@@ -493,13 +853,79 @@ mod tests {
         assert_eq!(imu.seq, 10);
         assert_eq!(imu.dropped, 8); // capacity-2 reader missed 8 of 10
         assert_eq!(imu.subscribers, 2);
+        // 2 queued in the capacity-2 reader + 10 in the capacity-64 one.
+        assert_eq!(imu.queue_depth, 12);
+    }
+
+    #[test]
+    fn queue_depth_falls_as_events_are_consumed() {
+        let sb = Switchboard::new();
+        let t = topic::<u32>(&sb, "s");
+        let w = t.writer();
+        let r = t.sync_reader(8);
+        for i in 0..4 {
+            w.put(i);
+        }
+        assert_eq!(sb.stats()[0].queue_depth, 4);
+        let _ = r.try_recv();
+        let _ = r.try_recv();
+        assert_eq!(sb.stats()[0].queue_depth, 2);
     }
 
     #[test]
     fn stream_names_listed() {
         let sb = Switchboard::new();
-        let _ = sb.writer::<u32>("b");
-        let _ = sb.writer::<u32>("a");
+        let _ = topic::<u32>(&sb, "b");
+        let _ = topic::<u32>(&sb, "a");
         assert_eq!(sb.stream_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn obs_switchboard_emits_paired_flow_events() {
+        use crate::clock::SimClock;
+        use crate::obs::tracer_for;
+        use crate::time::Time;
+
+        let clock = Arc::new(SimClock::new());
+        let tracer = tracer_for(clock.clone());
+        let sb = Switchboard::with_obs(tracer.scoped("s0/"), Metrics::new());
+        let t = topic::<u32>(&sb, "imu");
+        let w = t.writer();
+        let r = t.sync_reader(8);
+        clock.advance_to(Time::from_micros(10));
+        w.put(7);
+        clock.advance_to(Time::from_micros(25));
+        let _ = r.try_recv();
+
+        let flows = tracer.flows();
+        assert_eq!(flows.len(), 2);
+        let begin = flows.iter().find(|f| f.phase == FlowPhase::Begin).unwrap();
+        let end = flows.iter().find(|f| f.phase == FlowPhase::End).unwrap();
+        assert_eq!(begin.id, end.id);
+        assert_eq!(begin.id, flow_id("s0/imu", 0));
+        assert_eq!(begin.track, "s0/imu");
+        assert_eq!(end.track, "s0/imu.recv");
+        assert_eq!((begin.at_ns, end.at_ns), (10_000, 25_000));
+    }
+
+    #[test]
+    fn async_reader_reports_each_event_once() {
+        use crate::clock::SimClock;
+        use crate::obs::tracer_for;
+
+        let clock = Arc::new(SimClock::new());
+        let tracer = tracer_for(clock);
+        let sb = Switchboard::with_obs(tracer.clone(), Metrics::disabled());
+        let t = topic::<u32>(&sb, "pose");
+        let w = t.writer();
+        let r = t.async_reader();
+        w.put(1);
+        let _ = r.latest();
+        let _ = r.latest();
+        let _ = r.latest();
+        w.put(2);
+        let _ = r.latest();
+        let ends = tracer.flows().iter().filter(|f| f.phase == FlowPhase::End).count();
+        assert_eq!(ends, 2);
     }
 }

@@ -84,6 +84,15 @@ pub fn spawn_threadloop(
                 let end_t = ctx.clock.now();
                 let release_t = Time::from_nanos((period * k as u32).as_nanos() as u64);
                 if report.did_work {
+                    ctx.tracer.record_span(
+                        plugin.name(),
+                        plugin.name(),
+                        start_t.as_nanos(),
+                        end_t.as_nanos(),
+                    );
+                    if ctx.metrics.is_enabled() {
+                        ctx.metrics.record(&format!("exec.{}", plugin.name()), cpu);
+                    }
                     ctx.telemetry.log(
                         plugin.name(),
                         FrameRecord {
@@ -125,10 +134,10 @@ mod tests {
             "ticker"
         }
         fn start(&mut self, ctx: &PluginContext) {
-            let _ = ctx.switchboard.writer::<u64>("ticks");
+            let _ = ctx.switchboard.topic::<u64>("ticks").unwrap();
         }
         fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
-            ctx.switchboard.writer::<u64>("ticks").put(1);
+            ctx.switchboard.topic::<u64>("ticks").unwrap().writer().put(1);
             IterationReport::nominal()
         }
     }
@@ -136,7 +145,7 @@ mod tests {
     #[test]
     fn threadloop_runs_at_period_and_stops() {
         let ctx = PluginContext::new(Arc::new(WallClock::new()));
-        let reader = ctx.switchboard.sync_reader::<u64>("ticks", 1024);
+        let reader = ctx.switchboard.topic::<u64>("ticks").unwrap().sync_reader(1024);
         let handle = spawn_threadloop(Box::new(Ticker), ctx.clone(), Duration::from_millis(5));
         std::thread::sleep(Duration::from_millis(120));
         handle.stop();

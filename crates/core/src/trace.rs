@@ -79,7 +79,10 @@ impl<T: Clone + Send + Sync + 'static> StreamRecorder<T> {
         capacity: usize,
     ) -> Self {
         Self {
-            reader: switchboard.sync_reader::<T>(stream, capacity),
+            reader: switchboard
+                .topic::<T>(stream)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .sync_reader(capacity),
             clock,
             trace: Mutex::new(StreamTrace { stream: stream.to_owned(), events: Vec::new() }),
         }
@@ -91,7 +94,7 @@ impl<T: Clone + Send + Sync + 'static> StreamRecorder<T> {
         let now = self.clock.now();
         let mut trace = self.trace.lock();
         let mut n = 0;
-        while let Some(e) = self.reader.try_recv() {
+        for e in self.reader.drain_iter() {
             trace.events.push(TracedEvent { captured_at: now, seq: e.seq, data: e.data.clone() });
             n += 1;
         }
@@ -130,7 +133,10 @@ impl<T: Clone + Send + Sync + 'static> TraceReplayer<T> {
     /// trace's original stream name.
     pub fn new(switchboard: &Switchboard, trace: StreamTrace<T>) -> Self {
         Self {
-            writer: switchboard.writer::<T>(&trace.stream),
+            writer: switchboard
+                .topic::<T>(&trace.stream)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .writer(),
             events: trace.events,
             next: 0,
             offset: std::time::Duration::ZERO,
@@ -186,7 +192,7 @@ mod tests {
         let sb = Switchboard::new();
         let clock = SimClock::new();
         let recorder = StreamRecorder::<u32>::start(&sb, Arc::new(clock.clone()), "imu", 64);
-        let writer = sb.writer::<u32>("imu");
+        let writer = sb.topic::<u32>("imu").unwrap().writer();
         clock.advance_to(Time::from_millis(2));
         writer.put(10);
         writer.put(11);
@@ -208,7 +214,7 @@ mod tests {
         let clock_a = SimClock::new();
         let recorder =
             StreamRecorder::<&'static str>::start(&sb_a, Arc::new(clock_a.clone()), "camera", 16);
-        let writer = sb_a.writer::<&'static str>("camera");
+        let writer = sb_a.topic::<&'static str>("camera").unwrap().writer();
         for (ms, v) in [(0u64, "f0"), (66, "f1"), (133, "f2")] {
             clock_a.advance_to(Time::from_millis(ms));
             writer.put(v);
@@ -218,7 +224,7 @@ mod tests {
 
         // Replay into system B (a component under study in isolation).
         let sb_b = Switchboard::new();
-        let consumer = sb_b.sync_reader::<&'static str>("camera", 16);
+        let consumer = sb_b.topic::<&'static str>("camera").unwrap().sync_reader(16);
         let mut replayer = TraceReplayer::new(&sb_b, trace);
         assert_eq!(replayer.pump(Time::from_millis(0)), 1);
         assert_eq!(consumer.drain().len(), 1);
@@ -236,7 +242,7 @@ mod tests {
             stream: "s".into(),
             events: vec![TracedEvent { captured_at: Time::from_millis(10), seq: 0, data: 1u32 }],
         };
-        let reader = sb.sync_reader::<u32>("s", 4);
+        let reader = sb.topic::<u32>("s").unwrap().sync_reader(4);
         let mut replayer =
             TraceReplayer::new(&sb, trace).with_offset(std::time::Duration::from_millis(100));
         assert_eq!(replayer.pump(Time::from_millis(10)), 0);

@@ -58,7 +58,8 @@ impl Plugin for EyeTrackingPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.writer = Some(ctx.switchboard.writer::<BinocularGaze>(GAZE_STREAM));
+        self.writer =
+            Some(ctx.switchboard.topic::<BinocularGaze>(GAZE_STREAM).expect("stream").writer());
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -97,7 +98,8 @@ mod tests {
     fn plugin_publishes_gaze_tracking_truth() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let reader = ctx.switchboard.async_reader::<BinocularGaze>(GAZE_STREAM);
+        let reader =
+            ctx.switchboard.topic::<BinocularGaze>(GAZE_STREAM).expect("stream").async_reader();
         let mut plugin = EyeTrackingPlugin::new();
         plugin.start(&ctx);
         clock.advance_to(Time::from_millis(800));
@@ -114,7 +116,8 @@ mod tests {
     fn gaze_follows_motion_over_time() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let reader = ctx.switchboard.sync_reader::<BinocularGaze>(GAZE_STREAM, 16);
+        let reader =
+            ctx.switchboard.topic::<BinocularGaze>(GAZE_STREAM).expect("stream").sync_reader(16);
         let mut plugin = EyeTrackingPlugin::new();
         plugin.start(&ctx);
         for k in 0..5 {

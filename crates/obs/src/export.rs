@@ -1,0 +1,230 @@
+//! Deterministic exporters: Chrome Trace Event JSON and metrics CSV.
+//!
+//! The JSON follows the Trace Event Format that both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! understand: one process (`pid` 1), one thread row per track,
+//! complete slices (`ph: "X"`), counter series (`ph: "C"`), and flow
+//! arrows (`ph: "s"` / `ph: "f"`). Timestamps are microseconds with
+//! fixed three-decimal formatting.
+//!
+//! Determinism contract: tracks are assigned `tid`s in sorted-name
+//! order, every event section is sorted on stable keys, numbers are
+//! formatted with fixed integer arithmetic (no locale, no float
+//! printing for times), so two runs with identical inputs produce
+//! byte-identical files.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::metrics::Metrics;
+use crate::span::{FlowPhase, Tracer};
+
+/// Nanoseconds → Trace-Event microseconds with exactly three decimals.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders everything the tracer recorded as a Chrome/Perfetto
+/// `trace.json` document.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut spans = tracer.spans();
+    let mut flows = tracer.flows();
+    let mut counters = tracer.counters();
+
+    let mut tracks: Vec<String> = spans
+        .iter()
+        .map(|s| s.track.clone())
+        .chain(flows.iter().map(|f| f.track.clone()))
+        .chain(counters.iter().map(|c| c.track.clone()))
+        .collect();
+    tracks.sort();
+    tracks.dedup();
+    let tid = |track: &str| tracks.binary_search_by(|t| t.as_str().cmp(track)).unwrap() + 1;
+
+    spans.sort_by(|a, b| {
+        (a.start_ns, &a.track, a.end_ns, &a.name).cmp(&(b.start_ns, &b.track, b.end_ns, &b.name))
+    });
+    flows.sort_by(|a, b| {
+        (a.at_ns, a.id, a.phase, &a.track).cmp(&(b.at_ns, b.id, b.phase, &b.track))
+    });
+    counters.sort_by(|a, b| (a.at_ns, &a.track, &a.name).cmp(&(b.at_ns, &b.track, &b.name)));
+
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        r#"{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"illixr"}}"#.to_string(),
+    );
+    for (i, track) in tracks.iter().enumerate() {
+        let t = i + 1;
+        events.push(format!(
+            r#"{{"ph":"M","pid":1,"tid":{t},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            json_escape(track)
+        ));
+        events.push(format!(
+            r#"{{"ph":"M","pid":1,"tid":{t},"name":"thread_sort_index","args":{{"sort_index":{t}}}}}"#
+        ));
+    }
+    for s in &spans {
+        let mut args = String::new();
+        for (i, (k, v)) in s.args.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, r#""{}":"{}""#, json_escape(k), json_escape(v));
+        }
+        events.push(format!(
+            r#"{{"ph":"X","pid":1,"tid":{},"ts":{},"dur":{},"name":"{}","args":{{{args}}}}}"#,
+            tid(&s.track),
+            fmt_us(s.start_ns),
+            fmt_us(s.end_ns - s.start_ns),
+            json_escape(&s.name),
+        ));
+    }
+    for c in &counters {
+        events.push(format!(
+            r#"{{"ph":"C","pid":1,"tid":{},"ts":{},"name":"{}","args":{{"value":{}}}}}"#,
+            tid(&c.track),
+            fmt_us(c.at_ns),
+            json_escape(&c.name),
+            c.value,
+        ));
+    }
+    for f in &flows {
+        let (ph, bind) = match f.phase {
+            FlowPhase::Begin => ("s", ""),
+            FlowPhase::End => ("f", r#","bp":"e""#),
+        };
+        events.push(format!(
+            r#"{{"ph":"{ph}"{bind},"pid":1,"tid":{},"ts":{},"cat":"flow","id":"0x{:016x}","name":"{}"}}"#,
+            tid(&f.track),
+            fmt_us(f.at_ns),
+            f.id,
+            json_escape(&f.name),
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders the metrics registry as CSV: one `hist` row per histogram
+/// (count, quantiles, max, mean) and one `gauge` row per gauge.
+pub fn metrics_csv(metrics: &Metrics) -> String {
+    let mut out = String::from("kind,name,count,p50_ns,p90_ns,p99_ns,max_ns,mean_ns,value\n");
+    for (name, s) in metrics.snapshots() {
+        let _ = writeln!(
+            out,
+            "hist,{name},{},{},{},{},{},{},",
+            s.count,
+            s.p50_ns,
+            s.p90_ns,
+            s.p99_ns,
+            s.max_ns,
+            s.mean_ns()
+        );
+    }
+    for (name, v) in metrics.gauges() {
+        let _ = writeln!(out, "gauge,{name},,,,,,,{v}");
+    }
+    out
+}
+
+/// Writes `<stem>.trace.json` and `<stem>.metrics.csv` under `dir`
+/// (created if missing) and returns both paths.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing
+/// either file.
+pub fn write_artifacts(
+    dir: &Path,
+    stem: &str,
+    tracer: &Tracer,
+    metrics: &Metrics,
+) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let trace_path = dir.join(format!("{stem}.trace.json"));
+    let csv_path = dir.join(format!("{stem}.metrics.csv"));
+    std::fs::write(&trace_path, chrome_trace_json(tracer))?;
+    std::fs::write(&csv_path, metrics_csv(metrics))?;
+    Ok((trace_path, csv_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{flow_id, NowSource};
+    use std::sync::Arc;
+
+    struct Zero;
+    impl NowSource for Zero {
+        fn now_ns(&self) -> u64 {
+            0
+        }
+    }
+
+    fn sample_tracer() -> Tracer {
+        let t = Tracer::new(Arc::new(Zero));
+        t.record_span_args("vio", "msckf", 1_000, 3_500, &[("features", "40".into())]);
+        t.scoped("s1/").record_span("warp", "reproject", 4_000, 4_250);
+        t.flow("imu", "imu", flow_id("imu", 7), 1_200, FlowPhase::Begin);
+        t.flow("vio", "imu", flow_id("imu", 7), 1_400, FlowPhase::End);
+        t.counter("uplink", "queue_depth", 2_000, 3.0);
+        t
+    }
+
+    #[test]
+    fn trace_json_is_deterministic_and_well_formed() {
+        let a = chrome_trace_json(&sample_tracer());
+        let b = chrome_trace_json(&sample_tracer());
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\":[\n"));
+        assert!(a.contains(r#""ph":"X""#) && a.contains(r#""ph":"s""#));
+        assert!(a.contains(r#""ph":"f","bp":"e""#) && a.contains(r#""ph":"C""#));
+        assert!(a.contains(r#""name":"s1/warp""#), "scoped track missing:\n{a}");
+        assert!(a.contains(r#""ts":1.000,"dur":2.500"#), "fixed-point ts missing:\n{a}");
+        // Flow begin and end share one id.
+        let id = format!("0x{:016x}", flow_id("imu", 7));
+        assert_eq!(a.matches(&id).count(), 2);
+    }
+
+    #[test]
+    fn metrics_csv_lists_hists_then_gauges() {
+        let m = Metrics::new();
+        m.record_ns("exec.vio", 2_000);
+        m.record_ns("exec.vio", 2_000);
+        m.set_gauge("sessions", 4.0);
+        let csv = metrics_csv(&m);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,count,p50_ns,p90_ns,p99_ns,max_ns,mean_ns,value");
+        assert_eq!(lines[1], "hist,exec.vio,2,2000,2000,2000,2000,2000,");
+        assert_eq!(lines[2], "gauge,sessions,,,,,,,4");
+        assert_eq!(metrics_csv(&m), csv);
+    }
+}

@@ -1,0 +1,141 @@
+//! Named-histogram and gauge registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+
+struct MetricsInner {
+    hists: Mutex<BTreeMap<String, LatencyHistogram>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+/// Cheap-to-clone registry of latency histograms and scalar gauges,
+/// keyed by dotted names (`exec.vio`, `mtp.total`,
+/// `topic.imu.dropped`). A registry built with [`Metrics::disabled`]
+/// ignores every record after a single branch.
+///
+/// Names sort lexicographically in the exported CSV (the registry is a
+/// `BTreeMap`), which is part of the determinism contract.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<MetricsInner>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Metrics {
+    /// A registry that records nothing (the [`Default`]).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(MetricsInner {
+                hists: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// True when records are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds one sample to the named histogram (created on first use).
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut hists = inner.hists.lock();
+            if let Some(h) = hists.get_mut(name) {
+                h.record_ns(ns);
+            } else {
+                let mut h = LatencyHistogram::new();
+                h.record_ns(ns);
+                hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// [`Metrics::record_ns`] taking a [`Duration`].
+    pub fn record(&self, name: &str, d: Duration) {
+        self.record_ns(name, d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Sets (overwrites) the named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges.lock().insert(name.to_string(), value);
+        }
+    }
+
+    /// Snapshot of one histogram, if it exists.
+    pub fn snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner.as_ref()?.hists.lock().get(name).map(LatencyHistogram::snapshot)
+    }
+
+    /// Snapshots of every histogram, in name order.
+    pub fn snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.hists.lock().iter().map(|(n, h)| (n.clone(), h.snapshot())).collect()
+        })
+    }
+
+    /// Every gauge, in name order.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.gauges.lock().iter().map(|(n, v)| (n.clone(), *v)).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_ignores_records() {
+        let m = Metrics::disabled();
+        m.record_ns("x", 5);
+        m.set_gauge("g", 1.0);
+        assert!(m.snapshots().is_empty() && m.gauges().is_empty());
+        assert!(m.snapshot("x").is_none());
+    }
+
+    #[test]
+    fn histograms_accumulate_per_name() {
+        let m = Metrics::new();
+        m.record_ns("exec.vio", 1_000);
+        m.record_ns("exec.vio", 1_000);
+        m.record_ns("exec.warp", 2_000);
+        assert_eq!(m.snapshot("exec.vio").unwrap().count, 2);
+        assert_eq!(m.snapshot("exec.warp").unwrap().count, 1);
+        let names: Vec<String> = m.snapshots().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["exec.vio", "exec.warp"]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::new();
+        m.set_gauge("sessions", 4.0);
+        m.set_gauge("sessions", 8.0);
+        assert_eq!(m.gauges(), vec![("sessions".to_string(), 8.0)]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.record_ns("a", 1);
+        assert_eq!(m.snapshot("a").unwrap().count, 1);
+    }
+}

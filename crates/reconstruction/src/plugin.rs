@@ -69,7 +69,8 @@ impl Plugin for SceneReconstructionPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.writer = Some(ctx.switchboard.writer::<SceneUpdate>(SCENE_STREAM));
+        self.writer =
+            Some(ctx.switchboard.topic::<SceneUpdate>(SCENE_STREAM).expect("stream").writer());
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -104,7 +105,8 @@ mod tests {
     fn plugin_publishes_scene_updates_with_growing_map() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let reader = ctx.switchboard.sync_reader::<SceneUpdate>(SCENE_STREAM, 64);
+        let reader =
+            ctx.switchboard.topic::<SceneUpdate>(SCENE_STREAM).expect("stream").sync_reader(64);
         let cam = PinholeCamera { fx: 60.0, fy: 60.0, cx: 32.0, cy: 24.0, width: 64, height: 48 };
         let world = Arc::new(LandmarkWorld::new(60, Vec3::new(4.0, 2.5, 4.0), 2));
         let mut plugin =

@@ -78,8 +78,15 @@ impl Plugin for ApplicationPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.pose_reader = Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE));
-        self.frame_writer = Some(ctx.switchboard.writer::<RenderedFrame>(EYEBUFFER_STREAM));
+        self.pose_reader = Some(
+            ctx.switchboard
+                .topic::<PoseEstimate>(streams::FAST_POSE)
+                .expect("stream")
+                .async_reader(),
+        );
+        self.frame_writer = Some(
+            ctx.switchboard.topic::<RenderedFrame>(EYEBUFFER_STREAM).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -131,8 +138,13 @@ mod tests {
     fn renders_and_submits_stereo_frames() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let frames = ctx.switchboard.sync_reader::<RenderedFrame>(EYEBUFFER_STREAM, 8);
-        let pose_writer = ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE);
+        let frames = ctx
+            .switchboard
+            .topic::<RenderedFrame>(EYEBUFFER_STREAM)
+            .expect("stream")
+            .sync_reader(8);
+        let pose_writer =
+            ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer();
         let mut plugin = ApplicationPlugin::new(Application::ArDemo, 1, 64, 64);
         plugin.start(&ctx);
         pose_writer.put(PoseEstimate {
@@ -154,7 +166,11 @@ mod tests {
     #[test]
     fn renders_identity_pose_before_tracking() {
         let ctx = PluginContext::new(Arc::new(SimClock::new()));
-        let frames = ctx.switchboard.sync_reader::<RenderedFrame>(EYEBUFFER_STREAM, 8);
+        let frames = ctx
+            .switchboard
+            .topic::<RenderedFrame>(EYEBUFFER_STREAM)
+            .expect("stream")
+            .sync_reader(8);
         let mut plugin = ApplicationPlugin::new(Application::Platformer, 2, 48, 48);
         plugin.start(&ctx);
         plugin.iterate(&ctx);

@@ -50,7 +50,8 @@ impl Plugin for SyntheticCameraPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.writer = Some(ctx.switchboard.writer::<StereoFrame>(streams::CAMERA));
+        self.writer =
+            Some(ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").writer());
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -84,7 +85,8 @@ impl Plugin for SyntheticImuPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.writer = Some(ctx.switchboard.writer::<ImuSample>(streams::IMU));
+        self.writer =
+            Some(ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").writer());
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
@@ -126,8 +128,10 @@ impl Plugin for OfflineImuCameraPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.imu_writer = Some(ctx.switchboard.writer::<ImuSample>(streams::IMU));
-        self.cam_writer = Some(ctx.switchboard.writer::<StereoFrame>(streams::CAMERA));
+        self.imu_writer =
+            Some(ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").writer());
+        self.cam_writer =
+            Some(ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").writer());
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -182,7 +186,8 @@ mod tests {
     #[test]
     fn synthetic_camera_publishes_frames() {
         let (ctx, clock) = sim_ctx();
-        let reader = ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 16);
+        let reader =
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(16);
         let world = Arc::new(LandmarkWorld::new(50, illixr_math::Vec3::new(3.0, 2.0, 3.0), 1));
         let rig = StereoRig::zed_mini(PinholeCamera::qvga());
         let mut plugin = SyntheticCameraPlugin::new(Trajectory::walking(1), world, rig);
@@ -197,7 +202,8 @@ mod tests {
     #[test]
     fn synthetic_imu_publishes_at_fixed_cadence() {
         let (ctx, _clock) = sim_ctx();
-        let reader = ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 64);
+        let reader =
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(64);
         let mut plugin =
             SyntheticImuPlugin::new(Trajectory::walking(2), ImuNoise::default(), 500.0, 2);
         plugin.start(&ctx);
@@ -212,8 +218,10 @@ mod tests {
     #[test]
     fn offline_player_is_stream_compatible() {
         let (ctx, clock) = sim_ctx();
-        let imu_reader = ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 4096);
-        let cam_reader = ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 64);
+        let imu_reader =
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(4096);
+        let cam_reader =
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(64);
         let ds = Arc::new(SyntheticDataset::generate(
             Trajectory::walking(3),
             LandmarkWorld::new(40, illixr_math::Vec3::new(3.0, 2.0, 3.0), 3),

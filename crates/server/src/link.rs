@@ -92,11 +92,7 @@ pub struct DirectionStats {
 impl DirectionStats {
     /// Mean queueing delay per transfer.
     pub fn mean_queue_delay(&self) -> Duration {
-        if self.transfers == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.queue_delay_ns / self.transfers)
-        }
+        Duration::from_nanos(self.queue_delay_ns.checked_div(self.transfers).unwrap_or(0))
     }
 }
 

@@ -63,6 +63,17 @@ impl SchedulerStats {
     }
 }
 
+/// Where one batch landed: the worker index and its execution window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlacement {
+    /// Index of the worker that ran the batch.
+    pub worker: usize,
+    /// When the worker picked the batch up (`>=` arrival).
+    pub start: Time,
+    /// Batch completion time.
+    pub end: Time,
+}
+
 /// The worker pool.
 #[derive(Debug)]
 pub struct BatchScheduler {
@@ -93,6 +104,13 @@ impl BatchScheduler {
     /// is deterministic) and returns the batch completion time. All
     /// jobs in the batch complete together.
     pub fn schedule_batch(&mut self, now: Time, jobs: usize) -> Time {
+        self.schedule_batch_placed(now, jobs).end
+    }
+
+    /// [`BatchScheduler::schedule_batch`] exposing the full placement —
+    /// which worker ran the batch and when it started — so callers can
+    /// record per-worker execution spans.
+    pub fn schedule_batch_placed(&mut self, now: Time, jobs: usize) -> BatchPlacement {
         assert!(jobs > 0, "cannot schedule an empty batch");
         let worker = self
             .free_at
@@ -110,7 +128,7 @@ impl BatchScheduler {
         self.stats.max_batch = self.stats.max_batch.max(jobs as u64);
         self.stats.busy_ns += cost.as_nanos() as u64;
         self.stats.wait_ns += (start - now).as_nanos() as u64;
-        end
+        BatchPlacement { worker, start, end }
     }
 
     /// Fraction of pool capacity used over a horizon.

@@ -68,6 +68,11 @@ pub struct ServerConfig {
     /// server returns ground-truth poses — the cheap mode unit tests
     /// and admission studies use.
     pub real_vio: bool,
+    /// Record spans, flow events and histograms for the whole run
+    /// ([`ServerReport::tracer`] / [`ServerReport::metrics`]). All
+    /// timestamps come from the shared simulated clock, so traces are
+    /// bit-identical across identically-configured runs.
+    pub trace: bool,
 }
 
 impl ServerConfig {
@@ -93,7 +98,14 @@ impl ServerConfig {
             request_bytes: 64,
             token_bytes: 50_000,
             real_vio: false,
+            trace: false,
         }
+    }
+
+    /// Enables span/flow tracing and histogram metrics for this run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 }
 
@@ -206,6 +218,14 @@ pub struct ServerReport {
     pub pool_utilization: f64,
     /// Simulated run length.
     pub duration: Duration,
+    /// Span/flow recorder (disabled unless [`ServerConfig::trace`]).
+    /// Per-session tracks are scoped `s{id}/…`; server-side tracks are
+    /// `vio_pool/w{i}`, `render/s{id}` and the `link` counters.
+    pub tracer: illixr_core::obs::Tracer,
+    /// Histogram/gauge registry (disabled unless
+    /// [`ServerConfig::trace`]): `mtp.*` per-stage decompositions,
+    /// `vio_pool.*` batch latencies and per-topic switchboard gauges.
+    pub metrics: illixr_core::obs::Metrics,
 }
 
 impl ServerReport {
@@ -234,11 +254,7 @@ impl ServerReport {
         let (sum, n) = self.sessions.iter().fold((0u64, 0u64), |(s, n), r| {
             (s + r.telemetry.mtp_ns.iter().sum::<u64>(), n + r.telemetry.mtp_ns.len() as u64)
         });
-        if n == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(sum / n)
-        }
+        Duration::from_nanos(sum.checked_div(n).unwrap_or(0))
     }
 
     /// 99th-percentile MTP across all sessions (nearest-rank).
@@ -349,6 +365,8 @@ pub struct MultiSessionServer {
     heap: BinaryHeap<Event>,
     next_seq: u64,
     pending_jobs: Vec<VioJob>,
+    tracer: illixr_core::obs::Tracer,
+    metrics: illixr_core::obs::Metrics,
 }
 
 impl MultiSessionServer {
@@ -356,11 +374,24 @@ impl MultiSessionServer {
     pub fn new(config: ServerConfig) -> Self {
         let clock = SimClock::new();
         let clock_arc: Arc<SimClock> = Arc::new(clock.clone());
+        let (tracer, metrics) = if config.trace {
+            (illixr_core::obs::tracer_for(clock_arc.clone()), illixr_core::obs::Metrics::new())
+        } else {
+            (illixr_core::obs::Tracer::disabled(), illixr_core::obs::Metrics::disabled())
+        };
         let sessions: Vec<ClientSession> = config
             .sessions
             .iter()
             .enumerate()
-            .map(|(i, c)| ClientSession::new(i as u32, *c, clock_arc.clone()))
+            .map(|(i, c)| {
+                ClientSession::with_obs(
+                    i as u32,
+                    *c,
+                    clock_arc.clone(),
+                    tracer.scoped(&format!("s{i}/")),
+                    metrics.clone(),
+                )
+            })
             .collect();
         let server_side = sessions.iter().map(|_| ServerSideSession { filter: None }).collect();
         Self {
@@ -373,6 +404,8 @@ impl MultiSessionServer {
             heap: BinaryHeap::new(),
             next_seq: 0,
             pending_jobs: Vec::new(),
+            tracer,
+            metrics,
             config,
         }
     }
@@ -449,7 +482,7 @@ impl MultiSessionServer {
         let mut t = Time::ZERO + tick;
         while t <= end {
             self.push(t, u32::MAX, EventKind::ServerBatch);
-            t = t + tick;
+            t += tick;
         }
 
         while let Some(event) = self.heap.pop() {
@@ -467,7 +500,7 @@ impl MultiSessionServer {
             }
         }
 
-        let sessions = self
+        let sessions: Vec<SessionReport> = self
             .sessions
             .iter()
             .map(|s| SessionReport {
@@ -478,6 +511,18 @@ impl MultiSessionServer {
                 stream_stats: s.stream_stats(),
             })
             .collect();
+        if self.metrics.is_enabled() {
+            for s in &self.sessions {
+                s.export_topic_gauges();
+            }
+            let rejected =
+                sessions.iter().filter(|s| s.state == SessionState::Rejected).count() as f64;
+            self.metrics.set_gauge(
+                "server.pool_utilization",
+                self.scheduler.utilization(self.config.duration),
+            );
+            self.metrics.set_gauge("server.admitted", sessions.len() as f64 - rejected);
+        }
         ServerReport {
             sessions,
             admission: self.admission.records().to_vec(),
@@ -486,6 +531,8 @@ impl MultiSessionServer {
             scheduler: *self.scheduler.stats(),
             pool_utilization: self.scheduler.utilization(self.config.duration),
             duration: self.config.duration,
+            tracer: self.tracer,
+            metrics: self.metrics,
         }
     }
 
@@ -504,6 +551,7 @@ impl MultiSessionServer {
             EventKind::CameraTick { step } => {
                 let job = self.sessions[id as usize].on_camera_due();
                 let arrive = self.link.transfer(Direction::Uplink, now, self.config.job_bytes);
+                self.record_link_counter(Direction::Uplink, now);
                 self.push(arrive, id, EventKind::JobArrive(job));
                 let stride = self.sessions[id as usize].camera_steps();
                 let next = Self::imu_step_time(&self.sessions[id as usize].config, step + stride);
@@ -517,8 +565,27 @@ impl MultiSessionServer {
                     return;
                 }
                 let jobs = std::mem::take(&mut self.pending_jobs);
-                let done = self.scheduler.schedule_batch(now, jobs.len());
-                self.push(done, u32::MAX, EventKind::VioComplete(jobs));
+                let placed = self.scheduler.schedule_batch_placed(now, jobs.len());
+                if self.tracer.is_enabled() {
+                    self.tracer.record_span_args(
+                        &format!("vio_pool/w{}", placed.worker),
+                        "vio_batch",
+                        placed.start.as_nanos(),
+                        placed.end.as_nanos(),
+                        &[("jobs", format!("{}", jobs.len()))],
+                    );
+                }
+                if self.metrics.is_enabled() {
+                    self.metrics.record_ns(
+                        "vio_pool.batch_latency",
+                        placed.end.as_nanos().saturating_sub(now.as_nanos()),
+                    );
+                    self.metrics.record_ns(
+                        "vio_pool.batch_wait",
+                        placed.start.as_nanos().saturating_sub(now.as_nanos()),
+                    );
+                }
+                self.push(placed.end, u32::MAX, EventKind::VioComplete(jobs));
             }
             EventKind::VioComplete(jobs) => {
                 for job in jobs {
@@ -529,6 +596,7 @@ impl MultiSessionServer {
                     let pose = self.run_vio(&job);
                     let arrive =
                         self.link.transfer(Direction::Downlink, now, self.config.pose_bytes);
+                    self.record_link_counter(Direction::Downlink, now);
                     self.push(arrive, sid, EventKind::PoseDeliver(pose));
                 }
             }
@@ -539,12 +607,25 @@ impl MultiSessionServer {
             }
             EventKind::RequestArrive(request) => {
                 let done = now + self.config.render_cost;
+                if self.tracer.is_enabled() {
+                    self.tracer.record_span_args(
+                        &format!("render/s{id}"),
+                        "render",
+                        now.as_nanos(),
+                        done.as_nanos(),
+                        &[("seq", format!("{}", request.seq))],
+                    );
+                }
                 self.push(done, id, EventKind::TokenRendered(request));
             }
             EventKind::TokenRendered(request) => {
-                let token =
-                    RenderToken { seq: request.seq, pose_timestamp: request.pose_timestamp };
+                let token = RenderToken {
+                    seq: request.seq,
+                    pose_timestamp: request.pose_timestamp,
+                    requested_at: request.requested_at,
+                };
                 let arrive = self.link.transfer(Direction::Downlink, now, self.config.token_bytes);
+                self.record_link_counter(Direction::Downlink, now);
                 self.push(arrive, id, EventKind::TokenDeliver(token));
             }
             EventKind::TokenDeliver(token) => {
@@ -558,6 +639,7 @@ impl MultiSessionServer {
                 {
                     let arrive =
                         self.link.transfer(Direction::Uplink, now, self.config.request_bytes);
+                    self.record_link_counter(Direction::Uplink, now);
                     self.push(arrive, id, EventKind::RequestArrive(request));
                 }
                 let next = Self::vsync_time(&self.sessions[id as usize].config, index + 1);
@@ -571,6 +653,20 @@ impl MultiSessionServer {
                 }
             }
         }
+    }
+
+    /// Samples one direction's queue backlog (in milliseconds) onto the
+    /// `link` counter track, right after a transfer was enqueued.
+    fn record_link_counter(&self, direction: Direction, now: Time) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let name = match direction {
+            Direction::Uplink => "uplink_queue_ms",
+            Direction::Downlink => "downlink_queue_ms",
+        };
+        let backlog = self.link.queue_delay(direction, now);
+        self.tracer.counter("link", name, now.as_nanos(), backlog.as_secs_f64() * 1e3);
     }
 
     fn session_is_attached(&self, id: u32) -> bool {

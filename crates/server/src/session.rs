@@ -111,6 +111,10 @@ pub struct RenderRequest {
     pub seq: u64,
     /// Sensor timestamp of the pose the server should render with.
     pub pose_timestamp: Time,
+    /// When the client issued the request (the vsync it was sent from).
+    /// Carried through to the token so the client can decompose MTP
+    /// into sense / round-trip / queue stages exactly.
+    pub requested_at: Time,
 }
 
 /// A cloud-rendered frame arriving at the client. No pixels — the
@@ -122,6 +126,9 @@ pub struct RenderToken {
     /// Sensor timestamp of the pose the frame was rendered with; its
     /// age at display time is the dominant MTP term.
     pub pose_timestamp: Time,
+    /// Copied from the originating request (see
+    /// [`RenderRequest::requested_at`]).
+    pub requested_at: Time,
 }
 
 /// Per-session run counters.
@@ -199,7 +206,8 @@ pub struct ClientSession {
     mtp: MtpCalculator,
     /// IMU window accumulating between camera frames.
     imu_window: Vec<ImuSample>,
-    latest_token: Option<RenderToken>,
+    /// Newest undisplayed token plus its arrival time at the client.
+    latest_token: Option<(RenderToken, Time)>,
     displayed_seq: Option<u64>,
     request_seq: u64,
     vsync_index: u64,
@@ -209,6 +217,26 @@ impl ClientSession {
     /// Builds the client for session `id`. Nothing runs until
     /// [`ClientSession::connect`].
     pub fn new(id: u32, config: SessionConfig, clock: Arc<dyn Clock>) -> Self {
+        Self::with_obs(
+            id,
+            config,
+            clock,
+            illixr_core::obs::Tracer::disabled(),
+            illixr_core::obs::Metrics::disabled(),
+        )
+    }
+
+    /// Builds the client with an observability sink: its switchboard,
+    /// warp and MTP instrumentation record through `tracer`/`metrics`.
+    /// Pass a tracer scoped per session (`tracer.scoped("s3/")`) so
+    /// track names and flow ids stay distinguishable across sessions.
+    pub fn with_obs(
+        id: u32,
+        config: SessionConfig,
+        clock: Arc<dyn Clock>,
+        tracer: illixr_core::obs::Tracer,
+        metrics: illixr_core::obs::Metrics,
+    ) -> Self {
         let trajectory = Trajectory::walking(config.seed);
         let world = Arc::new(LandmarkWorld::lab(config.seed));
         let rig = StereoRig::zed_mini(PinholeCamera::qvga());
@@ -230,7 +258,7 @@ impl ClientSession {
                 trajectory.velocity(config.connect_at),
             )),
             trajectory,
-            ctx: PluginContext::new(clock),
+            ctx: PluginContext::with_obs(clock, tracer, metrics),
             camera_reader: None,
             imu_reader: None,
             slow_pose_writer: None,
@@ -289,10 +317,15 @@ impl ClientSession {
             self.imu.iterate(&self.ctx);
         }
         self.integrator.start(&self.ctx);
-        self.camera_reader = Some(self.ctx.switchboard.sync_reader(streams::CAMERA, 8));
-        self.imu_reader = Some(self.ctx.switchboard.sync_reader(streams::IMU, 2048));
-        self.slow_pose_writer = Some(self.ctx.switchboard.writer(streams::SLOW_POSE));
-        self.fast_pose = Some(self.ctx.switchboard.async_reader(streams::FAST_POSE));
+        let sb = &self.ctx.switchboard;
+        self.camera_reader =
+            Some(sb.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(8));
+        self.imu_reader =
+            Some(sb.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(2048));
+        self.slow_pose_writer =
+            Some(sb.topic::<PoseEstimate>(streams::SLOW_POSE).expect("stream").writer());
+        self.fast_pose =
+            Some(sb.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").async_reader());
         self.state = if degraded { SessionState::Degraded } else { SessionState::Running };
         first_step
     }
@@ -303,7 +336,7 @@ impl ClientSession {
         self.imu.iterate(&self.ctx);
         self.integrator.iterate(&self.ctx);
         let reader = self.imu_reader.as_ref().expect("connect() must run first");
-        while let Some(s) = reader.try_recv() {
+        for s in reader.drain_iter() {
             self.imu_window.push(s.data);
         }
     }
@@ -334,11 +367,12 @@ impl ClientSession {
     }
 
     /// A cloud-rendered frame arrived. Newest wins; an out-of-order
-    /// older token is dropped.
+    /// older token is dropped. The arrival time (read off the shared
+    /// clock) feeds the queue stage of the MTP decomposition.
     pub fn on_token_delivered(&mut self, token: RenderToken) {
         self.telemetry.tokens_received += 1;
-        if self.latest_token.is_none_or(|t| token.seq > t.seq) {
-            self.latest_token = Some(token);
+        if self.latest_token.is_none_or(|(t, _)| token.seq > t.seq) {
+            self.latest_token = Some((token, self.ctx.clock.now()));
         }
     }
 
@@ -348,16 +382,17 @@ impl ClientSession {
     /// sessions request on every other vsync.
     pub fn on_vsync(&mut self, now: Time, warp_cost: Duration) -> Option<RenderRequest> {
         match self.latest_token {
-            Some(token) if self.displayed_seq.is_none_or(|d| token.seq > d) => {
+            Some((token, arrived)) if self.displayed_seq.is_none_or(|d| token.seq > d) => {
                 self.displayed_seq = Some(token.seq);
                 let sample = self.mtp.sample(token.pose_timestamp, now, now + warp_cost);
                 self.telemetry.mtp_ns.push(sample.total().as_nanos() as u64);
                 self.telemetry.frames_displayed += 1;
+                self.record_frame_obs(&token, arrived, now, &sample);
             }
             _ => self.telemetry.frames_dropped += 1,
         }
         self.vsync_index += 1;
-        if self.state == SessionState::Degraded && self.vsync_index % 2 == 0 {
+        if self.state == SessionState::Degraded && self.vsync_index.is_multiple_of(2) {
             return None;
         }
         let pose_timestamp = self
@@ -370,7 +405,46 @@ impl ClientSession {
         let seq = self.request_seq;
         self.request_seq += 1;
         self.telemetry.requests_sent += 1;
-        Some(RenderRequest { session: self.id, seq, pose_timestamp })
+        Some(RenderRequest { session: self.id, seq, pose_timestamp, requested_at: now })
+    }
+
+    /// Records the displayed frame's warp span and its exact MTP stage
+    /// decomposition. The stages partition the sample's total:
+    /// `sense` (pose age when the request left) + `round_trip` (request
+    /// → token arrival) + `queue` (arrival → vsync) reconstruct the
+    /// sample's `imu_age` term, and `reprojection`/`swap` are the
+    /// sample's own; so `mtp.sense + mtp.round_trip + mtp.queue +
+    /// mtp.warp + mtp.swap == mtp.total` frame by frame.
+    fn record_frame_obs(
+        &self,
+        token: &RenderToken,
+        arrived: Time,
+        now: Time,
+        sample: &illixr_qoe::mtp::MtpSample,
+    ) {
+        let tracer = &self.ctx.tracer;
+        if tracer.is_enabled() {
+            tracer.record_span_args(
+                "warp",
+                "warp",
+                now.as_nanos(),
+                (now + sample.reprojection).as_nanos(),
+                &[("token_seq", format!("{}", token.seq))],
+            );
+        }
+        let metrics = &self.ctx.metrics;
+        if metrics.is_enabled() {
+            let sense =
+                token.requested_at.as_nanos().saturating_sub(token.pose_timestamp.as_nanos());
+            let round_trip = arrived.as_nanos().saturating_sub(token.requested_at.as_nanos());
+            let queue = now.as_nanos().saturating_sub(arrived.as_nanos());
+            metrics.record_ns("mtp.sense", sense);
+            metrics.record_ns("mtp.round_trip", round_trip);
+            metrics.record_ns("mtp.queue", queue);
+            metrics.record_ns("mtp.warp", sample.reprojection.as_nanos() as u64);
+            metrics.record_ns("mtp.swap", sample.swap.as_nanos() as u64);
+            metrics.record_ns("mtp.total", sample.total().as_nanos() as u64);
+        }
     }
 
     /// Detaches the session.
@@ -396,6 +470,17 @@ impl ClientSession {
     /// End-of-run switchboard counters for this session's streams.
     pub fn stream_stats(&self) -> Vec<TopicStats> {
         self.ctx.switchboard.stats()
+    }
+
+    /// Exports this session's per-topic switchboard counters as
+    /// `topic.s{id}/{stream}.*` gauges (no-op when metrics are
+    /// disabled).
+    pub fn export_topic_gauges(&self) {
+        illixr_core::obs::export_topic_gauges(
+            &self.ctx.switchboard,
+            &self.ctx.metrics,
+            &format!("s{}/", self.id),
+        );
     }
 }
 
@@ -449,7 +534,11 @@ mod tests {
         clock.advance_to(vsync);
         s.on_vsync(vsync, Duration::from_millis(1));
         assert_eq!(s.telemetry.frames_dropped, 1);
-        s.on_token_delivered(RenderToken { seq: 0, pose_timestamp: Time::ZERO });
+        s.on_token_delivered(RenderToken {
+            seq: 0,
+            pose_timestamp: Time::ZERO,
+            requested_at: Time::ZERO,
+        });
         let v2 = Time::from_secs_f64(2.0 / 120.0);
         s.on_vsync(v2, Duration::from_millis(1));
         assert_eq!(s.telemetry.frames_displayed, 1);
@@ -480,10 +569,12 @@ mod tests {
 
     #[test]
     fn telemetry_percentiles_and_drop_rate() {
-        let mut t = SessionTelemetry::default();
-        t.mtp_ns = (1..=100u64).map(|k| k * 1_000_000).collect();
-        t.frames_displayed = 100;
-        t.frames_dropped = 25;
+        let t = SessionTelemetry {
+            mtp_ns: (1..=100u64).map(|k| k * 1_000_000).collect(),
+            frames_displayed: 100,
+            frames_dropped: 25,
+            ..SessionTelemetry::default()
+        };
         assert_eq!(t.p99_mtp(), Duration::from_millis(99));
         assert_eq!(t.drop_rate(), 0.2);
         assert_eq!(t.mean_mtp(), Duration::from_nanos(50_500_000));

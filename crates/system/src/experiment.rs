@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
+use illixr_core::obs::{Metrics, Tracer};
 use illixr_core::plugin::{Plugin, PluginContext};
 use illixr_core::sim::{ExecOutcome, Resource, SimEngine, TaskSpec};
 use illixr_core::telemetry::{ComponentStats, RecordLogger};
@@ -58,6 +59,12 @@ pub struct ExperimentConfig {
     /// integrated configuration, quantifying §V-A's warning that "more
     /// components \[will\] further stress the entire system".
     pub extended: bool,
+    /// When true, the run records spans, switchboard flow events and
+    /// latency histograms ([`ExperimentResult::tracer`] /
+    /// [`ExperimentResult::metrics`]) for Perfetto export. All
+    /// timestamps come from the simulated clock, so traces are
+    /// bit-identical across runs with the same seed.
+    pub trace: bool,
 }
 
 impl ExperimentConfig {
@@ -70,6 +77,7 @@ impl ExperimentConfig {
             system: SystemConfig::default(),
             seed: 42,
             extended: false,
+            trace: false,
         }
     }
 
@@ -81,6 +89,12 @@ impl ExperimentConfig {
     /// Adds eye tracking and scene reconstruction to the run.
     pub fn with_extended_components(mut self) -> Self {
         self.extended = true;
+        self
+    }
+
+    /// Enables span/flow tracing and histogram metrics for this run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -125,6 +139,13 @@ pub struct ExperimentResult {
     /// End-of-run switchboard counters per stream (publishes, drops to
     /// back-pressure, live subscriptions).
     pub stream_stats: Vec<illixr_core::TopicStats>,
+    /// Span/flow recorder (disabled unless [`ExperimentConfig::trace`]).
+    pub tracer: illixr_core::obs::Tracer,
+    /// Histogram/gauge registry (disabled unless
+    /// [`ExperimentConfig::trace`]). When enabled it holds `exec.*` /
+    /// `response.*` per-component latency histograms, `mtp.*` per-stage
+    /// decompositions and `topic.*` switchboard gauges.
+    pub metrics: illixr_core::obs::Metrics,
 }
 
 impl ExperimentResult {
@@ -211,11 +232,19 @@ impl IntegratedExperiment {
         let spec = config.platform.spec();
         let mut engine = SimEngine::new(spec.cpu_cores, spec.gpu_slots, telemetry.clone());
         let clock = engine.clock();
+        let (tracer, metrics) = if config.trace {
+            (illixr_core::obs::tracer_for(Arc::new(clock.clone())), Metrics::new())
+        } else {
+            (Tracer::disabled(), Metrics::disabled())
+        };
+        engine.set_obs(tracer.clone(), metrics.clone());
         let ctx = PluginContext {
-            switchboard: illixr_core::Switchboard::new(),
+            switchboard: illixr_core::Switchboard::with_obs(tracer.clone(), metrics.clone()),
             phonebook: illixr_core::Phonebook::new(),
             clock: Arc::new(clock.clone()),
             telemetry: telemetry.clone(),
+            tracer: tracer.clone(),
+            metrics: metrics.clone(),
         };
         let timing = timing_model(config.platform);
         let sys = &config.system;
@@ -401,7 +430,11 @@ impl IntegratedExperiment {
         }
 
         // Observe warped frames for the MTP calculation.
-        let warped = ctx.switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 1 << 15);
+        let warped = ctx
+            .switchboard
+            .topic::<WarpedFrame>(DISPLAY_STREAM)
+            .expect("stream")
+            .sync_reader(1 << 15);
 
         engine.run_for(config.duration);
 
@@ -418,6 +451,35 @@ impl IntegratedExperiment {
             .collect();
         let displayed_poses: Vec<illixr_math::Pose> =
             frames.iter().map(|f| f.display_pose.pose).collect();
+
+        // Per-stage MTP decomposition (sense→warp→swap); the stage
+        // histograms sum exactly to `mtp.total` by construction.
+        if metrics.is_enabled() {
+            for s in &mtp {
+                metrics.record("mtp.imu_age", s.imu_age);
+                metrics.record("mtp.reprojection", s.reprojection);
+                metrics.record("mtp.swap", s.swap);
+                metrics.record("mtp.total", s.total());
+            }
+            illixr_core::obs::export_topic_gauges(&ctx.switchboard, &metrics, "");
+        }
+        if tracer.is_enabled() {
+            for s in &mtp {
+                let vsync = s.display_vsync.as_nanos();
+                let total = s.total().as_nanos() as u64;
+                tracer.record_span_args(
+                    "mtp",
+                    "mtp",
+                    vsync.saturating_sub(total),
+                    vsync,
+                    &[
+                        ("imu_age_us", format!("{}", s.imu_age.as_micros())),
+                        ("reprojection_us", format!("{}", s.reprojection.as_micros())),
+                        ("swap_us", format!("{}", s.swap.as_micros())),
+                    ],
+                );
+            }
+        }
 
         // --- Utilization and power --------------------------------------
         let dur_s = config.duration.as_secs_f64();
@@ -448,6 +510,8 @@ impl IntegratedExperiment {
             power,
             energy_joules,
             stream_stats: ctx.switchboard.stats(),
+            tracer,
+            metrics,
         }
     }
 }

@@ -75,7 +75,7 @@ struct StreamBridge<T: Clone + Send + Sync + 'static> {
 impl<T: Clone + Send + Sync + 'static> Bridge for StreamBridge<T> {
     fn pump(&mut self, now: Time) {
         // Ingest new events with their delivery times.
-        while let Some(event) = self.reader.try_recv() {
+        for event in self.reader.drain_iter() {
             let jitter = if self.jitter_sigma > 0.0 {
                 self.rng.next_lognormal(self.jitter_sigma)
             } else {
@@ -147,8 +147,8 @@ impl OffloadedPlugin {
         let seed_salt = self.pending.len() as u64;
         self.pending.push(Box::new(move |outer, remote, link| {
             Box::new(StreamBridge::<T> {
-                reader: outer.switchboard.sync_reader::<T>(&stream, 4096),
-                writer: remote.writer::<T>(&stream),
+                reader: outer.switchboard.topic::<T>(&stream).expect("stream").sync_reader(4096),
+                writer: remote.topic::<T>(&stream).expect("stream").writer(),
                 delay: link.uplink,
                 jitter_sigma: link.jitter_sigma,
                 rng: SplitMix64::new(link.seed ^ (0xB0A7 + seed_salt)),
@@ -165,8 +165,8 @@ impl OffloadedPlugin {
         let seed_salt = 0x1000 + self.pending.len() as u64;
         self.pending.push(Box::new(move |outer, remote, link| {
             Box::new(StreamBridge::<T> {
-                reader: remote.sync_reader::<T>(&stream, 4096),
-                writer: outer.switchboard.writer::<T>(&stream),
+                reader: remote.topic::<T>(&stream).expect("stream").sync_reader(4096),
+                writer: outer.switchboard.topic::<T>(&stream).expect("stream").writer(),
                 delay: link.downlink,
                 jitter_sigma: link.jitter_sigma,
                 rng: SplitMix64::new(link.seed ^ (0xD030 + seed_salt)),
@@ -195,6 +195,8 @@ impl Plugin for OffloadedPlugin {
             phonebook: ctx.phonebook.clone(),
             clock: ctx.clock.clone(),
             telemetry: ctx.telemetry.clone(),
+            tracer: ctx.tracer.clone(),
+            metrics: ctx.metrics.clone(),
         };
         for make in self.pending.drain(..) {
             self.bridges.push(make(ctx, &self.remote_switchboard, self.link));
@@ -238,8 +240,8 @@ mod tests {
             "echo"
         }
         fn start(&mut self, ctx: &PluginContext) {
-            self.reader = Some(ctx.switchboard.sync_reader::<u32>("in", 64));
-            self.writer = Some(ctx.switchboard.writer::<u32>("out"));
+            self.reader = Some(ctx.switchboard.topic::<u32>("in").expect("stream").sync_reader(64));
+            self.writer = Some(ctx.switchboard.topic::<u32>("out").expect("stream").writer());
         }
         fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
             let mut any = false;
@@ -268,8 +270,8 @@ mod tests {
                 .uplink::<u32>("in")
                 .downlink::<u32>("out");
         remote.start(&ctx);
-        let out = ctx.switchboard.sync_reader::<u32>("out", 16);
-        ctx.switchboard.writer::<u32>("in").put(41);
+        let out = ctx.switchboard.topic::<u32>("out").expect("stream").sync_reader(16);
+        ctx.switchboard.topic::<u32>("in").expect("stream").writer().put(41);
         // t=0: the event is still on the uplink.
         remote.iterate(&ctx);
         assert!(out.is_empty());
@@ -292,8 +294,8 @@ mod tests {
             .uplink::<u32>("in")
             .downlink::<u32>("out");
         remote.start(&ctx);
-        let out = ctx.switchboard.sync_reader::<u32>("out", 16);
-        ctx.switchboard.writer::<u32>("in").put(1);
+        let out = ctx.switchboard.topic::<u32>("out").expect("stream").sync_reader(16);
+        ctx.switchboard.topic::<u32>("in").expect("stream").writer().put(1);
         remote.iterate(&ctx);
         remote.iterate(&ctx);
         assert_eq!(**out.try_recv().expect("instant delivery"), 2);
@@ -309,7 +311,7 @@ mod tests {
                 .downlink::<u32>("out");
         remote.start(&ctx);
         for v in 0..5 {
-            ctx.switchboard.writer::<u32>("in").put(v);
+            ctx.switchboard.topic::<u32>("in").expect("stream").writer().put(v);
         }
         remote.iterate(&ctx);
         assert_eq!(remote.in_flight(), 5);

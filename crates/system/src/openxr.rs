@@ -64,8 +64,18 @@ impl XrInstance {
     /// queue).
     pub fn begin_session(&self) -> XrSession {
         XrSession {
-            pose_reader: self.ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE),
-            frame_writer: self.ctx.switchboard.writer::<RenderedFrame>(EYEBUFFER_STREAM),
+            pose_reader: self
+                .ctx
+                .switchboard
+                .topic::<PoseEstimate>(streams::FAST_POSE)
+                .expect("stream")
+                .async_reader(),
+            frame_writer: self
+                .ctx
+                .switchboard
+                .topic::<RenderedFrame>(EYEBUFFER_STREAM)
+                .expect("stream")
+                .writer(),
             clock: self.ctx.clock.clone(),
             config: self.config,
             frame_index: 0,
@@ -159,7 +169,11 @@ mod tests {
     #[test]
     fn frame_loop_submits_frames() {
         let (ctx, clock) = setup();
-        let frames = ctx.switchboard.sync_reader::<RenderedFrame>(EYEBUFFER_STREAM, 8);
+        let frames = ctx
+            .switchboard
+            .topic::<RenderedFrame>(EYEBUFFER_STREAM)
+            .expect("stream")
+            .sync_reader(8);
         let instance = XrInstance::create(ctx.clone(), SystemConfig::default());
         let mut session = instance.begin_session();
         clock.advance_to(Time::from_millis(100));
@@ -179,11 +193,13 @@ mod tests {
         let (ctx, clock) = setup();
         let instance = XrInstance::create(ctx.clone(), SystemConfig::default());
         let session = instance.begin_session();
-        ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE).put(PoseEstimate {
-            timestamp: Time::from_millis(10),
-            pose: Pose::new(Vec3::new(1.0, 0.0, 0.0), Quat::IDENTITY),
-            velocity: Vec3::new(0.5, 0.0, 0.0),
-        });
+        ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer().put(
+            PoseEstimate {
+                timestamp: Time::from_millis(10),
+                pose: Pose::new(Vec3::new(1.0, 0.0, 0.0), Quat::IDENTITY),
+                velocity: Vec3::new(0.5, 0.0, 0.0),
+            },
+        );
         clock.advance_to(Time::from_millis(10));
         // Predicting 100 ms ahead moves the eye by 5 cm.
         let views = session.locate_views(Time::from_millis(110));

@@ -216,7 +216,11 @@ mod tests {
         for p in &mut pipeline {
             p.start(&ctx);
         }
-        let fast = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+        let fast = ctx
+            .switchboard
+            .topic::<PoseEstimate>(streams::FAST_POSE)
+            .expect("stream")
+            .async_reader();
         for k in 1..20u64 {
             clock.advance_to(Time::from_millis(k * 67));
             for p in &mut pipeline {

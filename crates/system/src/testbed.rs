@@ -134,8 +134,18 @@ mod tests {
             7,
             0.25,
         );
-        let frames = testbed.context().switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 1024);
-        let poses = testbed.context().switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+        let frames = testbed
+            .context()
+            .switchboard
+            .topic::<WarpedFrame>(DISPLAY_STREAM)
+            .expect("stream")
+            .sync_reader(1024);
+        let poses = testbed
+            .context()
+            .switchboard
+            .topic::<PoseEstimate>(streams::FAST_POSE)
+            .expect("stream")
+            .async_reader();
         testbed.run_for(Duration::from_millis(1200));
         let n = frames.drain().len();
         let have_pose = poses.latest().is_some();

@@ -64,15 +64,21 @@ impl Plugin for VioPlugin {
     fn start(&mut self, ctx: &PluginContext) {
         // Synchronous dependences: VIO must see *every* camera frame and
         // IMU sample (Fig 2, solid arrows).
-        self.camera_reader = Some(ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 8));
-        self.imu_reader = Some(ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 2048));
-        self.pose_writer = Some(ctx.switchboard.writer::<PoseEstimate>(streams::SLOW_POSE));
+        self.camera_reader = Some(
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(8),
+        );
+        self.imu_reader = Some(
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(2048),
+        );
+        self.pose_writer = Some(
+            ctx.switchboard.topic::<PoseEstimate>(streams::SLOW_POSE).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
         // Drain all pending IMU samples into the filter.
         let imu = self.imu_reader.as_ref().expect("start() must run before iterate()");
-        while let Some(s) = imu.try_recv() {
+        for s in imu.drain_iter() {
             self.latest_imu = self.latest_imu.max(s.data.timestamp);
             self.filter.process_imu(s.data);
         }
@@ -143,17 +149,25 @@ impl Plugin for ImuIntegratorPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.imu_reader = Some(ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 2048));
-        self.slow_pose_reader =
-            Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE));
-        self.fast_writer = Some(ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE));
+        self.imu_reader = Some(
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(2048),
+        );
+        self.slow_pose_reader = Some(
+            ctx.switchboard
+                .topic::<PoseEstimate>(streams::SLOW_POSE)
+                .expect("stream")
+                .async_reader(),
+        );
+        self.fast_writer = Some(
+            ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
         // Collect new IMU samples.
         let imu = self.imu_reader.as_ref().expect("start() must run before iterate()");
         let mut new_samples = 0u32;
-        while let Some(s) = imu.try_recv() {
+        for s in imu.drain_iter() {
             self.history.push(s.data);
             new_samples += 1;
         }
@@ -241,14 +255,20 @@ impl Plugin for AlternativeVioPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.camera_reader = Some(ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 8));
-        self.imu_reader = Some(ctx.switchboard.sync_reader::<ImuSample>(streams::IMU, 2048));
-        self.pose_writer = Some(ctx.switchboard.writer::<PoseEstimate>(streams::SLOW_POSE));
+        self.camera_reader = Some(
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(8),
+        );
+        self.imu_reader = Some(
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(2048),
+        );
+        self.pose_writer = Some(
+            ctx.switchboard.topic::<PoseEstimate>(streams::SLOW_POSE).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
         let imu = self.imu_reader.as_ref().expect("start() must run before iterate()");
-        while let Some(s) = imu.try_recv() {
+        for s in imu.drain_iter() {
             self.latest_imu = self.latest_imu.max(s.data.timestamp);
             self.tracker.process_imu(s.data);
         }
@@ -293,7 +313,9 @@ impl Plugin for GroundTruthPosePlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.writer = Some(ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE));
+        self.writer = Some(
+            ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -333,8 +355,16 @@ mod tests {
         vio.start(&ctx);
         integ.start(&ctx);
 
-        let fast_pose = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
-        let slow_pose = ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE);
+        let fast_pose = ctx
+            .switchboard
+            .topic::<PoseEstimate>(streams::FAST_POSE)
+            .expect("stream")
+            .async_reader();
+        let slow_pose = ctx
+            .switchboard
+            .topic::<PoseEstimate>(streams::SLOW_POSE)
+            .expect("stream")
+            .async_reader();
 
         // Drive everything at the camera cadence (66.7 ms ticks).
         let steps = 36; // 2.4 s
@@ -364,15 +394,21 @@ mod tests {
         vio.start(&ctx);
         let img = Arc::new(illixr_image::GrayImage::new(320, 240));
         // A frame at t=100 ms with no IMU coverage yet → held.
-        ctx.switchboard.writer::<StereoFrame>(streams::CAMERA).put(StereoFrame {
-            timestamp: Time::from_millis(100),
-            left: img.clone(),
-            right: img.clone(),
-            seq: 0,
-        });
+        ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").writer().put(
+            StereoFrame {
+                timestamp: Time::from_millis(100),
+                left: img.clone(),
+                right: img.clone(),
+                seq: 0,
+            },
+        );
         assert!(!vio.iterate(&ctx).did_work, "frame processed without IMU coverage");
         // IMU up to 99 ms: still not covered.
-        let imu_writer = ctx.switchboard.writer::<illixr_sensors::types::ImuSample>(streams::IMU);
+        let imu_writer = ctx
+            .switchboard
+            .topic::<illixr_sensors::types::ImuSample>(streams::IMU)
+            .expect("stream")
+            .writer();
         imu_writer.put(illixr_sensors::types::ImuSample {
             timestamp: Time::from_millis(99),
             gyro: illixr_math::Vec3::ZERO,
@@ -403,7 +439,11 @@ mod tests {
         let traj = Trajectory::walking(3);
         let mut p = GroundTruthPosePlugin::new(traj.clone());
         p.start(&ctx);
-        let reader = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+        let reader = ctx
+            .switchboard
+            .topic::<PoseEstimate>(streams::FAST_POSE)
+            .expect("stream")
+            .async_reader();
         clock.advance_to(Time::from_millis(500));
         p.iterate(&ctx);
         let est = reader.latest().unwrap();

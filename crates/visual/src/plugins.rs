@@ -102,9 +102,20 @@ impl Plugin for TimewarpPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.frame_reader = Some(ctx.switchboard.async_reader::<RenderedFrame>(EYEBUFFER_STREAM));
-        self.pose_reader = Some(ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE));
-        self.out_writer = Some(ctx.switchboard.writer::<WarpedFrame>(DISPLAY_STREAM));
+        self.frame_reader = Some(
+            ctx.switchboard
+                .topic::<RenderedFrame>(EYEBUFFER_STREAM)
+                .expect("stream")
+                .async_reader(),
+        );
+        self.pose_reader = Some(
+            ctx.switchboard
+                .topic::<PoseEstimate>(streams::FAST_POSE)
+                .expect("stream")
+                .async_reader(),
+        );
+        self.out_writer =
+            Some(ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").writer());
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
@@ -196,8 +207,12 @@ impl Plugin for HologramPlugin {
     }
 
     fn start(&mut self, ctx: &PluginContext) {
-        self.display_reader = Some(ctx.switchboard.async_reader::<WarpedFrame>(DISPLAY_STREAM));
-        self.out_writer = Some(ctx.switchboard.writer::<HologramResult>(HOLOGRAM_STREAM));
+        self.display_reader = Some(
+            ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").async_reader(),
+        );
+        self.out_writer = Some(
+            ctx.switchboard.topic::<HologramResult>(HOLOGRAM_STREAM).expect("stream").writer(),
+        );
     }
 
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
@@ -250,30 +265,39 @@ mod tests {
     fn publish_frame(ctx: &PluginContext, t: Time) {
         let img =
             Arc::new(RgbImage::from_fn(64, 64, |x, y| [x as f32 / 64.0, y as f32 / 64.0, 0.5]));
-        ctx.switchboard.writer::<RenderedFrame>(EYEBUFFER_STREAM).put(RenderedFrame {
-            render_pose: PoseEstimate { timestamp: t, pose: Pose::IDENTITY, velocity: Vec3::ZERO },
-            submit_time: t,
-            left: img.clone(),
-            right: img,
-        });
+        ctx.switchboard.topic::<RenderedFrame>(EYEBUFFER_STREAM).expect("stream").writer().put(
+            RenderedFrame {
+                render_pose: PoseEstimate {
+                    timestamp: t,
+                    pose: Pose::IDENTITY,
+                    velocity: Vec3::ZERO,
+                },
+                submit_time: t,
+                left: img.clone(),
+                right: img,
+            },
+        );
     }
 
     #[test]
     fn timewarp_publishes_corrected_frames_with_pose_age() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let out = ctx.switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 8);
+        let out =
+            ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").sync_reader(8);
         let mut tw = TimewarpPlugin::new(
             ReprojectionConfig::rotational(1.2, 1.0),
             DistortionParams::default(),
         );
         tw.start(&ctx);
         publish_frame(&ctx, Time::from_millis(0));
-        ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE).put(PoseEstimate {
-            timestamp: Time::from_millis(14),
-            pose: Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Y, 0.05)),
-            velocity: Vec3::ZERO,
-        });
+        ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer().put(
+            PoseEstimate {
+                timestamp: Time::from_millis(14),
+                pose: Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::UNIT_Y, 0.05)),
+                velocity: Vec3::ZERO,
+            },
+        );
         clock.advance_to(Time::from_millis(16));
         let report = tw.iterate(&ctx);
         assert!(report.did_work);
@@ -314,7 +338,8 @@ mod tests {
     fn pose_prediction_extrapolates_along_velocity() {
         let clock = SimClock::new();
         let ctx = PluginContext::new(Arc::new(clock.clone()));
-        let out = ctx.switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 8);
+        let out =
+            ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").sync_reader(8);
         let mut tw = TimewarpPlugin::new(
             ReprojectionConfig::rotational(1.2, 1.0),
             DistortionParams::default(),
@@ -322,11 +347,13 @@ mod tests {
         .with_pose_prediction(std::time::Duration::from_millis(8));
         tw.start(&ctx);
         publish_frame(&ctx, Time::ZERO);
-        ctx.switchboard.writer::<PoseEstimate>(streams::FAST_POSE).put(PoseEstimate {
-            timestamp: Time::from_millis(10),
-            pose: Pose::IDENTITY,
-            velocity: Vec3::new(1.0, 0.0, 0.0), // 1 m/s along +X
-        });
+        ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer().put(
+            PoseEstimate {
+                timestamp: Time::from_millis(10),
+                pose: Pose::IDENTITY,
+                velocity: Vec3::new(1.0, 0.0, 0.0), // 1 m/s along +X
+            },
+        );
         clock.advance_to(Time::from_millis(12));
         tw.iterate(&ctx);
         let frame = out.try_recv().unwrap();
@@ -355,8 +382,13 @@ mod tests {
         tw.iterate(&ctx);
         let report = holo.iterate(&ctx);
         assert!(report.did_work);
-        let result =
-            ctx.switchboard.async_reader::<HologramResult>(HOLOGRAM_STREAM).latest().unwrap();
+        let result = ctx
+            .switchboard
+            .topic::<HologramResult>(HOLOGRAM_STREAM)
+            .expect("stream")
+            .async_reader()
+            .latest()
+            .unwrap();
         assert_eq!(result.plane_correlation.len(), 2);
     }
 }

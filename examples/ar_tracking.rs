@@ -48,7 +48,8 @@ fn main() {
     source.start(&ctx);
     vio.start(&ctx);
     integrator.start(&ctx);
-    let fast_pose = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+    let fast_pose =
+        ctx.switchboard.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").async_reader();
 
     let mut est = Vec::new();
     let mut truth = Vec::new();

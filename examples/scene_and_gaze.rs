@@ -37,7 +37,8 @@ fn main() {
     let mut scene =
         SceneReconstructionPlugin::new(world, StereoRig::zed_mini(cam), trajectory.clone());
     scene.start(&ctx);
-    let updates = ctx.switchboard.sync_reader::<SceneUpdate>(SCENE_STREAM, 128);
+    let updates =
+        ctx.switchboard.topic::<SceneUpdate>(SCENE_STREAM).expect("stream").sync_reader(128);
     let frames = 30; // 3 s at 10 Hz
     for k in 0..frames {
         clock.advance_to(Time::from_millis(k * 100));

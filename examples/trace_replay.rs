@@ -51,7 +51,11 @@ fn main() {
     let mut vio_a = VioPlugin::new(VioConfig::fast(rig.camera), init);
     source.start(&ctx_a);
     vio_a.start(&ctx_a);
-    let poses_a = ctx_a.switchboard.sync_reader::<PoseEstimate>(streams::SLOW_POSE, 1 << 10);
+    let poses_a = ctx_a
+        .switchboard
+        .topic::<PoseEstimate>(streams::SLOW_POSE)
+        .expect("stream")
+        .sync_reader(1 << 10);
     for k in 1..=ticks {
         clock_a.advance_to(Time::from_secs_f64(k as f64 / 15.0));
         source.iterate(&ctx_a);
@@ -77,7 +81,11 @@ fn main() {
     let mut imu_replay = TraceReplayer::new(&ctx_b.switchboard, imu_trace);
     let mut vio_b = VioPlugin::new(VioConfig::fast(rig.camera), init);
     vio_b.start(&ctx_b);
-    let poses_b = ctx_b.switchboard.sync_reader::<PoseEstimate>(streams::SLOW_POSE, 1 << 10);
+    let poses_b = ctx_b
+        .switchboard
+        .topic::<PoseEstimate>(streams::SLOW_POSE)
+        .expect("stream")
+        .sync_reader(1 << 10);
     for k in 1..=ticks {
         let now = Time::from_secs_f64(k as f64 / 15.0);
         clock_b.advance_to(now);

@@ -40,7 +40,8 @@ fn main() {
     );
     tracker.start(&ctx);
     compositor.start(&ctx);
-    let display = ctx.switchboard.sync_reader::<WarpedFrame>(DISPLAY_STREAM, 256);
+    let display =
+        ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").sync_reader(256);
 
     // Application side: pure OpenXR.
     let instance = XrInstance::create(ctx.clone(), config);

@@ -93,7 +93,11 @@ fn integrator_schemes_are_interchangeable() {
         let mut integ = ImuIntegratorPlugin::new(init).with_scheme(scheme);
         source.start(&ctx);
         integ.start(&ctx);
-        let fast = ctx.switchboard.async_reader::<PoseEstimate>(streams::FAST_POSE);
+        let fast = ctx
+            .switchboard
+            .topic::<PoseEstimate>(streams::FAST_POSE)
+            .expect("stream")
+            .async_reader();
         for k in 1..15u64 {
             clock.advance_to(Time::from_millis(k * 66));
             source.iterate(&ctx);
@@ -144,7 +148,8 @@ fn track_with_provider_vio(mut vio: Box<dyn Plugin>, ds: &SyntheticDataset) -> f
     let mut source = OfflineImuCameraPlugin::new(Arc::new(ds.clone()), rig());
     source.start(&ctx);
     vio.start(&ctx);
-    let slow = ctx.switchboard.async_reader::<PoseEstimate>(streams::SLOW_POSE);
+    let slow =
+        ctx.switchboard.topic::<PoseEstimate>(streams::SLOW_POSE).expect("stream").async_reader();
     for k in 1..30u64 {
         clock.advance_to(Time::from_secs_f64(k as f64 / 15.0));
         source.iterate(&ctx);
@@ -175,7 +180,8 @@ fn plugin_registry_builds_alternatives_by_name() {
     let clock = SimClock::new();
     let ctx = PluginContext::new(Arc::new(clock.clone()));
     for name in ["camera_imu/offline", "camera_imu/synthetic"] {
-        let cam_reader = ctx.switchboard.sync_reader::<StereoFrame>(streams::CAMERA, 16);
+        let cam_reader =
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(16);
         let mut plugin = registry.build(name, &ctx).expect("registered plugin builds");
         plugin.start(&ctx);
         clock.advance_to(clock.now() + std::time::Duration::from_millis(100));
@@ -187,10 +193,10 @@ fn plugin_registry_builds_alternatives_by_name() {
 #[test]
 fn stream_typing_is_enforced_across_crates() {
     let ctx = PluginContext::new(Arc::new(SimClock::new()));
-    let _imu = ctx.switchboard.writer::<ImuSample>(streams::IMU);
+    let _imu = ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").writer();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // Wrong payload type on an existing stream must panic loudly.
-        let _bad = ctx.switchboard.writer::<StereoFrame>(streams::IMU);
+        let _bad = ctx.switchboard.topic::<StereoFrame>(streams::IMU).expect("stream").writer();
     }));
     assert!(result.is_err(), "type confusion on a stream must be rejected");
 }

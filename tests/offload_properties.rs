@@ -22,8 +22,8 @@ impl Plugin for Relay {
         "relay"
     }
     fn start(&mut self, ctx: &PluginContext) {
-        self.reader = Some(ctx.switchboard.sync_reader::<u64>("in", 4096));
-        self.writer = Some(ctx.switchboard.writer::<u64>("out"));
+        self.reader = Some(ctx.switchboard.topic::<u64>("in").expect("stream").sync_reader(4096));
+        self.writer = Some(ctx.switchboard.topic::<u64>("out").expect("stream").writer());
     }
     fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
         while let Some(v) = self.reader.as_ref().expect("started").try_recv() {
@@ -44,21 +44,21 @@ fn run_offloaded(values: &[u64], latency_ms: u64, sigma: f64, seed: u64) -> Vec<
         .uplink::<u64>("in")
         .downlink::<u64>("out");
     remote.start(&ctx);
-    let out = ctx.switchboard.sync_reader::<u64>("out", 4096);
-    let writer = ctx.switchboard.writer::<u64>("in");
+    let out = ctx.switchboard.topic::<u64>("out").expect("stream").sync_reader(4096);
+    let writer = ctx.switchboard.topic::<u64>("in").expect("stream").writer();
     let tick = Duration::from_millis(2);
     let mut t = Time::ZERO;
     for &v in values {
         writer.put(v);
         remote.iterate(&ctx);
-        t = t + tick;
+        t += tick;
         clock.advance_to(t);
     }
     // Idle ticks: generous headroom for the worst log-normal draw.
     let drain = 40 * latency_ms.max(1) + 200;
     for _ in 0..drain {
         remote.iterate(&ctx);
-        t = t + tick;
+        t += tick;
         clock.advance_to(t);
     }
     remote.iterate(&ctx);

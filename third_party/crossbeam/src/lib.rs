@@ -1,8 +1,8 @@
 //! Offline shim for the `crossbeam` crate.
 //!
 //! The workspace only uses `crossbeam::channel`'s bounded channels
-//! (`bounded`, `Sender::try_send`, `Receiver::{try_recv, recv, len,
-//! is_empty}` and the matching error enums), so this shim implements
+//! (`bounded`, `Sender::{try_send, len}`, `Receiver::{try_recv, recv,
+//! len, is_empty}` and the matching error enums), so this shim implements
 //! exactly that surface over a `Mutex<VecDeque>` + `Condvar`. Semantics
 //! match crossbeam where the workspace depends on them:
 //!
@@ -90,6 +90,17 @@ pub mod channel {
             drop(q);
             self.inner.available.notify_one();
             Ok(())
+        }
+
+        /// Number of queued messages (crossbeam exposes this on both
+        /// halves; the switchboard uses it for queue-depth stats).
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
