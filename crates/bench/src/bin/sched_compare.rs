@@ -1,0 +1,235 @@
+//! Scheduling-policy comparison: sweeps offered load across the three
+//! `illixr-sched` policies (rate-monotonic, EDF, adaptive governor) on
+//! a deliberately constrained single-core platform and reports the
+//! motion-to-photon chain (imu → integrator → timewarp) deadline
+//! behaviour of each.
+//!
+//! Usage: `cargo run --release -p illixr-bench --bin sched_compare`
+//! (honours `ILLIXR_SECONDS`; writes `results/sched_compare.txt` plus
+//! one chain-latency/MTP CDF CSV per policy).
+//!
+//! Every run is fully deterministic — simulated clock, seeded sensors —
+//! so two invocations produce bit-identical output files.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use illixr_bench::{experiment_config, rule};
+use illixr_core::sched::PolicyKind;
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::{ExperimentResult, IntegratedExperiment};
+
+const LOADS: [f64; 3] = [1.0, 2.0, 3.0];
+
+/// Chain deadline for the study. Tighter than the paper's ~25 ms
+/// single-user budget: on the pinned single core the interesting
+/// transition (blocked integrator → stale display pose) happens in the
+/// 10–30 ms band, and a 15 ms budget puts the overloaded rows right on
+/// it.
+const CHAIN_DEADLINE: Duration = Duration::from_millis(15);
+const POLICIES: [PolicyKind; 3] =
+    [PolicyKind::RateMonotonic, PolicyKind::Edf, PolicyKind::Adaptive];
+
+/// One (load, policy) cell of the sweep.
+struct Cell {
+    load: f64,
+    policy: PolicyKind,
+    chain_total: usize,
+    chain_miss_rate: f64,
+    chain_p50_ms: f64,
+    chain_p99_ms: f64,
+    mtp_mean_ms: f64,
+    mtp_p99_ms: f64,
+    shed: u64,
+    level: u32,
+    /// Sorted chain latencies (ms) for the CDF export.
+    chain_ms: Vec<f64>,
+    /// Sorted MTP totals (ms) for the CDF export.
+    mtp_ms: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_cell(load: f64, policy: PolicyKind) -> Cell {
+    let result = run_once(load, policy);
+    summarize(load, policy, &result)
+}
+
+/// Nine cells are simulated, so cap the per-cell duration well below
+/// the harness-wide `ILLIXR_SECONDS` maximum.
+fn bench_duration() -> Duration {
+    illixr_bench::sim_duration().min(Duration::from_secs(20))
+}
+
+fn run_once(load: f64, policy: PolicyKind) -> ExperimentResult {
+    // One CPU core turns the paper's 6-core desktop into a contended
+    // platform where the non-preemptive VIO update blocks the 2 ms
+    // IMU-integrator period — exactly the régime where scheduling
+    // policy matters.
+    let mut config = experiment_config(Application::Platformer, Platform::Desktop)
+        .with_policy(policy)
+        .with_load_factor(load)
+        .with_cpu_cores(1);
+    config.duration = bench_duration();
+    config.chain_deadline = CHAIN_DEADLINE;
+    IntegratedExperiment::run(&config)
+}
+
+fn summarize(load: f64, policy: PolicyKind, result: &ExperimentResult) -> Cell {
+    let mut chain_ms: Vec<f64> =
+        result.chain_outcomes.iter().map(|o| o.latency_ns as f64 / 1e6).collect();
+    chain_ms.sort_by(|a, b| a.total_cmp(b));
+    let misses = result.chain_outcomes.iter().filter(|o| o.missed).count();
+    let total = result.chain_outcomes.len();
+    let mut mtp_ms: Vec<f64> = result.mtp.iter().map(|s| s.total().as_secs_f64() * 1e3).collect();
+    mtp_ms.sort_by(|a, b| a.total_cmp(b));
+    let mtp_mean_ms =
+        if mtp_ms.is_empty() { 0.0 } else { mtp_ms.iter().sum::<f64>() / mtp_ms.len() as f64 };
+    Cell {
+        load,
+        policy,
+        chain_total: total,
+        chain_miss_rate: if total == 0 { 0.0 } else { misses as f64 / total as f64 },
+        chain_p50_ms: percentile(&chain_ms, 0.50),
+        chain_p99_ms: percentile(&chain_ms, 0.99),
+        mtp_mean_ms,
+        mtp_p99_ms: percentile(&mtp_ms, 0.99),
+        shed: result.shed_jobs,
+        level: result.degradation_level,
+        chain_ms,
+        mtp_ms,
+    }
+}
+
+/// Writes one CDF CSV: cumulative fraction against chain latency and
+/// MTP, sampled on a fixed quantile grid so files stay small and
+/// comparable across policies.
+fn write_cdf(policy: PolicyKind, cell: &Cell) -> std::io::Result<()> {
+    let mut csv = String::from("quantile,chain_latency_ms,mtp_ms\n");
+    for i in 0..=100u32 {
+        let q = i as f64 / 100.0;
+        writeln!(
+            csv,
+            "{q:.2},{:.6},{:.6}",
+            percentile(&cell.chain_ms, q),
+            percentile(&cell.mtp_ms, q)
+        )
+        .unwrap();
+    }
+    let path = format!("results/sched_compare_cdf_{}.csv", policy.label());
+    std::fs::write(&path, csv)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let duration = bench_duration();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Scheduling-policy comparison, Platformer on Desktop pinned to 1 CPU core \
+         ({}s simulated per cell)",
+        duration.as_secs()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# chain = imu -> imu_integrator -> timewarp, deadline {} ms",
+        CHAIN_DEADLINE.as_millis()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>5} {:>15} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}",
+        "load",
+        "policy",
+        "chains",
+        "miss_rate",
+        "p50_ms",
+        "p99_ms",
+        "mtp_ms",
+        "mtp_p99",
+        "shed",
+        "level"
+    )
+    .unwrap();
+
+    println!("Scheduling-policy comparison ({duration:?} simulated per cell)");
+    rule(96);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &load in &LOADS {
+        for &policy in &POLICIES {
+            let cell = run_cell(load, policy);
+            let row = format!(
+                "{:>5.1} {:>15} {:>7} {:>10.4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6} {:>6}",
+                cell.load,
+                cell.policy.label(),
+                cell.chain_total,
+                cell.chain_miss_rate,
+                cell.chain_p50_ms,
+                cell.chain_p99_ms,
+                cell.mtp_mean_ms,
+                cell.mtp_p99_ms,
+                cell.shed,
+                cell.level,
+            );
+            println!("{row}");
+            writeln!(out, "{row}").unwrap();
+            cells.push(cell);
+        }
+    }
+
+    // The claims the subsystem exists to support, checked on the top
+    // overload row: the governor strictly reduces p99 chain lateness
+    // and miss rate versus rate-monotonic while MTP stays bounded
+    // (timewarp is Critical — never shed).
+    let top = *LOADS.last().expect("loads non-empty");
+    let find = |load: f64, policy: PolicyKind| {
+        cells.iter().find(|c| c.load == load && c.policy == policy).expect("cell present")
+    };
+    let rm = find(top, PolicyKind::RateMonotonic);
+    let gov = find(top, PolicyKind::Adaptive);
+    let governor_reduces_p99 = gov.chain_p99_ms < rm.chain_p99_ms;
+    let governor_reduces_misses = gov.chain_miss_rate < rm.chain_miss_rate;
+    let mtp_bounded = gov.mtp_p99_ms < 3.0 * rm.mtp_p99_ms.max(1.0);
+    writeln!(
+        out,
+        "\ngovernor_reduces_p99_chain_latency={governor_reduces_p99} \
+         governor_reduces_miss_rate={governor_reduces_misses} mtp_bounded={mtp_bounded}"
+    )
+    .unwrap();
+    rule(96);
+    println!("governor reduces p99 chain latency at {top}x load: {governor_reduces_p99}");
+    println!("governor reduces chain miss rate at {top}x load: {governor_reduces_misses}");
+    println!("governor MTP stays bounded: {mtp_bounded}");
+    if !(governor_reduces_p99 && governor_reduces_misses) {
+        eprintln!("WARNING: adaptive governor did not beat rate-monotonic under overload");
+    }
+
+    // Determinism: the overload governor cell rerun must match its
+    // first run sample for sample.
+    let rerun = summarize(top, PolicyKind::Adaptive, &run_once(top, PolicyKind::Adaptive));
+    let deterministic = rerun.chain_ms == gov.chain_ms
+        && rerun.mtp_ms == gov.mtp_ms
+        && rerun.shed == gov.shed
+        && rerun.level == gov.level;
+    writeln!(out, "deterministic_rerun_identical={deterministic}").unwrap();
+    println!("deterministic rerun identical: {deterministic}");
+
+    std::fs::create_dir_all("results")?;
+    for &policy in &POLICIES {
+        let cell = find(top, policy);
+        write_cdf(policy, cell)?;
+    }
+    std::fs::write("results/sched_compare.txt", &out)?;
+    println!("wrote results/sched_compare.txt");
+    Ok(())
+}

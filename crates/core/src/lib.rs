@@ -27,6 +27,9 @@
 //! * **[`obs`]** — glue onto the `illixr-obs` observability layer:
 //!   span tracing, switchboard flow events, latency histograms, and
 //!   the Chrome/Perfetto trace exporter.
+//! * **[`sched`]** — glue onto the `illixr-sched` scheduling layer:
+//!   pluggable policies (rate-monotonic, EDF, adaptive degradation),
+//!   end-to-end chain deadlines, and the live worker-pool queue.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub mod clock;
 pub mod obs;
 pub mod phonebook;
 pub mod plugin;
+pub mod sched;
 pub mod sim;
 pub mod switchboard;
 pub mod telemetry;

@@ -1,0 +1,16 @@
+//! Glue onto the `illixr-sched` scheduling layer.
+//!
+//! Like [`crate::obs`], this module re-exports a below-core crate so
+//! the rest of the workspace needs no direct `illixr-sched`
+//! dependency: the sim engine embeds a [`Policy`] in its dispatch
+//! loop, the threadloop's worker pool drains a [`JobQueue`], and the
+//! experiment runner selects a [`PolicyKind`] from config.
+//!
+//! `illixr-sched` keeps time as raw `u64` nanoseconds; the runtime
+//! converts at the boundary with [`crate::time::Time::as_nanos`].
+
+pub use illixr_sched::chain::{ChainId, ChainOutcome, ChainSpec, ChainTracker};
+pub use illixr_sched::governor::{AdaptiveGovernor, GovernorConfig};
+pub use illixr_sched::live::JobQueue;
+pub use illixr_sched::policy::{Edf, Policy, PolicyKind, RateMonotonic};
+pub use illixr_sched::task::{is_miss, lateness_ns, release_ns, PriorityClass, ReadyJob};

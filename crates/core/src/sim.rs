@@ -22,6 +22,10 @@ use std::time::Duration;
 
 use crate::clock::{Clock, SimClock};
 use crate::obs::{Metrics, Tracer};
+use crate::sched::{
+    lateness_ns, ChainId, ChainOutcome, ChainSpec, ChainTracker, Policy, PolicyKind, PriorityClass,
+    ReadyJob,
+};
 use crate::telemetry::{FrameRecord, RecordLogger};
 use crate::time::Time;
 
@@ -94,6 +98,10 @@ pub struct TaskSpec {
     /// are coarser — which is what makes reprojection latency grow with
     /// application complexity on the Jetsons (paper Table IV).
     pub preempt_latency: Duration,
+    /// Semantic class consulted by the scheduling policy: EDF ignores
+    /// it, the adaptive governor sheds `Perception`/`Visual` rates
+    /// first and `Audio`/`BestEffort` jobs last, never `Critical`.
+    pub class: PriorityClass,
 }
 
 /// The function executed at dispatch: performs the component's real work
@@ -104,6 +112,9 @@ struct Task {
     spec: TaskSpec,
     runner: TaskRunner,
     invocation: u64,
+    /// Release index: counts every period boundary, including releases
+    /// that were dropped or shed (it is the job's `seq`).
+    release_seq: u64,
     busy: bool,
     queued: bool,
     /// Invalidates stale Finish events after a preemption delay.
@@ -157,7 +168,9 @@ impl PartialOrd for Event {
 struct Pool {
     capacity: usize,
     in_use: usize,
-    queue: VecDeque<TaskId>,
+    /// Released jobs waiting for a slot, in arrival order; the policy
+    /// picks which one dispatches next.
+    queue: VecDeque<ReadyJob>,
     running: Vec<TaskId>,
 }
 
@@ -190,6 +203,7 @@ impl Pool {
 ///         priority: 0,
 ///         preemptive: false,
 ///         preempt_latency: Duration::ZERO,
+///         class: illixr_core::sched::PriorityClass::BestEffort,
 ///     },
 ///     Box::new(|_d| ExecOutcome { cost: Duration::from_millis(1), work_factor: 1.0, did_work: true }),
 /// );
@@ -206,6 +220,15 @@ pub struct SimEngine {
     started: bool,
     tracer: Tracer,
     metrics: Metrics,
+    /// Dispatch policy; defaults to [`RateMonotonic`][crate::sched::RateMonotonic],
+    /// which reproduces the engine's historical static-priority FIFO.
+    policy: Box<dyn Policy>,
+    chains: ChainTracker,
+    chain_outcomes: Vec<ChainOutcome>,
+    /// Last degradation level emitted to the counter track.
+    last_level: u32,
+    /// Jobs shed by the policy's admission control.
+    shed: u64,
 }
 
 impl SimEngine {
@@ -230,7 +253,42 @@ impl SimEngine {
             started: false,
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            policy: PolicyKind::RateMonotonic.build(),
+            chains: ChainTracker::new(),
+            chain_outcomes: Vec::new(),
+            last_level: 0,
+            shed: 0,
         }
+    }
+
+    /// Installs the dispatch policy. Call before the first `run_for`;
+    /// the default is [`PolicyKind::RateMonotonic`].
+    pub fn set_policy(&mut self, policy: Box<dyn Policy>) {
+        self.policy = policy;
+    }
+
+    /// Registers an end-to-end chain (head task first). Each tail
+    /// completion emits one [`ChainOutcome`], recorded in
+    /// [`chain_outcomes`](Self::chain_outcomes), fed back to the
+    /// policy, and exported as a `chain.{name}` latency histogram.
+    pub fn add_chain(&mut self, spec: ChainSpec) -> ChainId {
+        self.chains.add(spec)
+    }
+
+    /// Every chain completion observed so far, in completion order.
+    pub fn chain_outcomes(&self) -> &[ChainOutcome] {
+        &self.chain_outcomes
+    }
+
+    /// The policy's current degradation level (0 for non-adaptive).
+    pub fn degradation_level(&self) -> u32 {
+        self.policy.level()
+    }
+
+    /// Jobs the policy's admission control shed (counted as drops in
+    /// telemetry, tracked separately here).
+    pub fn shed_jobs(&self) -> u64 {
+        self.shed
     }
 
     /// The engine's virtual clock (share it with components that need to
@@ -254,6 +312,7 @@ impl SimEngine {
             spec,
             runner,
             invocation: 0,
+            release_seq: 0,
             busy: false,
             queued: false,
             finish_generation: 0,
@@ -314,6 +373,24 @@ impl SimEngine {
         self.push_event(next, id, EventKind::Release);
 
         let task = &mut self.tasks[id];
+        let job = ReadyJob {
+            task: id,
+            seq: task.release_seq,
+            release_ns: now.as_nanos(),
+            deadline_ns: now.as_nanos().saturating_add(task.spec.deadline.as_nanos() as u64),
+            priority: task.spec.priority as i32,
+            class: task.spec.class,
+        };
+        task.release_seq += 1;
+        // Admission control: the adaptive governor sheds here (rate
+        // halving, class dropping). A shed release is a drop, not a miss.
+        if !self.policy.admit(&job) {
+            self.shed += 1;
+            let name = self.tasks[id].spec.name.clone();
+            self.telemetry.log_drop(&name);
+            return;
+        }
+        let task = &mut self.tasks[id];
         if (task.busy || task.queued) && task.spec.drop_if_busy {
             let name = task.spec.name.clone();
             self.telemetry.log_drop(&name);
@@ -341,7 +418,7 @@ impl SimEngine {
         }
         let task = &mut self.tasks[id];
         task.queued = true;
-        self.pool_mut(resource).queue.push_back(id);
+        self.pool_mut(resource).queue.push_back(job);
         self.dispatch(resource, now);
     }
 
@@ -349,19 +426,22 @@ impl SimEngine {
     /// delaying every running task on its resource by the execution cost
     /// (the preemptive GPU context).
     fn execute_preemptively(&mut self, id: TaskId, now: Time) {
+        let release = now;
+        // Wait for the running work to reach a preemption point.
+        let start = now + self.tasks[id].spec.preempt_latency;
+        self.chains.on_start(id, release.as_nanos(), start.as_nanos());
         let task = &mut self.tasks[id];
         let invocation = task.invocation;
         task.invocation += 1;
-        let release = now;
-        // Wait for the running work to reach a preemption point.
-        let start = now + task.spec.preempt_latency;
         let outcome = (task.runner)(Dispatch { release, start, invocation });
         if !outcome.did_work {
+            self.chains.on_abort(id);
             return;
         }
-        let cost = outcome.cost;
+        let scale = self.policy.cost_scale(self.tasks[id].spec.class);
+        let cost = scale_cost(outcome.cost, scale);
         let end = start + cost;
-        let deadline = release + task.spec.deadline;
+        let deadline = release + self.tasks[id].spec.deadline;
         self.tasks[id].pending_record = Some(FrameRecord {
             release,
             start,
@@ -410,6 +490,7 @@ impl SimEngine {
             // The actual end time includes any preemption delays.
             record.end = now;
             record.missed_deadline = now > record.release + self.tasks[id].spec.deadline;
+            let deadline_rel_ns = self.tasks[id].spec.deadline.as_nanos() as u64;
             let name = self.tasks[id].spec.name.clone();
             if self.tracer.is_enabled() {
                 if record.start > record.release {
@@ -422,6 +503,8 @@ impl SimEngine {
                         record.start.as_nanos(),
                     );
                 }
+                let lateness =
+                    lateness_ns(now.as_nanos(), record.release.as_nanos(), deadline_rel_ns);
                 self.tracer.record_span_args(
                     &name,
                     &name,
@@ -430,14 +513,24 @@ impl SimEngine {
                     &[
                         ("work_factor", format!("{:.3}", record.work_factor)),
                         ("missed_deadline", record.missed_deadline.to_string()),
+                        ("lateness_us", format!("{}", lateness / 1_000)),
                     ],
                 );
             }
             if self.metrics.is_enabled() {
                 self.metrics.record(&format!("exec.{name}"), now - record.start);
                 self.metrics.record(&format!("response.{name}"), now - record.release);
+                // Policy-comparable deadline accounting: lateness of
+                // every job (0 when on time), and of misses alone.
+                let lateness =
+                    lateness_ns(now.as_nanos(), record.release.as_nanos(), deadline_rel_ns);
+                self.metrics.record_ns("sched.lateness", lateness);
+                if record.missed_deadline {
+                    self.metrics.record_ns("sched.miss", lateness);
+                }
             }
             self.telemetry.log(&name, record);
+            self.note_chain_finish(id, now);
         }
         if held_slot {
             let pool = self.pool_mut(resource);
@@ -445,6 +538,41 @@ impl SimEngine {
             pool.running.retain(|&t| t != id);
         }
         self.dispatch(resource, now);
+    }
+
+    /// Propagates a completed invocation through the chain tracker,
+    /// feeds outcomes back to the policy, and exports chain telemetry.
+    fn note_chain_finish(&mut self, id: TaskId, now: Time) {
+        let outcomes = self.chains.on_finish(id, now.as_nanos());
+        for oc in &outcomes {
+            self.policy.on_chain_outcome(oc);
+            let chain_name = &self.chains.specs()[oc.chain].name;
+            if self.metrics.is_enabled() {
+                self.metrics.record_ns(&format!("chain.{chain_name}"), oc.latency_ns);
+                if oc.missed {
+                    self.metrics.record_ns(&format!("chain.{chain_name}.miss"), oc.latency_ns);
+                }
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.record_span_args(
+                    &format!("chain.{chain_name}"),
+                    chain_name,
+                    oc.origin_ns,
+                    oc.end_ns,
+                    &[("missed", oc.missed.to_string())],
+                );
+            }
+        }
+        // Surface governor level changes as a counter track so traces
+        // show exactly when the degradation ladder moved.
+        let level = self.policy.level();
+        if level != self.last_level {
+            self.last_level = level;
+            if self.tracer.is_enabled() {
+                self.tracer.counter("sched", "sched.level", now.as_nanos(), level as f64);
+            }
+        }
+        self.chain_outcomes.extend(outcomes);
     }
 
     fn pool_mut(&mut self, r: Resource) -> &mut Pool {
@@ -456,54 +584,42 @@ impl SimEngine {
 
     fn dispatch(&mut self, resource: Resource, now: Time) {
         loop {
-            // Select the queued task with the highest priority (FIFO
-            // within a priority) — compute with an immutable view of the
-            // tasks, then mutate the pool.
-            let best_pos = {
+            // The policy picks which released job dispatches next; the
+            // default rate-monotonic policy reproduces the historical
+            // rule (highest static priority, FIFO within a priority).
+            let job = {
+                let Self { cpu, gpu, policy, .. } = self;
                 let pool = match resource {
-                    Resource::Cpu => &self.cpu,
-                    Resource::Gpu => &self.gpu,
+                    Resource::Cpu => cpu,
+                    Resource::Gpu => gpu,
                 };
-                if pool.in_use >= pool.capacity {
+                if pool.in_use >= pool.capacity || pool.queue.is_empty() {
                     return;
                 }
-                let Some(best) = pool
-                    .queue
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(pos, &tid)| (self.tasks[tid].spec.priority, usize::MAX - pos))
-                    .map(|(pos, _)| pos)
-                else {
-                    return;
-                };
-                best
+                let pos = policy.select(pool.queue.make_contiguous());
+                pool.queue.remove(pos).expect("policy returned an in-range index")
             };
+            let id = job.task;
             let pool = self.pool_mut(resource);
-            let Some(id) = pool.queue.remove(best_pos) else { return };
             pool.in_use += 1;
             pool.running.push(id);
 
+            // The release this invocation serves is the one recorded at
+            // enqueue time, so queueing delay counts toward lateness.
+            let release = Time::from_nanos(job.release_ns);
+            self.chains.on_start(id, job.release_ns, now.as_nanos());
             let task = &mut self.tasks[id];
             task.queued = false;
             task.busy = true;
             task.holds_slot = true;
             let invocation = task.invocation;
             task.invocation += 1;
-            // The release this invocation serves: the most recent period
-            // boundary at or before `now`.
-            let period_ns = task.spec.period.as_nanos().max(1) as u64;
-            let offset_ns = task.spec.offset.as_nanos() as u64;
-            let release_ns = if now.as_nanos() <= offset_ns {
-                offset_ns
-            } else {
-                offset_ns + ((now.as_nanos() - offset_ns) / period_ns) * period_ns
-            };
-            let release = Time::from_nanos(release_ns);
             let dispatch = Dispatch { release, start: now, invocation };
             let outcome = (task.runner)(dispatch);
-            let cost = outcome.cost;
+            let scale = self.policy.cost_scale(job.class);
+            let cost = scale_cost(outcome.cost, scale);
             let end = now + cost;
-            let deadline = release + task.spec.deadline;
+            let deadline = release + self.tasks[id].spec.deadline;
             if outcome.did_work {
                 self.tasks[id].pending_record = Some(FrameRecord {
                     release,
@@ -515,6 +631,7 @@ impl SimEngine {
                 });
             } else {
                 // A no-input invocation frees its slot immediately.
+                self.chains.on_abort(id);
                 let pool = self.pool_mut(resource);
                 pool.in_use -= 1;
                 pool.running.retain(|&t| t != id);
@@ -525,6 +642,17 @@ impl SimEngine {
             let generation = self.tasks[id].finish_generation;
             self.push_event_gen(end, id, EventKind::Finish, generation);
         }
+    }
+}
+
+/// Applies a policy cost multiplier (the governor's work-factor
+/// shortcut); identity when the scale is exactly 1.0 so nominal runs
+/// charge precisely the modeled cost.
+fn scale_cost(cost: Duration, scale: f64) -> Duration {
+    if scale == 1.0 {
+        cost
+    } else {
+        Duration::from_nanos((cost.as_nanos() as f64 * scale).round() as u64)
     }
 }
 
@@ -566,6 +694,7 @@ mod tests {
             priority: 0,
             preemptive: false,
             preempt_latency: Duration::ZERO,
+            class: PriorityClass::BestEffort,
         }
     }
 
@@ -649,6 +778,7 @@ mod tests {
                 priority: 0,
                 preemptive: false,
                 preempt_latency: Duration::ZERO,
+                class: PriorityClass::BestEffort,
             },
             fixed_cost(1),
         );
@@ -713,6 +843,7 @@ mod tests {
                 priority: 10,
                 preemptive: false,
                 preempt_latency: Duration::ZERO,
+                class: PriorityClass::Critical,
             },
             fixed_cost(1),
         );
@@ -740,6 +871,7 @@ mod tests {
                 priority: 10,
                 preemptive: true,
                 preempt_latency: Duration::ZERO,
+                class: PriorityClass::Critical,
             },
             fixed_cost(5),
         );
@@ -772,6 +904,7 @@ mod tests {
                 priority: 10,
                 preemptive: true,
                 preempt_latency: Duration::ZERO,
+                class: PriorityClass::Critical,
             },
             fixed_cost(15),
         );
@@ -798,6 +931,7 @@ mod tests {
                     priority: 9,
                     preemptive: true,
                     preempt_latency: Duration::ZERO,
+                    class: PriorityClass::Critical,
                 },
                 fixed_cost(2),
             );
@@ -814,5 +948,193 @@ mod tests {
         let clock = engine.clock();
         engine.run_for(Duration::from_millis(123));
         assert_eq!(clock.now(), Time::from_millis(123));
+    }
+
+    /// An overloaded EDF taskset must miss exactly the analytically
+    /// predicted jobs. One core, A = (period 10 ms, cost 8 ms) with
+    /// drop-if-busy, B = (period 20 ms, cost 8 ms): utilization is
+    /// 1.2, and the schedule settles into a 40 ms cycle in which the
+    /// A job released at 40k+10 finishes 4 ms late, the A release at
+    /// 40k+20 drops (A is still running), and B never misses — the
+    /// B and A jobs that end exactly at their deadlines are *hits*,
+    /// because a miss is `end > release + deadline`, strictly.
+    #[test]
+    fn edf_overload_misses_exactly_the_predicted_jobs() {
+        let telemetry = Arc::new(RecordLogger::new());
+        let mut engine = SimEngine::new(1, 1, telemetry.clone());
+        engine.set_policy(PolicyKind::Edf.build());
+        engine.add_task(spec("a", Resource::Cpu, 10, true), fixed_cost(8));
+        engine.add_task(spec("b", Resource::Cpu, 20, true), fixed_cost(8));
+        engine.run_for(Duration::from_millis(200));
+        let sa = telemetry.stats("a").unwrap();
+        let sb = telemetry.stats("b").unwrap();
+        assert_eq!(sa.deadline_misses, 5, "A misses once per 40 ms cycle");
+        assert_eq!(sa.drops, 5, "A drops once per 40 ms cycle");
+        assert_eq!(sb.deadline_misses, 0, "B always meets its 20 ms deadline");
+        assert_eq!(sb.drops, 0);
+        // The missing jobs are exactly the releases at 40k+10, each
+        // finishing 4 ms past its deadline.
+        let late: Vec<(u64, u64)> = telemetry
+            .records("a")
+            .iter()
+            .filter(|r| r.missed_deadline)
+            .map(|r| (r.release.as_nanos() / 1_000_000, r.end.as_nanos() / 1_000_000))
+            .collect();
+        assert_eq!(late, vec![(10, 24), (50, 64), (90, 104), (130, 144), (170, 184)]);
+    }
+
+    /// Where rate-monotonic picks the queued job with the highest
+    /// static priority, EDF picks the one with the earliest absolute
+    /// deadline — observable when both wait behind the same hog.
+    #[test]
+    fn edf_prefers_earlier_deadline_over_static_priority() {
+        let run = |kind: PolicyKind| {
+            let telemetry = Arc::new(RecordLogger::new());
+            let mut engine = SimEngine::new(1, 1, telemetry.clone());
+            engine.set_policy(kind.build());
+            // Hog holds the core 0..10 ms.
+            engine.add_task(spec("hog", Resource::Cpu, 100, true), fixed_cost(10));
+            // "lazy" has high priority but a lax 90 ms deadline.
+            engine.add_task(
+                TaskSpec {
+                    name: "lazy".into(),
+                    resource: Resource::Cpu,
+                    period: Duration::from_millis(100),
+                    offset: Duration::from_millis(1),
+                    deadline: Duration::from_millis(90),
+                    drop_if_busy: true,
+                    priority: 5,
+                    preemptive: false,
+                    preempt_latency: Duration::ZERO,
+                    class: PriorityClass::BestEffort,
+                },
+                fixed_cost(3),
+            );
+            // "tight" has low priority but a 13 ms deadline.
+            engine.add_task(
+                TaskSpec {
+                    name: "tight".into(),
+                    resource: Resource::Cpu,
+                    period: Duration::from_millis(100),
+                    offset: Duration::from_millis(2),
+                    deadline: Duration::from_millis(13),
+                    drop_if_busy: true,
+                    priority: 0,
+                    preemptive: false,
+                    preempt_latency: Duration::ZERO,
+                    class: PriorityClass::BestEffort,
+                },
+                fixed_cost(3),
+            );
+            engine.run_for(Duration::from_millis(100));
+            (
+                telemetry.records("lazy")[0].start,
+                telemetry.records("tight")[0].start,
+                telemetry.stats("tight").unwrap().deadline_misses,
+            )
+        };
+        let (rm_lazy, rm_tight, rm_tight_misses) = run(PolicyKind::RateMonotonic);
+        assert_eq!(rm_lazy, Time::from_millis(10), "RM runs the high-priority job first");
+        assert_eq!(rm_tight, Time::from_millis(13));
+        assert_eq!(
+            rm_tight_misses, 1,
+            "RM blows tight's deadline: ends at 16 ms, deadline 2+13 = 15 ms"
+        );
+        let (edf_lazy, edf_tight, edf_tight_misses) = run(PolicyKind::Edf);
+        assert_eq!(edf_tight, Time::from_millis(10), "EDF runs the tight-deadline job first");
+        assert_eq!(edf_lazy, Time::from_millis(13));
+        assert_eq!(edf_tight_misses, 0);
+    }
+
+    /// The governor escalates under sustained chain misses, sheds
+    /// perception-class releases, and thereby lets the critical tail
+    /// meet its deadline again — the graceful-degradation contract.
+    #[test]
+    fn adaptive_governor_sheds_load_until_the_chain_recovers() {
+        let run = |kind: PolicyKind| {
+            let telemetry = Arc::new(RecordLogger::new());
+            let mut engine = SimEngine::new(1, 1, telemetry.clone());
+            engine.set_policy(kind.build());
+            // A perception hog that alone nearly saturates the core …
+            let hog = engine.add_task(
+                TaskSpec {
+                    name: "hog".into(),
+                    resource: Resource::Cpu,
+                    period: Duration::from_millis(10),
+                    offset: Duration::ZERO,
+                    deadline: Duration::from_millis(10),
+                    drop_if_busy: true,
+                    priority: 0,
+                    preemptive: false,
+                    preempt_latency: Duration::ZERO,
+                    class: PriorityClass::Perception,
+                },
+                fixed_cost(9),
+            );
+            let _ = hog;
+            // … plus a critical 5 ms-period task forming a one-stage
+            // chain with a tight end-to-end deadline.
+            let tail = engine.add_task(
+                TaskSpec {
+                    name: "tail".into(),
+                    resource: Resource::Cpu,
+                    period: Duration::from_millis(5),
+                    offset: Duration::from_millis(1),
+                    deadline: Duration::from_millis(5),
+                    drop_if_busy: true,
+                    priority: 3,
+                    preemptive: false,
+                    preempt_latency: Duration::ZERO,
+                    class: PriorityClass::Critical,
+                },
+                fixed_cost(1),
+            );
+            engine.add_chain(ChainSpec {
+                name: "c".into(),
+                members: vec![tail],
+                deadline_ns: 4_000_000,
+            });
+            engine.run_for(Duration::from_millis(2_000));
+            let missed = engine.chain_outcomes().iter().filter(|o| o.missed).count();
+            (missed, engine.chain_outcomes().len(), engine.shed_jobs(), engine.degradation_level())
+        };
+        let (edf_missed, edf_total, edf_shed, edf_level) = run(PolicyKind::Edf);
+        let (gov_missed, gov_total, gov_shed, _gov_level) = run(PolicyKind::Adaptive);
+        assert_eq!(edf_shed, 0);
+        assert_eq!(edf_level, 0);
+        assert!(edf_total > 100 && gov_total > 100, "chain must complete many times");
+        assert!(gov_shed > 0, "governor must shed perception releases");
+        let edf_rate = edf_missed as f64 / edf_total as f64;
+        let gov_rate = gov_missed as f64 / gov_total as f64;
+        assert!(
+            gov_rate < edf_rate / 2.0,
+            "governor must at least halve the chain miss rate (edf {edf_rate:.3}, governor {gov_rate:.3})"
+        );
+    }
+
+    #[test]
+    fn governor_runs_are_deterministic() {
+        let run = || {
+            let telemetry = Arc::new(RecordLogger::new());
+            let mut engine = SimEngine::new(1, 1, telemetry.clone());
+            engine.set_policy(PolicyKind::Adaptive.build());
+            let a = engine.add_task(spec("a", Resource::Cpu, 7, true), fixed_cost(5));
+            let mut b_spec = spec("b", Resource::Cpu, 11, true);
+            b_spec.class = PriorityClass::Perception;
+            engine.add_task(b_spec, fixed_cost(6));
+            engine.add_chain(ChainSpec {
+                name: "c".into(),
+                members: vec![a],
+                deadline_ns: 6_000_000,
+            });
+            engine.run_for(Duration::from_millis(800));
+            (
+                telemetry.records("a"),
+                telemetry.records("b"),
+                engine.chain_outcomes().to_vec(),
+                engine.shed_jobs(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

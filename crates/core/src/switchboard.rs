@@ -354,12 +354,6 @@ impl<T: Send + Sync> AsyncReader<T> {
         event
     }
 
-    /// The most recent event on the stream.
-    #[deprecated(since = "0.2.0", note = "alias of `latest`; call `latest` instead")]
-    pub fn latest_event(&self) -> Option<Arc<Event<T>>> {
-        self.latest()
-    }
-
     /// Stream name.
     pub fn name(&self) -> &str {
         &self.name
@@ -565,46 +559,6 @@ impl Switchboard {
         self.topic(name)
     }
 
-    fn topic_or_panic<T: Send + Sync + 'static>(&self, name: &str) -> Topic<T> {
-        self.topic(name).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Returns a writer for stream `name` with payload type `T`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the stream already exists with a different payload type.
-    #[deprecated(since = "0.2.0", note = "use `topic::<T>(name)?.writer()`")]
-    pub fn writer<T: Send + Sync + 'static>(&self, name: &str) -> Writer<T> {
-        self.topic_or_panic(name).writer()
-    }
-
-    /// Returns an asynchronous (latest-value) reader for stream `name`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the stream already exists with a different payload type.
-    #[deprecated(since = "0.2.0", note = "use `topic::<T>(name)?.async_reader()`")]
-    pub fn async_reader<T: Send + Sync + 'static>(&self, name: &str) -> AsyncReader<T> {
-        self.topic_or_panic(name).async_reader()
-    }
-
-    /// Returns a synchronous (every-value) reader for stream `name` with
-    /// the given queue capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the stream already exists with a different payload
-    /// type, or `capacity` is zero.
-    #[deprecated(since = "0.2.0", note = "use `topic::<T>(name)?.sync_reader(capacity)`")]
-    pub fn sync_reader<T: Send + Sync + 'static>(
-        &self,
-        name: &str,
-        capacity: usize,
-    ) -> SyncReader<T> {
-        self.topic_or_panic(name).sync_reader(capacity)
-    }
-
     /// Names of all streams created so far (sorted).
     pub fn stream_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
@@ -779,43 +733,6 @@ mod tests {
         );
         // A plain typed handle is still fine.
         assert!(sb.topic::<u32>("s").is_ok());
-    }
-
-    #[test]
-    #[should_panic(expected = "different payload type")]
-    fn deprecated_wrapper_still_panics_on_type_mismatch() {
-        let sb = Switchboard::new();
-        let _t = topic::<u32>(&sb, "s");
-        #[allow(deprecated)]
-        let _r = sb.async_reader::<f64>("s");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_typed_handles() {
-        // The stringly methods must address exactly the streams that
-        // Topic handles do: a value published through the deprecated
-        // writer is seen by typed-handle readers and vice versa.
-        let sb = Switchboard::new();
-        let legacy_w = sb.writer::<u32>("s");
-        let t = topic::<u32>(&sb, "s");
-        let typed_r = t.sync_reader(8);
-        let legacy_r = sb.sync_reader::<u32>("s", 8);
-        let typed_w = t.writer();
-
-        legacy_w.put(1);
-        typed_w.put(2);
-
-        let via_typed: Vec<u32> = typed_r.drain().iter().map(|e| e.data).collect();
-        let via_legacy: Vec<u32> = legacy_r.drain().iter().map(|e| e.data).collect();
-        assert_eq!(via_typed, vec![1, 2]);
-        assert_eq!(via_legacy, via_typed);
-        assert_eq!(sb.async_reader::<u32>("s").latest().unwrap().seq, 1);
-        assert_eq!(t.async_reader().latest().unwrap().seq, 1);
-        assert_eq!(legacy_w.count(), typed_w.count());
-        // latest_event is a deprecated alias of latest.
-        let ar = t.async_reader();
-        assert_eq!(ar.latest_event().unwrap().seq, ar.latest().unwrap().seq);
     }
 
     #[test]

@@ -1,16 +1,31 @@
-//! Live-mode execution: one OS thread per periodic plugin.
+//! Live-mode execution: periodic plugins on OS threads.
 //!
-//! This is the paper's "threadloop" plugin base class: the runtime spawns
-//! a thread that invokes the plugin at its configured period, records
-//! telemetry and honours a stop flag. Use [`crate::sim`] instead for
-//! deterministic simulated runs.
+//! Two execution shapes share the same release/telemetry model:
+//!
+//! * [`spawn_threadloop`] — the paper's "threadloop" plugin base
+//!   class: one dedicated thread per plugin, invoked at a fixed
+//!   period. Simple and isolating, but the thread count grows with
+//!   the plugin count and the OS scheduler decides who runs.
+//! * [`spawn_worker_pool`] — a work-conserving pool: one dispatcher
+//!   releases jobs for every registered plugin and `N` workers drain
+//!   them in the order a pluggable [`Policy`] chooses (EDF, rate-
+//!   monotonic, or the adaptive governor).
+//!
+//! Both paths compute releases with 64/128-bit nanosecond arithmetic
+//! (release *k* = `origin + period·k` — the old `period * k as u32`
+//! truncated `k` and wrapped after ~2³² iterations) and count a
+//! deadline miss as *lateness* (`end > release + deadline`), never as
+//! CPU time: an iteration that slept past its deadline missed it, and
+//! one that burned a full period of CPU but finished on time did not.
+//! Use [`crate::sim`] instead for deterministic simulated runs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::plugin::{Plugin, PluginContext};
+use crate::sched::{release_ns, JobQueue, Policy, PriorityClass, ReadyJob};
 use crate::telemetry::FrameRecord;
 use crate::time::Time;
 
@@ -47,29 +62,49 @@ impl Drop for ThreadLoopHandle {
 }
 
 /// Spawns a thread that calls `plugin.iterate` every `period` until
-/// stopped, logging one [`FrameRecord`] per iteration.
+/// stopped, logging one [`FrameRecord`] per iteration. The relative
+/// deadline equals the period; use [`spawn_threadloop_with`] to set
+/// them independently.
 ///
 /// The loop is drift-free: iteration *k* is released at `start + k·period`
 /// regardless of how long previous iterations took. If an iteration
 /// overruns its period the next release fires immediately (no catch-up
 /// burst: intermediate releases are counted as drops).
 pub fn spawn_threadloop(
+    plugin: Box<dyn Plugin>,
+    ctx: PluginContext,
+    period: Duration,
+) -> ThreadLoopHandle {
+    spawn_threadloop_with(plugin, ctx, period, period)
+}
+
+/// [`spawn_threadloop`] with an explicit relative deadline, which may
+/// be shorter than the period (a compositor that must finish well
+/// before vsync) or longer (a logger that tolerates slack).
+pub fn spawn_threadloop_with(
     mut plugin: Box<dyn Plugin>,
     ctx: PluginContext,
     period: Duration,
+    deadline: Duration,
 ) -> ThreadLoopHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_clone = stop.clone();
     let name = plugin.name().to_owned();
     let thread_name = name.clone();
+    let period_ns = period.as_nanos().max(1) as u64;
+    let deadline_ns = deadline.as_nanos() as u64;
     let join = std::thread::Builder::new()
         .name(thread_name.clone())
         .spawn(move || {
             plugin.start(&ctx);
             let origin = Instant::now();
+            // Release timestamps are reported in the runtime clock's
+            // basis; capture its origin alongside the Instant one.
+            let origin_t = ctx.clock.now().as_nanos();
             let mut k: u64 = 0;
             while !stop_clone.load(Ordering::SeqCst) {
-                let release = origin + period * k as u32;
+                let offset_ns = release_ns(0, period_ns, k);
+                let release = origin + Duration::from_nanos(offset_ns);
                 let now = Instant::now();
                 if release > now {
                     std::thread::sleep(release - now);
@@ -77,12 +112,12 @@ pub fn spawn_threadloop(
                 if stop_clone.load(Ordering::SeqCst) {
                     break;
                 }
+                let release_t = Time::from_nanos(release_ns(origin_t, period_ns, k));
                 let start_t = ctx.clock.now();
                 let cpu_start = Instant::now();
                 let report = plugin.iterate(&ctx);
                 let cpu = cpu_start.elapsed();
                 let end_t = ctx.clock.now();
-                let release_t = Time::from_nanos((period * k as u32).as_nanos() as u64);
                 if report.did_work {
                     ctx.tracer.record_span(
                         plugin.name(),
@@ -101,13 +136,17 @@ pub fn spawn_threadloop(
                             end: end_t,
                             cpu_time: cpu,
                             work_factor: report.work_factor,
-                            missed_deadline: cpu > period,
+                            missed_deadline: crate::sched::is_miss(
+                                end_t.as_nanos(),
+                                release_t.as_nanos(),
+                                deadline_ns,
+                            ),
                         },
                     );
                 }
                 // Skip any releases that elapsed while we were running.
                 let elapsed = origin.elapsed();
-                let next_k = (elapsed.as_nanos() / period.as_nanos().max(1)) as u64 + 1;
+                let next_k = (elapsed.as_nanos() / period_ns as u128) as u64 + 1;
                 if next_k > k + 1 {
                     for _ in (k + 1)..next_k {
                         ctx.telemetry.log_drop(plugin.name());
@@ -121,11 +160,235 @@ pub fn spawn_threadloop(
     ThreadLoopHandle { stop, join: Some(join), name }
 }
 
+/// A plugin registered with [`spawn_worker_pool`].
+pub struct PoolTask {
+    /// The plugin to iterate.
+    pub plugin: Box<dyn Plugin>,
+    /// Release period.
+    pub period: Duration,
+    /// Relative deadline (usually the period).
+    pub deadline: Duration,
+    /// Static priority for rate-monotonic selection.
+    pub priority: i32,
+    /// Semantic class for the degradation governor.
+    pub class: PriorityClass,
+}
+
+/// Plugin slots shared between the workers: a plugin is checked out of
+/// its slot while one worker iterates it and returned afterwards.
+type PluginSlots = Arc<Mutex<Vec<Option<Box<dyn Plugin>>>>>;
+
+/// Handle to a running worker pool. Dropping it stops the pool.
+pub struct WorkerPoolHandle {
+    stop: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+    joins: Vec<JoinHandle<()>>,
+    plugins: PluginSlots,
+    ctx: PluginContext,
+}
+
+impl WorkerPoolHandle {
+    /// Signals the dispatcher and workers to stop, waits for them,
+    /// and calls each plugin's `stop`.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Jobs the policy's admission control shed.
+    pub fn shed_jobs(&self) -> u64 {
+        self.queue.shed_jobs()
+    }
+
+    /// Current degradation level of the pool's policy.
+    pub fn level(&self) -> u32 {
+        self.queue.level()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+        let mut plugins = self.plugins.lock().unwrap();
+        for slot in plugins.iter_mut() {
+            if let Some(mut plugin) = slot.take() {
+                plugin.stop();
+            }
+        }
+        let _ = &self.ctx;
+    }
+}
+
+impl Drop for WorkerPoolHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Runs every registered plugin on a shared pool of `workers` threads,
+/// dispatching in the order `policy` chooses — the live-mode
+/// counterpart of the sim engine's policy hook.
+///
+/// One dispatcher thread releases a job per task period (drift-free,
+/// 128-bit release math). A release finding its plugin still busy or
+/// queued is dropped, mirroring the threadloop's no-catch-up rule; a
+/// release the policy refuses to admit (the governor shedding load) is
+/// also counted as a drop. Workers pull whatever job the policy picks
+/// next, so a lone slow plugin no longer commandeers its own core.
+pub fn spawn_worker_pool(
+    tasks: Vec<PoolTask>,
+    ctx: PluginContext,
+    workers: usize,
+    policy: Box<dyn Policy>,
+) -> WorkerPoolHandle {
+    assert!(workers > 0, "worker pool needs at least one worker");
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(JobQueue::new(policy));
+
+    let mut specs = Vec::new();
+    let mut plugin_slots = Vec::new();
+    let mut names = Vec::new();
+    for mut task in tasks {
+        task.plugin.start(&ctx);
+        names.push(task.plugin.name().to_owned());
+        plugin_slots.push(Some(task.plugin));
+        specs.push((
+            task.period.as_nanos().max(1) as u64,
+            task.deadline.as_nanos() as u64,
+            task.priority,
+            task.class,
+        ));
+    }
+    let plugins = Arc::new(Mutex::new(plugin_slots));
+    let names = Arc::new(names);
+    // True while a task's job is queued or executing: the dispatcher
+    // drops releases for busy tasks instead of letting them pile up.
+    let busy: Arc<Vec<AtomicBool>> =
+        Arc::new((0..specs.len()).map(|_| AtomicBool::new(false)).collect());
+
+    let mut joins = Vec::new();
+    // Worker threads.
+    for w in 0..workers {
+        let queue = Arc::clone(&queue);
+        let plugins = Arc::clone(&plugins);
+        let names = Arc::clone(&names);
+        let busy = Arc::clone(&busy);
+        let ctx = ctx.clone();
+        let specs = specs.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("pool-worker-{w}"))
+            .spawn(move || {
+                while let Some(job) = queue.pop_blocking() {
+                    let Some(mut plugin) = plugins.lock().unwrap()[job.task].take() else {
+                        // The dispatcher's busy flag makes this
+                        // unreachable, but a missing plugin must not
+                        // wedge the worker.
+                        busy[job.task].store(false, Ordering::SeqCst);
+                        continue;
+                    };
+                    let start_t = ctx.clock.now();
+                    let cpu_start = Instant::now();
+                    let report = plugin.iterate(&ctx);
+                    let cpu = cpu_start.elapsed();
+                    let end_t = ctx.clock.now();
+                    let name = &names[job.task];
+                    if report.did_work {
+                        ctx.tracer.record_span(name, name, start_t.as_nanos(), end_t.as_nanos());
+                        if ctx.metrics.is_enabled() {
+                            ctx.metrics.record(&format!("exec.{name}"), cpu);
+                        }
+                        let deadline_rel = specs[job.task].1;
+                        ctx.telemetry.log(
+                            name,
+                            FrameRecord {
+                                release: Time::from_nanos(job.release_ns),
+                                start: start_t,
+                                end: end_t,
+                                cpu_time: cpu,
+                                work_factor: report.work_factor,
+                                missed_deadline: crate::sched::is_miss(
+                                    end_t.as_nanos(),
+                                    job.release_ns,
+                                    deadline_rel,
+                                ),
+                            },
+                        );
+                    }
+                    plugins.lock().unwrap()[job.task] = Some(plugin);
+                    busy[job.task].store(false, Ordering::SeqCst);
+                }
+            })
+            .expect("failed to spawn pool worker");
+        joins.push(join);
+    }
+
+    // Dispatcher thread: releases jobs at each task's period.
+    {
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        let names = Arc::clone(&names);
+        let busy = Arc::clone(&busy);
+        let ctx = ctx.clone();
+        let specs_d = specs;
+        let join = std::thread::Builder::new()
+            .name("pool-dispatcher".into())
+            .spawn(move || {
+                let origin = Instant::now();
+                let origin_t = ctx.clock.now().as_nanos();
+                let mut next_k: Vec<u64> = vec![0; specs_d.len()];
+                while !stop.load(Ordering::SeqCst) {
+                    // Earliest upcoming release across all tasks.
+                    let (task, k, offset_ns) = next_k
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &k)| (i, k, release_ns(0, specs_d[i].0, k)))
+                        .min_by_key(|&(i, _, off)| (off, i))
+                        .expect("pool has at least one task");
+                    let release = origin + Duration::from_nanos(offset_ns);
+                    let now = Instant::now();
+                    if release > now {
+                        // Sleep in short slices so stop stays responsive.
+                        let wait = (release - now).min(Duration::from_millis(20));
+                        std::thread::sleep(wait);
+                        continue;
+                    }
+                    next_k[task] = k + 1;
+                    let (_, deadline_rel, priority, class) = specs_d[task];
+                    if busy[task].swap(true, Ordering::SeqCst) {
+                        // Previous job still queued or running.
+                        ctx.telemetry.log_drop(&names[task]);
+                        continue;
+                    }
+                    let release_t = release_ns(origin_t, specs_d[task].0, k);
+                    let job = ReadyJob {
+                        task,
+                        seq: k,
+                        release_ns: release_t,
+                        deadline_ns: release_t.saturating_add(deadline_rel),
+                        priority,
+                        class,
+                    };
+                    if !queue.push(job) {
+                        // Shed by admission control (or the queue closed).
+                        busy[task].store(false, Ordering::SeqCst);
+                        ctx.telemetry.log_drop(&names[task]);
+                    }
+                }
+            })
+            .expect("failed to spawn pool dispatcher");
+        joins.push(join);
+    }
+
+    WorkerPoolHandle { stop, queue, joins, plugins, ctx }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::clock::WallClock;
     use crate::plugin::IterationReport;
+    use crate::sched::PolicyKind;
 
     struct Ticker;
 
@@ -176,6 +439,80 @@ mod tests {
         handle.stop();
         let stats = ctx.telemetry.stats("slow").unwrap();
         assert!(stats.drops > 0, "a 12ms task at a 4ms period must drop releases");
+        // 12 ms iterations against a 4 ms deadline: every logged
+        // iteration finishes past release + deadline.
+        assert!(stats.deadline_misses > 0);
+    }
+
+    /// A plugin that sleeps through its deadline without burning CPU
+    /// used to be reported as on-time (`cpu > period` was the miss
+    /// predicate); lateness accounting must count it.
+    struct Sleepy;
+
+    impl Plugin for Sleepy {
+        fn name(&self) -> &str {
+            "sleepy"
+        }
+        fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+            std::thread::sleep(Duration::from_millis(8));
+            IterationReport::nominal()
+        }
+    }
+
+    #[test]
+    fn sleepy_but_late_iterations_are_misses() {
+        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        // Period 20 ms (so cpu < period always) but deadline 2 ms.
+        let handle = spawn_threadloop_with(
+            Box::new(Sleepy),
+            ctx.clone(),
+            Duration::from_millis(20),
+            Duration::from_millis(2),
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        handle.stop();
+        let stats = ctx.telemetry.stats("sleepy").unwrap();
+        assert!(stats.invocations >= 2);
+        assert_eq!(
+            stats.deadline_misses, stats.invocations,
+            "every 8 ms sleep blows the 2 ms deadline even though cpu ≪ period"
+        );
+    }
+
+    #[test]
+    fn worker_pool_runs_plugins_and_stops() {
+        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let reader = ctx.switchboard.topic::<u64>("ticks").unwrap().sync_reader(4096);
+        let tasks = vec![PoolTask {
+            plugin: Box::new(Ticker),
+            period: Duration::from_millis(5),
+            deadline: Duration::from_millis(5),
+            priority: 1,
+            class: PriorityClass::Critical,
+        }];
+        let handle = spawn_worker_pool(tasks, ctx.clone(), 2, PolicyKind::Edf.build());
+        std::thread::sleep(Duration::from_millis(120));
+        handle.stop();
+        let n = reader.drain().len();
+        assert!(n >= 5, "expected at least 5 pooled ticks, got {n}");
+        assert!(ctx.telemetry.stats("ticker").unwrap().invocations >= 5);
+    }
+
+    #[test]
+    fn worker_pool_drops_busy_releases() {
+        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let tasks = vec![PoolTask {
+            plugin: Box::new(Slow),
+            period: Duration::from_millis(4),
+            deadline: Duration::from_millis(4),
+            priority: 0,
+            class: PriorityClass::BestEffort,
+        }];
+        let handle = spawn_worker_pool(tasks, ctx.clone(), 1, PolicyKind::Edf.build());
+        std::thread::sleep(Duration::from_millis(100));
+        handle.stop();
+        let stats = ctx.telemetry.stats("slow").unwrap();
+        assert!(stats.drops > 0, "busy releases must drop, got {:?}", stats);
         assert!(stats.deadline_misses > 0);
     }
 }

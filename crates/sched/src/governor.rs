@@ -1,0 +1,301 @@
+//! The adaptive degradation governor: EDF plus graceful degradation.
+//!
+//! The governor watches chain outcomes over a sliding window. When the
+//! windowed miss rate stays above an escalation threshold it climbs a
+//! fixed degradation ladder; when the miss rate stays below a (lower)
+//! restoration threshold for several consecutive windows it climbs
+//! back down. The gap between the two thresholds plus the
+//! consecutive-window requirement is the hysteresis that prevents
+//! level flapping at the overload boundary.
+//!
+//! The ladder (cumulative — each level includes the ones below):
+//!
+//! | level | action |
+//! |-------|--------|
+//! | 0 | nominal: plain EDF |
+//! | 1 | halve `Perception` and `Visual` rates (shed odd-numbered releases) |
+//! | 2 | + work-factor shortcut: scale `Perception`/`Visual` cost by `shortcut_scale` |
+//! | 3 | + drop `Audio` and `BestEffort` jobs entirely |
+//!
+//! `Critical` jobs are never touched: they are the tail of the
+//! motion-to-photon chain, and shedding them converts lateness into
+//! absence.
+
+use crate::chain::ChainOutcome;
+use crate::policy::{Edf, Policy};
+use crate::task::{PriorityClass, ReadyJob};
+
+/// Tuning for the governor's control loop.
+#[derive(Clone, Copy, Debug)]
+pub struct GovernorConfig {
+    /// Chain outcomes per control window.
+    pub window: u32,
+    /// Escalate one level when a window's miss rate exceeds this.
+    pub escalate_miss_rate: f64,
+    /// A window counts toward restoration when its miss rate is below this.
+    pub restore_miss_rate: f64,
+    /// Consecutive clean windows required to step down one level.
+    pub restore_windows: u32,
+    /// Highest ladder level.
+    pub max_level: u32,
+    /// Cost multiplier applied to shortcut-capable classes at level ≥ 2.
+    pub shortcut_scale: f64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            escalate_miss_rate: 0.25,
+            restore_miss_rate: 0.05,
+            restore_windows: 4,
+            max_level: 3,
+            shortcut_scale: 0.75,
+        }
+    }
+}
+
+/// EDF with the degradation ladder. Wraps a plain [`Edf`] selector;
+/// all governor behaviour lives in the `admit`/`cost_scale`/
+/// `on_chain_outcome` hooks.
+pub struct AdaptiveGovernor {
+    config: GovernorConfig,
+    edf: Edf,
+    level: u32,
+    /// Outcomes and misses accumulated in the current window.
+    window_total: u32,
+    window_missed: u32,
+    /// Consecutive clean windows observed at the current level.
+    clean_windows: u32,
+    /// Total jobs shed by admission control, by cause.
+    shed_rate: u64,
+    shed_class: u64,
+    /// Level transitions as (outcome index, new level), for telemetry.
+    transitions: Vec<(u64, u32)>,
+    outcomes_seen: u64,
+}
+
+impl AdaptiveGovernor {
+    pub fn new(config: GovernorConfig) -> Self {
+        Self {
+            config,
+            edf: Edf,
+            level: 0,
+            window_total: 0,
+            window_missed: 0,
+            clean_windows: 0,
+            shed_rate: 0,
+            shed_class: 0,
+            transitions: Vec::new(),
+            outcomes_seen: 0,
+        }
+    }
+
+    /// Jobs shed by rate-halving (level ≥ 1).
+    pub fn shed_rate_jobs(&self) -> u64 {
+        self.shed_rate
+    }
+
+    /// Jobs shed by class-dropping (level ≥ 3).
+    pub fn shed_class_jobs(&self) -> u64 {
+        self.shed_class
+    }
+
+    /// Level transitions as `(chain-outcome index, new level)`.
+    pub fn transitions(&self) -> &[(u64, u32)] {
+        &self.transitions
+    }
+
+    /// Highest level reached so far.
+    pub fn max_level_reached(&self) -> u32 {
+        self.transitions.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    fn close_window(&mut self) {
+        let rate = self.window_missed as f64 / self.window_total.max(1) as f64;
+        if rate > self.config.escalate_miss_rate {
+            self.clean_windows = 0;
+            if self.level < self.config.max_level {
+                self.level += 1;
+                self.transitions.push((self.outcomes_seen, self.level));
+            }
+        } else if rate < self.config.restore_miss_rate {
+            if self.level > 0 {
+                self.clean_windows += 1;
+                if self.clean_windows >= self.config.restore_windows {
+                    self.level -= 1;
+                    self.clean_windows = 0;
+                    self.transitions.push((self.outcomes_seen, self.level));
+                }
+            }
+        } else {
+            // Between the thresholds: the hysteresis band — hold.
+            self.clean_windows = 0;
+        }
+        self.window_total = 0;
+        self.window_missed = 0;
+    }
+}
+
+impl Policy for AdaptiveGovernor {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn select(&mut self, ready: &[ReadyJob]) -> usize {
+        self.edf.select(ready)
+    }
+
+    fn admit(&mut self, job: &ReadyJob) -> bool {
+        match job.class {
+            PriorityClass::Critical => true,
+            PriorityClass::Perception | PriorityClass::Visual => {
+                // Level ≥ 1: halve the rate by shedding odd releases.
+                if self.level >= 1 && job.seq % 2 == 1 {
+                    self.shed_rate += 1;
+                    false
+                } else {
+                    true
+                }
+            }
+            PriorityClass::Audio | PriorityClass::BestEffort => {
+                // Level ≥ 3: drop the class entirely.
+                if self.level >= 3 {
+                    self.shed_class += 1;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    fn cost_scale(&self, class: PriorityClass) -> f64 {
+        if self.level >= 2 && matches!(class, PriorityClass::Perception | PriorityClass::Visual) {
+            self.config.shortcut_scale
+        } else {
+            1.0
+        }
+    }
+
+    fn on_chain_outcome(&mut self, outcome: &ChainOutcome) {
+        self.outcomes_seen += 1;
+        self.window_total += 1;
+        if outcome.missed {
+            self.window_missed += 1;
+        }
+        if self.window_total >= self.config.window {
+            self.close_window();
+        }
+    }
+
+    fn level(&self) -> u32 {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(missed: bool) -> ChainOutcome {
+        ChainOutcome {
+            chain: 0,
+            origin_ns: 0,
+            end_ns: 1,
+            latency_ns: 1,
+            deadline_ns: if missed { 0 } else { 10 },
+            missed,
+        }
+    }
+
+    fn job(class: PriorityClass, seq: u64) -> ReadyJob {
+        ReadyJob { task: 0, seq, release_ns: 0, deadline_ns: 100, priority: 0, class }
+    }
+
+    fn feed(g: &mut AdaptiveGovernor, missed: usize, hit: usize) {
+        for _ in 0..missed {
+            g.on_chain_outcome(&outcome(true));
+        }
+        for _ in 0..hit {
+            g.on_chain_outcome(&outcome(false));
+        }
+    }
+
+    #[test]
+    fn escalates_one_level_per_bad_window() {
+        let mut g = AdaptiveGovernor::new(GovernorConfig::default());
+        assert_eq!(g.level(), 0);
+        feed(&mut g, 8, 8); // 50% miss rate > 25%
+        assert_eq!(g.level(), 1);
+        feed(&mut g, 8, 8);
+        assert_eq!(g.level(), 2);
+        feed(&mut g, 8, 8);
+        assert_eq!(g.level(), 3);
+        feed(&mut g, 16, 0); // capped at max_level
+        assert_eq!(g.level(), 3);
+        assert_eq!(g.max_level_reached(), 3);
+    }
+
+    #[test]
+    fn restores_hysteretically_after_consecutive_clean_windows() {
+        let cfg = GovernorConfig::default();
+        let mut g = AdaptiveGovernor::new(cfg);
+        feed(&mut g, 16, 0);
+        assert_eq!(g.level(), 1);
+        // Three clean windows: not yet enough (restore_windows = 4).
+        for _ in 0..3 {
+            feed(&mut g, 0, 16);
+        }
+        assert_eq!(g.level(), 1);
+        feed(&mut g, 0, 16);
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn miss_rate_in_hysteresis_band_holds_level_and_resets_streak() {
+        let mut g = AdaptiveGovernor::new(GovernorConfig::default());
+        feed(&mut g, 16, 0);
+        assert_eq!(g.level(), 1);
+        for _ in 0..3 {
+            feed(&mut g, 0, 16); // clean streak of 3
+        }
+        feed(&mut g, 2, 14); // 12.5%: between 5% and 25% — resets streak
+        for _ in 0..3 {
+            feed(&mut g, 0, 16);
+        }
+        assert_eq!(g.level(), 1, "streak must restart after an in-band window");
+        feed(&mut g, 0, 16);
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn ladder_sheds_by_class_and_never_touches_critical() {
+        let mut g = AdaptiveGovernor::new(GovernorConfig::default());
+        // Level 0: everything admitted.
+        assert!(g.admit(&job(PriorityClass::Perception, 1)));
+        assert!(g.admit(&job(PriorityClass::Audio, 1)));
+
+        feed(&mut g, 16, 0); // → level 1
+        assert!(g.admit(&job(PriorityClass::Perception, 0)), "even seq kept");
+        assert!(!g.admit(&job(PriorityClass::Perception, 1)), "odd seq shed");
+        assert!(!g.admit(&job(PriorityClass::Visual, 3)));
+        assert!(g.admit(&job(PriorityClass::Audio, 1)), "audio survives level 1");
+        assert!(g.admit(&job(PriorityClass::Critical, 1)));
+        assert_eq!(g.cost_scale(PriorityClass::Perception), 1.0);
+
+        feed(&mut g, 16, 0); // → level 2
+        assert_eq!(g.cost_scale(PriorityClass::Perception), 0.75);
+        assert_eq!(g.cost_scale(PriorityClass::Visual), 0.75);
+        assert_eq!(g.cost_scale(PriorityClass::Critical), 1.0);
+        assert_eq!(g.cost_scale(PriorityClass::Audio), 1.0);
+
+        feed(&mut g, 16, 0); // → level 3
+        assert!(!g.admit(&job(PriorityClass::Audio, 0)));
+        assert!(!g.admit(&job(PriorityClass::BestEffort, 2)));
+        assert!(g.admit(&job(PriorityClass::Critical, 7)), "critical never shed");
+        assert!(g.shed_rate_jobs() > 0);
+        assert!(g.shed_class_jobs() > 0);
+        assert_eq!(g.transitions(), &[(16, 1), (32, 2), (48, 3)]);
+    }
+}

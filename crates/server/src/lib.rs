@@ -37,6 +37,9 @@ pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionRecord};
 pub use link::{Direction, DirectionStats, LinkConfig, SharedLink};
-pub use scheduler::{BatchScheduler, SchedulerConfig, SchedulerStats};
+pub use scheduler::{
+    BatchPlacement, BatchScheduler, BoundedPlacement, PlacementPolicy, SchedulerConfig,
+    SchedulerStats,
+};
 pub use server::{MultiSessionServer, ServerConfig, ServerReport, SessionReport};
 pub use session::{ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState};

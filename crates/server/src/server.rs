@@ -4,12 +4,10 @@
 //! Three shared resources create the contention the scaling benchmark
 //! measures:
 //!
-//! * the [`SharedLink`](crate::link::SharedLink) — every VIO job, pose,
-//!   render request and frame token serializes through finite
-//!   uplink/downlink bandwidth;
-//! * the [`BatchScheduler`](crate::scheduler::BatchScheduler) — VIO
-//!   updates from all sessions are batched per server tick onto a fixed
-//!   worker pool;
+//! * the [`SharedLink`] — every VIO job, pose, render request and
+//!   frame token serializes through finite uplink/downlink bandwidth;
+//! * the [`BatchScheduler`] — VIO updates from all sessions are batched
+//!   per server tick onto a fixed worker pool;
 //! * the renderer — one cloud render per request, modeled as a fixed
 //!   cost (the pool contention story lives in the VIO scheduler).
 //!
@@ -317,12 +315,13 @@ impl ServerReport {
             self.downlink.max_queue_delay_ns as f64 / 1e6,
         ));
         out.push_str(&format!(
-            "vio_pool: batches={} jobs={} mean_batch={:.2} max_batch={} utilization={:.4}\n",
+            "vio_pool: batches={} jobs={} mean_batch={:.2} max_batch={} utilization={:.4} shed={}\n",
             self.scheduler.batches,
             self.scheduler.jobs,
             self.scheduler.mean_batch(),
             self.scheduler.max_batch,
             self.pool_utilization,
+            self.scheduler.shed_jobs,
         ));
         for a in &self.admission {
             out.push_str(&format!(
@@ -522,6 +521,7 @@ impl MultiSessionServer {
                 self.scheduler.utilization(self.config.duration),
             );
             self.metrics.set_gauge("server.admitted", sessions.len() as f64 - rejected);
+            self.metrics.set_gauge("server.shed_jobs", self.scheduler.stats().shed_jobs as f64);
         }
         ServerReport {
             sessions,
@@ -564,8 +564,25 @@ impl MultiSessionServer {
                 if self.pending_jobs.is_empty() {
                     return;
                 }
-                let jobs = std::mem::take(&mut self.pending_jobs);
-                let placed = self.scheduler.schedule_batch_placed(now, jobs.len());
+                let mut jobs = std::mem::take(&mut self.pending_jobs);
+                let bounded = self.scheduler.schedule_batch_bounded(now, jobs.len());
+                if bounded.shed > 0 {
+                    // Shed the oldest jobs: their poses are the
+                    // stalest, and the session falls back to its last
+                    // delivered pose either way.
+                    jobs.drain(..bounded.shed);
+                    if self.tracer.is_enabled() {
+                        self.tracer.counter(
+                            "vio_pool",
+                            "vio_pool.shed",
+                            now.as_nanos(),
+                            self.scheduler.stats().shed_jobs as f64,
+                        );
+                    }
+                }
+                let Some(placed) = bounded.placement else {
+                    return;
+                };
                 if self.tracer.is_enabled() {
                     self.tracer.record_span_args(
                         &format!("vio_pool/w{}", placed.worker),
@@ -862,6 +879,45 @@ mod tests {
         let a = MultiSessionServer::new(quick(3)).run().summary_text();
         let b = MultiSessionServer::new(quick(3)).run().summary_text();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadline_aware_placement_sheds_under_pool_overload() {
+        // A single slow worker vs eight sessions: the earliest-free
+        // pool queues unboundedly, so batch completion latency keeps
+        // growing; the deadline-aware pool sheds jobs and keeps every
+        // placed batch inside the budget.
+        let slow_pool = |placement| crate::scheduler::SchedulerConfig {
+            workers: 1,
+            batch_setup: Duration::from_millis(2),
+            per_job: Duration::from_millis(11),
+            placement,
+        };
+        let mut unbounded = quick(8);
+        unbounded.admission.degrade_threshold = 10.0; // isolate the pool
+        unbounded.admission.reject_threshold = 10.0;
+        unbounded.scheduler = slow_pool(crate::scheduler::PlacementPolicy::EarliestFree);
+        let mut bounded = unbounded.clone();
+        bounded.scheduler = slow_pool(crate::scheduler::PlacementPolicy::DeadlineAware {
+            deadline: Duration::from_millis(60),
+        });
+        let free = MultiSessionServer::new(unbounded).run();
+        let capped = MultiSessionServer::new(bounded).run();
+        assert_eq!(free.scheduler.shed_jobs, 0);
+        assert!(capped.scheduler.shed_jobs > 0, "overloaded pool must shed");
+        // The point of shedding: batch pickup delay stays bounded by
+        // the deadline instead of growing with the backlog.
+        let mean_wait = |s: &SchedulerStats| s.wait_ns as f64 / s.batches.max(1) as f64;
+        let free_wait = mean_wait(&free.scheduler);
+        let capped_wait = mean_wait(&capped.scheduler);
+        assert!(
+            free_wait > Duration::from_millis(100).as_nanos() as f64,
+            "earliest-free backlog should dominate: {free_wait} ns"
+        );
+        assert!(
+            capped_wait < Duration::from_millis(60).as_nanos() as f64,
+            "deadline-aware pickup delay must stay inside the budget: {capped_wait} ns"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::Duration;
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
 use illixr_core::obs::{Metrics, Tracer};
 use illixr_core::plugin::{Plugin, PluginContext};
+use illixr_core::sched::{ChainOutcome, ChainSpec, PolicyKind, PriorityClass};
 use illixr_core::sim::{ExecOutcome, Resource, SimEngine, TaskSpec};
 use illixr_core::telemetry::{ComponentStats, RecordLogger};
 use illixr_core::Time;
@@ -65,6 +66,21 @@ pub struct ExperimentConfig {
     /// timestamps come from the simulated clock, so traces are
     /// bit-identical across runs with the same seed.
     pub trace: bool,
+    /// Scheduling policy for the run (rate-monotonic reproduces the
+    /// historical fixed-priority dispatch; EDF and the adaptive
+    /// governor are the research policies).
+    pub policy: PolicyKind,
+    /// Multiplier on every component's modeled cost: 1.0 is the
+    /// calibrated platform, 1.5+ models overload (heavier scenes, a
+    /// slower silicon bin, co-located work).
+    pub load_factor: f64,
+    /// End-to-end deadline for the `mtp` chain
+    /// (imu → imu_integrator → timewarp): the motion-to-photon budget
+    /// a chain completion is judged against.
+    pub chain_deadline: Duration,
+    /// Overrides the platform's CPU core count (e.g. pin a 12-core
+    /// desktop to 1 core to study scheduling under contention).
+    pub cpu_cores_override: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -78,6 +94,10 @@ impl ExperimentConfig {
             seed: 42,
             extended: false,
             trace: false,
+            policy: PolicyKind::RateMonotonic,
+            load_factor: 1.0,
+            chain_deadline: Duration::from_millis(25),
+            cpu_cores_override: None,
         }
     }
 
@@ -95,6 +115,24 @@ impl ExperimentConfig {
     /// Enables span/flow tracing and histogram metrics for this run.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Selects the scheduling policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Scales every component's modeled cost (overload modeling).
+    pub fn with_load_factor(mut self, load_factor: f64) -> Self {
+        self.load_factor = load_factor;
+        self
+    }
+
+    /// Pins the run to `cores` CPU cores regardless of platform.
+    pub fn with_cpu_cores(mut self, cores: usize) -> Self {
+        self.cpu_cores_override = Some(cores);
         self
     }
 }
@@ -146,6 +184,15 @@ pub struct ExperimentResult {
     /// `response.*` per-component latency histograms, `mtp.*` per-stage
     /// decompositions and `topic.*` switchboard gauges.
     pub metrics: illixr_core::obs::Metrics,
+    /// Every completion of the `mtp` chain
+    /// (imu → imu_integrator → timewarp) judged against
+    /// [`ExperimentConfig::chain_deadline`].
+    pub chain_outcomes: Vec<ChainOutcome>,
+    /// Final degradation level of the scheduling policy (0 unless the
+    /// adaptive governor escalated).
+    pub degradation_level: u32,
+    /// Jobs the policy refused at release (shed by the governor).
+    pub shed_jobs: u64,
 }
 
 impl ExperimentResult {
@@ -230,7 +277,9 @@ impl IntegratedExperiment {
     pub fn run(config: &ExperimentConfig) -> ExperimentResult {
         let telemetry = Arc::new(RecordLogger::new());
         let spec = config.platform.spec();
-        let mut engine = SimEngine::new(spec.cpu_cores, spec.gpu_slots, telemetry.clone());
+        let cpu_cores = config.cpu_cores_override.unwrap_or(spec.cpu_cores);
+        let mut engine = SimEngine::new(cpu_cores, spec.gpu_slots, telemetry.clone());
+        engine.set_policy(config.policy.build());
         let clock = engine.clock();
         let (tracer, metrics) = if config.trace {
             (illixr_core::obs::tracer_for(Arc::new(clock.clone())), Metrics::new())
@@ -289,13 +338,15 @@ impl IntegratedExperiment {
             Duration::from_secs_f64(tw_reserve_s.min(display_period.as_secs_f64() * 0.8));
         let tw_offset = display_period.saturating_sub(tw_reserve);
 
+        let load_factor = config.load_factor;
         let add = |engine: &mut SimEngine,
                    plugin: Box<dyn Plugin>,
                    resource: Resource,
                    period: Duration,
                    offset: Duration,
                    deadline: Duration,
-                   priority: u8| {
+                   priority: u8,
+                   class: PriorityClass| {
             let mut plugin = plugin;
             plugin.start(&ctx);
             let name = plugin.name().to_owned();
@@ -310,6 +361,7 @@ impl IntegratedExperiment {
                     deadline,
                     drop_if_busy: true,
                     priority,
+                    class,
                     preemptive: priority >= 10,
                     preempt_latency: if priority >= 10 {
                         Duration::from_secs_f64(spec.gpu_preempt_ms / 1e3)
@@ -319,13 +371,15 @@ impl IntegratedExperiment {
                 },
                 Box::new(move |d| {
                     let report = plugin.iterate(&ctx);
-                    ExecOutcome {
-                        cost: timing.cost(&name, d.invocation, report.work_factor),
-                        work_factor: report.work_factor,
-                        did_work: report.did_work,
-                    }
+                    let base = timing.cost(&name, d.invocation, report.work_factor);
+                    let cost = if load_factor == 1.0 {
+                        base
+                    } else {
+                        Duration::from_secs_f64(base.as_secs_f64() * load_factor)
+                    };
+                    ExecOutcome { cost, work_factor: report.work_factor, did_work: report.did_work }
                 }),
-            );
+            )
         };
 
         let cam_period = sys.camera_period();
@@ -339,8 +393,18 @@ impl IntegratedExperiment {
             Duration::ZERO,
             cam_period,
             0,
+            PriorityClass::Perception,
         );
-        add(&mut engine, Box::new(imu), Resource::Cpu, imu_period, Duration::ZERO, imu_period, 2);
+        let imu_id = add(
+            &mut engine,
+            Box::new(imu),
+            Resource::Cpu,
+            imu_period,
+            Duration::ZERO,
+            imu_period,
+            2,
+            PriorityClass::Critical,
+        );
         // VIO releases just after the camera so the frame is available.
         add(
             &mut engine,
@@ -350,8 +414,9 @@ impl IntegratedExperiment {
             Duration::from_micros(100),
             cam_period,
             0,
+            PriorityClass::Perception,
         );
-        add(
+        let integrator_id = add(
             &mut engine,
             Box::new(integrator),
             Resource::Cpu,
@@ -359,6 +424,7 @@ impl IntegratedExperiment {
             Duration::from_micros(50),
             imu_period,
             2,
+            PriorityClass::Critical,
         );
         add(
             &mut engine,
@@ -368,10 +434,11 @@ impl IntegratedExperiment {
             Duration::ZERO,
             display_period,
             0,
+            PriorityClass::Visual,
         );
         // The compositor runs at high GPU priority, like every real
         // XR runtime (it must never starve behind the application).
-        add(
+        let timewarp_id = add(
             &mut engine,
             Box::new(timewarp),
             Resource::Gpu,
@@ -379,6 +446,7 @@ impl IntegratedExperiment {
             tw_offset,
             tw_reserve,
             10,
+            PriorityClass::Critical,
         );
         add(
             &mut engine,
@@ -388,6 +456,7 @@ impl IntegratedExperiment {
             Duration::ZERO,
             audio_period,
             1,
+            PriorityClass::Audio,
         );
         add(
             &mut engine,
@@ -397,7 +466,18 @@ impl IntegratedExperiment {
             Duration::from_micros(200),
             audio_period,
             1,
+            PriorityClass::Audio,
         );
+
+        // The motion-to-photon chain: a fresh IMU sample feeds the
+        // integrator whose pose the compositor reprojects with. The
+        // chain deadline is the end-to-end budget from sensor sample
+        // to the warped frame leaving the compositor.
+        engine.add_chain(ChainSpec {
+            name: "mtp".to_owned(),
+            members: vec![imu_id, integrator_id, timewarp_id],
+            deadline_ns: config.chain_deadline.as_nanos() as u64,
+        });
 
         if config.extended {
             // Eye tracking at the display rate, scene reconstruction at
@@ -417,6 +497,7 @@ impl IntegratedExperiment {
                 Duration::from_micros(400),
                 display_period,
                 1,
+                PriorityClass::BestEffort,
             );
             add(
                 &mut engine,
@@ -426,6 +507,7 @@ impl IntegratedExperiment {
                 Duration::from_micros(500),
                 cam_period,
                 0,
+                PriorityClass::BestEffort,
             );
         }
 
@@ -493,7 +575,7 @@ impl IntegratedExperiment {
                 _ => cpu_busy += busy,
             }
         }
-        let cpu_util = (cpu_busy / (spec.cpu_cores as f64 * dur_s)).min(1.0);
+        let cpu_util = (cpu_busy / (cpu_cores as f64 * dur_s)).min(1.0);
         let gpu_util = (gpu_busy / (spec.gpu_slots as f64 * dur_s)).min(1.0);
         let power = PowerModel::new(config.platform).breakdown_from_compute(cpu_util, gpu_util);
         let energy_joules = PowerModel::energy_joules(&power, dur_s);
@@ -512,6 +594,9 @@ impl IntegratedExperiment {
             stream_stats: ctx.switchboard.stats(),
             tracer,
             metrics,
+            chain_outcomes: engine.chain_outcomes().to_vec(),
+            degradation_level: engine.degradation_level(),
+            shed_jobs: engine.shed_jobs(),
         }
     }
 }
