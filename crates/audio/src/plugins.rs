@@ -196,12 +196,13 @@ impl Plugin for AudioPlaybackPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::SimClock;
     use illixr_math::{Pose, Quat, Vec3};
 
     #[test]
     fn encoding_publishes_blocks_with_table_vii_tasks() {
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         let reader = ctx
             .switchboard
             .topic::<Arc<Soundfield>>(SOUNDFIELD_STREAM)
@@ -221,7 +222,7 @@ mod tests {
 
     #[test]
     fn playback_consumes_every_block() {
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         let out = ctx
             .switchboard
             .topic::<Arc<StereoBlock>>(BINAURAL_STREAM)
@@ -246,7 +247,7 @@ mod tests {
     #[test]
     fn head_rotation_changes_binaural_output() {
         let run = |yaw: f64| -> StereoBlock {
-            let ctx = PluginContext::new(Arc::new(SimClock::new()));
+            let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
             let out = ctx
                 .switchboard
                 .topic::<Arc<StereoBlock>>(BINAURAL_STREAM)

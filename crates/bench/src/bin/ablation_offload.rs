@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_bench::rule;
-use illixr_core::plugin::{Plugin, PluginContext};
+use illixr_core::plugin::{Plugin, RuntimeBuilder};
 use illixr_core::{Clock, SimClock, Time};
 use illixr_sensors::camera::{PinholeCamera, StereoRig};
 use illixr_sensors::dataset::SyntheticDataset;
@@ -26,7 +26,7 @@ struct Row {
 
 fn run(link: Option<OffloadLink>, label: &str) -> Row {
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let ds = Arc::new(SyntheticDataset::vicon_room_like(42, 6.0));
     let cam = PinholeCamera::qvga();
     let rig = StereoRig::zed_mini(cam);

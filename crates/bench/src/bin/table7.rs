@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
 use illixr_bench::rule;
-use illixr_core::plugin::{Plugin, PluginContext};
+use illixr_core::plugin::{Plugin, RuntimeBuilder};
 use illixr_core::telemetry::TaskTimer;
 use illixr_core::{SimClock, Time};
 use illixr_image::RgbImage;
@@ -38,7 +38,7 @@ fn main() {
     // --- Reprojection ------------------------------------------------------
     // Drive the timewarp plugin on 2K-aspect frames (scaled down).
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let mut tw =
         TimewarpPlugin::new(ReprojectionConfig::rotational(1.57, 1.0), DistortionParams::default());
     tw.start(&ctx);
@@ -89,7 +89,7 @@ fn main() {
     );
 
     // --- Audio encoding --------------------------------------------------------
-    let ctx2 = PluginContext::new(Arc::new(SimClock::new()));
+    let ctx2 = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
     let mut enc = AudioEncodingPlugin::with_default_scene(42);
     enc.start(&ctx2);
     for _ in 0..50 {

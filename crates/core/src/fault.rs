@@ -1,0 +1,17 @@
+//! Glue onto the `illixr-fault` fault-injection layer.
+//!
+//! Like [`crate::obs`] and [`crate::sched`], this module re-exports a
+//! below-core crate so the rest of the workspace needs no direct
+//! `illixr-fault` dependency: sensor plugins consult a
+//! [`SensorFaults`] view, the offload bridges and the server's shared
+//! link consult a [`LinkFaults`] view, and the supervised threadloops
+//! ask the plan for scheduled crashes.
+//!
+//! `illixr-fault` keeps time as raw `u64` nanoseconds; the runtime
+//! converts at the boundary with [`crate::time::Time::as_nanos`]. A
+//! [`FaultPlan::quiet`] plan (the default everywhere) is a guaranteed
+//! no-op: every view returns "no fault" without hashing, so unfaulted
+//! runs are bit-identical to the pre-fault-injection runtime.
+
+pub use illixr_fault::plan::{FaultKind, FaultPlan, FaultWindow, StochasticRates, NS_PER_SEC};
+pub use illixr_fault::views::{LinkFaults, SensorFaults};

@@ -30,6 +30,12 @@
 //! * **[`sched`]** — glue onto the `illixr-sched` scheduling layer:
 //!   pluggable policies (rate-monotonic, EDF, adaptive degradation),
 //!   end-to-end chain deadlines, and the live worker-pool queue.
+//! * **[`fault`]** — glue onto the `illixr-fault` layer: seeded,
+//!   deterministic fault plans (sensor faults, link faults, plugin
+//!   crashes) consulted throughout the runtime; quiet by default.
+//! * **[`supervisor`]** — crash containment: panic catch + bounded
+//!   backoff restarts, recovery-time accounting, and a stale-stream
+//!   watchdog that escalates the scheduler's degradation ladder.
 //!
 //! # Examples
 //!
@@ -45,11 +51,13 @@
 //! ```
 
 pub mod clock;
+pub mod fault;
 pub mod obs;
 pub mod phonebook;
 pub mod plugin;
 pub mod sched;
 pub mod sim;
+pub mod supervisor;
 pub mod switchboard;
 pub mod telemetry;
 pub mod threadloop;
@@ -57,11 +65,13 @@ pub mod time;
 pub mod trace;
 
 pub use clock::{Clock, SimClock, WallClock};
-pub use phonebook::Phonebook;
-pub use plugin::{Plugin, PluginContext, PluginRegistry};
+pub use phonebook::{Phonebook, PhonebookError};
+pub use plugin::{Plugin, PluginContext, PluginRegistry, RuntimeBuilder};
+pub use supervisor::{PluginHealth, SupervisionPolicy, Supervisor};
 pub use switchboard::{
     AsyncReader, Switchboard, SwitchboardError, SyncReader, Topic, TopicStats, Writer,
 };
 pub use telemetry::{ComponentStats, FrameRecord, RecordLogger, TaskTimer};
+pub use threadloop::{RuntimeHandles, ThreadloopBuilder};
 pub use time::Time;
 pub use trace::{StreamRecorder, StreamTrace, TraceReplayer};

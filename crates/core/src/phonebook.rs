@@ -11,6 +11,33 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+/// Why a phonebook lookup failed.
+///
+/// Carrying the service's type name (rather than panicking with it)
+/// lets callers degrade — a plugin missing a non-essential service can
+/// report itself degraded to the supervisor instead of aborting the
+/// whole runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhonebookError {
+    /// No service of the requested type is registered.
+    NotRegistered {
+        /// The `std::any::type_name` of the requested service.
+        service: &'static str,
+    },
+}
+
+impl std::fmt::Display for PhonebookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhonebookError::NotRegistered { service } => {
+                write!(f, "service {service} is not registered in the phonebook")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhonebookError {}
+
 /// A typed service registry.
 ///
 /// # Examples
@@ -55,17 +82,22 @@ impl Phonebook {
             .map(|s| s.clone().downcast::<T>().expect("phonebook entries are keyed by TypeId"))
     }
 
-    /// Looks up a service, panicking with a descriptive message when it
-    /// has not been registered. Plugins use this for services the runtime
-    /// guarantees (clock, switchboard).
+    /// Looks up a service, returning a descriptive [`PhonebookError`]
+    /// when it has not been registered. This replaces the old panicking
+    /// `expect`: a missing service is a recoverable condition (report
+    /// it, degrade, let the supervisor decide), not an abort.
     ///
-    /// # Panics
+    /// # Examples
     ///
-    /// Panics when no service of type `T` is registered.
-    pub fn expect<T: Send + Sync + 'static>(&self) -> Arc<T> {
-        self.lookup::<T>().unwrap_or_else(|| {
-            panic!("service {} is not registered in the phonebook", type_name::<T>())
-        })
+    /// ```
+    /// use illixr_core::phonebook::{Phonebook, PhonebookError};
+    /// # #[derive(Debug)] struct Gpu;
+    /// let pb = Phonebook::new();
+    /// let err = pb.try_lookup::<Gpu>().unwrap_err();
+    /// assert!(err.to_string().contains("not registered"));
+    /// ```
+    pub fn try_lookup<T: Send + Sync + 'static>(&self) -> Result<Arc<T>, PhonebookError> {
+        self.lookup::<T>().ok_or(PhonebookError::NotRegistered { service: type_name::<T>() })
     }
 
     /// Number of registered services.
@@ -112,10 +144,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn expect_missing_panics() {
+    fn try_lookup_reports_the_missing_type() {
         let pb = Phonebook::new();
-        let _ = pb.expect::<ServiceB>();
+        let err = pb.try_lookup::<ServiceB>().unwrap_err();
+        let PhonebookError::NotRegistered { service } = &err;
+        assert!(service.contains("ServiceB"), "error names the type: {service}");
+        assert!(err.to_string().contains("not registered"));
+        pb.register(Arc::new(ServiceB));
+        assert!(pb.try_lookup::<ServiceB>().is_ok());
     }
 
     #[test]

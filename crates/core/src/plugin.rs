@@ -16,14 +16,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::clock::Clock;
+use crate::fault::FaultPlan;
 use crate::obs::{Metrics, Tracer};
 use crate::phonebook::Phonebook;
+use crate::supervisor::{SupervisionPolicy, Supervisor};
 use crate::switchboard::Switchboard;
 use crate::telemetry::RecordLogger;
 
 /// Everything a plugin can reach: the switchboard for streams, the
-/// phonebook for services, the runtime clock, the telemetry logger and
-/// the observability handles.
+/// phonebook for services, the runtime clock, the telemetry logger,
+/// the observability handles, the fault-injection plan and the
+/// supervisor. Constructed by [`RuntimeBuilder`].
 #[derive(Clone)]
 pub struct PluginContext {
     /// Event-stream registry.
@@ -35,30 +38,108 @@ pub struct PluginContext {
     /// Telemetry sink.
     pub telemetry: Arc<RecordLogger>,
     /// Span/flow tracer (disabled by default; see
-    /// [`PluginContext::with_obs`]).
+    /// [`RuntimeBuilder::with_obs`]).
     pub tracer: Tracer,
     /// Histogram/gauge registry (disabled by default).
     pub metrics: Metrics,
+    /// The fault-injection plan ([`FaultPlan::quiet`] by default — a
+    /// guaranteed no-op).
+    pub fault: Arc<FaultPlan>,
+    /// Crash containment and liveness tracking
+    /// ([`Supervisor::disabled`] by default).
+    pub supervisor: Arc<Supervisor>,
 }
 
-impl PluginContext {
-    /// Creates a context with a fresh switchboard/phonebook, the given
-    /// clock, and observability disabled.
+/// Builds a [`PluginContext`] — the single entry point into the
+/// runtime. Replaces the old `PluginContext::new`/`with_obs`
+/// constructors, which could not grow new facilities (fault plan,
+/// supervision) without breaking every caller.
+///
+/// # Examples
+///
+/// ```
+/// use illixr_core::{RuntimeBuilder, SimClock};
+/// use illixr_core::supervisor::SupervisionPolicy;
+/// use std::sync::Arc;
+///
+/// let ctx = RuntimeBuilder::new(Arc::new(SimClock::new()))
+///     .with_supervision(SupervisionPolicy::default())
+///     .build();
+/// assert!(ctx.fault.is_quiet());
+/// assert!(ctx.supervisor.is_enabled());
+/// ```
+pub struct RuntimeBuilder {
+    clock: Arc<dyn Clock>,
+    tracer: Tracer,
+    metrics: Metrics,
+    fault: Arc<FaultPlan>,
+    supervision: Option<SupervisionPolicy>,
+    telemetry: Option<Arc<RecordLogger>>,
+}
+
+impl RuntimeBuilder {
+    /// Starts a context build around `clock` (wall or virtual). All
+    /// other facilities default to off: observability disabled, quiet
+    /// fault plan, supervision disabled.
     pub fn new(clock: Arc<dyn Clock>) -> Self {
-        Self::with_obs(clock, Tracer::disabled(), Metrics::disabled())
+        Self {
+            clock,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
+            fault: Arc::new(FaultPlan::quiet()),
+            supervision: None,
+            telemetry: None,
+        }
     }
 
-    /// Creates a context whose switchboard, threadloops and plugins
-    /// record through `tracer`/`metrics` (pass a tracer built from
-    /// `obs::tracer_for(clock)` for deterministic simulated traces).
-    pub fn with_obs(clock: Arc<dyn Clock>, tracer: Tracer, metrics: Metrics) -> Self {
-        Self {
-            switchboard: Switchboard::with_obs(tracer.clone(), metrics.clone()),
+    /// Records switchboard, threadloop and plugin activity through
+    /// `tracer`/`metrics` (pass a tracer built from
+    /// [`crate::obs::tracer_for`] for deterministic simulated traces).
+    pub fn with_obs(mut self, tracer: Tracer, metrics: Metrics) -> Self {
+        self.tracer = tracer;
+        self.metrics = metrics;
+        self
+    }
+
+    /// Injects faults according to `plan`. Sensor plugins, offload
+    /// bridges, the server link and the supervised threadloops all
+    /// consult the context's plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Enables the supervisor: panics are answered with backoff
+    /// restarts and the stale-stream watchdog runs (when `policy`
+    /// carries a deadline).
+    pub fn with_supervision(mut self, policy: SupervisionPolicy) -> Self {
+        self.supervision = Some(policy);
+        self
+    }
+
+    /// Shares an existing telemetry sink instead of creating a fresh
+    /// one — the experiment runner passes the sim engine's logger so
+    /// plugin records and scheduler records land in the same place.
+    pub fn with_telemetry(mut self, telemetry: Arc<RecordLogger>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Builds the context with a fresh switchboard and phonebook.
+    pub fn build(self) -> PluginContext {
+        let supervisor = match self.supervision {
+            Some(policy) => Supervisor::new(policy),
+            None => Supervisor::disabled(),
+        };
+        PluginContext {
+            switchboard: Switchboard::with_obs(self.tracer.clone(), self.metrics.clone()),
             phonebook: Phonebook::new(),
-            clock,
-            telemetry: Arc::new(RecordLogger::new()),
-            tracer,
-            metrics,
+            clock: self.clock,
+            telemetry: self.telemetry.unwrap_or_else(|| Arc::new(RecordLogger::new())),
+            tracer: self.tracer,
+            metrics: self.metrics,
+            fault: self.fault,
+            supervisor,
         }
     }
 }
@@ -140,7 +221,7 @@ type PluginFactory = Box<dyn Fn(&PluginContext) -> Box<dyn Plugin> + Send + Sync
 ///
 /// ```
 /// use illixr_core::plugin::{IterationReport, Plugin, PluginContext, PluginRegistry};
-/// use illixr_core::WallClock;
+/// use illixr_core::{RuntimeBuilder, WallClock};
 /// use std::sync::Arc;
 ///
 /// struct Null;
@@ -151,7 +232,7 @@ type PluginFactory = Box<dyn Fn(&PluginContext) -> Box<dyn Plugin> + Send + Sync
 ///
 /// let mut reg = PluginRegistry::new();
 /// reg.register("null", |_| Box::new(Null));
-/// let ctx = PluginContext::new(Arc::new(WallClock::new()));
+/// let ctx = RuntimeBuilder::new(Arc::new(WallClock::new())).build();
 /// let plugin = reg.build("null", &ctx).unwrap();
 /// assert_eq!(plugin.name(), "null");
 /// ```
@@ -214,7 +295,7 @@ mod tests {
     }
 
     fn ctx() -> PluginContext {
-        PluginContext::new(Arc::new(WallClock::new()))
+        RuntimeBuilder::new(Arc::new(WallClock::new())).build()
     }
 
     #[test]
@@ -236,6 +317,31 @@ mod tests {
         let ctx = ctx();
         let mut p = reg.build("cam", &ctx).unwrap();
         assert_eq!(p.iterate(&ctx).work_factor, 101.0);
+    }
+
+    #[test]
+    fn builder_defaults_are_quiet_and_unsupervised() {
+        let ctx = ctx();
+        assert!(ctx.fault.is_quiet());
+        assert!(!ctx.supervisor.is_enabled());
+        assert!(!ctx.tracer.is_enabled());
+        assert!(!ctx.metrics.is_enabled());
+    }
+
+    #[test]
+    fn builder_wires_fault_plan_and_supervision() {
+        use crate::fault::FaultPlan;
+        use crate::supervisor::SupervisionPolicy;
+
+        let plan = Arc::new(FaultPlan::scheduled(7, 1.0, 1_000_000_000));
+        let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+            .with_fault_plan(plan.clone())
+            .with_supervision(SupervisionPolicy::default())
+            .build();
+        assert!(!ctx.fault.is_quiet());
+        assert_eq!(ctx.fault.seed(), 7);
+        assert!(ctx.supervisor.is_enabled());
+        assert_eq!(ctx.supervisor.policy().max_restarts, 3);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! The supervisor: crash containment and liveness for the live runtime.
+//!
+//! The paper's runtime (like most research prototypes) assumes plugins
+//! never fail; one panicking component kills its thread silently and
+//! the rest of the pipeline starves. The supervisor closes that gap
+//! with a small state machine per plugin:
+//!
+//! ```text
+//!            panic                 panic (budget left)
+//! Running ───────────▶ Restarting ───────────▶ Restarting (backoff × factor)
+//!    ▲                     │  successful iterate      │ budget exhausted
+//!    │ watchdog deadline   ▼                          ▼
+//! Degraded ◀─────────── Running                     Failed
+//! ```
+//!
+//! * **Panic containment** — threadloops run `iterate` under
+//!   `catch_unwind`; a panic is reported here and answered with either
+//!   a restart delay (exponential backoff, bounded retries) or "give
+//!   up" ([`PluginHealth::Failed`]).
+//! * **Recovery accounting** — the first successful iteration after a
+//!   restart closes the incident; the panic→recovery latency is
+//!   recorded and exposed for the `supervisor.recovery` histogram.
+//! * **Stale-stream watchdog** — plugins report progress on every
+//!   productive iteration; [`Supervisor::scan_stale`] marks any plugin
+//!   silent past the deadline [`PluginHealth::Degraded`] and fires the
+//!   escalation hook (wired to [`crate::sched::JobQueue::escalate`] —
+//!   the adaptive governor's degradation ladder) exactly once per
+//!   incident.
+//!
+//! All timestamps are runtime-clock nanoseconds, so the same machinery
+//! works under the wall clock (live threadloops) and the simulated
+//! clock (the experiment runner's crash modeling).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Restart/watchdog tuning for supervised plugins.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SupervisionPolicy {
+    /// Restarts allowed per plugin before it is declared failed.
+    pub max_restarts: u32,
+    /// Delay before the first restart.
+    pub backoff_initial: Duration,
+    /// Multiplier applied to the delay after each successive panic.
+    pub backoff_factor: f64,
+    /// Ceiling on the restart delay.
+    pub backoff_max: Duration,
+    /// Stale-stream deadline: a plugin with no productive iteration for
+    /// this long is marked degraded (None disables the watchdog).
+    pub watchdog_deadline: Option<Duration>,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff_initial: Duration::from_millis(10),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_secs(1),
+            watchdog_deadline: None,
+        }
+    }
+}
+
+impl SupervisionPolicy {
+    /// No restarts, no watchdog: a panic kills the plugin (but is still
+    /// contained and counted instead of silently unwinding the thread).
+    pub fn disabled() -> Self {
+        Self { max_restarts: 0, watchdog_deadline: None, ..Self::default() }
+    }
+
+    /// Default restart policy plus a stale-stream watchdog deadline.
+    pub fn with_watchdog(deadline: Duration) -> Self {
+        Self { watchdog_deadline: Some(deadline), ..Self::default() }
+    }
+
+    /// The restart delay before attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let scale = self.backoff_factor.powi(attempt.saturating_sub(1) as i32);
+        Duration::from_secs_f64(self.backoff_initial.as_secs_f64() * scale).min(self.backoff_max)
+    }
+
+    /// Upper bound on total restart delay across the whole budget —
+    /// what "restarted within the backoff budget" means in tests.
+    pub fn backoff_budget(&self) -> Duration {
+        (1..=self.max_restarts.max(1)).map(|a| self.backoff(a)).sum()
+    }
+}
+
+/// A supervised plugin's lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PluginHealth {
+    /// Iterating normally.
+    Running,
+    /// Panicked; waiting out the backoff before the next restart.
+    Restarting,
+    /// The watchdog declared it stale (no productive iteration within
+    /// the deadline). Cleared by the next productive iteration.
+    Degraded,
+    /// Restart budget exhausted; the plugin will not run again.
+    Failed,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PluginRecord {
+    health: Option<PluginHealth>,
+    panics: u32,
+    restarts: u32,
+    degraded_incidents: u32,
+    last_progress_ns: u64,
+    /// Set while an incident is open: when the triggering panic fired.
+    incident_open_ns: Option<u64>,
+    recovery_ns: Vec<u64>,
+}
+
+/// Aggregate supervision outcome for one plugin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PluginReport {
+    /// Plugin name.
+    pub name: String,
+    /// Final lifecycle state.
+    pub health: PluginHealth,
+    /// Panics contained.
+    pub panics: u32,
+    /// Restarts performed.
+    pub restarts: u32,
+    /// Times the watchdog declared the plugin stale.
+    pub degraded_incidents: u32,
+    /// Panic→first-successful-iteration latencies, nanoseconds.
+    pub recovery_ns: Vec<u64>,
+}
+
+/// Hook invoked with a plugin name when the watchdog degrades it.
+type EscalationHook = Box<dyn Fn(&str) + Send>;
+
+struct State {
+    plugins: HashMap<String, PluginRecord>,
+    escalation: Option<EscalationHook>,
+}
+
+/// Shared crash-containment and liveness tracker. One per runtime
+/// context; threadloops consult it around every iteration.
+pub struct Supervisor {
+    enabled: bool,
+    policy: SupervisionPolicy,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Supervisor(enabled={}, {} plugins)",
+            self.enabled,
+            self.state.lock().plugins.len()
+        )
+    }
+}
+
+impl Supervisor {
+    /// A supervisor enforcing `policy`.
+    pub fn new(policy: SupervisionPolicy) -> Arc<Self> {
+        Arc::new(Self {
+            enabled: true,
+            policy,
+            state: Mutex::new(State { plugins: HashMap::new(), escalation: None }),
+        })
+    }
+
+    /// The historical behaviour: panics are still contained (the thread
+    /// must not die holding runtime state) but nothing restarts and the
+    /// watchdog never fires.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(Self {
+            enabled: false,
+            policy: SupervisionPolicy::disabled(),
+            state: Mutex::new(State { plugins: HashMap::new(), escalation: None }),
+        })
+    }
+
+    /// False for [`Supervisor::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SupervisionPolicy {
+        self.policy
+    }
+
+    /// Installs the watchdog's escalation hook (e.g. the worker pool's
+    /// `JobQueue::escalate`), replacing any previous hook.
+    pub fn set_escalation(&self, hook: impl Fn(&str) + Send + 'static) {
+        self.state.lock().escalation = Some(Box::new(hook));
+    }
+
+    /// Registers `plugin` as running as of `now_ns`. Idempotent.
+    pub fn register(&self, plugin: &str, now_ns: u64) {
+        let mut state = self.state.lock();
+        let rec = state.plugins.entry(plugin.to_owned()).or_default();
+        if rec.health.is_none() {
+            rec.health = Some(PluginHealth::Running);
+            rec.last_progress_ns = now_ns;
+        }
+    }
+
+    /// Reports a contained panic at `now_ns`. Returns the backoff to
+    /// wait before restarting, or `None` when the restart budget is
+    /// exhausted (the plugin transitions to [`PluginHealth::Failed`]).
+    pub fn on_panic(&self, plugin: &str, now_ns: u64) -> Option<Duration> {
+        let mut state = self.state.lock();
+        let rec = state.plugins.entry(plugin.to_owned()).or_default();
+        rec.panics += 1;
+        rec.incident_open_ns.get_or_insert(now_ns);
+        if !self.enabled || rec.restarts >= self.policy.max_restarts {
+            rec.health = Some(PluginHealth::Failed);
+            return None;
+        }
+        rec.restarts += 1;
+        rec.health = Some(PluginHealth::Restarting);
+        Some(self.policy.backoff(rec.restarts))
+    }
+
+    /// Reports a productive iteration at `now_ns`: clears any open
+    /// incident (returning its panic→recovery latency) and feeds the
+    /// stale-stream watchdog.
+    pub fn note_progress(&self, plugin: &str, now_ns: u64) -> Option<u64> {
+        let mut state = self.state.lock();
+        let rec = state.plugins.entry(plugin.to_owned()).or_default();
+        rec.last_progress_ns = now_ns;
+        if rec.health != Some(PluginHealth::Failed) {
+            rec.health = Some(PluginHealth::Running);
+        }
+        rec.incident_open_ns.take().map(|opened| {
+            let recovery = now_ns.saturating_sub(opened);
+            rec.recovery_ns.push(recovery);
+            recovery
+        })
+    }
+
+    /// Watchdog sweep at `now_ns`: every registered, running plugin
+    /// with no productive iteration for longer than the watchdog
+    /// deadline is marked [`PluginHealth::Degraded`] and the escalation
+    /// hook fires once per incident. Returns the names degraded by
+    /// *this* sweep.
+    pub fn scan_stale(&self, now_ns: u64) -> Vec<String> {
+        let Some(deadline) = self.policy.watchdog_deadline else {
+            return Vec::new();
+        };
+        if !self.enabled {
+            return Vec::new();
+        }
+        let deadline_ns = deadline.as_nanos() as u64;
+        let mut state = self.state.lock();
+        let mut newly_degraded = Vec::new();
+        for (name, rec) in state.plugins.iter_mut() {
+            if rec.health == Some(PluginHealth::Running)
+                && now_ns.saturating_sub(rec.last_progress_ns) > deadline_ns
+            {
+                rec.health = Some(PluginHealth::Degraded);
+                rec.degraded_incidents += 1;
+                newly_degraded.push(name.clone());
+            }
+        }
+        if let Some(hook) = &state.escalation {
+            for name in &newly_degraded {
+                hook(name);
+            }
+        }
+        newly_degraded
+    }
+
+    /// Current health of `plugin` (None when never registered).
+    pub fn health(&self, plugin: &str) -> Option<PluginHealth> {
+        self.state.lock().plugins.get(plugin).and_then(|r| r.health)
+    }
+
+    /// Per-plugin supervision outcomes, sorted by name for
+    /// deterministic artifacts.
+    pub fn report(&self) -> Vec<PluginReport> {
+        let state = self.state.lock();
+        let mut out: Vec<PluginReport> = state
+            .plugins
+            .iter()
+            .map(|(name, r)| PluginReport {
+                name: name.clone(),
+                health: r.health.unwrap_or(PluginHealth::Running),
+                panics: r.panics,
+                restarts: r.restarts,
+                degraded_incidents: r.degraded_incidents,
+                recovery_ns: r.recovery_ns.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Total panics contained across all plugins.
+    pub fn total_panics(&self) -> u32 {
+        self.state.lock().plugins.values().map(|r| r.panics).sum()
+    }
+
+    /// All recorded panic→recovery latencies, in occurrence order per
+    /// plugin (plugins sorted by name).
+    pub fn recovery_times_ns(&self) -> Vec<u64> {
+        self.report().into_iter().flat_map(|r| r.recovery_ns).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = SupervisionPolicy {
+            backoff_initial: Duration::from_millis(10),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_millis(35),
+            ..SupervisionPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35), "capped");
+        assert_eq!(
+            SupervisionPolicy::default().backoff_budget(),
+            Duration::from_millis(10 + 20 + 40)
+        );
+    }
+
+    #[test]
+    fn panic_restart_recovery_cycle() {
+        let sup = Supervisor::new(SupervisionPolicy::default());
+        sup.register("vio", 0);
+        assert_eq!(sup.health("vio"), Some(PluginHealth::Running));
+        let backoff = sup.on_panic("vio", 1_000).expect("first restart granted");
+        assert_eq!(backoff, Duration::from_millis(10));
+        assert_eq!(sup.health("vio"), Some(PluginHealth::Restarting));
+        let recovery = sup.note_progress("vio", 12_000_000).expect("incident closes");
+        assert_eq!(recovery, 12_000_000 - 1_000);
+        assert_eq!(sup.health("vio"), Some(PluginHealth::Running));
+        assert_eq!(sup.recovery_times_ns(), vec![11_999_000]);
+    }
+
+    #[test]
+    fn restart_budget_exhausts_to_failed() {
+        let sup = Supervisor::new(SupervisionPolicy { max_restarts: 2, ..Default::default() });
+        sup.register("app", 0);
+        assert!(sup.on_panic("app", 10).is_some());
+        assert!(sup.on_panic("app", 20).is_some());
+        assert!(sup.on_panic("app", 30).is_none(), "budget exhausted");
+        assert_eq!(sup.health("app"), Some(PluginHealth::Failed));
+        assert_eq!(sup.report()[0].panics, 3);
+        assert_eq!(sup.report()[0].restarts, 2);
+        // A failed plugin stays failed even if something reports progress.
+        sup.note_progress("app", 40);
+        assert_eq!(sup.health("app"), Some(PluginHealth::Failed));
+    }
+
+    #[test]
+    fn disabled_supervisor_contains_but_never_restarts() {
+        let sup = Supervisor::disabled();
+        sup.register("imu", 0);
+        assert!(sup.on_panic("imu", 5).is_none());
+        assert_eq!(sup.health("imu"), Some(PluginHealth::Failed));
+        assert_eq!(sup.total_panics(), 1);
+        assert!(sup.scan_stale(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn watchdog_degrades_stale_plugins_and_escalates_once() {
+        let sup = Supervisor::new(SupervisionPolicy::with_watchdog(Duration::from_millis(5)));
+        let fired = Arc::new(Mutex::new(Vec::<String>::new()));
+        {
+            let fired = fired.clone();
+            sup.set_escalation(move |name| fired.lock().push(name.to_owned()));
+        }
+        sup.register("camera", 0);
+        sup.register("imu", 0);
+        sup.note_progress("imu", 9_000_000);
+        // camera silent for 10 ms > 5 ms deadline; imu progressed 1 ms ago.
+        let stale = sup.scan_stale(10_000_000);
+        assert_eq!(stale, vec!["camera".to_owned()]);
+        assert_eq!(sup.health("camera"), Some(PluginHealth::Degraded));
+        assert_eq!(sup.health("imu"), Some(PluginHealth::Running));
+        // Second sweep: same incident, no re-fire.
+        assert!(sup.scan_stale(11_000_000).is_empty());
+        assert_eq!(fired.lock().len(), 1);
+        assert_eq!(sup.report().iter().find(|r| r.name == "camera").unwrap().degraded_incidents, 1);
+        // Progress clears the degradation; a new silence is a new incident.
+        sup.note_progress("camera", 12_000_000);
+        sup.note_progress("imu", 19_000_000);
+        assert_eq!(sup.health("camera"), Some(PluginHealth::Running));
+        assert_eq!(sup.scan_stale(20_000_000), vec!["camera".to_owned()]);
+        assert_eq!(fired.lock().len(), 2);
+    }
+}

@@ -1,15 +1,17 @@
-//! Live-mode execution: periodic plugins on OS threads.
+//! Live-mode execution: periodic plugins on OS threads, supervised.
 //!
-//! Two execution shapes share the same release/telemetry model:
+//! All live execution is configured through one entry point,
+//! [`ThreadloopBuilder`], which unifies the two execution shapes that
+//! share the release/telemetry model:
 //!
-//! * [`spawn_threadloop`] — the paper's "threadloop" plugin base
-//!   class: one dedicated thread per plugin, invoked at a fixed
+//! * **dedicated** (the default) — the paper's "threadloop" plugin
+//!   base class: one dedicated thread per plugin, invoked at a fixed
 //!   period. Simple and isolating, but the thread count grows with
 //!   the plugin count and the OS scheduler decides who runs.
-//! * [`spawn_worker_pool`] — a work-conserving pool: one dispatcher
-//!   releases jobs for every registered plugin and `N` workers drain
-//!   them in the order a pluggable [`Policy`] chooses (EDF, rate-
-//!   monotonic, or the adaptive governor).
+//! * **pooled** ([`ThreadloopBuilder::pooled`]) — a work-conserving
+//!   pool: one dispatcher releases jobs for every registered plugin
+//!   and `N` workers drain them in the order a pluggable [`Policy`]
+//!   chooses (EDF, rate-monotonic, or the adaptive governor).
 //!
 //! Both paths compute releases with 64/128-bit nanosecond arithmetic
 //! (release *k* = `origin + period·k` — the old `period * k as u32`
@@ -17,9 +19,24 @@
 //! deadline miss as *lateness* (`end > release + deadline`), never as
 //! CPU time: an iteration that slept past its deadline missed it, and
 //! one that burned a full period of CPU but finished on time did not.
+//!
+//! Both paths are also *supervised*: every `iterate` runs under
+//! `catch_unwind`, so a panicking plugin is contained instead of
+//! silently killing its thread. When the context's
+//! [`Supervisor`](crate::supervisor::Supervisor) is enabled, a panic
+//! is answered with a bounded exponential-backoff restart
+//! (re-running `Plugin::start`); when it is disabled the plugin stops
+//! but the rest of the runtime keeps going. Scheduled crashes from the
+//! context's [`FaultPlan`](crate::fault::FaultPlan) are injected here
+//! (as real panics, through the same containment path). If the
+//! supervision policy carries a watchdog deadline, a watchdog thread
+//! sweeps for stale plugins and — in pooled mode — escalates the
+//! policy's degradation ladder via [`JobQueue::escalate`].
+//!
 //! Use [`crate::sim`] instead for deterministic simulated runs.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,26 +46,225 @@ use crate::sched::{release_ns, JobQueue, Policy, PriorityClass, ReadyJob};
 use crate::telemetry::FrameRecord;
 use crate::time::Time;
 
-/// Handle to a running plugin thread.
+/// Histogram receiving panic→recovery latencies when metrics are on.
+const RECOVERY_METRIC: &str = "supervisor.recovery";
+
+/// One plugin's schedule inside a [`ThreadloopBuilder`].
+struct TaskSpec {
+    plugin: Box<dyn Plugin>,
+    period: Duration,
+    deadline: Duration,
+    priority: i32,
+    class: PriorityClass,
+}
+
+enum Mode {
+    Dedicated,
+    Pooled { workers: usize, policy: Box<dyn Policy> },
+}
+
+/// Builds and spawns the live runtime's threads — the single way to
+/// run plugins on OS threads (it replaced the old `spawn_threadloop`/
+/// `spawn_threadloop_with`/`spawn_worker_pool` free functions, which
+/// duplicated the release model and predated supervision).
+///
+/// Each [`task`](ThreadloopBuilder::task) gets a period; the chained
+/// [`deadline`](ThreadloopBuilder::deadline),
+/// [`priority`](ThreadloopBuilder::priority) and
+/// [`class`](ThreadloopBuilder::class) calls refine the most recently
+/// added task. Supervision and fault injection come from the
+/// [`PluginContext`] passed to [`spawn`](ThreadloopBuilder::spawn).
+///
+/// # Examples
+///
+/// ```no_run
+/// use illixr_core::threadloop::ThreadloopBuilder;
+/// use illixr_core::sched::{PolicyKind, PriorityClass};
+/// use illixr_core::{RuntimeBuilder, WallClock};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// # use illixr_core::plugin::{IterationReport, Plugin, PluginContext};
+/// # struct Cam; impl Plugin for Cam {
+/// #   fn name(&self) -> &str { "camera" }
+/// #   fn iterate(&mut self, _: &PluginContext) -> IterationReport { IterationReport::nominal() }
+/// # }
+///
+/// let ctx = RuntimeBuilder::new(Arc::new(WallClock::new())).build();
+/// let handles = ThreadloopBuilder::new()
+///     .task(Box::new(Cam), Duration::from_millis(33))
+///     .deadline(Duration::from_millis(20))
+///     .class(PriorityClass::Perception)
+///     .pooled(2, PolicyKind::Adaptive.build())
+///     .spawn(&ctx);
+/// handles.stop();
+/// ```
+#[must_use = "call .spawn(ctx) to start the threads"]
+pub struct ThreadloopBuilder {
+    tasks: Vec<TaskSpec>,
+    mode: Mode,
+}
+
+impl Default for ThreadloopBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadloopBuilder {
+    /// An empty builder in dedicated (thread-per-plugin) mode.
+    pub fn new() -> Self {
+        Self { tasks: Vec::new(), mode: Mode::Dedicated }
+    }
+
+    /// Adds a plugin iterated every `period`. Defaults: relative
+    /// deadline = period, priority 0, [`PriorityClass::BestEffort`].
+    pub fn task(mut self, plugin: Box<dyn Plugin>, period: Duration) -> Self {
+        self.tasks.push(TaskSpec {
+            plugin,
+            period,
+            deadline: period,
+            priority: 0,
+            class: PriorityClass::BestEffort,
+        });
+        self
+    }
+
+    fn last_task(&mut self) -> &mut TaskSpec {
+        self.tasks.last_mut().expect("configure a task with .task(...) before refining it")
+    }
+
+    /// Sets the last-added task's relative deadline — shorter than the
+    /// period for a compositor that must finish well before vsync,
+    /// longer for a logger that tolerates slack.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.last_task().deadline = deadline;
+        self
+    }
+
+    /// Sets the last-added task's static priority (rate-monotonic
+    /// selection in pooled mode).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.last_task().priority = priority;
+        self
+    }
+
+    /// Sets the last-added task's semantic class (the degradation
+    /// governor's shedding unit in pooled mode).
+    pub fn class(mut self, class: PriorityClass) -> Self {
+        self.last_task().class = class;
+        self
+    }
+
+    /// Runs all tasks on a shared pool of `workers` threads dispatched
+    /// by `policy`, instead of one dedicated thread per plugin.
+    pub fn pooled(mut self, workers: usize, policy: Box<dyn Policy>) -> Self {
+        self.mode = Mode::Pooled { workers, policy };
+        self
+    }
+
+    /// Spawns the configured threads (plus the supervisor's watchdog
+    /// thread when `ctx` carries a watchdog deadline) and returns the
+    /// handles. Stopping the handles stops everything.
+    pub fn spawn(self, ctx: &PluginContext) -> RuntimeHandles {
+        let mut handles = match self.mode {
+            Mode::Dedicated => RuntimeHandles {
+                dedicated: self
+                    .tasks
+                    .into_iter()
+                    .map(|t| spawn_dedicated(t, ctx.clone()))
+                    .collect(),
+                pool: None,
+                watchdog: None,
+            },
+            Mode::Pooled { workers, policy } => RuntimeHandles {
+                dedicated: Vec::new(),
+                pool: Some(spawn_pool(self.tasks, ctx.clone(), workers, policy)),
+                watchdog: None,
+            },
+        };
+        if ctx.supervisor.is_enabled() && ctx.supervisor.policy().watchdog_deadline.is_some() {
+            if let Some(pool) = &handles.pool {
+                let queue = Arc::clone(&pool.queue);
+                ctx.supervisor.set_escalation(move |_plugin| queue.escalate());
+            }
+            handles.watchdog = Some(spawn_watchdog(ctx.clone()));
+        }
+        handles
+    }
+}
+
+/// Handles to everything [`ThreadloopBuilder::spawn`] started.
+/// Dropping (or [`stop`](RuntimeHandles::stop)ping) them stops the
+/// watchdog, the plugin threads and the pool, in that order.
+pub struct RuntimeHandles {
+    dedicated: Vec<ThreadLoopHandle>,
+    pool: Option<PoolHandle>,
+    watchdog: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
+}
+
+impl RuntimeHandles {
+    /// Stops all threads and calls each plugin's `stop`.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Jobs the pool policy's admission control shed (0 in dedicated
+    /// mode).
+    pub fn shed_jobs(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.queue.shed_jobs())
+    }
+
+    /// Current degradation level of the pool's policy (0 in dedicated
+    /// mode).
+    pub fn level(&self) -> u32 {
+        self.pool.as_ref().map_or(0, |p| p.queue.level())
+    }
+
+    fn shutdown(&mut self) {
+        if let Some((stop, join)) = self.watchdog.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = join.join();
+        }
+        for handle in self.dedicated.drain(..) {
+            handle.stop();
+        }
+        if let Some(mut pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for RuntimeHandles {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for RuntimeHandles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RuntimeHandles({} dedicated, pool: {}, watchdog: {})",
+            self.dedicated.len(),
+            self.pool.is_some(),
+            self.watchdog.is_some()
+        )
+    }
+}
+
+/// Handle to one dedicated plugin thread.
 #[derive(Debug)]
-pub struct ThreadLoopHandle {
+struct ThreadLoopHandle {
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
-    name: String,
 }
 
 impl ThreadLoopHandle {
-    /// Signals the loop to stop and waits for the thread to exit.
-    pub fn stop(mut self) {
+    fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
-    }
-
-    /// The plugin's name.
-    pub fn name(&self) -> &str {
-        &self.name
     }
 }
 
@@ -61,42 +277,78 @@ impl Drop for ThreadLoopHandle {
     }
 }
 
-/// Spawns a thread that calls `plugin.iterate` every `period` until
-/// stopped, logging one [`FrameRecord`] per iteration. The relative
-/// deadline equals the period; use [`spawn_threadloop_with`] to set
-/// them independently.
+/// Runs one contained iteration: injects a scheduled crash when the
+/// fault plan says one is due, otherwise iterates the plugin — either
+/// way under `catch_unwind` so the caller decides what a panic means.
+fn contained_iterate(
+    plugin: &mut Box<dyn Plugin>,
+    ctx: &PluginContext,
+    name: &str,
+    release_t_ns: u64,
+    crashes_fired: &AtomicU32,
+) -> std::thread::Result<crate::plugin::IterationReport> {
+    let fire = ctx.fault.crashes_due(name, release_t_ns) > crashes_fired.load(Ordering::SeqCst);
+    if fire {
+        crashes_fired.fetch_add(1, Ordering::SeqCst);
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        if fire {
+            panic!("injected fault: scheduled crash of plugin '{name}'");
+        }
+        plugin.iterate(ctx)
+    }))
+}
+
+/// Answers a contained panic: asks the supervisor for a restart slot,
+/// waits out the backoff and re-runs `Plugin::start` (itself
+/// contained — a panicking restart consumes another slot). Returns
+/// `false` when the restart budget is exhausted and the plugin must
+/// not run again.
+fn handle_panic(plugin: &mut Box<dyn Plugin>, ctx: &PluginContext, name: &str) -> bool {
+    loop {
+        match ctx.supervisor.on_panic(name, ctx.clock.now().as_nanos()) {
+            Some(backoff) => {
+                std::thread::sleep(backoff);
+                if catch_unwind(AssertUnwindSafe(|| plugin.start(ctx))).is_ok() {
+                    return true;
+                }
+            }
+            None => return false,
+        }
+    }
+}
+
+/// Records a productive iteration with the supervisor and exports the
+/// recovery latency when this iteration closed a panic incident.
+fn note_progress(ctx: &PluginContext, name: &str, end_ns: u64) {
+    if let Some(recovery_ns) = ctx.supervisor.note_progress(name, end_ns) {
+        if ctx.metrics.is_enabled() {
+            ctx.metrics.record_ns(RECOVERY_METRIC, recovery_ns);
+        }
+    }
+}
+
+/// Spawns one dedicated thread calling `iterate` every period until
+/// stopped, logging one [`FrameRecord`] per productive iteration.
 ///
 /// The loop is drift-free: iteration *k* is released at `start + k·period`
 /// regardless of how long previous iterations took. If an iteration
 /// overruns its period the next release fires immediately (no catch-up
 /// burst: intermediate releases are counted as drops).
-pub fn spawn_threadloop(
-    plugin: Box<dyn Plugin>,
-    ctx: PluginContext,
-    period: Duration,
-) -> ThreadLoopHandle {
-    spawn_threadloop_with(plugin, ctx, period, period)
-}
-
-/// [`spawn_threadloop`] with an explicit relative deadline, which may
-/// be shorter than the period (a compositor that must finish well
-/// before vsync) or longer (a logger that tolerates slack).
-pub fn spawn_threadloop_with(
-    mut plugin: Box<dyn Plugin>,
-    ctx: PluginContext,
-    period: Duration,
-    deadline: Duration,
-) -> ThreadLoopHandle {
+fn spawn_dedicated(task: TaskSpec, ctx: PluginContext) -> ThreadLoopHandle {
+    let TaskSpec { mut plugin, period, deadline, .. } = task;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_clone = stop.clone();
-    let name = plugin.name().to_owned();
-    let thread_name = name.clone();
+    let thread_name = plugin.name().to_owned();
     let period_ns = period.as_nanos().max(1) as u64;
     let deadline_ns = deadline.as_nanos() as u64;
     let join = std::thread::Builder::new()
         .name(thread_name.clone())
         .spawn(move || {
             plugin.start(&ctx);
+            let name = plugin.name().to_owned();
+            ctx.supervisor.register(&name, ctx.clock.now().as_nanos());
+            let crashes_fired = AtomicU32::new(0);
             let origin = Instant::now();
             // Release timestamps are reported in the runtime clock's
             // basis; capture its origin alongside the Instant one.
@@ -115,41 +367,51 @@ pub fn spawn_threadloop_with(
                 let release_t = Time::from_nanos(release_ns(origin_t, period_ns, k));
                 let start_t = ctx.clock.now();
                 let cpu_start = Instant::now();
-                let report = plugin.iterate(&ctx);
+                let outcome = contained_iterate(
+                    &mut plugin,
+                    &ctx,
+                    &name,
+                    release_t.as_nanos(),
+                    &crashes_fired,
+                );
                 let cpu = cpu_start.elapsed();
                 let end_t = ctx.clock.now();
-                if report.did_work {
-                    ctx.tracer.record_span(
-                        plugin.name(),
-                        plugin.name(),
-                        start_t.as_nanos(),
-                        end_t.as_nanos(),
-                    );
-                    if ctx.metrics.is_enabled() {
-                        ctx.metrics.record(&format!("exec.{}", plugin.name()), cpu);
+                match outcome {
+                    Ok(report) if report.did_work => {
+                        ctx.tracer.record_span(&name, &name, start_t.as_nanos(), end_t.as_nanos());
+                        if ctx.metrics.is_enabled() {
+                            ctx.metrics.record(&format!("exec.{name}"), cpu);
+                        }
+                        ctx.telemetry.log(
+                            &name,
+                            FrameRecord {
+                                release: release_t,
+                                start: start_t,
+                                end: end_t,
+                                cpu_time: cpu,
+                                work_factor: report.work_factor,
+                                missed_deadline: crate::sched::is_miss(
+                                    end_t.as_nanos(),
+                                    release_t.as_nanos(),
+                                    deadline_ns,
+                                ),
+                            },
+                        );
+                        note_progress(&ctx, &name, end_t.as_nanos());
                     }
-                    ctx.telemetry.log(
-                        plugin.name(),
-                        FrameRecord {
-                            release: release_t,
-                            start: start_t,
-                            end: end_t,
-                            cpu_time: cpu,
-                            work_factor: report.work_factor,
-                            missed_deadline: crate::sched::is_miss(
-                                end_t.as_nanos(),
-                                release_t.as_nanos(),
-                                deadline_ns,
-                            ),
-                        },
-                    );
+                    Ok(_) => {}
+                    Err(_) => {
+                        if !handle_panic(&mut plugin, &ctx, &name) {
+                            break;
+                        }
+                    }
                 }
                 // Skip any releases that elapsed while we were running.
                 let elapsed = origin.elapsed();
                 let next_k = (elapsed.as_nanos() / period_ns as u128) as u64 + 1;
                 if next_k > k + 1 {
                     for _ in (k + 1)..next_k {
-                        ctx.telemetry.log_drop(plugin.name());
+                        ctx.telemetry.log_drop(&name);
                     }
                 }
                 k = next_k.max(k + 1);
@@ -157,53 +419,22 @@ pub fn spawn_threadloop_with(
             plugin.stop();
         })
         .expect("failed to spawn plugin thread");
-    ThreadLoopHandle { stop, join: Some(join), name }
-}
-
-/// A plugin registered with [`spawn_worker_pool`].
-pub struct PoolTask {
-    /// The plugin to iterate.
-    pub plugin: Box<dyn Plugin>,
-    /// Release period.
-    pub period: Duration,
-    /// Relative deadline (usually the period).
-    pub deadline: Duration,
-    /// Static priority for rate-monotonic selection.
-    pub priority: i32,
-    /// Semantic class for the degradation governor.
-    pub class: PriorityClass,
+    ThreadLoopHandle { stop, join: Some(join) }
 }
 
 /// Plugin slots shared between the workers: a plugin is checked out of
 /// its slot while one worker iterates it and returned afterwards.
 type PluginSlots = Arc<Mutex<Vec<Option<Box<dyn Plugin>>>>>;
 
-/// Handle to a running worker pool. Dropping it stops the pool.
-pub struct WorkerPoolHandle {
+/// Handle to a running worker pool.
+struct PoolHandle {
     stop: Arc<AtomicBool>,
     queue: Arc<JobQueue>,
     joins: Vec<JoinHandle<()>>,
     plugins: PluginSlots,
-    ctx: PluginContext,
 }
 
-impl WorkerPoolHandle {
-    /// Signals the dispatcher and workers to stop, waits for them,
-    /// and calls each plugin's `stop`.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    /// Jobs the policy's admission control shed.
-    pub fn shed_jobs(&self) -> u64 {
-        self.queue.shed_jobs()
-    }
-
-    /// Current degradation level of the pool's policy.
-    pub fn level(&self) -> u32 {
-        self.queue.level()
-    }
-
+impl PoolHandle {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         self.queue.close();
@@ -216,11 +447,10 @@ impl WorkerPoolHandle {
                 plugin.stop();
             }
         }
-        let _ = &self.ctx;
     }
 }
 
-impl Drop for WorkerPoolHandle {
+impl Drop for PoolHandle {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -236,12 +466,17 @@ impl Drop for WorkerPoolHandle {
 /// release the policy refuses to admit (the governor shedding load) is
 /// also counted as a drop. Workers pull whatever job the policy picks
 /// next, so a lone slow plugin no longer commandeers its own core.
-pub fn spawn_worker_pool(
-    tasks: Vec<PoolTask>,
+///
+/// A worker catching a plugin panic asks the supervisor for a restart
+/// slot; the dispatcher suppresses that task's releases (counting
+/// drops) until the backoff expires, or forever once the budget is
+/// exhausted.
+fn spawn_pool(
+    tasks: Vec<TaskSpec>,
     ctx: PluginContext,
     workers: usize,
     policy: Box<dyn Policy>,
-) -> WorkerPoolHandle {
+) -> PoolHandle {
     assert!(workers > 0, "worker pool needs at least one worker");
     let stop = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(JobQueue::new(policy));
@@ -249,8 +484,10 @@ pub fn spawn_worker_pool(
     let mut specs = Vec::new();
     let mut plugin_slots = Vec::new();
     let mut names = Vec::new();
+    let start_ns = ctx.clock.now().as_nanos();
     for mut task in tasks {
         task.plugin.start(&ctx);
+        ctx.supervisor.register(task.plugin.name(), start_ns);
         names.push(task.plugin.name().to_owned());
         plugin_slots.push(Some(task.plugin));
         specs.push((
@@ -262,10 +499,19 @@ pub fn spawn_worker_pool(
     }
     let plugins = Arc::new(Mutex::new(plugin_slots));
     let names = Arc::new(names);
+    let n_tasks = specs.len();
     // True while a task's job is queued or executing: the dispatcher
     // drops releases for busy tasks instead of letting them pile up.
     let busy: Arc<Vec<AtomicBool>> =
-        Arc::new((0..specs.len()).map(|_| AtomicBool::new(false)).collect());
+        Arc::new((0..n_tasks).map(|_| AtomicBool::new(false)).collect());
+    // Restart backoff gate (releases suppressed until the Instant) and
+    // budget-exhausted flag, both written by workers on panic.
+    let blocked_until: Arc<Vec<Mutex<Option<Instant>>>> =
+        Arc::new((0..n_tasks).map(|_| Mutex::new(None)).collect());
+    let dead: Arc<Vec<AtomicBool>> =
+        Arc::new((0..n_tasks).map(|_| AtomicBool::new(false)).collect());
+    let crashes_fired: Arc<Vec<AtomicU32>> =
+        Arc::new((0..n_tasks).map(|_| AtomicU32::new(0)).collect());
 
     let mut joins = Vec::new();
     // Worker threads.
@@ -274,6 +520,9 @@ pub fn spawn_worker_pool(
         let plugins = Arc::clone(&plugins);
         let names = Arc::clone(&names);
         let busy = Arc::clone(&busy);
+        let blocked_until = Arc::clone(&blocked_until);
+        let dead = Arc::clone(&dead);
+        let crashes_fired = Arc::clone(&crashes_fired);
         let ctx = ctx.clone();
         let specs = specs.clone();
         let join = std::thread::Builder::new()
@@ -287,33 +536,58 @@ pub fn spawn_worker_pool(
                         busy[job.task].store(false, Ordering::SeqCst);
                         continue;
                     };
+                    let name = &names[job.task];
                     let start_t = ctx.clock.now();
                     let cpu_start = Instant::now();
-                    let report = plugin.iterate(&ctx);
+                    let outcome = contained_iterate(
+                        &mut plugin,
+                        &ctx,
+                        name,
+                        job.release_ns,
+                        &crashes_fired[job.task],
+                    );
                     let cpu = cpu_start.elapsed();
                     let end_t = ctx.clock.now();
-                    let name = &names[job.task];
-                    if report.did_work {
-                        ctx.tracer.record_span(name, name, start_t.as_nanos(), end_t.as_nanos());
-                        if ctx.metrics.is_enabled() {
-                            ctx.metrics.record(&format!("exec.{name}"), cpu);
+                    match outcome {
+                        Ok(report) if report.did_work => {
+                            ctx.tracer.record_span(
+                                name,
+                                name,
+                                start_t.as_nanos(),
+                                end_t.as_nanos(),
+                            );
+                            if ctx.metrics.is_enabled() {
+                                ctx.metrics.record(&format!("exec.{name}"), cpu);
+                            }
+                            let deadline_rel = specs[job.task].1;
+                            ctx.telemetry.log(
+                                name,
+                                FrameRecord {
+                                    release: Time::from_nanos(job.release_ns),
+                                    start: start_t,
+                                    end: end_t,
+                                    cpu_time: cpu,
+                                    work_factor: report.work_factor,
+                                    missed_deadline: crate::sched::is_miss(
+                                        end_t.as_nanos(),
+                                        job.release_ns,
+                                        deadline_rel,
+                                    ),
+                                },
+                            );
+                            note_progress(&ctx, name, end_t.as_nanos());
                         }
-                        let deadline_rel = specs[job.task].1;
-                        ctx.telemetry.log(
-                            name,
-                            FrameRecord {
-                                release: Time::from_nanos(job.release_ns),
-                                start: start_t,
-                                end: end_t,
-                                cpu_time: cpu,
-                                work_factor: report.work_factor,
-                                missed_deadline: crate::sched::is_miss(
-                                    end_t.as_nanos(),
-                                    job.release_ns,
-                                    deadline_rel,
-                                ),
-                            },
-                        );
+                        Ok(_) => {}
+                        Err(_) => match ctx.supervisor.on_panic(name, end_t.as_nanos()) {
+                            Some(backoff) => {
+                                // Re-init now; the dispatcher holds
+                                // releases until the backoff expires.
+                                let _ = catch_unwind(AssertUnwindSafe(|| plugin.start(&ctx)));
+                                *blocked_until[job.task].lock().unwrap() =
+                                    Some(Instant::now() + backoff);
+                            }
+                            None => dead[job.task].store(true, Ordering::SeqCst),
+                        },
                     }
                     plugins.lock().unwrap()[job.task] = Some(plugin);
                     busy[job.task].store(false, Ordering::SeqCst);
@@ -329,6 +603,8 @@ pub fn spawn_worker_pool(
         let queue = Arc::clone(&queue);
         let names = Arc::clone(&names);
         let busy = Arc::clone(&busy);
+        let blocked_until = Arc::clone(&blocked_until);
+        let dead = Arc::clone(&dead);
         let ctx = ctx.clone();
         let specs_d = specs;
         let join = std::thread::Builder::new()
@@ -338,13 +614,19 @@ pub fn spawn_worker_pool(
                 let origin_t = ctx.clock.now().as_nanos();
                 let mut next_k: Vec<u64> = vec![0; specs_d.len()];
                 while !stop.load(Ordering::SeqCst) {
-                    // Earliest upcoming release across all tasks.
-                    let (task, k, offset_ns) = next_k
+                    // Earliest upcoming release across all live tasks.
+                    let Some((task, k, offset_ns)) = next_k
                         .iter()
                         .enumerate()
+                        .filter(|&(i, _)| !dead[i].load(Ordering::SeqCst))
                         .map(|(i, &k)| (i, k, release_ns(0, specs_d[i].0, k)))
                         .min_by_key(|&(i, _, off)| (off, i))
-                        .expect("pool has at least one task");
+                    else {
+                        // Every task exhausted its restart budget;
+                        // idle until stopped.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    };
                     let release = origin + Duration::from_nanos(offset_ns);
                     let now = Instant::now();
                     if release > now {
@@ -354,6 +636,18 @@ pub fn spawn_worker_pool(
                         continue;
                     }
                     next_k[task] = k + 1;
+                    // Restart backoff in progress? Suppress the release.
+                    {
+                        let mut gate = blocked_until[task].lock().unwrap();
+                        match *gate {
+                            Some(until) if Instant::now() < until => {
+                                ctx.telemetry.log_drop(&names[task]);
+                                continue;
+                            }
+                            Some(_) => *gate = None,
+                            None => {}
+                        }
+                    }
                     let (_, deadline_rel, priority, class) = specs_d[task];
                     if busy[task].swap(true, Ordering::SeqCst) {
                         // Previous job still queued or running.
@@ -380,15 +674,44 @@ pub fn spawn_worker_pool(
         joins.push(join);
     }
 
-    WorkerPoolHandle { stop, queue, joins, plugins, ctx }
+    PoolHandle { stop, queue, joins, plugins }
+}
+
+/// Spawns the stale-stream watchdog: periodically sweeps the
+/// supervisor for plugins with no productive iteration within the
+/// watchdog deadline; [`Supervisor::scan_stale`](crate::supervisor::Supervisor::scan_stale)
+/// degrades them and fires the escalation hook.
+fn spawn_watchdog(ctx: PluginContext) -> (Arc<AtomicBool>, JoinHandle<()>) {
+    let deadline =
+        ctx.supervisor.policy().watchdog_deadline.expect("watchdog spawned without a deadline");
+    // Sweep a few times per deadline so staleness is noticed promptly,
+    // without busy-polling for long deadlines.
+    let interval = (deadline / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_clone = stop.clone();
+    let join = std::thread::Builder::new()
+        .name("supervisor-watchdog".into())
+        .spawn(move || {
+            while !stop_clone.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                ctx.supervisor.scan_stale(ctx.clock.now().as_nanos());
+            }
+        })
+        .expect("failed to spawn watchdog thread");
+    (stop, join)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::clock::WallClock;
-    use crate::plugin::IterationReport;
+    use crate::plugin::{IterationReport, RuntimeBuilder};
     use crate::sched::PolicyKind;
+    use crate::supervisor::{PluginHealth, SupervisionPolicy};
+
+    fn ctx() -> PluginContext {
+        RuntimeBuilder::new(Arc::new(WallClock::new())).build()
+    }
 
     struct Ticker;
 
@@ -407,11 +730,12 @@ mod tests {
 
     #[test]
     fn threadloop_runs_at_period_and_stops() {
-        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let ctx = ctx();
         let reader = ctx.switchboard.topic::<u64>("ticks").unwrap().sync_reader(1024);
-        let handle = spawn_threadloop(Box::new(Ticker), ctx.clone(), Duration::from_millis(5));
+        let handles =
+            ThreadloopBuilder::new().task(Box::new(Ticker), Duration::from_millis(5)).spawn(&ctx);
         std::thread::sleep(Duration::from_millis(120));
-        handle.stop();
+        handles.stop();
         let n = reader.drain().len();
         // ~24 expected; allow generous scheduling slack.
         assert!(n >= 5, "expected at least 5 ticks, got {n}");
@@ -433,10 +757,11 @@ mod tests {
 
     #[test]
     fn overrunning_plugin_records_drops() {
-        let ctx = PluginContext::new(Arc::new(WallClock::new()));
-        let handle = spawn_threadloop(Box::new(Slow), ctx.clone(), Duration::from_millis(4));
+        let ctx = ctx();
+        let handles =
+            ThreadloopBuilder::new().task(Box::new(Slow), Duration::from_millis(4)).spawn(&ctx);
         std::thread::sleep(Duration::from_millis(100));
-        handle.stop();
+        handles.stop();
         let stats = ctx.telemetry.stats("slow").unwrap();
         assert!(stats.drops > 0, "a 12ms task at a 4ms period must drop releases");
         // 12 ms iterations against a 4 ms deadline: every logged
@@ -461,16 +786,14 @@ mod tests {
 
     #[test]
     fn sleepy_but_late_iterations_are_misses() {
-        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let ctx = ctx();
         // Period 20 ms (so cpu < period always) but deadline 2 ms.
-        let handle = spawn_threadloop_with(
-            Box::new(Sleepy),
-            ctx.clone(),
-            Duration::from_millis(20),
-            Duration::from_millis(2),
-        );
+        let handles = ThreadloopBuilder::new()
+            .task(Box::new(Sleepy), Duration::from_millis(20))
+            .deadline(Duration::from_millis(2))
+            .spawn(&ctx);
         std::thread::sleep(Duration::from_millis(100));
-        handle.stop();
+        handles.stop();
         let stats = ctx.telemetry.stats("sleepy").unwrap();
         assert!(stats.invocations >= 2);
         assert_eq!(
@@ -481,18 +804,16 @@ mod tests {
 
     #[test]
     fn worker_pool_runs_plugins_and_stops() {
-        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let ctx = ctx();
         let reader = ctx.switchboard.topic::<u64>("ticks").unwrap().sync_reader(4096);
-        let tasks = vec![PoolTask {
-            plugin: Box::new(Ticker),
-            period: Duration::from_millis(5),
-            deadline: Duration::from_millis(5),
-            priority: 1,
-            class: PriorityClass::Critical,
-        }];
-        let handle = spawn_worker_pool(tasks, ctx.clone(), 2, PolicyKind::Edf.build());
+        let handles = ThreadloopBuilder::new()
+            .task(Box::new(Ticker), Duration::from_millis(5))
+            .priority(1)
+            .class(PriorityClass::Critical)
+            .pooled(2, PolicyKind::Edf.build())
+            .spawn(&ctx);
         std::thread::sleep(Duration::from_millis(120));
-        handle.stop();
+        handles.stop();
         let n = reader.drain().len();
         assert!(n >= 5, "expected at least 5 pooled ticks, got {n}");
         assert!(ctx.telemetry.stats("ticker").unwrap().invocations >= 5);
@@ -500,19 +821,173 @@ mod tests {
 
     #[test]
     fn worker_pool_drops_busy_releases() {
-        let ctx = PluginContext::new(Arc::new(WallClock::new()));
-        let tasks = vec![PoolTask {
-            plugin: Box::new(Slow),
-            period: Duration::from_millis(4),
-            deadline: Duration::from_millis(4),
-            priority: 0,
-            class: PriorityClass::BestEffort,
-        }];
-        let handle = spawn_worker_pool(tasks, ctx.clone(), 1, PolicyKind::Edf.build());
+        let ctx = ctx();
+        let handles = ThreadloopBuilder::new()
+            .task(Box::new(Slow), Duration::from_millis(4))
+            .pooled(1, PolicyKind::Edf.build())
+            .spawn(&ctx);
         std::thread::sleep(Duration::from_millis(100));
-        handle.stop();
+        handles.stop();
         let stats = ctx.telemetry.stats("slow").unwrap();
-        assert!(stats.drops > 0, "busy releases must drop, got {:?}", stats);
+        assert!(stats.drops > 0, "busy releases must drop, got {stats:?}");
         assert!(stats.deadline_misses > 0);
+    }
+
+    /// A plugin that panics on its `n`th iteration, then behaves.
+    struct Crashy {
+        calls: u32,
+        crash_on: u32,
+    }
+
+    impl Plugin for Crashy {
+        fn name(&self) -> &str {
+            "crashy"
+        }
+        fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+            self.calls += 1;
+            if self.calls == self.crash_on {
+                panic!("boom");
+            }
+            IterationReport::nominal()
+        }
+    }
+
+    static PANIC_HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        // Keep expected panics out of the test output; serialize so
+        // concurrent tests don't race on the process-global hook.
+        let _guard = PANIC_HOOK_LOCK.lock().unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn supervised_threadloop_restarts_a_panicking_plugin() {
+        quiet_panics(|| {
+            let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+                .with_supervision(SupervisionPolicy {
+                    backoff_initial: Duration::from_millis(2),
+                    ..SupervisionPolicy::default()
+                })
+                .build();
+            let handles = ThreadloopBuilder::new()
+                .task(Box::new(Crashy { calls: 0, crash_on: 3 }), Duration::from_millis(4))
+                .spawn(&ctx);
+            std::thread::sleep(Duration::from_millis(120));
+            handles.stop();
+            assert_eq!(ctx.supervisor.health("crashy"), Some(PluginHealth::Running));
+            let report = &ctx.supervisor.report()[0];
+            assert_eq!(report.panics, 1);
+            assert_eq!(report.restarts, 1);
+            assert_eq!(report.recovery_ns.len(), 1, "recovery recorded");
+            // The plugin kept iterating after the restart.
+            assert!(ctx.telemetry.stats("crashy").unwrap().invocations > 3);
+        });
+    }
+
+    #[test]
+    fn unsupervised_panic_is_contained_but_fatal_to_the_plugin() {
+        quiet_panics(|| {
+            let ctx = ctx();
+            let handles = ThreadloopBuilder::new()
+                .task(Box::new(Crashy { calls: 0, crash_on: 2 }), Duration::from_millis(4))
+                .task(Box::new(Ticker), Duration::from_millis(4))
+                .spawn(&ctx);
+            std::thread::sleep(Duration::from_millis(60));
+            handles.stop();
+            assert_eq!(ctx.supervisor.health("crashy"), Some(PluginHealth::Failed));
+            let crashy = ctx.telemetry.stats("crashy").unwrap();
+            assert_eq!(crashy.invocations, 1, "stopped at the panic");
+            // The other plugin was unaffected.
+            assert!(ctx.telemetry.stats("ticker").unwrap().invocations >= 5);
+        });
+    }
+
+    #[test]
+    fn supervised_pool_restarts_and_other_tasks_keep_running() {
+        quiet_panics(|| {
+            let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+                .with_supervision(SupervisionPolicy {
+                    backoff_initial: Duration::from_millis(2),
+                    ..SupervisionPolicy::default()
+                })
+                .build();
+            let handles = ThreadloopBuilder::new()
+                .task(Box::new(Crashy { calls: 0, crash_on: 2 }), Duration::from_millis(5))
+                .task(Box::new(Ticker), Duration::from_millis(5))
+                .pooled(2, PolicyKind::Edf.build())
+                .spawn(&ctx);
+            std::thread::sleep(Duration::from_millis(150));
+            handles.stop();
+            assert_eq!(ctx.supervisor.health("crashy"), Some(PluginHealth::Running));
+            assert_eq!(ctx.supervisor.report()[0].restarts, 1);
+            assert!(!ctx.supervisor.recovery_times_ns().is_empty());
+            assert!(ctx.telemetry.stats("ticker").unwrap().invocations >= 10);
+        });
+    }
+
+    /// A plugin that produces nothing — watchdog bait.
+    struct Mute;
+
+    impl Plugin for Mute {
+        fn name(&self) -> &str {
+            "mute"
+        }
+        fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
+            IterationReport::skipped()
+        }
+    }
+
+    #[test]
+    fn watchdog_degrades_silent_plugin_and_escalates_pool_policy() {
+        let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+            .with_supervision(SupervisionPolicy::with_watchdog(Duration::from_millis(10)))
+            .build();
+        let handles = ThreadloopBuilder::new()
+            .task(Box::new(Mute), Duration::from_millis(5))
+            .task(Box::new(Ticker), Duration::from_millis(5))
+            .class(PriorityClass::Critical)
+            .pooled(2, PolicyKind::Adaptive.build())
+            .spawn(&ctx);
+        std::thread::sleep(Duration::from_millis(120));
+        let level = handles.level();
+        handles.stop();
+        assert_eq!(ctx.supervisor.health("mute"), Some(PluginHealth::Degraded));
+        assert_eq!(ctx.supervisor.health("ticker"), Some(PluginHealth::Running));
+        assert!(level >= 1, "watchdog escalation must climb the governor ladder");
+    }
+
+    #[test]
+    fn scheduled_crash_fault_is_injected_and_recovered() {
+        quiet_panics(|| {
+            use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+            let plan = FaultPlan::new(42).with_window(FaultWindow::new(
+                FaultKind::PluginCrash,
+                "ticker",
+                20_000_000, // 20 ms into the run
+                20_000_001,
+                1.0,
+            ));
+            let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+                .with_fault_plan(Arc::new(plan))
+                .with_supervision(SupervisionPolicy {
+                    backoff_initial: Duration::from_millis(2),
+                    ..SupervisionPolicy::default()
+                })
+                .build();
+            let handles = ThreadloopBuilder::new()
+                .task(Box::new(Ticker), Duration::from_millis(5))
+                .spawn(&ctx);
+            std::thread::sleep(Duration::from_millis(120));
+            handles.stop();
+            let report = &ctx.supervisor.report()[0];
+            assert_eq!(report.panics, 1, "exactly one scheduled crash fires");
+            assert_eq!(report.restarts, 1);
+            assert_eq!(ctx.supervisor.health("ticker"), Some(PluginHealth::Running));
+        });
     }
 }

@@ -91,13 +91,14 @@ impl Plugin for EyeTrackingPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::{SimClock, Time};
     use std::sync::Arc;
 
     #[test]
     fn plugin_publishes_gaze_tracking_truth() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let reader =
             ctx.switchboard.topic::<BinocularGaze>(GAZE_STREAM).expect("stream").async_reader();
         let mut plugin = EyeTrackingPlugin::new();
@@ -115,7 +116,7 @@ mod tests {
     #[test]
     fn gaze_follows_motion_over_time() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let reader =
             ctx.switchboard.topic::<BinocularGaze>(GAZE_STREAM).expect("stream").sync_reader(16);
         let mut plugin = EyeTrackingPlugin::new();

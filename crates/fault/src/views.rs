@@ -1,0 +1,188 @@
+//! Typed per-target views over a [`FaultPlan`].
+//!
+//! Wiring points don't want to reason about windows and trials; they
+//! ask domain questions — "is this frame dropped?", "what is the link's
+//! jitter multiplier right now?". [`SensorFaults`] and [`LinkFaults`]
+//! are cheap borrowed views answering those questions for one named
+//! target, combining scheduled windows with the stochastic trials.
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Sensor-side fault queries for one target (e.g. `"camera"`, `"imu"`).
+#[derive(Clone, Copy, Debug)]
+pub struct SensorFaults<'a> {
+    plan: &'a FaultPlan,
+    target: &'a str,
+}
+
+impl<'a> SensorFaults<'a> {
+    pub(crate) fn new(plan: &'a FaultPlan, target: &'a str) -> Self {
+        Self { plan, target }
+    }
+
+    /// True when camera frame `seq` at `now_ns` must be dropped
+    /// (scheduled `CameraDrop` window or stochastic drop).
+    pub fn drop_frame(&self, now_ns: u64, seq: u64) -> bool {
+        self.plan.active_window(FaultKind::CameraDrop, self.target, now_ns).is_some()
+            || self.plan.trial(
+                FaultKind::CameraDrop,
+                self.target,
+                seq,
+                self.plan.rates().camera_drop,
+            )
+    }
+
+    /// True while the camera is frozen (must republish its last frame).
+    pub fn frozen(&self, now_ns: u64) -> bool {
+        self.plan.active_window(FaultKind::CameraFreeze, self.target, now_ns).is_some()
+    }
+
+    /// True when IMU sample `seq` at `now_ns` is swallowed.
+    pub fn imu_gap(&self, now_ns: u64, seq: u64) -> bool {
+        self.plan.active_window(FaultKind::ImuGap, self.target, now_ns).is_some()
+            || self.plan.trial(FaultKind::ImuGap, self.target, seq, self.plan.rates().imu_gap)
+    }
+
+    /// Accelerometer bias to add at `now_ns` (m/s²; 0 outside any
+    /// `ImuBiasJump` window).
+    pub fn bias(&self, now_ns: u64) -> f64 {
+        self.plan
+            .active_window(FaultKind::ImuBiasJump, self.target, now_ns)
+            .map_or(0.0, |w| w.magnitude)
+    }
+
+    /// Extra zero-mean noise amplitude for sample `seq` at `now_ns`:
+    /// `(scale − 1) · perturbation`, where the scale comes from an
+    /// active `ImuNoiseBurst` window (0 outside one).
+    pub fn noise(&self, now_ns: u64, seq: u64) -> f64 {
+        match self.plan.active_window(FaultKind::ImuNoiseBurst, self.target, now_ns) {
+            Some(w) if w.magnitude > 1.0 => {
+                (w.magnitude - 1.0) * self.plan.perturb(FaultKind::ImuNoiseBurst, self.target, seq)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Link-side fault queries for one target (e.g. `"vio@remote"`,
+/// `"server_link"`).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFaults<'a> {
+    plan: &'a FaultPlan,
+    target: &'a str,
+}
+
+impl<'a> LinkFaults<'a> {
+    pub(crate) fn new(plan: &'a FaultPlan, target: &'a str) -> Self {
+        Self { plan, target }
+    }
+
+    /// When the outage covering `now_ns` ends, or `None` while the link
+    /// is up. Deliveries stall until the returned instant.
+    pub fn outage_until(&self, now_ns: u64) -> Option<u64> {
+        self.plan.active_window(FaultKind::LinkOutage, self.target, now_ns).map(|w| w.end_ns)
+    }
+
+    /// Jitter/latency multiplier at `now_ns` (1.0 while nominal).
+    pub fn jitter_scale(&self, now_ns: u64) -> f64 {
+        self.plan
+            .active_window(FaultKind::LinkJitterSpike, self.target, now_ns)
+            .map_or(1.0, |w| w.magnitude.max(1.0))
+    }
+
+    /// True when message `seq` is delivered twice.
+    pub fn duplicate(&self, seq: u64) -> bool {
+        self.plan.trial(
+            FaultKind::LinkDuplicate,
+            self.target,
+            seq,
+            self.plan.rates().link_duplicate,
+        )
+    }
+
+    /// True when message `seq` is delivered after its successor.
+    pub fn reorder(&self, seq: u64) -> bool {
+        self.plan.trial(FaultKind::LinkReorder, self.target, seq, self.plan.rates().link_reorder)
+    }
+}
+
+impl FaultPlan {
+    /// Sensor-fault view for `target`.
+    pub fn sensor<'a>(&'a self, target: &'a str) -> SensorFaults<'a> {
+        SensorFaults::new(self, target)
+    }
+
+    /// Link-fault view for `target`.
+    pub fn link<'a>(&'a self, target: &'a str) -> LinkFaults<'a> {
+        LinkFaults::new(self, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultWindow, NS_PER_SEC};
+
+    #[test]
+    fn quiet_views_are_no_ops() {
+        let p = FaultPlan::quiet();
+        let s = p.sensor("camera");
+        assert!(!s.drop_frame(0, 0) && !s.frozen(0) && !s.imu_gap(0, 0));
+        assert_eq!(s.bias(0), 0.0);
+        assert_eq!(s.noise(0, 0), 0.0);
+        let l = p.link("uplink");
+        assert!(l.outage_until(0).is_none());
+        assert_eq!(l.jitter_scale(0), 1.0);
+        assert!(!l.duplicate(0) && !l.reorder(0));
+    }
+
+    #[test]
+    fn scheduled_views_fire_inside_their_windows() {
+        let p = FaultPlan::scheduled(4, 1.0, 10 * NS_PER_SEC);
+        let outage =
+            p.windows().iter().find(|w| w.kind == FaultKind::LinkOutage).expect("outage window");
+        let mid = (outage.start_ns + outage.end_ns) / 2;
+        assert_eq!(p.link("any_link").outage_until(mid), Some(outage.end_ns));
+        assert!(p.link("any_link").outage_until(outage.end_ns).is_none());
+
+        let freeze =
+            p.windows().iter().find(|w| w.kind == FaultKind::CameraFreeze).expect("freeze window");
+        assert!(p.sensor("camera").frozen(freeze.start_ns));
+        assert!(!p.sensor("imu").frozen(freeze.start_ns), "freeze targets the camera only");
+
+        let bias =
+            p.windows().iter().find(|w| w.kind == FaultKind::ImuBiasJump).expect("bias window");
+        assert!(p.sensor("imu").bias((bias.start_ns + bias.end_ns) / 2) > 0.0);
+        assert_eq!(p.sensor("imu").bias(bias.end_ns), 0.0);
+    }
+
+    #[test]
+    fn noise_burst_is_zero_mean_and_bounded() {
+        let p = FaultPlan::new(9).with_window(FaultWindow::new(
+            FaultKind::ImuNoiseBurst,
+            "imu",
+            0,
+            1000,
+            3.0,
+        ));
+        let s = p.sensor("imu");
+        let samples: Vec<f64> = (0..2000).map(|seq| s.noise(10, seq)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "noise mean {mean}");
+        assert!(samples.iter().all(|v| v.abs() <= 2.0), "|noise| ≤ magnitude − 1");
+        assert!(samples.iter().any(|v| v.abs() > 0.5), "noise actually perturbs");
+    }
+
+    #[test]
+    fn stochastic_link_faults_are_per_seq_deterministic() {
+        let p = FaultPlan::scheduled(21, 1.0, NS_PER_SEC);
+        let l = p.link("vio@remote");
+        let dup: Vec<u64> = (0..2000).filter(|&s| l.duplicate(s)).collect();
+        let dup2: Vec<u64> = (0..2000).filter(|&s| l.duplicate(s)).collect();
+        assert_eq!(dup, dup2);
+        assert!(!dup.is_empty(), "4% duplicate rate over 2000 messages must fire");
+        // Different targets draw from different streams.
+        let other: Vec<u64> = (0..2000).filter(|&s| p.link("server_link").duplicate(s)).collect();
+        assert_ne!(dup, other);
+    }
+}

@@ -97,6 +97,7 @@ impl Plugin for SceneReconstructionPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::{SimClock, Time};
     use illixr_math::Vec3;
     use illixr_sensors::camera::PinholeCamera;
@@ -104,7 +105,7 @@ mod tests {
     #[test]
     fn plugin_publishes_scene_updates_with_growing_map() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let reader =
             ctx.switchboard.topic::<SceneUpdate>(SCENE_STREAM).expect("stream").sync_reader(64);
         let cam = PinholeCamera { fx: 60.0, fy: 60.0, cx: 32.0, cy: 24.0, width: 64, height: 48 };
@@ -125,7 +126,7 @@ mod tests {
     #[test]
     fn refinement_spikes_work_factor() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let cam = PinholeCamera { fx: 60.0, fy: 60.0, cx: 32.0, cy: 24.0, width: 64, height: 48 };
         let world = Arc::new(LandmarkWorld::new(60, Vec3::new(4.0, 2.5, 4.0), 5));
         let mut plugin =

@@ -131,13 +131,14 @@ impl Plugin for ApplicationPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::SimClock;
     use illixr_math::{Pose, Quat};
 
     #[test]
     fn renders_and_submits_stereo_frames() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let frames = ctx
             .switchboard
             .topic::<RenderedFrame>(EYEBUFFER_STREAM)
@@ -165,7 +166,7 @@ mod tests {
 
     #[test]
     fn renders_identity_pose_before_tracking() {
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         let frames = ctx
             .switchboard
             .topic::<RenderedFrame>(EYEBUFFER_STREAM)
@@ -181,7 +182,7 @@ mod tests {
     #[test]
     fn sponza_costs_more_work_than_ardemo() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut sponza = ApplicationPlugin::new(Application::Sponza, 3, 64, 64);
         let mut ar = ApplicationPlugin::new(Application::ArDemo, 3, 64, 64);
         sponza.start(&ctx);

@@ -189,6 +189,20 @@ impl Policy for AdaptiveGovernor {
         }
     }
 
+    /// Watchdog-driven escalation: climb one level immediately and
+    /// restart the current window, without waiting for chain misses to
+    /// accumulate — a degraded plugin's chains may never complete at
+    /// all, which is exactly when miss-rate feedback goes blind.
+    fn escalate(&mut self) {
+        self.clean_windows = 0;
+        self.window_total = 0;
+        self.window_missed = 0;
+        if self.level < self.config.max_level {
+            self.level += 1;
+            self.transitions.push((self.outcomes_seen, self.level));
+        }
+    }
+
     fn level(&self) -> u32 {
         self.level
     }
@@ -235,6 +249,23 @@ mod tests {
         feed(&mut g, 16, 0); // capped at max_level
         assert_eq!(g.level(), 3);
         assert_eq!(g.max_level_reached(), 3);
+    }
+
+    #[test]
+    fn watchdog_escalation_bumps_level_and_resets_window() {
+        let mut g = AdaptiveGovernor::new(GovernorConfig::default());
+        g.escalate();
+        assert_eq!(g.level(), 1);
+        g.escalate();
+        g.escalate();
+        g.escalate(); // capped at max_level
+        assert_eq!(g.level(), 3);
+        assert_eq!(g.transitions().len(), 3);
+        // The restarted window still restores hysteretically.
+        for _ in 0..4 {
+            feed(&mut g, 0, 16);
+        }
+        assert_eq!(g.level(), 2);
     }
 
     #[test]

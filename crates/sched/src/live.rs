@@ -110,6 +110,12 @@ impl JobQueue {
     pub fn cost_scale(&self, class: PriorityClass) -> f64 {
         self.state.lock().unwrap().policy.cost_scale(class)
     }
+
+    /// Forwards a watchdog escalation to the policy (see
+    /// [`Policy::escalate`]).
+    pub fn escalate(&self) {
+        self.state.lock().unwrap().policy.escalate();
+    }
 }
 
 #[cfg(test)]

@@ -39,8 +39,14 @@ pub trait Policy: Send {
     }
 
     /// Feedback: one end-to-end chain completed (hit or missed its
-    /// chain deadline). The governor's only control input.
+    /// chain deadline). The governor's primary control input.
     fn on_chain_outcome(&mut self, _outcome: &ChainOutcome) {}
+
+    /// Out-of-band escalation: a supervisor's stale-stream watchdog
+    /// declared a plugin degraded, so the system should shed load *now*
+    /// rather than wait for a window of chain misses. Non-degrading
+    /// policies ignore it.
+    fn escalate(&mut self) {}
 
     /// Current degradation level (0 = nominal). Non-governor policies
     /// are always at level 0.

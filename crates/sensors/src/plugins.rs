@@ -28,19 +28,23 @@ use crate::world::LandmarkWorld;
 /// Publishes synthetic stereo frames on the `camera` stream.
 ///
 /// Each `iterate` renders the frame for the current clock time from the
-/// world, so the frame content truly depends on the trajectory.
+/// world, so the frame content truly depends on the trajectory. The
+/// context's fault plan can drop frames (a skipped iteration) or freeze
+/// the feed (re-publishing the last frame with its stale timestamp, the
+/// way a wedged camera driver repeats its DMA buffer).
 pub struct SyntheticCameraPlugin {
     trajectory: Trajectory,
     world: Arc<LandmarkWorld>,
     rig: StereoRig,
     writer: Option<Writer<StereoFrame>>,
     seq: u64,
+    last_frame: Option<StereoFrame>,
 }
 
 impl SyntheticCameraPlugin {
     /// Creates the plugin.
     pub fn new(trajectory: Trajectory, world: Arc<LandmarkWorld>, rig: StereoRig) -> Self {
-        Self { trajectory, world, rig, writer: None, seq: 0 }
+        Self { trajectory, world, rig, writer: None, seq: 0, last_frame: None }
     }
 }
 
@@ -56,26 +60,49 @@ impl Plugin for SyntheticCameraPlugin {
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
         let t = ctx.clock.now();
+        let seq = self.seq;
+        self.seq += 1;
+        let writer = self.writer.as_ref().expect("start() must run before iterate()");
+        if !ctx.fault.is_quiet() {
+            let faults = ctx.fault.sensor("camera");
+            if faults.drop_frame(t.as_nanos(), seq) {
+                return IterationReport::skipped();
+            }
+            if faults.frozen(t.as_nanos()) {
+                if let Some(last) = &self.last_frame {
+                    // Repeat the stale frame (old timestamp, old
+                    // content) under a fresh sequence number.
+                    writer.put(StereoFrame { seq, ..last.clone() });
+                    return IterationReport::with_work(0.1);
+                }
+            }
+        }
         let pose = self.trajectory.pose(t);
         let left = Arc::new(self.world.render(&self.rig, &pose, 0));
         let right = Arc::new(self.world.render(&self.rig, &pose, 1));
-        let frame = StereoFrame { timestamp: t, left, right, seq: self.seq };
-        self.seq += 1;
-        self.writer.as_ref().expect("start() must run before iterate()").put(frame);
+        let frame = StereoFrame { timestamp: t, left, right, seq };
+        self.last_frame = Some(frame.clone());
+        writer.put(frame);
         IterationReport::nominal()
     }
 }
 
 /// Publishes synthetic IMU samples on the `imu` stream.
+///
+/// The context's fault plan can open sample gaps (the sample is still
+/// drawn from the model — keeping its noise stream aligned with the
+/// unfaulted run — but not published), add a bias jump to both
+/// measurement axes inside a window, or overlay a wideband noise burst.
 pub struct SyntheticImuPlugin {
     model: ImuModel,
     writer: Option<Writer<ImuSample>>,
+    seq: u64,
 }
 
 impl SyntheticImuPlugin {
     /// Creates the plugin sampling at `rate_hz` (paper: 500 Hz).
     pub fn new(trajectory: Trajectory, noise: ImuNoise, rate_hz: f64, seed: u64) -> Self {
-        Self { model: ImuModel::new(trajectory, noise, rate_hz, seed), writer: None }
+        Self { model: ImuModel::new(trajectory, noise, rate_hz, seed), writer: None, seq: 0 }
     }
 }
 
@@ -89,8 +116,26 @@ impl Plugin for SyntheticImuPlugin {
             Some(ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").writer());
     }
 
-    fn iterate(&mut self, _ctx: &PluginContext) -> IterationReport {
-        let sample = self.model.next_sample();
+    fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+        let mut sample = self.model.next_sample();
+        let seq = self.seq;
+        self.seq += 1;
+        if !ctx.fault.is_quiet() {
+            let faults = ctx.fault.sensor("imu");
+            let t_ns = sample.timestamp.as_nanos();
+            if faults.imu_gap(t_ns, seq) {
+                return IterationReport::skipped();
+            }
+            let bias = faults.bias(t_ns);
+            let noise = faults.noise(t_ns, seq);
+            if bias != 0.0 || noise != 0.0 {
+                let accel_err = bias + noise;
+                // Gyro axes are rad/s; scale the same disturbance down.
+                let gyro_err = 0.1 * accel_err;
+                sample.accel += illixr_math::Vec3::new(accel_err, accel_err, accel_err);
+                sample.gyro += illixr_math::Vec3::new(gyro_err, gyro_err, gyro_err);
+            }
+        }
         self.writer.as_ref().expect("start() must run before iterate()").put(sample);
         IterationReport::nominal()
     }
@@ -175,11 +220,11 @@ impl Plugin for OfflineImuCameraPlugin {
 mod tests {
     use super::*;
     use crate::camera::PinholeCamera;
-    use illixr_core::SimClock;
+    use illixr_core::{RuntimeBuilder, SimClock};
 
     fn sim_ctx() -> (PluginContext, SimClock) {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         (ctx, clock)
     }
 
@@ -244,6 +289,82 @@ mod tests {
         assert!(imu_reader.len() >= 50);
         assert!(cam_reader.len() >= 2);
         assert!(!plugin.finished());
+    }
+
+    #[test]
+    fn camera_freeze_window_repeats_the_stale_frame() {
+        use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow};
+        let clock = SimClock::new();
+        let plan = FaultPlan::new(9).with_window(FaultWindow::new(
+            FaultKind::CameraFreeze,
+            "camera",
+            Time::from_millis(50).as_nanos(),
+            Time::from_millis(200).as_nanos(),
+            1.0,
+        ));
+        let ctx =
+            RuntimeBuilder::new(Arc::new(clock.clone())).with_fault_plan(Arc::new(plan)).build();
+        let reader =
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(16);
+        let world = Arc::new(LandmarkWorld::new(50, illixr_math::Vec3::new(3.0, 2.0, 3.0), 1));
+        let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+        let mut plugin = SyntheticCameraPlugin::new(Trajectory::walking(1), world, rig);
+        plugin.start(&ctx);
+        clock.advance_to(Time::from_millis(33));
+        plugin.iterate(&ctx); // before the window: fresh frame
+        clock.advance_to(Time::from_millis(66));
+        plugin.iterate(&ctx); // inside the window: frozen
+        let frames = reader.drain();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].timestamp, frames[0].timestamp, "frozen frame keeps stale stamp");
+        assert_eq!(frames[1].seq, 1, "sequence numbering still advances");
+        assert!(Arc::ptr_eq(&frames[0].left, &frames[1].left), "same image repeated");
+    }
+
+    #[test]
+    fn imu_gap_skips_publish_but_keeps_the_model_stream_aligned() {
+        use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow};
+        // Faulted run: gap window covering samples 2..4 (4 ms..8 ms).
+        let plan = FaultPlan::new(5).with_window(FaultWindow::new(
+            FaultKind::ImuGap,
+            "imu",
+            Time::from_millis(3).as_nanos(),
+            Time::from_millis(8).as_nanos(),
+            1.0,
+        ));
+        let ctx =
+            RuntimeBuilder::new(Arc::new(SimClock::new())).with_fault_plan(Arc::new(plan)).build();
+        let reader =
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(64);
+        let mut plugin =
+            SyntheticImuPlugin::new(Trajectory::walking(2), ImuNoise::default(), 500.0, 2);
+        plugin.start(&ctx);
+        for _ in 0..5 {
+            plugin.iterate(&ctx);
+        }
+        let faulted = reader.drain();
+        assert!(faulted.len() < 5, "gap window suppressed samples");
+
+        // Unfaulted run with the same model seed: published samples
+        // outside the gap are bit-identical (the model still advanced
+        // through the gap).
+        let (ctx2, _clock) = sim_ctx();
+        let reader2 =
+            ctx2.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(64);
+        let mut plugin2 =
+            SyntheticImuPlugin::new(Trajectory::walking(2), ImuNoise::default(), 500.0, 2);
+        plugin2.start(&ctx2);
+        for _ in 0..5 {
+            plugin2.iterate(&ctx2);
+        }
+        let clean = reader2.drain();
+        assert_eq!(clean.len(), 5);
+        for f in &faulted {
+            assert!(
+                clean.iter().any(|c| c.data == f.data),
+                "surviving samples match the unfaulted stream"
+            );
+        }
     }
 
     #[test]

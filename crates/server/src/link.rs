@@ -17,8 +17,10 @@
 //! degenerates to `OffloadLink`'s fixed-latency behaviour (see
 //! [`LinkConfig::from_point_to_point`] and the tests).
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_core::fault::FaultPlan;
 use illixr_core::Time;
 use illixr_platform::rng::SplitMix64;
 use illixr_system::offload::OffloadLink;
@@ -106,6 +108,7 @@ pub struct SharedLink {
     rng: SplitMix64,
     up: DirectionStats,
     down: DirectionStats,
+    fault: Arc<FaultPlan>,
 }
 
 impl SharedLink {
@@ -118,7 +121,17 @@ impl SharedLink {
             rng: SplitMix64::new(config.seed ^ 0x51A2_ED11),
             up: DirectionStats::default(),
             down: DirectionStats::default(),
+            fault: Arc::new(FaultPlan::quiet()),
         }
+    }
+
+    /// Injects link faults according to `plan`: a `LinkOutage` window
+    /// (targets `"uplink"` / `"downlink"`) defers the transfer's first
+    /// byte to the window's end, and a `LinkJitterSpike` multiplies the
+    /// propagation term.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
     }
 
     /// The link parameters.
@@ -130,11 +143,18 @@ impl SharedLink {
     /// time. FIFO per direction: the transfer first waits for the
     /// serializer to drain whatever earlier transfers queued.
     pub fn transfer(&mut self, direction: Direction, now: Time, bytes: u64) -> Time {
-        let (bps, busy_until) = match direction {
-            Direction::Uplink => (self.config.uplink_bps, &mut self.up_busy_until),
-            Direction::Downlink => (self.config.downlink_bps, &mut self.down_busy_until),
+        let (bps, busy_until, target) = match direction {
+            Direction::Uplink => (self.config.uplink_bps, &mut self.up_busy_until, "uplink"),
+            Direction::Downlink => {
+                (self.config.downlink_bps, &mut self.down_busy_until, "downlink")
+            }
         };
-        let start = (*busy_until).max(now);
+        let faults = self.fault.link(target);
+        let mut start = (*busy_until).max(now);
+        if let Some(outage_end) = faults.outage_until(now.as_nanos()) {
+            // The radio is down: the first byte waits out the outage.
+            start = start.max(Time::from_nanos(outage_end));
+        }
         let queue = start - now;
         let serialization = if bps.is_finite() {
             Duration::from_secs_f64(bytes as f64 * 8.0 / bps)
@@ -147,7 +167,9 @@ impl SharedLink {
         } else {
             1.0
         };
-        let propagation = Duration::from_secs_f64(self.config.base_latency.as_secs_f64() * jitter);
+        let propagation = Duration::from_secs_f64(
+            self.config.base_latency.as_secs_f64() * jitter * faults.jitter_scale(now.as_nanos()),
+        );
         let stats = match direction {
             Direction::Uplink => &mut self.up,
             Direction::Downlink => &mut self.down,
@@ -245,6 +267,45 @@ mod tests {
             assert_eq!(t, Time::from_millis(8));
         }
         assert_eq!(link.stats(Direction::Uplink).queue_delay_ns, 0);
+    }
+
+    #[test]
+    fn outage_window_defers_uplink_but_not_downlink() {
+        use illixr_core::fault::{FaultKind, FaultWindow};
+        let plan = illixr_core::fault::FaultPlan::new(3).with_window(FaultWindow::new(
+            FaultKind::LinkOutage,
+            "uplink",
+            Time::from_millis(5).as_nanos(),
+            Time::from_millis(20).as_nanos(),
+            1.0,
+        ));
+        let mut link = flat_link(8e6).with_fault_plan(Arc::new(plan));
+        // Inside the outage: first byte leaves at 20 ms, +1 ms
+        // serialization +2 ms propagation.
+        let up = link.transfer(Direction::Uplink, Time::from_millis(10), 1000);
+        assert_eq!(up, Time::from_millis(23));
+        // The downlink target is unaffected.
+        let down = link.transfer(Direction::Downlink, Time::from_millis(10), 1000);
+        assert_eq!(down, Time::from_millis(13));
+        // After the outage the uplink behaves nominally again.
+        let late = link.transfer(Direction::Uplink, Time::from_millis(30), 1000);
+        assert_eq!(late, Time::from_millis(33));
+    }
+
+    #[test]
+    fn jitter_spike_scales_propagation() {
+        use illixr_core::fault::{FaultKind, FaultWindow};
+        let plan = illixr_core::fault::FaultPlan::new(4).with_window(FaultWindow::new(
+            FaultKind::LinkJitterSpike,
+            "downlink",
+            0,
+            Time::from_millis(100).as_nanos(),
+            5.0,
+        ));
+        let mut link = flat_link(8e6).with_fault_plan(Arc::new(plan));
+        // 1 ms serialization + 5 × 2 ms propagation.
+        let t = link.transfer(Direction::Downlink, Time::ZERO, 1000);
+        assert_eq!(t, Time::from_millis(11));
     }
 
     #[test]

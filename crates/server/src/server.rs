@@ -71,6 +71,10 @@ pub struct ServerConfig {
     /// timestamps come from the shared simulated clock, so traces are
     /// bit-identical across identically-configured runs.
     pub trace: bool,
+    /// Fault-injection plan, consulted by the shared link (targets
+    /// `"uplink"` / `"downlink"`) and every session's sensor pipeline
+    /// (quiet — a guaranteed no-op — by default).
+    pub fault_plan: Arc<illixr_core::fault::FaultPlan>,
 }
 
 impl ServerConfig {
@@ -97,12 +101,20 @@ impl ServerConfig {
             token_bytes: 50_000,
             real_vio: false,
             trace: false,
+            fault_plan: Arc::new(illixr_core::fault::FaultPlan::quiet()),
         }
     }
 
     /// Enables span/flow tracing and histogram metrics for this run.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Injects faults according to `plan` (shared link and all
+    /// sessions).
+    pub fn with_fault_plan(mut self, plan: illixr_core::fault::FaultPlan) -> Self {
+        self.fault_plan = Arc::new(plan);
         self
     }
 }
@@ -390,11 +402,12 @@ impl MultiSessionServer {
                     tracer.scoped(&format!("s{i}/")),
                     metrics.clone(),
                 )
+                .with_fault_plan(config.fault_plan.clone())
             })
             .collect();
         let server_side = sessions.iter().map(|_| ServerSideSession { filter: None }).collect();
         Self {
-            link: SharedLink::new(config.link),
+            link: SharedLink::new(config.link).with_fault_plan(config.fault_plan.clone()),
             scheduler: BatchScheduler::new(config.scheduler),
             admission: AdmissionController::new(config.admission),
             clock,

@@ -16,7 +16,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use illixr_core::plugin::{Plugin, PluginContext};
+use illixr_core::fault::FaultPlan;
+use illixr_core::plugin::{Plugin, PluginContext, RuntimeBuilder};
 use illixr_core::switchboard::{AsyncReader, SyncReader, Writer};
 use illixr_core::{Clock, Time, TopicStats};
 use illixr_qoe::mtp::MtpCalculator;
@@ -258,7 +259,7 @@ impl ClientSession {
                 trajectory.velocity(config.connect_at),
             )),
             trajectory,
-            ctx: PluginContext::with_obs(clock, tracer, metrics),
+            ctx: RuntimeBuilder::new(clock).with_obs(tracer, metrics).build(),
             camera_reader: None,
             imu_reader: None,
             slow_pose_writer: None,
@@ -270,6 +271,14 @@ impl ClientSession {
             request_seq: 0,
             vsync_index: 0,
         }
+    }
+
+    /// Injects faults into this session's sensor pipeline: the camera
+    /// and IMU plugins consult `plan` (targets `"camera"` / `"imu"`).
+    /// Call before [`ClientSession::connect`].
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.ctx.fault = plan;
+        self
     }
 
     /// The session's ground-truth trajectory (the server's ideal-VIO

@@ -14,10 +14,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
+use illixr_core::fault::FaultPlan;
 use illixr_core::obs::{Metrics, Tracer};
-use illixr_core::plugin::{Plugin, PluginContext};
+use illixr_core::plugin::{Plugin, RuntimeBuilder};
 use illixr_core::sched::{ChainOutcome, ChainSpec, PolicyKind, PriorityClass};
 use illixr_core::sim::{ExecOutcome, Resource, SimEngine, TaskSpec};
+use illixr_core::supervisor::{SupervisionPolicy, Supervisor};
 use illixr_core::telemetry::{ComponentStats, RecordLogger};
 use illixr_core::Time;
 use illixr_image::{flip, ssim, RgbImage};
@@ -81,6 +83,15 @@ pub struct ExperimentConfig {
     /// Overrides the platform's CPU core count (e.g. pin a 12-core
     /// desktop to 1 core to study scheduling under contention).
     pub cpu_cores_override: Option<usize>,
+    /// Fault-injection plan consulted by the sensor plugins and the
+    /// crash injector ([`FaultPlan::quiet`] by default — a guaranteed
+    /// no-op that keeps default runs bit-identical to fault-free ones).
+    pub fault_plan: Arc<FaultPlan>,
+    /// Crash-containment policy. `None` (the default) still contains a
+    /// plugin panic, but the plugin stays dead for the rest of the run;
+    /// `Some(policy)` restarts it after a simulated-time backoff, up to
+    /// the policy's restart budget.
+    pub supervision: Option<SupervisionPolicy>,
 }
 
 impl ExperimentConfig {
@@ -98,6 +109,8 @@ impl ExperimentConfig {
             load_factor: 1.0,
             chain_deadline: Duration::from_millis(25),
             cpu_cores_override: None,
+            fault_plan: Arc::new(FaultPlan::quiet()),
+            supervision: None,
         }
     }
 
@@ -133,6 +146,20 @@ impl ExperimentConfig {
     /// Pins the run to `cores` CPU cores regardless of platform.
     pub fn with_cpu_cores(mut self, cores: usize) -> Self {
         self.cpu_cores_override = Some(cores);
+        self
+    }
+
+    /// Injects faults according to `plan` (see
+    /// [`FaultPlan::scheduled`] for the standard intensity ladder).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Arc::new(plan);
+        self
+    }
+
+    /// Supervises plugin crashes: contained panics are answered with
+    /// backoff restarts instead of leaving the plugin dead.
+    pub fn with_supervision(mut self, policy: SupervisionPolicy) -> Self {
+        self.supervision = Some(policy);
         self
     }
 }
@@ -193,6 +220,11 @@ pub struct ExperimentResult {
     pub degradation_level: u32,
     /// Jobs the policy refused at release (shed by the governor).
     pub shed_jobs: u64,
+    /// The run's supervisor: per-plugin health, panic counts and
+    /// panic→recovery latencies (disabled unless
+    /// [`ExperimentConfig::supervision`] is set, in which case crashed
+    /// plugins stay dead but are still counted).
+    pub supervisor: Arc<Supervisor>,
 }
 
 impl ExperimentResult {
@@ -287,14 +319,14 @@ impl IntegratedExperiment {
             (Tracer::disabled(), Metrics::disabled())
         };
         engine.set_obs(tracer.clone(), metrics.clone());
-        let ctx = PluginContext {
-            switchboard: illixr_core::Switchboard::with_obs(tracer.clone(), metrics.clone()),
-            phonebook: illixr_core::Phonebook::new(),
-            clock: Arc::new(clock.clone()),
-            telemetry: telemetry.clone(),
-            tracer: tracer.clone(),
-            metrics: metrics.clone(),
-        };
+        let mut builder = RuntimeBuilder::new(Arc::new(clock.clone()))
+            .with_obs(tracer.clone(), metrics.clone())
+            .with_telemetry(telemetry.clone())
+            .with_fault_plan(config.fault_plan.clone());
+        if let Some(policy) = config.supervision {
+            builder = builder.with_supervision(policy);
+        }
+        let ctx = builder.build();
         let timing = timing_model(config.platform);
         let sys = &config.system;
 
@@ -350,8 +382,15 @@ impl IntegratedExperiment {
             let mut plugin = plugin;
             plugin.start(&ctx);
             let name = plugin.name().to_owned();
+            ctx.supervisor.register(&name, 0);
             let timing = timing.clone();
             let ctx = ctx.clone();
+            // Crash-injection state for this task: how many scheduled
+            // PluginCrash windows have fired, and whether the plugin is
+            // waiting out a restart backoff (or dead for good).
+            let mut crashes_fired: u32 = 0;
+            let mut restart_at_ns: Option<u64> = None;
+            let mut dead = false;
             engine.add_task(
                 TaskSpec {
                     name: name.clone(),
@@ -370,7 +409,50 @@ impl IntegratedExperiment {
                     },
                 },
                 Box::new(move |d| {
-                    let report = plugin.iterate(&ctx);
+                    let skipped =
+                        ExecOutcome { cost: Duration::ZERO, work_factor: 0.0, did_work: false };
+                    if dead {
+                        return skipped;
+                    }
+                    let now_ns = d.start.as_nanos();
+                    if let Some(at) = restart_at_ns {
+                        if now_ns < at {
+                            return skipped;
+                        }
+                        // Backoff elapsed in simulated time: restart.
+                        restart_at_ns = None;
+                        plugin.start(&ctx);
+                    }
+                    // A scheduled PluginCrash window that has opened since
+                    // the last fire panics this invocation; a real plugin
+                    // panic is contained the same way.
+                    let crash = ctx.fault.crashes_due(&name, d.release.as_nanos()) > crashes_fired;
+                    let outcome = if crash {
+                        crashes_fired += 1;
+                        None
+                    } else {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            plugin.iterate(&ctx)
+                        }))
+                        .ok()
+                    };
+                    let report = match outcome {
+                        Some(report) => report,
+                        None => {
+                            match ctx.supervisor.on_panic(&name, now_ns) {
+                                Some(backoff) => {
+                                    restart_at_ns = Some(now_ns + backoff.as_nanos() as u64);
+                                }
+                                None => dead = true,
+                            }
+                            return skipped;
+                        }
+                    };
+                    if report.did_work {
+                        if let Some(recovery_ns) = ctx.supervisor.note_progress(&name, now_ns) {
+                            ctx.metrics.record_ns("supervisor.recovery", recovery_ns);
+                        }
+                    }
                     let base = timing.cost(&name, d.invocation, report.work_factor);
                     let cost = if load_factor == 1.0 {
                         base
@@ -597,6 +679,7 @@ impl IntegratedExperiment {
             chain_outcomes: engine.chain_outcomes().to_vec(),
             degradation_level: engine.degradation_level(),
             shed_jobs: engine.shed_jobs(),
+            supervisor: ctx.supervisor.clone(),
         }
     }
 }

@@ -15,8 +15,10 @@
 //! (device–edge partitioning, §V-F).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_core::fault::FaultPlan;
 use illixr_core::plugin::{IterationReport, Plugin, PluginContext};
 use illixr_core::{Switchboard, Time};
 use illixr_platform::rng::SplitMix64;
@@ -54,7 +56,7 @@ impl OffloadLink {
 /// A deferred bridge constructor, run at `start` when the outer context
 /// is known.
 type BridgeFactory =
-    Box<dyn FnOnce(&PluginContext, &Switchboard, OffloadLink) -> Box<dyn Bridge> + Send>;
+    Box<dyn FnOnce(&PluginContext, &Switchboard, OffloadLink, &str) -> Box<dyn Bridge> + Send>;
 
 trait Bridge: Send {
     /// Moves due events; `now` is the runtime clock.
@@ -70,19 +72,63 @@ struct StreamBridge<T: Clone + Send + Sync + 'static> {
     jitter_sigma: f64,
     rng: SplitMix64,
     queue: VecDeque<(Time, T)>,
+    /// The runtime's fault plan and the fault target this bridge
+    /// reports as (the offloaded plugin's name).
+    plan: Arc<FaultPlan>,
+    target: String,
+    /// Per-bridge transfer counter keying stochastic link faults.
+    seq: u64,
+    /// Latest scheduled delivery among in-order packets: nominal
+    /// traffic never overtakes (per-stream FIFO even under jitter);
+    /// only a `LinkReorder` fault may fall behind its successors.
+    watermark: Time,
 }
 
 impl<T: Clone + Send + Sync + 'static> Bridge for StreamBridge<T> {
     fn pump(&mut self, now: Time) {
+        let faults = (!self.plan.is_quiet()).then(|| self.plan.link(&self.target));
         // Ingest new events with their delivery times.
         for event in self.reader.drain_iter() {
+            let seq = self.seq;
+            self.seq += 1;
             let jitter = if self.jitter_sigma > 0.0 {
                 self.rng.next_lognormal(self.jitter_sigma)
             } else {
                 1.0
             };
-            let delay = Duration::from_secs_f64(self.delay.as_secs_f64() * jitter);
-            self.queue.push_back((now + delay, event.data.clone()));
+            let mut scale = jitter;
+            if let Some(f) = &faults {
+                scale *= f.jitter_scale(now.as_nanos());
+            }
+            let delay = Duration::from_secs_f64(self.delay.as_secs_f64() * scale);
+            let mut due = now + delay;
+            let mut duplicate = false;
+            let mut reordered = false;
+            if let Some(f) = &faults {
+                if let Some(outage_end) = f.outage_until(now.as_nanos()) {
+                    // The packet is held until the outage clears.
+                    due = due.max(Time::from_nanos(outage_end));
+                }
+                if f.reorder(seq) {
+                    // Held one extra link delay so it lands behind its
+                    // successors.
+                    due += self.delay;
+                    reordered = true;
+                }
+                duplicate = f.duplicate(seq);
+            }
+            if !reordered {
+                due = due.max(self.watermark);
+                self.watermark = due;
+            }
+            // Due-sorted insert (stable): reorder-faulted packets
+            // genuinely deliver after the ones that overtook them,
+            // instead of head-of-line-blocking the queue.
+            let pos = self.queue.iter().rposition(|(d, _)| *d <= due).map_or(0, |p| p + 1);
+            self.queue.insert(pos, (due, event.data.clone()));
+            if duplicate {
+                self.queue.insert(pos + 1, (due, event.data.clone()));
+            }
         }
         // Deliver what has arrived.
         while let Some((due, _)) = self.queue.front() {
@@ -145,7 +191,7 @@ impl OffloadedPlugin {
     pub fn uplink<T: Clone + Send + Sync + 'static>(mut self, stream: &str) -> Self {
         let stream = stream.to_owned();
         let seed_salt = self.pending.len() as u64;
-        self.pending.push(Box::new(move |outer, remote, link| {
+        self.pending.push(Box::new(move |outer, remote, link, target| {
             Box::new(StreamBridge::<T> {
                 reader: outer.switchboard.topic::<T>(&stream).expect("stream").sync_reader(4096),
                 writer: remote.topic::<T>(&stream).expect("stream").writer(),
@@ -153,6 +199,10 @@ impl OffloadedPlugin {
                 jitter_sigma: link.jitter_sigma,
                 rng: SplitMix64::new(link.seed ^ (0xB0A7 + seed_salt)),
                 queue: VecDeque::new(),
+                plan: outer.fault.clone(),
+                target: target.to_owned(),
+                seq: 0,
+                watermark: Time::ZERO,
             })
         }));
         self
@@ -163,7 +213,7 @@ impl OffloadedPlugin {
     pub fn downlink<T: Clone + Send + Sync + 'static>(mut self, stream: &str) -> Self {
         let stream = stream.to_owned();
         let seed_salt = 0x1000 + self.pending.len() as u64;
-        self.pending.push(Box::new(move |outer, remote, link| {
+        self.pending.push(Box::new(move |outer, remote, link, target| {
             Box::new(StreamBridge::<T> {
                 reader: remote.topic::<T>(&stream).expect("stream").sync_reader(4096),
                 writer: outer.switchboard.topic::<T>(&stream).expect("stream").writer(),
@@ -171,6 +221,10 @@ impl OffloadedPlugin {
                 jitter_sigma: link.jitter_sigma,
                 rng: SplitMix64::new(link.seed ^ (0xD030 + seed_salt)),
                 queue: VecDeque::new(),
+                plan: outer.fault.clone(),
+                target: target.to_owned(),
+                seq: 0,
+                watermark: Time::ZERO,
             })
         }));
         self
@@ -189,7 +243,7 @@ impl Plugin for OffloadedPlugin {
 
     fn start(&mut self, ctx: &PluginContext) {
         // The remote component lives in its own context: private
-        // switchboard, shared clock and telemetry.
+        // switchboard, shared clock/telemetry/faults/supervision.
         let remote_ctx = PluginContext {
             switchboard: self.remote_switchboard.clone(),
             phonebook: ctx.phonebook.clone(),
@@ -197,9 +251,12 @@ impl Plugin for OffloadedPlugin {
             telemetry: ctx.telemetry.clone(),
             tracer: ctx.tracer.clone(),
             metrics: ctx.metrics.clone(),
+            fault: ctx.fault.clone(),
+            supervisor: ctx.supervisor.clone(),
         };
+        let target = self.inner.name().to_owned();
         for make in self.pending.drain(..) {
-            self.bridges.push(make(ctx, &self.remote_switchboard, self.link));
+            self.bridges.push(make(ctx, &self.remote_switchboard, self.link, &target));
         }
         self.inner.start(&remote_ctx);
         // Keep the remote context for iterate.
@@ -228,8 +285,7 @@ impl Plugin for OffloadedPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use illixr_core::SimClock;
-    use std::sync::Arc;
+    use illixr_core::{RuntimeBuilder, SimClock};
 
     struct Echo {
         reader: Option<illixr_core::SyncReader<u32>>,
@@ -264,7 +320,7 @@ mod tests {
     #[test]
     fn events_cross_the_link_with_delay() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut remote =
             OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(10)))
                 .uplink::<u32>("in")
@@ -289,7 +345,7 @@ mod tests {
     #[test]
     fn zero_latency_link_is_transparent() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::ZERO))
             .uplink::<u32>("in")
             .downlink::<u32>("out");
@@ -302,9 +358,67 @@ mod tests {
     }
 
     #[test]
+    fn link_outage_holds_packets_until_the_window_clears() {
+        use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow};
+        let clock = SimClock::new();
+        // Outage from 5 ms to 40 ms on every link target.
+        let plan = FaultPlan::new(3).with_window(FaultWindow::new(
+            FaultKind::LinkOutage,
+            "",
+            Time::from_millis(5).as_nanos(),
+            Time::from_millis(40).as_nanos(),
+            1.0,
+        ));
+        let ctx =
+            RuntimeBuilder::new(Arc::new(clock.clone())).with_fault_plan(Arc::new(plan)).build();
+        let mut remote =
+            OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(10)))
+                .uplink::<u32>("in")
+                .downlink::<u32>("out");
+        remote.start(&ctx);
+        let out = ctx.switchboard.topic::<u32>("out").expect("stream").sync_reader(16);
+        // Sent at t=10ms, inside the outage: held until 40 ms, then the
+        // echo reply crosses the downlink by 50 ms.
+        clock.advance_to(Time::from_millis(10));
+        ctx.switchboard.topic::<u32>("in").expect("stream").writer().put(7);
+        remote.iterate(&ctx);
+        clock.advance_to(Time::from_millis(30));
+        remote.iterate(&ctx);
+        assert!(out.is_empty(), "nothing crosses during the outage (10 ms delay elapsed)");
+        clock.advance_to(Time::from_millis(41));
+        remote.iterate(&ctx); // uplink clears, echo runs, reply enters downlink
+        clock.advance_to(Time::from_millis(52));
+        remote.iterate(&ctx);
+        assert_eq!(**out.try_recv().expect("delivered after the outage"), 8);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_the_packet_twice() {
+        use illixr_core::fault::{FaultPlan, StochasticRates};
+        let clock = SimClock::new();
+        let rates = StochasticRates { link_duplicate: 1.0, ..StochasticRates::ZERO };
+        let plan = FaultPlan::new(11).with_rates(rates);
+        let ctx =
+            RuntimeBuilder::new(Arc::new(clock.clone())).with_fault_plan(Arc::new(plan)).build();
+        let mut remote = OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::ZERO))
+            .uplink::<u32>("in")
+            .downlink::<u32>("out");
+        remote.start(&ctx);
+        let out = ctx.switchboard.topic::<u32>("out").expect("stream").sync_reader(16);
+        ctx.switchboard.topic::<u32>("in").expect("stream").writer().put(1);
+        remote.iterate(&ctx);
+        remote.iterate(&ctx);
+        let got = out.drain();
+        // Both copies crossed the uplink; each echo reply was itself
+        // duplicated on the downlink.
+        assert!(got.len() >= 2, "duplicate rate 1.0 must at least double delivery");
+        assert!(got.iter().all(|v| ***v == 2));
+    }
+
+    #[test]
     fn in_flight_counts_queued_transfers() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut remote =
             OffloadedPlugin::new(echo(), OffloadLink::symmetric(Duration::from_millis(50)))
                 .uplink::<u32>("in")

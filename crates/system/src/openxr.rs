@@ -158,12 +158,13 @@ impl XrSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::SimClock;
     use illixr_math::Quat;
 
     fn setup() -> (PluginContext, SimClock) {
         let clock = SimClock::new();
-        (PluginContext::new(Arc::new(clock.clone())), clock)
+        (RuntimeBuilder::new(Arc::new(clock.clone())).build(), clock)
     }
 
     #[test]

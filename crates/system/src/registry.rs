@@ -184,7 +184,7 @@ pub fn standard_registry(env: &RegistryEnvironment) -> PluginRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use illixr_core::plugin::PluginContext;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::SimClock;
     use illixr_sensors::types::{streams, PoseEstimate};
 
@@ -194,7 +194,7 @@ mod tests {
         let reg = standard_registry(&env);
         let names = reg.names();
         assert!(names.len() >= 16, "registry has {} entries", names.len());
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         for name in names {
             let mut plugin = reg.build(&name, &ctx).expect("registered name builds");
             plugin.start(&ctx);
@@ -207,7 +207,7 @@ mod tests {
         let env = RegistryEnvironment::new(Application::Platformer, 5);
         let reg = standard_registry(&env);
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut pipeline: Vec<_> =
             ["camera/synthetic", "imu/synthetic", "vio/msckf-fast", "integrator/rk4"]
                 .iter()
@@ -234,7 +234,7 @@ mod tests {
     fn unknown_name_returns_none() {
         let env = RegistryEnvironment::new(Application::Sponza, 1);
         let reg = standard_registry(&env);
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         assert!(reg.build("vio/does-not-exist", &ctx).is_none());
     }
 }

@@ -7,8 +7,9 @@ use std::time::Duration;
 
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
 use illixr_core::clock::WallClock;
-use illixr_core::plugin::{Plugin, PluginContext};
-use illixr_core::threadloop::{spawn_threadloop, ThreadLoopHandle};
+use illixr_core::plugin::{Plugin, PluginContext, RuntimeBuilder};
+use illixr_core::supervisor::SupervisionPolicy;
+use illixr_core::threadloop::{RuntimeHandles, ThreadloopBuilder};
 use illixr_core::Time;
 use illixr_render::apps::Application;
 use illixr_render::plugin::ApplicationPlugin;
@@ -29,12 +30,13 @@ use crate::config::SystemConfig;
 /// A running live testbed.
 pub struct LiveTestbed {
     ctx: PluginContext,
-    handles: Vec<ThreadLoopHandle>,
+    handles: RuntimeHandles,
+    plugins: usize,
 }
 
 impl std::fmt::Debug for LiveTestbed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LiveTestbed({} plugins)", self.handles.len())
+        write!(f, "LiveTestbed({} plugins)", self.plugins)
     }
 }
 
@@ -47,7 +49,9 @@ impl LiveTestbed {
     /// proportionally — handy for running on weak CI machines).
     pub fn start(app: Application, config: SystemConfig, seed: u64, rate_scale: f64) -> Self {
         assert!(rate_scale > 0.0 && rate_scale <= 1.0, "rate scale must be in (0, 1]");
-        let ctx = PluginContext::new(Arc::new(WallClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+            .with_supervision(SupervisionPolicy::default())
+            .build();
         let trajectory = Trajectory::walking(seed);
         let world = Arc::new(LandmarkWorld::lab(seed));
         let cam = PinholeCamera::qvga();
@@ -59,9 +63,11 @@ impl LiveTestbed {
         );
 
         let scaled = |d: Duration| Duration::from_secs_f64(d.as_secs_f64() / rate_scale);
-        let mut handles = Vec::new();
+        let mut builder = ThreadloopBuilder::new();
+        let mut plugins = 0usize;
         let mut spawn = |plugin: Box<dyn Plugin>, period: Duration| {
-            handles.push(spawn_threadloop(plugin, ctx.clone(), period));
+            plugins += 1;
+            builder = std::mem::take(&mut builder).task(plugin, period);
         };
         spawn(
             Box::new(SyntheticCameraPlugin::new(trajectory.clone(), world, rig)),
@@ -98,7 +104,8 @@ impl LiveTestbed {
         );
         spawn(Box::new(AudioPlaybackPlugin::new()), scaled(config.audio_period()));
 
-        Self { ctx, handles }
+        let handles = builder.spawn(&ctx);
+        Self { ctx, handles, plugins }
     }
 
     /// The runtime context (switchboard, telemetry) for observers.
@@ -113,9 +120,7 @@ impl LiveTestbed {
 
     /// Stops all plugins.
     pub fn shutdown(self) {
-        for handle in self.handles {
-            handle.stop();
-        }
+        self.handles.stop();
     }
 }
 

@@ -332,6 +332,7 @@ impl Plugin for GroundTruthPosePlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::{SimClock, Time};
     use illixr_sensors::camera::{PinholeCamera, StereoRig};
     use illixr_sensors::dataset::SyntheticDataset;
@@ -342,7 +343,7 @@ mod tests {
     #[test]
     fn perception_pipeline_end_to_end() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let ds = Arc::new(SyntheticDataset::vicon_room_like(17, 2.5));
         let rig = StereoRig::zed_mini(PinholeCamera::qvga());
         let gt0 = &ds.ground_truth[0];
@@ -388,7 +389,7 @@ mod tests {
     fn vio_holds_frames_until_imu_coverage() {
         use illixr_sensors::types::StereoFrame;
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let init = ImuState::identity();
         let mut vio = VioPlugin::new(VioConfig::fast(PinholeCamera::qvga()), init);
         vio.start(&ctx);
@@ -426,7 +427,7 @@ mod tests {
 
     #[test]
     fn integrator_skips_without_input() {
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         let mut integ = ImuIntegratorPlugin::new(ImuState::identity());
         integ.start(&ctx);
         assert!(!integ.iterate(&ctx).did_work);
@@ -435,7 +436,7 @@ mod tests {
     #[test]
     fn ground_truth_plugin_publishes_exact_pose() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let traj = Trajectory::walking(3);
         let mut p = GroundTruthPosePlugin::new(traj.clone());
         p.start(&ctx);

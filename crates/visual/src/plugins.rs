@@ -259,6 +259,7 @@ impl Plugin for HologramPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use illixr_core::plugin::RuntimeBuilder;
     use illixr_core::SimClock;
     use illixr_math::{Pose, Quat, Vec3};
 
@@ -282,7 +283,7 @@ mod tests {
     #[test]
     fn timewarp_publishes_corrected_frames_with_pose_age() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let out =
             ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").sync_reader(8);
         let mut tw = TimewarpPlugin::new(
@@ -309,7 +310,7 @@ mod tests {
 
     #[test]
     fn timewarp_skips_without_input_frame() {
-        let ctx = PluginContext::new(Arc::new(SimClock::new()));
+        let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
         let mut tw = TimewarpPlugin::new(
             ReprojectionConfig::rotational(1.2, 1.0),
             DistortionParams::default(),
@@ -321,7 +322,7 @@ mod tests {
     #[test]
     fn timewarp_tasks_are_timed() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut tw = TimewarpPlugin::new(
             ReprojectionConfig::rotational(1.2, 1.0),
             DistortionParams::default(),
@@ -337,7 +338,7 @@ mod tests {
     #[test]
     fn pose_prediction_extrapolates_along_velocity() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let out =
             ctx.switchboard.topic::<WarpedFrame>(DISPLAY_STREAM).expect("stream").sync_reader(8);
         let mut tw = TimewarpPlugin::new(
@@ -364,7 +365,7 @@ mod tests {
     #[test]
     fn hologram_plugin_consumes_display_frames() {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let mut tw = TimewarpPlugin::new(
             ReprojectionConfig::rotational(1.2, 1.0),
             DistortionParams::default(),

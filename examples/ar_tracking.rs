@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use illixr_testbed::core::plugin::{Plugin, PluginContext};
+use illixr_testbed::core::plugin::{Plugin, RuntimeBuilder};
 use illixr_testbed::core::{SimClock, Time};
 use illixr_testbed::qoe::ate::absolute_trajectory_error;
 use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
@@ -39,7 +39,7 @@ fn main() {
     std::fs::remove_file(&csv).ok();
 
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let gt0 = &ds.ground_truth[0];
     let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
     let mut source = OfflineImuCameraPlugin::new(ds.clone(), rig);

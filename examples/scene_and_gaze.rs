@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use illixr_testbed::core::plugin::{Plugin, PluginContext};
+use illixr_testbed::core::plugin::{Plugin, RuntimeBuilder};
 use illixr_testbed::core::{SimClock, Time};
 use illixr_testbed::eyetrack::eye::EyeParams;
 use illixr_testbed::eyetrack::gaze::gaze_error;
@@ -30,7 +30,7 @@ fn main() {
     // --- Scene reconstruction -------------------------------------------
     println!("Scene reconstruction (ElasticFusion-like surfel pipeline)\n");
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let cam = PinholeCamera { fx: 95.0, fy: 95.0, cx: 48.0, cy: 36.0, width: 96, height: 72 };
     let world = Arc::new(LandmarkWorld::new(80, Vec3::new(4.0, 2.5, 4.0), 21));
     let trajectory = Trajectory::gentle(21);

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use illixr_testbed::core::plugin::{Plugin, PluginContext};
+use illixr_testbed::core::plugin::{Plugin, RuntimeBuilder};
 use illixr_testbed::core::trace::{StreamRecorder, TraceReplayer};
 use illixr_testbed::core::{SimClock, Time};
 use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
@@ -34,7 +34,7 @@ fn main() {
     // --- Phase 1: full(ish) system run with recorders attached ----------
     println!("Phase 1: run the system and record its sensor streams");
     let clock_a = SimClock::new();
-    let ctx_a = PluginContext::new(Arc::new(clock_a.clone()));
+    let ctx_a = RuntimeBuilder::new(Arc::new(clock_a.clone())).build();
     let cam_recorder = StreamRecorder::<StereoFrame>::start(
         &ctx_a.switchboard,
         Arc::new(clock_a.clone()),
@@ -76,7 +76,7 @@ fn main() {
     // --- Phase 2: replay the traces into an isolated VIO ----------------
     println!("\nPhase 2: replay the traces to drive a fresh VIO in isolation");
     let clock_b = SimClock::new();
-    let ctx_b = PluginContext::new(Arc::new(clock_b.clone()));
+    let ctx_b = RuntimeBuilder::new(Arc::new(clock_b.clone())).build();
     let mut cam_replay = TraceReplayer::new(&ctx_b.switchboard, cam_trace);
     let mut imu_replay = TraceReplayer::new(&ctx_b.switchboard, imu_trace);
     let mut vio_b = VioPlugin::new(VioConfig::fast(rig.camera), init);

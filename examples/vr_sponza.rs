@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use illixr_testbed::core::plugin::{Plugin, PluginContext};
+use illixr_testbed::core::plugin::{Plugin, RuntimeBuilder};
 use illixr_testbed::core::{Clock, SimClock, Time};
 use illixr_testbed::math::Vec3;
 use illixr_testbed::render::apps::Application;
@@ -29,7 +29,7 @@ use illixr_testbed::visual::reprojection::ReprojectionConfig;
 fn main() {
     println!("VR Sponza via the OpenXR-style API\n");
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let config = SystemConfig { eye_width: 96, eye_height: 96, ..Default::default() };
 
     // Runtime side: a pose provider and the timewarp compositor.

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use illixr_testbed::core::plugin::{Plugin, PluginContext, PluginRegistry};
+use illixr_testbed::core::plugin::{Plugin, PluginRegistry, RuntimeBuilder};
 use illixr_testbed::core::{Clock, SimClock, Time};
 use illixr_testbed::sensors::camera::{PinholeCamera, StereoRig};
 use illixr_testbed::sensors::dataset::SyntheticDataset;
@@ -28,7 +28,7 @@ fn rig() -> StereoRig {
 /// returns the final pose error; the provider is opaque to VIO.
 fn track_with_provider(mut providers: Vec<Box<dyn Plugin>>, ds: &SyntheticDataset) -> f64 {
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let gt0 = &ds.ground_truth[0];
     let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
     let mut vio = VioPlugin::new(VioConfig::fast(PinholeCamera::qvga()), init);
@@ -85,7 +85,7 @@ fn integrator_schemes_are_interchangeable() {
     // RK4 (OpenVINS) vs midpoint (GTSAM stand-in), same streams.
     for scheme in [Scheme::Rk4, Scheme::Midpoint] {
         let clock = SimClock::new();
-        let ctx = PluginContext::new(Arc::new(clock.clone()));
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
         let ds = SyntheticDataset::vicon_room_like(9, 1.0);
         let gt0 = &ds.ground_truth[0];
         let init = ImuState::from_pose(gt0.timestamp, gt0.pose, gt0.velocity);
@@ -144,7 +144,7 @@ fn vio_implementations_are_interchangeable() {
 /// Like `track_with_provider` but swaps the VIO instead of the source.
 fn track_with_provider_vio(mut vio: Box<dyn Plugin>, ds: &SyntheticDataset) -> f64 {
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let mut source = OfflineImuCameraPlugin::new(Arc::new(ds.clone()), rig());
     source.start(&ctx);
     vio.start(&ctx);
@@ -178,7 +178,7 @@ fn plugin_registry_builds_alternatives_by_name() {
         ))
     });
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     for name in ["camera_imu/offline", "camera_imu/synthetic"] {
         let cam_reader =
             ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(16);
@@ -192,7 +192,7 @@ fn plugin_registry_builds_alternatives_by_name() {
 
 #[test]
 fn stream_typing_is_enforced_across_crates() {
-    let ctx = PluginContext::new(Arc::new(SimClock::new()));
+    let ctx = RuntimeBuilder::new(Arc::new(SimClock::new())).build();
     let _imu = ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").writer();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // Wrong payload type on an existing stream must panic loudly.

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use illixr_testbed::core::plugin::{IterationReport, Plugin, PluginContext};
+use illixr_testbed::core::plugin::{IterationReport, Plugin, PluginContext, RuntimeBuilder};
 use illixr_testbed::core::{SimClock, SyncReader, Time, Writer};
 use illixr_testbed::system::offload::{OffloadLink, OffloadedPlugin};
 use proptest::prelude::*;
@@ -38,7 +38,7 @@ impl Plugin for Relay {
 /// values received on `out`, in delivery order.
 fn run_offloaded(values: &[u64], latency_ms: u64, sigma: f64, seed: u64) -> Vec<u64> {
     let clock = SimClock::new();
-    let ctx = PluginContext::new(Arc::new(clock.clone()));
+    let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
     let link = OffloadLink::symmetric(Duration::from_millis(latency_ms)).with_jitter(sigma, seed);
     let mut remote = OffloadedPlugin::new(Box::new(Relay { reader: None, writer: None }), link)
         .uplink::<u64>("in")
