@@ -5,20 +5,39 @@
 //!
 //! Usage: `cargo run --release -p illixr-bench --bin scaling_sessions`
 //! (honours `ILLIXR_SECONDS`; writes `results/scaling_sessions.txt`).
+//! With `--trace <path>` every session replays the recorded boundary
+//! trace at `path` (written by `trace_replay --write-fixture` or any
+//! `record_boundary` server run) through per-session fan-out
+//! transforms, instead of running live generators; without the flag
+//! the sweep is byte-identical to what it always produced.
 //!
 //! Every run is fully deterministic — simulated clock, seeded
 //! trajectories, seeded link jitter — so two invocations produce a
 //! bit-identical output file.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use illixr_bench::{mtp_stage_summary, rule, sim_duration, write_obs_artifacts};
+use illixr_core::boundary::Trace;
+use illixr_server::server::ReplayLoad;
 use illixr_server::{MultiSessionServer, ServerConfig};
 
 const SESSION_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
+/// `--trace <path>`: the decoded trace driving every session.
+fn trace_arg() -> Option<Arc<Trace>> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1))?;
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let trace = Trace::decode(&bytes).unwrap_or_else(|e| panic!("decoding {path}: {e}"));
+    println!("replaying {} ({} records) into every session", path, trace.record_count());
+    Some(Arc::new(trace))
+}
+
 fn main() -> std::io::Result<()> {
     let duration = sim_duration();
+    let replay = trace_arg();
     let mut out = String::new();
     writeln!(
         out,
@@ -54,6 +73,14 @@ fn main() -> std::io::Result<()> {
     for &n in &SESSION_COUNTS {
         let mut config = ServerConfig::new(n, duration);
         config.real_vio = true;
+        if let Some(trace) = &replay {
+            config = config.with_replay(ReplayLoad::fan_out(
+                trace.clone(),
+                42,
+                std::time::Duration::from_millis(40),
+                0.05,
+            ));
+        }
         let report = MultiSessionServer::new(config).run();
         let mean_ms = report.mean_mtp().as_secs_f64() * 1e3;
         let row = format!(

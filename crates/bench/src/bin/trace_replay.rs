@@ -1,0 +1,179 @@
+//! Record/replay determinism study plus trace-driven load generation.
+//!
+//! Three parts:
+//!
+//! 1. **Record** a fig4-style integrated run (Platformer/desktop, obs
+//!    on) with the determinism boundary captured;
+//! 2. **Replay** it — under a *different* config seed — and check bit
+//!    identity of the re-recorded trace, the Perfetto trace JSON and
+//!    the metrics CSV (printing the first divergence if any);
+//! 3. **Fan out** a recorded one-session server run to {1, 16, 64}
+//!    synthetic sessions with deterministic per-session phase jitter
+//!    and time dilation, reporting aggregate throughput
+//!    (sessions × frames/s) and per-session MTP, then rerun the
+//!    64-session point and check the reports match byte for byte.
+//!
+//! Usage: `cargo run --release -p illixr-bench --bin trace_replay`
+//! (`--quick` caps runs at 2 simulated seconds for CI; honours
+//! `ILLIXR_SECONDS` otherwise; `--write-fixture <path>` also saves the
+//! recorded integrated-run trace as a binary fixture; writes
+//! `results/trace_replay.txt`).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_bench::{rule, sim_duration};
+use illixr_core::boundary::{Boundary, TraceSource};
+use illixr_core::obs::{chrome_trace_json, metrics_csv};
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_server::server::ReplayLoad;
+use illixr_server::{MultiSessionServer, ServerConfig};
+use illixr_system::experiment::{ExperimentConfig, IntegratedExperiment};
+
+const FAN_OUTS: [usize; 3] = [1, 16, 64];
+
+/// The fig4-style recording configuration. `tests/trace_golden.rs`
+/// replays the committed fixture under this exact shape (2 s), so keep
+/// the two in sync.
+fn fig4_config(duration: Duration) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Application::Platformer, Platform::Desktop)
+        .with_trace()
+        .with_boundary_record();
+    cfg.duration = duration;
+    cfg
+}
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let fixture_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--write-fixture").and_then(|i| args.get(i + 1)).cloned()
+    };
+    let duration = if quick { Duration::from_secs(2) } else { sim_duration() };
+    let mut out = String::new();
+    writeln!(out, "# Record/replay determinism + trace-driven load ({}s)", duration.as_secs())
+        .unwrap();
+
+    // --- 1. Record the fig4-style run -------------------------------
+    println!("recording fig4-style run ({duration:?})...");
+    let recorded = IntegratedExperiment::run(&fig4_config(duration));
+    let trace = recorded.boundary_trace.clone().expect("recording enabled");
+    writeln!(
+        out,
+        "recorded: streams={} records={} bytes={}",
+        trace.streams.len(),
+        trace.record_count(),
+        trace.encode().len(),
+    )
+    .unwrap();
+    if let Some(path) = &fixture_path {
+        std::fs::write(path, trace.encode())?;
+        println!("wrote fixture {path}");
+    }
+
+    // --- 2. Replay it and check bit identity -------------------------
+    println!("replaying under a different config seed...");
+    let mut replay_cfg =
+        fig4_config(duration).with_trace_source(TraceSource::new(Arc::new(trace.clone())));
+    replay_cfg.seed ^= 0x5EED_D1FF;
+    let replayed = IntegratedExperiment::run(&replay_cfg);
+    let rerec = replayed.boundary_trace.clone().expect("re-recording enabled");
+    let trace_ok = rerec.encode() == trace.encode();
+    let obs_ok = chrome_trace_json(&replayed.tracer) == chrome_trace_json(&recorded.tracer);
+    let csv_ok = metrics_csv(&replayed.metrics) == metrics_csv(&recorded.metrics);
+    let identity = trace_ok && obs_ok && csv_ok;
+    writeln!(out, "replay: trace_ok={trace_ok} obs_ok={obs_ok} metrics_ok={csv_ok}").unwrap();
+    if !trace_ok {
+        let report = Boundary::divergence_report(&trace, &rerec, &replayed.stream_stats);
+        eprintln!("{report}");
+        out.push_str(&report);
+    }
+
+    // --- 3. Trace-driven fan-out against the server -------------------
+    println!("recording one-session server run...");
+    let mut server_cfg = ServerConfig::new(1, duration).with_boundary_record();
+    server_cfg.real_vio = true;
+    let server_trace =
+        Arc::new(MultiSessionServer::new(server_cfg).run().boundary_trace.expect("recorded"));
+    writeln!(
+        out,
+        "server trace: streams={} records={} bytes={}",
+        server_trace.streams.len(),
+        server_trace.record_count(),
+        server_trace.encode().len(),
+    )
+    .unwrap();
+
+    writeln!(
+        out,
+        "\n{:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "sessions", "agg_fps", "mtp_mean_ms", "mtp_p99_ms", "drop_rate", "admitted"
+    )
+    .unwrap();
+    rule(72);
+    let fan_run = |n: usize| {
+        let mut cfg = ServerConfig::new(n, duration);
+        cfg.real_vio = true;
+        cfg.admission.degrade_threshold = 10.0; // full load, no shaping
+        cfg.admission.reject_threshold = 10.0;
+        cfg.with_replay(ReplayLoad::fan_out(
+            server_trace.clone(),
+            42,
+            Duration::from_millis(40),
+            0.05,
+        ))
+    };
+    let mut last_summary = String::new();
+    for &n in &FAN_OUTS {
+        let report = MultiSessionServer::new(fan_run(n)).run();
+        let displayed: u64 = report.sessions.iter().map(|s| s.telemetry.frames_displayed).sum();
+        let agg_fps = displayed as f64 / duration.as_secs_f64();
+        let row = format!(
+            "{:>8} {:>12.1} {:>12.3} {:>12.3} {:>12.4} {:>10}",
+            n,
+            agg_fps,
+            report.mean_mtp().as_secs_f64() * 1e3,
+            report.p99_mtp().as_secs_f64() * 1e3,
+            report.drop_rate(),
+            report.admitted(),
+        );
+        println!("{row}");
+        writeln!(out, "{row}").unwrap();
+        if n == *FAN_OUTS.last().unwrap() {
+            last_summary = report.summary_text();
+            writeln!(out, "\n## per-session MTP at fan-out {n}").unwrap();
+            for s in &report.sessions {
+                writeln!(
+                    out,
+                    "session {:>2}: mtp_mean_ms={:.3} mtp_p99_ms={:.3} displayed={}",
+                    s.id,
+                    s.telemetry.mean_mtp().as_secs_f64() * 1e3,
+                    s.telemetry.p99_mtp().as_secs_f64() * 1e3,
+                    s.telemetry.frames_displayed,
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    // Rerun the widest fan-out: byte-identical report or bust.
+    println!("re-running {}-session fan-out for determinism...", FAN_OUTS.last().unwrap());
+    let rerun = MultiSessionServer::new(fan_run(*FAN_OUTS.last().unwrap())).run().summary_text();
+    let fan_out_deterministic = rerun == last_summary;
+
+    writeln!(out, "\nreplay_identity={identity}").unwrap();
+    writeln!(out, "fan_out_deterministic={fan_out_deterministic}").unwrap();
+    rule(72);
+    println!("replay identity: {identity}");
+    println!("fan-out deterministic: {fan_out_deterministic}");
+    if !identity || !fan_out_deterministic {
+        eprintln!("WARNING: determinism claim failed — see results/trace_replay.txt");
+    }
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/trace_replay.txt", &out)?;
+    println!("wrote results/trace_replay.txt");
+    Ok(())
+}

@@ -1,0 +1,209 @@
+//! Glue onto the `illixr-trace` record/replay layer.
+//!
+//! Like [`crate::obs`], [`crate::sched`] and [`crate::fault`], this
+//! module re-exports a below-core crate and adds the runtime-facing
+//! handle: a [`Boundary`] carried by every
+//! [`PluginContext`](crate::plugin::PluginContext). The boundary is
+//! the determinism frontier of a run — every *physical input* (camera
+//! pose, IMU sample, link delivery, scheduled crash) crosses it
+//! exactly once, and each crossing point does one of three things:
+//!
+//! * **off** (the default) — generate the input as before; zero cost.
+//! * **recording** — generate the input, then append `(stream,
+//!   tag_ns, payload)` to the [`TraceRecorder`].
+//! * **replaying** — skip the generator and pop the recorded input
+//!   from the [`TraceSource`] instead. A replaying boundary may *also*
+//!   carry a recorder; replay paths re-record the popped payload bytes
+//!   verbatim, so a replayed run's trace is byte-identical to its
+//!   input — the golden-test identity check.
+//!
+//! Fault-plan *outcomes* cross the boundary too (satellite rule:
+//! record the boundary, not the RNG): [`Boundary::crash_due`] records
+//! each scheduled crash as an empty payload on `crash/<plugin>`, so a
+//! faulted recording replays identically even when the replay side
+//! runs a quiet plan under supervision.
+
+pub use illixr_trace::codec::{ByteReader, ByteWriter, CodecError};
+pub use illixr_trace::divergence::{first_divergence, Divergence};
+pub use illixr_trace::format::{Trace, TraceError, TraceHeader, TraceRecord, SCHEMA_VERSION};
+pub use illixr_trace::recorder::TraceRecorder;
+pub use illixr_trace::source::TraceSource;
+pub use illixr_trace::transform::{fan_out_transform, SessionTransform};
+
+use crate::fault::FaultPlan;
+use crate::switchboard::TopicStats;
+
+/// Stream-name prefix for recorded fault-plan crash outcomes.
+pub const CRASH_STREAM_PREFIX: &str = "crash/";
+
+/// The runtime's view of the determinism boundary: an optional
+/// recorder, an optional replay source, or neither (off).
+#[derive(Debug, Clone, Default)]
+pub struct Boundary {
+    recorder: Option<TraceRecorder>,
+    source: Option<TraceSource>,
+}
+
+impl Boundary {
+    /// The default boundary: inputs are generated and not recorded.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// A recording boundary.
+    pub fn recording(recorder: TraceRecorder) -> Self {
+        Self { recorder: Some(recorder), source: None }
+    }
+
+    /// A replaying boundary. When `recorder` is also set, replay paths
+    /// re-record each popped payload verbatim (identity check).
+    pub fn replaying(source: TraceSource, recorder: Option<TraceRecorder>) -> Self {
+        Self { recorder, source: Some(source) }
+    }
+
+    /// A boundary whose recorder and source (whichever are present)
+    /// resolve stream names under `prefix` — one handle per server
+    /// session over a shared store.
+    pub fn scoped(&self, prefix: &str) -> Self {
+        Self {
+            recorder: self.recorder.as_ref().map(|r| r.scoped(prefix)),
+            source: self.source.as_ref().map(|s| s.scoped(prefix)),
+        }
+    }
+
+    pub fn is_off(&self) -> bool {
+        self.recorder.is_none() && self.source.is_none()
+    }
+
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// The replay source, when this boundary replays.
+    pub fn source(&self) -> Option<&TraceSource> {
+        self.source.as_ref()
+    }
+
+    /// Append one boundary event (no-op without a recorder).
+    pub fn record(&self, stream: &str, tag_ns: u64, payload: Vec<u8>) {
+        if let Some(rec) = &self.recorder {
+            rec.record(stream, tag_ns, payload);
+        }
+    }
+
+    /// Whether plugin `plugin` has a crash due at `release_ns` beyond
+    /// the `fired` already delivered — the boundary-side replacement
+    /// for `plan.crashes_due(..) > fired`.
+    ///
+    /// Recording: consults `plan` and records each firing on
+    /// `crash/<plugin>`. Replaying: consults the trace only, so a run
+    /// recorded under `FaultPlan::scheduled(..)` replays its crashes
+    /// (and nothing else) whatever plan the replay side carries.
+    pub fn crash_due(&self, plan: &FaultPlan, plugin: &str, release_ns: u64, fired: u32) -> bool {
+        let stream = format!("{CRASH_STREAM_PREFIX}{plugin}");
+        let due = match &self.source {
+            Some(src) => src.count_through(&stream, release_ns) > fired as u64,
+            None => plan.crashes_due(plugin, release_ns) > fired,
+        };
+        if due {
+            if let Some(src) = &self.source {
+                // Consume the record so a re-recording replay emits it
+                // at its original tag.
+                if let Some((tag, payload)) = src.next_due(&stream, release_ns) {
+                    self.record(&stream, tag, payload);
+                }
+            } else {
+                self.record(&stream, release_ns, Vec::new());
+            }
+        }
+        due
+    }
+
+    /// Human-readable divergence report for a failed replay-identity
+    /// check: the first diverging `(stream, tag_ns)` coordinate plus
+    /// the replay side's switchboard topic stats (satellite: make
+    /// golden-test failures diagnosable, not a bare assert).
+    pub fn divergence_report(recorded: &Trace, replayed: &Trace, stats: &[TopicStats]) -> String {
+        let mut out = String::new();
+        match first_divergence(recorded, replayed) {
+            None => out.push_str("traces are identical\n"),
+            Some(d) => {
+                out.push_str(&format!("replay diverged: {d}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "recorded: {} streams / {} records; replayed: {} streams / {} records\n",
+            recorded.streams.len(),
+            recorded.record_count(),
+            replayed.streams.len(),
+            replayed.record_count(),
+        ));
+        if !stats.is_empty() {
+            out.push_str("replay-side switchboard topics:\n");
+            out.push_str("  topic, seq, dropped, subscribers, queue_depth\n");
+            for s in stats {
+                out.push_str(&format!(
+                    "  {}, {}, {}, {}, {}\n",
+                    s.name, s.seq, s.dropped, s.subscribers, s.queue_depth
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn off_boundary_is_inert() {
+        let b = Boundary::off();
+        assert!(b.is_off());
+        b.record("imu", 1, vec![1]);
+        assert!(b.recorder().is_none() && b.source().is_none());
+    }
+
+    #[test]
+    fn recording_crash_outcomes_consults_the_plan() {
+        let plan = FaultPlan::quiet();
+        let rec = TraceRecorder::new(1, 2);
+        let b = Boundary::recording(rec.clone());
+        assert!(!b.crash_due(&plan, "vio", 1_000, 0));
+        assert!(rec.snapshot().stream("crash/vio").is_none());
+    }
+
+    #[test]
+    fn replaying_crash_outcomes_ignores_the_plan() {
+        // Record one crash for vio at t=500 under a plan that fires it…
+        let rec = TraceRecorder::new(1, 2);
+        rec.record("crash/vio", 500, Vec::new());
+        let trace = Arc::new(rec.snapshot());
+        // …then replay under a quiet plan: the crash still fires, once.
+        let quiet = FaultPlan::quiet();
+        let rerec = TraceRecorder::new(1, 2);
+        let b = Boundary::replaying(TraceSource::new(trace.clone()), Some(rerec.clone()));
+        assert!(!b.crash_due(&quiet, "vio", 499, 0));
+        assert!(b.crash_due(&quiet, "vio", 500, 0));
+        assert!(!b.crash_due(&quiet, "vio", 800, 1));
+        assert!(!b.crash_due(&quiet, "imu_integrator", 800, 0));
+        // The re-recording reproduced the original record.
+        assert_eq!(rerec.snapshot().stream("crash/vio"), trace.stream("crash/vio"));
+    }
+
+    #[test]
+    fn divergence_report_names_the_first_mismatch() {
+        let a = TraceRecorder::new(1, 2);
+        a.record("imu", 10, vec![1]);
+        let b = TraceRecorder::new(1, 2);
+        b.record("imu", 10, vec![2]);
+        let stats =
+            [TopicStats { name: "imu".into(), seq: 3, dropped: 0, subscribers: 1, queue_depth: 0 }];
+        let report = Boundary::divergence_report(&a.snapshot(), &b.snapshot(), &stats);
+        assert!(report.contains("first divergence"), "{report}");
+        assert!(report.contains("tag 10 ns"), "{report}");
+        assert!(report.contains("imu, 3, 0, 1, 0"), "{report}");
+    }
+}

@@ -36,6 +36,10 @@
 //! * **[`supervisor`]** — crash containment: panic catch + bounded
 //!   backoff restarts, recovery-time accounting, and a stale-stream
 //!   watchdog that escalates the scheduler's degradation ladder.
+//! * **[`boundary`]** — glue onto the `illixr-trace` record/replay
+//!   layer: the determinism boundary every physical input crosses,
+//!   recordable to a versioned binary trace and replayable
+//!   bit-for-bit (or fanned out into synthetic load).
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@
 //! assert_eq!(**reader.latest().unwrap(), 42);
 //! ```
 
+pub mod boundary;
 pub mod clock;
 pub mod fault;
 pub mod obs;
@@ -64,6 +69,7 @@ pub mod threadloop;
 pub mod time;
 pub mod trace;
 
+pub use boundary::{Boundary, SessionTransform, Trace, TraceRecorder, TraceSource};
 pub use clock::{Clock, SimClock, WallClock};
 pub use phonebook::{Phonebook, PhonebookError};
 pub use plugin::{Plugin, PluginContext, PluginRegistry, RuntimeBuilder};

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::boundary::{Boundary, TraceRecorder, TraceSource};
 use crate::clock::Clock;
 use crate::fault::FaultPlan;
 use crate::obs::{Metrics, Tracer};
@@ -48,6 +49,9 @@ pub struct PluginContext {
     /// Crash containment and liveness tracking
     /// ([`Supervisor::disabled`] by default).
     pub supervisor: Arc<Supervisor>,
+    /// Record/replay determinism boundary ([`Boundary::off`] by
+    /// default — a guaranteed no-op).
+    pub boundary: Arc<Boundary>,
 }
 
 /// Builds a [`PluginContext`] — the single entry point into the
@@ -75,6 +79,8 @@ pub struct RuntimeBuilder {
     fault: Arc<FaultPlan>,
     supervision: Option<SupervisionPolicy>,
     telemetry: Option<Arc<RecordLogger>>,
+    recorder: Option<TraceRecorder>,
+    source: Option<TraceSource>,
 }
 
 impl RuntimeBuilder {
@@ -89,6 +95,8 @@ impl RuntimeBuilder {
             fault: Arc::new(FaultPlan::quiet()),
             supervision: None,
             telemetry: None,
+            recorder: None,
+            source: None,
         }
     }
 
@@ -117,6 +125,24 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Records every physical input crossing the determinism boundary
+    /// (sensor samples, link deliveries, fault outcomes) into
+    /// `recorder`; snapshot it after the run for a replayable trace.
+    pub fn with_recorder(mut self, recorder: TraceRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Replays boundary inputs from `source` instead of generating
+    /// them: sensor plugins, link bridges and crash checks consume the
+    /// recorded values, making the run bit-identical to the recording.
+    /// Combines with [`RuntimeBuilder::with_recorder`] to re-record the
+    /// replay (the golden identity check).
+    pub fn with_trace(mut self, source: TraceSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
     /// Shares an existing telemetry sink instead of creating a fresh
     /// one — the experiment runner passes the sim engine's logger so
     /// plugin records and scheduler records land in the same place.
@@ -131,6 +157,11 @@ impl RuntimeBuilder {
             Some(policy) => Supervisor::new(policy),
             None => Supervisor::disabled(),
         };
+        let boundary = match (self.source, self.recorder) {
+            (Some(source), recorder) => Boundary::replaying(source, recorder),
+            (None, Some(recorder)) => Boundary::recording(recorder),
+            (None, None) => Boundary::off(),
+        };
         PluginContext {
             switchboard: Switchboard::with_obs(self.tracer.clone(), self.metrics.clone()),
             phonebook: Phonebook::new(),
@@ -140,6 +171,7 @@ impl RuntimeBuilder {
             metrics: self.metrics,
             fault: self.fault,
             supervisor,
+            boundary: Arc::new(boundary),
         }
     }
 }
@@ -342,6 +374,23 @@ mod tests {
         assert_eq!(ctx.fault.seed(), 7);
         assert!(ctx.supervisor.is_enabled());
         assert_eq!(ctx.supervisor.policy().max_restarts, 3);
+    }
+
+    #[test]
+    fn builder_defaults_to_an_off_boundary_and_wires_record_replay() {
+        use crate::boundary::{TraceRecorder, TraceSource};
+
+        assert!(ctx().boundary.is_off());
+        let recorder = TraceRecorder::new(1, 2);
+        let recording =
+            RuntimeBuilder::new(Arc::new(WallClock::new())).with_recorder(recorder.clone()).build();
+        recording.boundary.record("imu", 7, vec![3]);
+        let trace = Arc::new(recorder.snapshot());
+        assert_eq!(trace.stream("imu").unwrap().len(), 1);
+        let replaying = RuntimeBuilder::new(Arc::new(WallClock::new()))
+            .with_trace(TraceSource::new(trace))
+            .build();
+        assert_eq!(replaying.boundary.source().unwrap().next_due("imu", 10), Some((7, vec![3])));
     }
 
     #[test]

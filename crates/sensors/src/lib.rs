@@ -18,7 +18,9 @@
 //! * [`plugins`] — the `camera` and `imu` plugins, in interchangeable
 //!   *live-synthetic* and *offline-player* variants publishing to the same
 //!   switchboard streams (paper §II-B: "appearing indistinguishable from a
-//!   real camera/IMU to the rest of the system").
+//!   real camera/IMU to the rest of the system");
+//! * [`wire`] — boundary payload codecs: how a camera frame (by pose)
+//!   and an IMU sample cross the record/replay determinism boundary.
 
 pub mod camera;
 pub mod dataset;
@@ -26,6 +28,7 @@ pub mod imu;
 pub mod plugins;
 pub mod trajectory;
 pub mod types;
+pub mod wire;
 pub mod world;
 
 pub use camera::{PinholeCamera, StereoRig};

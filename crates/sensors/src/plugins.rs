@@ -18,11 +18,14 @@ use illixr_core::switchboard::Writer;
 #[cfg(test)]
 use illixr_core::Time;
 
+use illixr_math::Pose;
+
 use crate::camera::StereoRig;
 use crate::dataset::SyntheticDataset;
 use crate::imu::{ImuModel, ImuNoise};
 use crate::trajectory::Trajectory;
 use crate::types::{streams, ImuSample, StereoFrame};
+use crate::wire;
 use crate::world::LandmarkWorld;
 
 /// Publishes synthetic stereo frames on the `camera` stream.
@@ -39,12 +42,38 @@ pub struct SyntheticCameraPlugin {
     writer: Option<Writer<StereoFrame>>,
     seq: u64,
     last_frame: Option<StereoFrame>,
+    /// Pose behind `last_frame`, kept so a frozen (repeated) frame can
+    /// be recorded at the boundary by its pose rather than its pixels.
+    last_pose: Option<Pose>,
 }
 
 impl SyntheticCameraPlugin {
     /// Creates the plugin.
     pub fn new(trajectory: Trajectory, world: Arc<LandmarkWorld>, rig: StereoRig) -> Self {
-        Self { trajectory, world, rig, writer: None, seq: 0, last_frame: None }
+        Self { trajectory, world, rig, writer: None, seq: 0, last_frame: None, last_pose: None }
+    }
+
+    /// Replay branch: publish every recorded frame that has come due,
+    /// re-rendering each from its recorded pose. The popped payload is
+    /// re-recorded verbatim so a replayed run's trace is byte-identical
+    /// to its input.
+    fn replay(&mut self, ctx: &PluginContext, now: illixr_core::Time) -> Option<IterationReport> {
+        let src = ctx.boundary.source()?.clone();
+        let writer = self.writer.as_ref().expect("start() must run before iterate()");
+        let mut last_work = None;
+        while let Some((tag, payload)) = src.next_due(streams::CAMERA, now.as_nanos()) {
+            let rec = wire::decode_camera(&payload, tag, &src.transform())
+                .expect("corrupt camera boundary record");
+            let left = Arc::new(self.world.render(&self.rig, &rec.pose, 0));
+            let right = Arc::new(self.world.render(&self.rig, &rec.pose, 1));
+            writer.put(StereoFrame { timestamp: rec.timestamp, left, right, seq: rec.seq });
+            ctx.boundary.record(streams::CAMERA, tag, payload);
+            last_work = Some(rec.work_factor);
+        }
+        Some(match last_work {
+            Some(w) => IterationReport::with_work(w),
+            None => IterationReport::skipped(),
+        })
     }
 }
 
@@ -60,6 +89,9 @@ impl Plugin for SyntheticCameraPlugin {
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
         let t = ctx.clock.now();
+        if let Some(report) = self.replay(ctx, t) {
+            return report;
+        }
         let seq = self.seq;
         self.seq += 1;
         let writer = self.writer.as_ref().expect("start() must run before iterate()");
@@ -72,6 +104,19 @@ impl Plugin for SyntheticCameraPlugin {
                 if let Some(last) = &self.last_frame {
                     // Repeat the stale frame (old timestamp, old
                     // content) under a fresh sequence number.
+                    if ctx.boundary.recorder().is_some() {
+                        let rec = wire::CameraRecord {
+                            timestamp: last.timestamp,
+                            seq,
+                            work_factor: 0.1,
+                            pose: self.last_pose.expect("last_frame implies last_pose"),
+                        };
+                        ctx.boundary.record(
+                            streams::CAMERA,
+                            t.as_nanos(),
+                            wire::encode_camera(&rec, t),
+                        );
+                    }
                     writer.put(StereoFrame { seq, ..last.clone() });
                     return IterationReport::with_work(0.1);
                 }
@@ -82,6 +127,11 @@ impl Plugin for SyntheticCameraPlugin {
         let right = Arc::new(self.world.render(&self.rig, &pose, 1));
         let frame = StereoFrame { timestamp: t, left, right, seq };
         self.last_frame = Some(frame.clone());
+        self.last_pose = Some(pose);
+        if ctx.boundary.recorder().is_some() {
+            let rec = wire::CameraRecord { timestamp: t, seq, work_factor: 1.0, pose };
+            ctx.boundary.record(streams::CAMERA, t.as_nanos(), wire::encode_camera(&rec, t));
+        }
         writer.put(frame);
         IterationReport::nominal()
     }
@@ -117,6 +167,21 @@ impl Plugin for SyntheticImuPlugin {
     }
 
     fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+        if let Some(src) = ctx.boundary.source().cloned() {
+            // Replay: publish every recorded (post-fault) sample that
+            // has come due; the model and the fault plan never run.
+            let now = ctx.clock.now();
+            let writer = self.writer.as_ref().expect("start() must run before iterate()");
+            let mut published = false;
+            while let Some((tag, payload)) = src.next_due(streams::IMU, now.as_nanos()) {
+                let sample = wire::decode_imu(&payload, tag, &src.transform())
+                    .expect("corrupt imu boundary record");
+                writer.put(sample);
+                ctx.boundary.record(streams::IMU, tag, payload);
+                published = true;
+            }
+            return if published { IterationReport::nominal() } else { IterationReport::skipped() };
+        }
         let mut sample = self.model.next_sample();
         let seq = self.seq;
         self.seq += 1;
@@ -135,6 +200,13 @@ impl Plugin for SyntheticImuPlugin {
                 sample.accel += illixr_math::Vec3::new(accel_err, accel_err, accel_err);
                 sample.gyro += illixr_math::Vec3::new(gyro_err, gyro_err, gyro_err);
             }
+        }
+        if ctx.boundary.recorder().is_some() {
+            ctx.boundary.record(
+                streams::IMU,
+                ctx.clock.now().as_nanos(),
+                wire::encode_imu(&sample, ctx.clock.now()),
+            );
         }
         self.writer.as_ref().expect("start() must run before iterate()").put(sample);
         IterationReport::nominal()
@@ -365,6 +437,104 @@ mod tests {
                 "surviving samples match the unfaulted stream"
             );
         }
+    }
+
+    #[test]
+    fn recorded_faulted_sensors_replay_bit_identically_under_a_quiet_plan() {
+        use illixr_core::boundary::{TraceRecorder, TraceSource};
+        use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow, StochasticRates};
+
+        let world = || Arc::new(LandmarkWorld::new(50, illixr_math::Vec3::new(3.0, 2.0, 3.0), 1));
+        let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+
+        // Record a run with a camera freeze, IMU noise bursts and
+        // stochastic drops.
+        let plan = FaultPlan::new(13)
+            .with_window(FaultWindow::new(
+                FaultKind::CameraFreeze,
+                "camera",
+                Time::from_millis(100).as_nanos(),
+                Time::from_millis(250).as_nanos(),
+                1.0,
+            ))
+            .with_window(FaultWindow::new(
+                FaultKind::ImuNoiseBurst,
+                "imu",
+                Time::from_millis(50).as_nanos(),
+                Time::from_millis(300).as_nanos(),
+                0.5,
+            ))
+            .with_rates(StochasticRates { camera_drop: 0.2, ..StochasticRates::ZERO });
+        let recorder = TraceRecorder::new(13, 0);
+        let clock = SimClock::new();
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone()))
+            .with_fault_plan(Arc::new(plan))
+            .with_recorder(recorder.clone())
+            .build();
+        let cam_reader =
+            ctx.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(64);
+        let imu_reader =
+            ctx.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(4096);
+        let mut camera = SyntheticCameraPlugin::new(Trajectory::walking(1), world(), rig);
+        let mut imu =
+            SyntheticImuPlugin::new(Trajectory::walking(1), ImuNoise::default(), 500.0, 13);
+        camera.start(&ctx);
+        imu.start(&ctx);
+        for step in 0..6u64 {
+            clock.advance_to(Time::from_millis(step * 66));
+            camera.iterate(&ctx);
+            for _ in 0..33 {
+                imu.iterate(&ctx);
+            }
+        }
+        let rec_frames = cam_reader.drain();
+        let rec_samples = imu_reader.drain();
+        let trace = Arc::new(recorder.snapshot());
+        assert!(trace.stream("camera").is_some() && trace.stream("imu").is_some());
+
+        // Replay under a quiet plan, same iterate schedule: published
+        // values must match bit-for-bit and the re-recorded trace must
+        // equal the original byte-for-byte.
+        let rerec = TraceRecorder::new(13, 0);
+        let clock2 = SimClock::new();
+        let ctx2 = RuntimeBuilder::new(Arc::new(clock2.clone()))
+            .with_trace(TraceSource::new(trace.clone()))
+            .with_recorder(rerec.clone())
+            .build();
+        let cam_reader2 =
+            ctx2.switchboard.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(64);
+        let imu_reader2 =
+            ctx2.switchboard.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(4096);
+        let mut camera2 = SyntheticCameraPlugin::new(Trajectory::walking(99), world(), rig);
+        let mut imu2 =
+            SyntheticImuPlugin::new(Trajectory::walking(99), ImuNoise::default(), 500.0, 7);
+        camera2.start(&ctx2);
+        imu2.start(&ctx2);
+        for step in 0..6u64 {
+            clock2.advance_to(Time::from_millis(step * 66));
+            camera2.iterate(&ctx2);
+            for _ in 0..33 {
+                imu2.iterate(&ctx2);
+            }
+        }
+        let rep_frames = cam_reader2.drain();
+        let rep_samples = imu_reader2.drain();
+        assert_eq!(rec_frames.len(), rep_frames.len());
+        for (a, b) in rec_frames.iter().zip(rep_frames.iter()) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(
+                a.left.as_slice(),
+                b.left.as_slice(),
+                "re-rendered frame must be pixel-exact"
+            );
+            assert_eq!(a.right.as_slice(), b.right.as_slice());
+        }
+        assert_eq!(
+            rec_samples.iter().map(|s| s.data).collect::<Vec<_>>(),
+            rep_samples.iter().map(|s| s.data).collect::<Vec<_>>()
+        );
+        assert_eq!(rerec.snapshot().encode(), trace.encode());
     }
 
     #[test]

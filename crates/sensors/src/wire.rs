@@ -1,0 +1,160 @@
+//! Boundary payload codecs for the sensor streams.
+//!
+//! The determinism boundary records the *physical input*, which for
+//! sensors is smaller than the published value: an IMU record is the
+//! post-fault measurement (56 bytes), and a camera record is the head
+//! pose the frame was rendered from (80 bytes) — the frame image is a
+//! pure function of `(world(seed), rig, pose)`, so replay re-renders
+//! instead of storing ~600 kB of pixels per frame.
+//!
+//! Timestamps are stored as signed deltas from the record tag (the
+//! boundary-crossing time): a replay transform that dilates tags scales
+//! the deltas by the same factor, so payload timestamps keep tracking
+//! delivery times and derived metrics (pose age, motion-to-photon)
+//! stay meaningful in fanned-out sessions.
+
+use illixr_core::boundary::{ByteReader, ByteWriter, SessionTransform};
+use illixr_core::Time;
+use illixr_math::{Pose, Quat, Vec3};
+
+use crate::types::ImuSample;
+
+/// The boundary-side content of one camera frame: everything needed to
+/// re-render and re-publish it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraRecord {
+    /// Published frame timestamp (stale inside a freeze window).
+    pub timestamp: Time,
+    /// Published sequence number.
+    pub seq: u64,
+    /// Iteration work factor (1.0 fresh, 0.1 frozen).
+    pub work_factor: f64,
+    /// Head pose the frame content was rendered from.
+    pub pose: Pose,
+}
+
+/// Apply a (possibly dilated) signed delta to a transformed tag,
+/// saturating at zero.
+fn tag_plus_delta(tag_ns: u64, delta_ns: i64) -> Time {
+    Time::from_nanos((tag_ns as i128 + delta_ns as i128).max(0) as u64)
+}
+
+fn put_vec3(w: &mut ByteWriter, v: Vec3) {
+    w.put_f64(v.x);
+    w.put_f64(v.y);
+    w.put_f64(v.z);
+}
+
+fn take_vec3(r: &mut ByteReader) -> Option<Vec3> {
+    Some(Vec3::new(r.take_f64().ok()?, r.take_f64().ok()?, r.take_f64().ok()?))
+}
+
+/// Encode a camera record tagged at boundary time `tag`.
+pub fn encode_camera(rec: &CameraRecord, tag: Time) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_i64(rec.timestamp.as_nanos() as i64 - tag.as_nanos() as i64);
+    w.put_u64(rec.seq);
+    w.put_f64(rec.work_factor);
+    put_vec3(&mut w, rec.pose.position);
+    w.put_f64(rec.pose.orientation.w);
+    w.put_f64(rec.pose.orientation.x);
+    w.put_f64(rec.pose.orientation.y);
+    w.put_f64(rec.pose.orientation.z);
+    w.into_bytes()
+}
+
+/// Decode a camera record popped at (already transformed) tag
+/// `tag_ns`, scaling its timestamp delta by `transform`.
+pub fn decode_camera(
+    payload: &[u8],
+    tag_ns: u64,
+    transform: &SessionTransform,
+) -> Option<CameraRecord> {
+    let mut r = ByteReader::new(payload);
+    let delta = transform.scale_delta(r.take_i64().ok()?);
+    let seq = r.take_u64().ok()?;
+    let work_factor = r.take_f64().ok()?;
+    let position = take_vec3(&mut r)?;
+    let orientation =
+        Quat::new(r.take_f64().ok()?, r.take_f64().ok()?, r.take_f64().ok()?, r.take_f64().ok()?);
+    r.is_empty().then(|| CameraRecord {
+        timestamp: tag_plus_delta(tag_ns, delta),
+        seq,
+        work_factor,
+        pose: Pose::new(position, orientation),
+    })
+}
+
+/// Encode a post-fault IMU sample tagged at boundary time `tag`.
+pub fn encode_imu(sample: &ImuSample, tag: Time) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_i64(sample.timestamp.as_nanos() as i64 - tag.as_nanos() as i64);
+    put_vec3(&mut w, sample.gyro);
+    put_vec3(&mut w, sample.accel);
+    w.into_bytes()
+}
+
+/// Decode an IMU sample popped at (already transformed) tag `tag_ns`.
+pub fn decode_imu(payload: &[u8], tag_ns: u64, transform: &SessionTransform) -> Option<ImuSample> {
+    let mut r = ByteReader::new(payload);
+    let delta = transform.scale_delta(r.take_i64().ok()?);
+    let gyro = take_vec3(&mut r)?;
+    let accel = take_vec3(&mut r)?;
+    r.is_empty().then(|| ImuSample { timestamp: tag_plus_delta(tag_ns, delta), gyro, accel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ID: SessionTransform = SessionTransform::IDENTITY;
+
+    #[test]
+    fn camera_record_round_trips_bit_exactly() {
+        let rec = CameraRecord {
+            timestamp: Time::from_nanos(66_000_123),
+            seq: 42,
+            work_factor: 0.1,
+            pose: Pose::new(Vec3::new(1.5, -2.25, 0.125), Quat::new(0.7072, 0.0, -0.7072, 1e-17)),
+        };
+        let tag = Time::from_nanos(67_000_000);
+        let bytes = encode_camera(&rec, tag);
+        assert_eq!(bytes.len(), 80);
+        let back = decode_camera(&bytes, tag.as_nanos(), &ID).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn imu_sample_round_trips_bit_exactly() {
+        let s = ImuSample {
+            timestamp: Time::from_nanos(2_000_000),
+            gyro: Vec3::new(0.01, -0.02, 0.03),
+            accel: Vec3::new(-9.81, 0.001, 1e-300),
+        };
+        let tag = Time::from_nanos(2_000_000);
+        let bytes = encode_imu(&s, tag);
+        assert_eq!(bytes.len(), 56);
+        assert_eq!(decode_imu(&bytes, tag.as_nanos(), &ID).unwrap(), s);
+    }
+
+    #[test]
+    fn dilation_scales_timestamp_deltas() {
+        let s = ImuSample { timestamp: Time::from_nanos(900), gyro: Vec3::ZERO, accel: Vec3::ZERO };
+        let bytes = encode_imu(&s, Time::from_nanos(1_000)); // delta −100
+        let t = SessionTransform { offset_ns: 0, dilation: 2.0 };
+        // Popped at transformed tag 2_000: timestamp = 2_000 + 2·(−100).
+        let back = decode_imu(&bytes, 2_000, &t).unwrap();
+        assert_eq!(back.timestamp, Time::from_nanos(1_800));
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_none() {
+        let s = ImuSample { timestamp: Time::ZERO, gyro: Vec3::ZERO, accel: Vec3::ZERO };
+        let bytes = encode_imu(&s, Time::ZERO);
+        assert!(decode_imu(&bytes[..bytes.len() - 1], 0, &ID).is_none());
+        assert!(decode_camera(&bytes, 0, &ID).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_imu(&long, 0, &ID).is_none(), "trailing bytes rejected");
+    }
+}

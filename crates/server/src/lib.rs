@@ -41,5 +41,5 @@ pub use scheduler::{
     BatchPlacement, BatchScheduler, BoundedPlacement, PlacementPolicy, SchedulerConfig,
     SchedulerStats,
 };
-pub use server::{MultiSessionServer, ServerConfig, ServerReport, SessionReport};
+pub use server::{MultiSessionServer, ReplayLoad, ServerConfig, ServerReport, SessionReport};
 pub use session::{ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState};

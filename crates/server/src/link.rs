@@ -20,6 +20,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_core::boundary::{Boundary, ByteReader, ByteWriter};
 use illixr_core::fault::FaultPlan;
 use illixr_core::Time;
 use illixr_platform::rng::SplitMix64;
@@ -32,6 +33,33 @@ pub enum Direction {
     Uplink,
     /// Edge server → device.
     Downlink,
+}
+
+impl Direction {
+    /// Boundary stream the direction's transfers are recorded on.
+    fn stream(&self) -> &'static str {
+        match self {
+            Self::Uplink => "link/uplink",
+            Self::Downlink => "link/downlink",
+        }
+    }
+}
+
+/// Boundary payload for one transfer: queue wait and total delivery
+/// delay, as signed deltas from the record tag (the transfer's start
+/// time) so a dilating replay transform scales them coherently.
+fn encode_transfer(wait_ns: i64, arrival_delta_ns: i64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_i64(wait_ns);
+    w.put_i64(arrival_delta_ns);
+    w.into_bytes()
+}
+
+fn decode_transfer(payload: &[u8]) -> Option<(i64, i64)> {
+    let mut r = ByteReader::new(payload);
+    let wait = r.take_i64().ok()?;
+    let arrival = r.take_i64().ok()?;
+    r.is_empty().then_some((wait, arrival))
 }
 
 /// Shared-link parameters.
@@ -109,6 +137,7 @@ pub struct SharedLink {
     up: DirectionStats,
     down: DirectionStats,
     fault: Arc<FaultPlan>,
+    boundary: Arc<Boundary>,
 }
 
 impl SharedLink {
@@ -122,6 +151,7 @@ impl SharedLink {
             up: DirectionStats::default(),
             down: DirectionStats::default(),
             fault: Arc::new(FaultPlan::quiet()),
+            boundary: Arc::new(Boundary::off()),
         }
     }
 
@@ -134,6 +164,15 @@ impl SharedLink {
         self
     }
 
+    /// Attaches a determinism boundary: a recording boundary captures
+    /// every transfer's `(queue wait, delivery delay)` on
+    /// `link/uplink` / `link/downlink`, and a replaying one feeds those
+    /// delays back instead of consulting jitter RNG or fault windows.
+    pub fn with_boundary(mut self, boundary: Arc<Boundary>) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
     /// The link parameters.
     pub fn config(&self) -> &LinkConfig {
         &self.config
@@ -143,33 +182,77 @@ impl SharedLink {
     /// time. FIFO per direction: the transfer first waits for the
     /// serializer to drain whatever earlier transfers queued.
     pub fn transfer(&mut self, direction: Direction, now: Time, bytes: u64) -> Time {
-        let (bps, busy_until, target) = match direction {
-            Direction::Uplink => (self.config.uplink_bps, &mut self.up_busy_until, "uplink"),
-            Direction::Downlink => {
-                (self.config.downlink_bps, &mut self.down_busy_until, "downlink")
+        let stream = direction.stream();
+        let replay = self.boundary.source().filter(|src| src.has_stream(stream)).cloned();
+        let (queue, serialization, arrival) = if let Some(src) = replay {
+            let (tag, payload) = src
+                .next_due(stream, now.as_nanos())
+                .expect("link replay diverged: no recorded transfer due at this instant");
+            let (wait_ns, arrival_delta) =
+                decode_transfer(&payload).expect("corrupt link boundary record");
+            // Re-record the popped bytes verbatim so a re-recorded
+            // replay stays byte-identical to its input trace.
+            self.boundary.record(stream, tag, payload);
+            let t = src.transform();
+            let queue = Duration::from_nanos(t.scale_delta(wait_ns).max(0) as u64);
+            let arrival = Time::from_nanos(
+                now.as_nanos().saturating_add(t.scale_delta(arrival_delta).max(0) as u64),
+            );
+            let bps = match direction {
+                Direction::Uplink => self.config.uplink_bps,
+                Direction::Downlink => self.config.downlink_bps,
+            };
+            let serialization = if bps.is_finite() {
+                Duration::from_secs_f64(bytes as f64 * 8.0 / bps)
+            } else {
+                Duration::ZERO
+            };
+            (queue, serialization, arrival)
+        } else {
+            let (bps, busy_until, target) = match direction {
+                Direction::Uplink => (self.config.uplink_bps, &self.up_busy_until, "uplink"),
+                Direction::Downlink => {
+                    (self.config.downlink_bps, &self.down_busy_until, "downlink")
+                }
+            };
+            let faults = self.fault.link(target);
+            let mut start = (*busy_until).max(now);
+            if let Some(outage_end) = faults.outage_until(now.as_nanos()) {
+                // The radio is down: the first byte waits out the outage.
+                start = start.max(Time::from_nanos(outage_end));
             }
+            let queue = start - now;
+            let serialization = if bps.is_finite() {
+                Duration::from_secs_f64(bytes as f64 * 8.0 / bps)
+            } else {
+                Duration::ZERO
+            };
+            let jitter = if self.config.jitter_sigma > 0.0 {
+                self.rng.next_lognormal(self.config.jitter_sigma)
+            } else {
+                1.0
+            };
+            let propagation = Duration::from_secs_f64(
+                self.config.base_latency.as_secs_f64()
+                    * jitter
+                    * faults.jitter_scale(now.as_nanos()),
+            );
+            let arrival = start + serialization + propagation;
+            self.boundary.record(
+                stream,
+                now.as_nanos(),
+                encode_transfer(
+                    queue.as_nanos() as i64,
+                    arrival.as_nanos() as i64 - now.as_nanos() as i64,
+                ),
+            );
+            (queue, serialization, arrival)
         };
-        let faults = self.fault.link(target);
-        let mut start = (*busy_until).max(now);
-        if let Some(outage_end) = faults.outage_until(now.as_nanos()) {
-            // The radio is down: the first byte waits out the outage.
-            start = start.max(Time::from_nanos(outage_end));
-        }
-        let queue = start - now;
-        let serialization = if bps.is_finite() {
-            Duration::from_secs_f64(bytes as f64 * 8.0 / bps)
-        } else {
-            Duration::ZERO
+        let busy_until = match direction {
+            Direction::Uplink => &mut self.up_busy_until,
+            Direction::Downlink => &mut self.down_busy_until,
         };
-        *busy_until = start + serialization;
-        let jitter = if self.config.jitter_sigma > 0.0 {
-            self.rng.next_lognormal(self.config.jitter_sigma)
-        } else {
-            1.0
-        };
-        let propagation = Duration::from_secs_f64(
-            self.config.base_latency.as_secs_f64() * jitter * faults.jitter_scale(now.as_nanos()),
-        );
+        *busy_until = now + queue + serialization;
         let stats = match direction {
             Direction::Uplink => &mut self.up,
             Direction::Downlink => &mut self.down,
@@ -178,7 +261,7 @@ impl SharedLink {
         stats.bytes += bytes;
         stats.queue_delay_ns += queue.as_nanos() as u64;
         stats.max_queue_delay_ns = stats.max_queue_delay_ns.max(queue.as_nanos() as u64);
-        start + serialization + propagation
+        arrival
     }
 
     /// How long a transfer issued at `now` would wait before its first

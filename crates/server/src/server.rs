@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_core::boundary::{fan_out_transform, Boundary, Trace, TraceRecorder, TraceSource};
 use illixr_core::{SimClock, Time, TopicStats};
 use illixr_sensors::camera::PinholeCamera;
 use illixr_sensors::types::PoseEstimate;
@@ -75,6 +76,79 @@ pub struct ServerConfig {
     /// `"uplink"` / `"downlink"`) and every session's sensor pipeline
     /// (quiet — a guaranteed no-op — by default).
     pub fault_plan: Arc<illixr_core::fault::FaultPlan>,
+    /// Record every session's sensor boundary (scoped `s{id}/`) and the
+    /// shared link's transfer delays into
+    /// [`ServerReport::boundary_trace`].
+    pub record_boundary: bool,
+    /// Drive the run from a recorded trace instead of live generators —
+    /// identity replay or trace-driven load generation (see
+    /// [`ReplayLoad`]).
+    pub replay: Option<ReplayLoad>,
+}
+
+/// Trace-driven load: every session replays the same recorded session,
+/// each through its own deterministic [`fan_out_transform`] (phase
+/// jitter + time dilation), so one recording fans out into N distinct
+/// but reproducible synthetic clients.
+#[derive(Debug, Clone)]
+pub struct ReplayLoad {
+    /// The recording to replay.
+    pub trace: Arc<Trace>,
+    /// Stream prefix of the recorded session inside the trace (`"s0/"`
+    /// for a trace recorded by a one-session server run).
+    pub prefix: String,
+    /// Per-session phase offset is uniform in `[0, max_jitter)`.
+    pub max_jitter: Duration,
+    /// Per-session time dilation is uniform in
+    /// `[1 − spread, 1 + spread)`, clamped to `[0, 0.5]`.
+    pub dilation_spread: f64,
+    /// Seed of the fan-out transform family.
+    pub seed: u64,
+    /// Also replay the shared link's recorded transfer delays. True for
+    /// identity replay; false for load generation, where the link must
+    /// run live so N sessions actually contend.
+    pub replay_link: bool,
+}
+
+impl ReplayLoad {
+    /// Identity replay: one session, no transform, link replayed — the
+    /// configuration whose report is bit-identical to the recording's.
+    pub fn identity(trace: Arc<Trace>) -> Self {
+        Self {
+            trace,
+            prefix: "s0/".to_owned(),
+            max_jitter: Duration::ZERO,
+            dilation_spread: 0.0,
+            seed: 0,
+            replay_link: true,
+        }
+    }
+
+    /// Load generation: fan the recording out across live-link sessions
+    /// with per-session phase jitter and time dilation. Works from a
+    /// one-session server recording (streams under `s0/`) or a
+    /// single-client integrated-run recording (unprefixed streams) —
+    /// the prefix is detected from the trace.
+    pub fn fan_out(trace: Arc<Trace>, seed: u64, max_jitter: Duration, spread: f64) -> Self {
+        let prefix =
+            if trace.stream("s0/camera").is_some() { "s0/".to_owned() } else { String::new() };
+        Self { trace, prefix, max_jitter, dilation_spread: spread, seed, replay_link: false }
+    }
+
+    /// The boundary source for synthetic session `index`: independent
+    /// cursors over the shared trace, the session's own transform.
+    pub fn session_source(&self, index: usize) -> TraceSource {
+        TraceSource::with_transform(
+            self.trace.clone(),
+            fan_out_transform(
+                self.seed,
+                index,
+                self.max_jitter.as_nanos() as u64,
+                self.dilation_spread,
+            ),
+        )
+        .scoped(&self.prefix)
+    }
 }
 
 impl ServerConfig {
@@ -102,6 +176,8 @@ impl ServerConfig {
             real_vio: false,
             trace: false,
             fault_plan: Arc::new(illixr_core::fault::FaultPlan::quiet()),
+            record_boundary: false,
+            replay: None,
         }
     }
 
@@ -116,6 +192,44 @@ impl ServerConfig {
     pub fn with_fault_plan(mut self, plan: illixr_core::fault::FaultPlan) -> Self {
         self.fault_plan = Arc::new(plan);
         self
+    }
+
+    /// Records the determinism boundary into
+    /// [`ServerReport::boundary_trace`].
+    pub fn with_boundary_record(mut self) -> Self {
+        self.record_boundary = true;
+        self
+    }
+
+    /// Drives the run from `load` instead of live sensor generators.
+    pub fn with_replay(mut self, load: ReplayLoad) -> Self {
+        self.replay = Some(load);
+        self
+    }
+
+    /// FNV-1a hash of the recording-relevant configuration, stamped
+    /// into trace headers for provenance.
+    pub fn config_hash(&self) -> u64 {
+        let repr = format!(
+            "{}|{}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}",
+            self.sessions.len(),
+            self.duration.as_nanos(),
+            self.link,
+            self.scheduler,
+            self.admission,
+            self.job_bytes,
+            self.pose_bytes,
+            self.request_bytes,
+            self.token_bytes,
+            self.real_vio,
+            self.fault_plan.is_quiet(),
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
     }
 }
 
@@ -236,6 +350,9 @@ pub struct ServerReport {
     /// [`ServerConfig::trace`]): `mtp.*` per-stage decompositions,
     /// `vio_pool.*` batch latencies and per-topic switchboard gauges.
     pub metrics: illixr_core::obs::Metrics,
+    /// Determinism-boundary recording (present when
+    /// [`ServerConfig::record_boundary`] was set).
+    pub boundary_trace: Option<Trace>,
 }
 
 impl ServerReport {
@@ -378,6 +495,7 @@ pub struct MultiSessionServer {
     pending_jobs: Vec<VioJob>,
     tracer: illixr_core::obs::Tracer,
     metrics: illixr_core::obs::Metrics,
+    recorder: Option<TraceRecorder>,
 }
 
 impl MultiSessionServer {
@@ -390,11 +508,26 @@ impl MultiSessionServer {
         } else {
             (illixr_core::obs::Tracer::disabled(), illixr_core::obs::Metrics::disabled())
         };
+        // The re-record of a replay inherits the replayed trace's
+        // header, so the identity check can compare whole encodings.
+        let recorder = config.record_boundary.then(|| match &config.replay {
+            Some(r) => TraceRecorder::new(r.trace.header.seed, r.trace.header.config_hash),
+            None => TraceRecorder::new(
+                config.sessions.first().map(|s| s.seed).unwrap_or(0),
+                config.config_hash(),
+            ),
+        });
         let sessions: Vec<ClientSession> = config
             .sessions
             .iter()
             .enumerate()
             .map(|(i, c)| {
+                let scoped_rec = recorder.as_ref().map(|rec| rec.scoped(&format!("s{i}/")));
+                let boundary = match (&config.replay, scoped_rec) {
+                    (Some(r), rec) => Boundary::replaying(r.session_source(i), rec),
+                    (None, Some(rec)) => Boundary::recording(rec),
+                    (None, None) => Boundary::off(),
+                };
                 ClientSession::with_obs(
                     i as u32,
                     *c,
@@ -403,11 +536,23 @@ impl MultiSessionServer {
                     metrics.clone(),
                 )
                 .with_fault_plan(config.fault_plan.clone())
+                .with_boundary(boundary)
             })
             .collect();
         let server_side = sessions.iter().map(|_| ServerSideSession { filter: None }).collect();
+        let link_boundary = match &config.replay {
+            Some(r) if r.replay_link => {
+                Boundary::replaying(TraceSource::new(r.trace.clone()), recorder.clone())
+            }
+            _ => match &recorder {
+                Some(rec) => Boundary::recording(rec.clone()),
+                None => Boundary::off(),
+            },
+        };
         Self {
-            link: SharedLink::new(config.link).with_fault_plan(config.fault_plan.clone()),
+            link: SharedLink::new(config.link)
+                .with_fault_plan(config.fault_plan.clone())
+                .with_boundary(Arc::new(link_boundary)),
             scheduler: BatchScheduler::new(config.scheduler),
             admission: AdmissionController::new(config.admission),
             clock,
@@ -418,6 +563,7 @@ impl MultiSessionServer {
             pending_jobs: Vec::new(),
             tracer,
             metrics,
+            recorder,
             config,
         }
     }
@@ -546,6 +692,7 @@ impl MultiSessionServer {
             duration: self.config.duration,
             tracer: self.tracer,
             metrics: self.metrics,
+            boundary_trace: self.recorder.map(|rec| rec.snapshot()),
         }
     }
 
@@ -562,10 +709,11 @@ impl MultiSessionServer {
                 }
             }
             EventKind::CameraTick { step } => {
-                let job = self.sessions[id as usize].on_camera_due();
-                let arrive = self.link.transfer(Direction::Uplink, now, self.config.job_bytes);
-                self.record_link_counter(Direction::Uplink, now);
-                self.push(arrive, id, EventKind::JobArrive(job));
+                if let Some(job) = self.sessions[id as usize].on_camera_due() {
+                    let arrive = self.link.transfer(Direction::Uplink, now, self.config.job_bytes);
+                    self.record_link_counter(Direction::Uplink, now);
+                    self.push(arrive, id, EventKind::JobArrive(job));
+                }
                 let stride = self.sessions[id as usize].camera_steps();
                 let next = Self::imu_step_time(&self.sessions[id as usize].config, step + stride);
                 if next <= self.session_end(id) {
@@ -892,6 +1040,59 @@ mod tests {
         let a = MultiSessionServer::new(quick(3)).run().summary_text();
         let b = MultiSessionServer::new(quick(3)).run().summary_text();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_server_run_replays_bit_identically() {
+        let recorded = MultiSessionServer::new(quick(1).with_boundary_record()).run();
+        let trace = recorded.boundary_trace.clone().expect("recording enabled");
+        assert!(trace.record_count() > 0, "boundary saw traffic");
+
+        let mut replay_cfg = quick(1)
+            .with_boundary_record()
+            .with_replay(ReplayLoad::identity(Arc::new(trace.clone())));
+        // Different session seed: replay must not depend on it.
+        replay_cfg.sessions[0].seed ^= 0xABCD;
+        let replayed = MultiSessionServer::new(replay_cfg).run();
+
+        assert_eq!(
+            recorded.summary_text(),
+            replayed.summary_text(),
+            "replayed report diverged from the recording"
+        );
+        let rerec = replayed.boundary_trace.expect("re-recording enabled");
+        assert_eq!(rerec.encode(), trace.encode(), "re-recorded trace not byte-identical");
+    }
+
+    #[test]
+    fn fan_out_replay_is_deterministic_and_phase_shifted() {
+        let recorded = MultiSessionServer::new(quick(1).with_boundary_record()).run();
+        let trace = Arc::new(recorded.boundary_trace.expect("recording enabled"));
+
+        let load = ReplayLoad::fan_out(trace, 42, Duration::from_millis(40), 0.05);
+        let run = || {
+            let mut cfg = quick(4);
+            cfg.admission.degrade_threshold = 10.0; // admit everyone
+            cfg.admission.reject_threshold = 10.0;
+            MultiSessionServer::new(cfg.with_replay(load.clone())).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.summary_text(), b.summary_text(), "fan-out reruns diverged");
+        // Every synthetic session actually produced traffic.
+        for s in &a.sessions {
+            assert!(s.telemetry.vio_jobs > 10, "session {} jobs {}", s.id, s.telemetry.vio_jobs);
+            assert!(s.telemetry.frames_displayed > 0, "session {} displayed 0", s.id);
+        }
+        // Session 0 replays at identity; the jittered sessions lag it.
+        let j0 = a.sessions[0].telemetry.vio_jobs;
+        assert!(
+            a.sessions[1..].iter().any(|s| s.telemetry.vio_jobs != j0)
+                || a.sessions[1..]
+                    .iter()
+                    .any(|s| s.telemetry.mean_mtp() != a.sessions[0].telemetry.mean_mtp()),
+            "transforms should differentiate the sessions"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_core::boundary::Boundary;
 use illixr_core::fault::FaultPlan;
 use illixr_core::plugin::{Plugin, PluginContext, RuntimeBuilder};
 use illixr_core::switchboard::{AsyncReader, SyncReader, Writer};
@@ -281,6 +282,36 @@ impl ClientSession {
         self
     }
 
+    /// Attaches a determinism boundary. A recording boundary captures
+    /// this session's sensor inputs; a replaying one feeds them back —
+    /// in which case the trajectory, world and sensor plugins are
+    /// rebuilt from the *trace header's* seed so re-rendered frames and
+    /// ground truth match the recorded session, not this session's
+    /// config seed. Call before [`ClientSession::connect`].
+    pub fn with_boundary(mut self, boundary: Boundary) -> Self {
+        if let Some(src) = boundary.source() {
+            let seed = src.header().seed;
+            let trajectory = Trajectory::walking(seed);
+            let world = Arc::new(LandmarkWorld::lab(seed));
+            let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+            self.camera = SyntheticCameraPlugin::new(trajectory.clone(), world, rig);
+            self.imu = SyntheticImuPlugin::new(
+                trajectory.clone(),
+                ImuNoise::default(),
+                self.config.imu_hz,
+                seed,
+            );
+            self.integrator = ImuIntegratorPlugin::new(ImuState::from_pose(
+                self.config.connect_at,
+                trajectory.pose(self.config.connect_at),
+                trajectory.velocity(self.config.connect_at),
+            ));
+            self.trajectory = trajectory;
+        }
+        self.ctx.boundary = Arc::new(boundary);
+        self
+    }
+
     /// The session's ground-truth trajectory (the server's ideal-VIO
     /// mode and final-error accounting read it).
     pub fn trajectory(&self) -> &Trajectory {
@@ -352,19 +383,17 @@ impl ClientSession {
 
     /// One camera tick: render the frame for the current clock time and
     /// package it with the accumulated IMU window as an offload job.
-    pub fn on_camera_due(&mut self) -> VioJob {
+    /// `None` when no frame was published this tick — a recorded camera
+    /// drop during replay, or a replayed frame not yet due under the
+    /// session's transform; the IMU window keeps accumulating.
+    pub fn on_camera_due(&mut self) -> Option<VioJob> {
         self.camera.iterate(&self.ctx);
-        let frame = self
-            .camera_reader
-            .as_ref()
-            .expect("connect() must run first")
-            .try_recv()
-            .expect("camera plugin publishes one frame per tick")
-            .data
-            .clone();
+        let reader = self.camera_reader.as_ref().expect("connect() must run first");
+        // Newest wins if a replaying camera caught up several frames.
+        let frame = reader.drain_iter().last()?.data.clone();
         let imu = std::mem::take(&mut self.imu_window);
         self.telemetry.vio_jobs += 1;
-        VioJob { session: self.id, frame, imu }
+        Some(VioJob { session: self.id, frame, imu })
     }
 
     /// A server pose estimate arrived over the downlink: feed it back
@@ -526,7 +555,7 @@ mod tests {
             clock.advance_to(Time::from_secs_f64(k as f64 / 500.0));
             s.on_imu_due();
         }
-        let job = s.on_camera_due();
+        let job = s.on_camera_due().expect("live camera publishes every tick");
         assert_eq!(job.imu.len(), 34);
         assert_eq!(job.frame.timestamp, Time::from_secs_f64(33.0 / 500.0));
         // The window covers the frame: last IMU sample is at frame time.

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
+use illixr_core::boundary::{Trace, TraceRecorder, TraceSource};
 use illixr_core::fault::FaultPlan;
 use illixr_core::obs::{Metrics, Tracer};
 use illixr_core::plugin::{Plugin, RuntimeBuilder};
@@ -92,6 +93,16 @@ pub struct ExperimentConfig {
     /// `Some(policy)` restarts it after a simulated-time backoff, up to
     /// the policy's restart budget.
     pub supervision: Option<SupervisionPolicy>,
+    /// When true, every physical input crossing the determinism
+    /// boundary (camera poses, IMU samples, link deliveries, scheduled
+    /// crashes) is recorded into
+    /// [`ExperimentResult::boundary_trace`].
+    pub record_boundary: bool,
+    /// Replays boundary inputs from a recorded trace instead of
+    /// generating them; the run reproduces the recording bit-for-bit.
+    /// World/trajectory seeds come from the trace header, not
+    /// [`ExperimentConfig::seed`].
+    pub replay: Option<TraceSource>,
 }
 
 impl ExperimentConfig {
@@ -111,6 +122,8 @@ impl ExperimentConfig {
             cpu_cores_override: None,
             fault_plan: Arc::new(FaultPlan::quiet()),
             supervision: None,
+            record_boundary: false,
+            replay: None,
         }
     }
 
@@ -156,11 +169,59 @@ impl ExperimentConfig {
         self
     }
 
+    /// Overrides the master seed (trajectory, world, app content,
+    /// fault plans derived from it by callers).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Supervises plugin crashes: contained panics are answered with
     /// backoff restarts instead of leaving the plugin dead.
     pub fn with_supervision(mut self, policy: SupervisionPolicy) -> Self {
         self.supervision = Some(policy);
         self
+    }
+
+    /// Records the determinism boundary into
+    /// [`ExperimentResult::boundary_trace`].
+    pub fn with_boundary_record(mut self) -> Self {
+        self.record_boundary = true;
+        self
+    }
+
+    /// Replays boundary inputs from `source` (see
+    /// [`ExperimentConfig::replay`]). Combine with
+    /// [`ExperimentConfig::with_boundary_record`] to re-record the
+    /// replay for a byte-identity check.
+    pub fn with_trace_source(mut self, source: TraceSource) -> Self {
+        self.replay = Some(source);
+        self
+    }
+
+    /// FNV-1a hash of the recording-relevant configuration, stamped
+    /// into trace headers for provenance.
+    pub fn config_hash(&self) -> u64 {
+        let repr = format!(
+            "{:?}|{:?}|{}|{}|{}|{:?}|{}|{}|{:?}|{}|{}",
+            self.app,
+            self.platform,
+            self.duration.as_nanos(),
+            self.seed,
+            self.extended,
+            self.policy,
+            self.load_factor,
+            self.chain_deadline.as_nanos(),
+            self.cpu_cores_override,
+            self.fault_plan.seed(),
+            self.fault_plan.is_quiet(),
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
     }
 }
 
@@ -225,6 +286,9 @@ pub struct ExperimentResult {
     /// [`ExperimentConfig::supervision`] is set, in which case crashed
     /// plugins stay dead but are still counted).
     pub supervisor: Arc<Supervisor>,
+    /// Determinism-boundary recording (present when
+    /// [`ExperimentConfig::record_boundary`] was set).
+    pub boundary_trace: Option<Trace>,
 }
 
 impl ExperimentResult {
@@ -326,13 +390,27 @@ impl IntegratedExperiment {
         if let Some(policy) = config.supervision {
             builder = builder.with_supervision(policy);
         }
+        // A replayed run must reproduce the recording, so its sensor
+        // seed — and, when re-recording for the identity check, its
+        // trace header — come from the recorded header, not `config`.
+        let seed = config.replay.as_ref().map(|s| s.header().seed).unwrap_or(config.seed);
+        let recorder = config.record_boundary.then(|| match &config.replay {
+            Some(src) => TraceRecorder::new(src.header().seed, src.header().config_hash),
+            None => TraceRecorder::new(config.seed, config.config_hash()),
+        });
+        if let Some(rec) = &recorder {
+            builder = builder.with_recorder(rec.clone());
+        }
+        if let Some(src) = &config.replay {
+            builder = builder.with_trace(src.clone());
+        }
         let ctx = builder.build();
         let timing = timing_model(config.platform);
         let sys = &config.system;
 
         // --- Sensor substrate ------------------------------------------
-        let trajectory = Trajectory::walking(config.seed);
-        let world = Arc::new(LandmarkWorld::lab(config.seed));
+        let trajectory = Trajectory::walking(seed);
+        let world = Arc::new(LandmarkWorld::lab(seed));
         let cam = PinholeCamera::qvga();
         let rig = StereoRig::zed_mini(cam);
         let init = ImuState::from_pose(
@@ -343,15 +421,11 @@ impl IntegratedExperiment {
 
         // --- Plugins -----------------------------------------------------
         let camera = SyntheticCameraPlugin::new(trajectory.clone(), world.clone(), rig);
-        let imu = SyntheticImuPlugin::new(
-            trajectory.clone(),
-            ImuNoise::default(),
-            sys.imu_hz,
-            config.seed,
-        );
+        let imu =
+            SyntheticImuPlugin::new(trajectory.clone(), ImuNoise::default(), sys.imu_hz, seed);
         let vio = VioPlugin::new(VioConfig::fast(cam), init);
         let integrator = ImuIntegratorPlugin::new(init);
-        let app = ApplicationPlugin::new(config.app, config.seed, sys.eye_width, sys.eye_height);
+        let app = ApplicationPlugin::new(config.app, seed, sys.eye_width, sys.eye_height);
         let timewarp = TimewarpPlugin::new(
             ReprojectionConfig::rotational(
                 sys.fov_rad(),
@@ -359,7 +433,7 @@ impl IntegratedExperiment {
             ),
             DistortionParams::default(),
         );
-        let audio_enc = AudioEncodingPlugin::with_default_scene(config.seed);
+        let audio_enc = AudioEncodingPlugin::with_default_scene(seed);
         let audio_play = AudioPlaybackPlugin::new();
 
         // Reprojection is scheduled "as late as possible before vsync"
@@ -426,7 +500,12 @@ impl IntegratedExperiment {
                     // A scheduled PluginCrash window that has opened since
                     // the last fire panics this invocation; a real plugin
                     // panic is contained the same way.
-                    let crash = ctx.fault.crashes_due(&name, d.release.as_nanos()) > crashes_fired;
+                    let crash = ctx.boundary.crash_due(
+                        &ctx.fault,
+                        &name,
+                        d.release.as_nanos(),
+                        crashes_fired,
+                    );
                     let outcome = if crash {
                         crashes_fired += 1;
                         None
@@ -680,6 +759,7 @@ impl IntegratedExperiment {
             degradation_level: engine.degradation_level(),
             shed_jobs: engine.shed_jobs(),
             supervisor: ctx.supervisor.clone(),
+            boundary_trace: recorder.map(|rec| rec.snapshot()),
         }
     }
 }
@@ -976,5 +1056,34 @@ mod tests {
         assert_eq!(a.telemetry.records("vio"), b.telemetry.records("vio"));
         assert_eq!(a.mtp.len(), b.mtp.len());
         assert_eq!(a.power.total(), b.power.total());
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_identically() {
+        use illixr_core::boundary::TraceSource;
+        use std::sync::Arc as StdArc;
+
+        let cfg =
+            ExperimentConfig::quick(Application::ArDemo, Platform::JetsonHP).with_boundary_record();
+        let recorded = IntegratedExperiment::run(&cfg);
+        let trace = recorded.boundary_trace.clone().expect("recording enabled");
+        assert!(trace.record_count() > 0, "boundary saw traffic");
+
+        // Replay with a *different* seed in the config: everything the
+        // run derives from the boundary must come from the trace.
+        let replay_cfg = ExperimentConfig::quick(Application::ArDemo, Platform::JetsonHP)
+            .with_seed(cfg.seed ^ 0xDEAD_BEEF)
+            .with_boundary_record()
+            .with_trace_source(TraceSource::new(StdArc::new(trace.clone())));
+        let replayed = IntegratedExperiment::run(&replay_cfg);
+
+        assert_eq!(
+            recorded.telemetry.records("vio"),
+            replayed.telemetry.records("vio"),
+            "replayed VIO telemetry diverged"
+        );
+        assert_eq!(recorded.mtp, replayed.mtp, "replayed MTP samples diverged");
+        let rerec = replayed.boundary_trace.expect("re-recording enabled");
+        assert_eq!(rerec.encode(), trace.encode(), "re-recorded trace not byte-identical");
     }
 }

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_core::boundary::{Boundary, ByteReader, ByteWriter};
 use illixr_core::fault::FaultPlan;
 use illixr_core::plugin::{IterationReport, Plugin, PluginContext};
 use illixr_core::{Switchboard, Time};
@@ -82,45 +83,87 @@ struct StreamBridge<T: Clone + Send + Sync + 'static> {
     /// traffic never overtakes (per-stream FIFO even under jitter);
     /// only a `LinkReorder` fault may fall behind its successors.
     watermark: Time,
+    /// Determinism boundary: each transfer's final `(due, duplicate)`
+    /// outcome is recorded on `label` (and replayed from it instead of
+    /// consulting the jitter RNG or the fault plan).
+    boundary: Arc<Boundary>,
+    label: String,
+}
+
+/// Boundary payload for one bridge transfer: final delivery time plus
+/// the duplicate flag (jitter, outages, reordering and the watermark
+/// clamp are already folded into `due_ns`).
+fn encode_delivery(due_ns: u64, duplicate: bool) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(due_ns);
+    w.put_u16(duplicate as u16);
+    w.into_bytes()
+}
+
+fn decode_delivery(payload: &[u8]) -> Option<(u64, bool)> {
+    let mut r = ByteReader::new(payload);
+    let due_ns = r.take_u64().ok()?;
+    let duplicate = r.take_u16().ok()? != 0;
+    Some((due_ns, duplicate))
 }
 
 impl<T: Clone + Send + Sync + 'static> Bridge for StreamBridge<T> {
     fn pump(&mut self, now: Time) {
         let faults = (!self.plan.is_quiet()).then(|| self.plan.link(&self.target));
+        let replay = self.boundary.source().filter(|src| src.has_stream(&self.label)).cloned();
         // Ingest new events with their delivery times.
         for event in self.reader.drain_iter() {
             let seq = self.seq;
             self.seq += 1;
-            let jitter = if self.jitter_sigma > 0.0 {
-                self.rng.next_lognormal(self.jitter_sigma)
+            let (due, duplicate) = if let Some(src) = &replay {
+                // Replay: the recorded outcome replaces the jitter RNG
+                // and the fault plan entirely. Ingest order and times
+                // are deterministic, so records pair up one-to-one.
+                let (tag, payload) = src
+                    .next_due(&self.label, now.as_nanos())
+                    .expect("replayed bridge transfer missing from trace");
+                let (due_ns, duplicate) =
+                    decode_delivery(&payload).expect("corrupt bridge delivery record");
+                self.boundary.record(&self.label, tag, payload);
+                (Time::from_nanos(due_ns), duplicate)
             } else {
-                1.0
+                let jitter = if self.jitter_sigma > 0.0 {
+                    self.rng.next_lognormal(self.jitter_sigma)
+                } else {
+                    1.0
+                };
+                let mut scale = jitter;
+                if let Some(f) = &faults {
+                    scale *= f.jitter_scale(now.as_nanos());
+                }
+                let delay = Duration::from_secs_f64(self.delay.as_secs_f64() * scale);
+                let mut due = now + delay;
+                let mut duplicate = false;
+                let mut reordered = false;
+                if let Some(f) = &faults {
+                    if let Some(outage_end) = f.outage_until(now.as_nanos()) {
+                        // The packet is held until the outage clears.
+                        due = due.max(Time::from_nanos(outage_end));
+                    }
+                    if f.reorder(seq) {
+                        // Held one extra link delay so it lands behind
+                        // its successors.
+                        due += self.delay;
+                        reordered = true;
+                    }
+                    duplicate = f.duplicate(seq);
+                }
+                if !reordered {
+                    due = due.max(self.watermark);
+                    self.watermark = due;
+                }
+                self.boundary.record(
+                    &self.label,
+                    now.as_nanos(),
+                    encode_delivery(due.as_nanos(), duplicate),
+                );
+                (due, duplicate)
             };
-            let mut scale = jitter;
-            if let Some(f) = &faults {
-                scale *= f.jitter_scale(now.as_nanos());
-            }
-            let delay = Duration::from_secs_f64(self.delay.as_secs_f64() * scale);
-            let mut due = now + delay;
-            let mut duplicate = false;
-            let mut reordered = false;
-            if let Some(f) = &faults {
-                if let Some(outage_end) = f.outage_until(now.as_nanos()) {
-                    // The packet is held until the outage clears.
-                    due = due.max(Time::from_nanos(outage_end));
-                }
-                if f.reorder(seq) {
-                    // Held one extra link delay so it lands behind its
-                    // successors.
-                    due += self.delay;
-                    reordered = true;
-                }
-                duplicate = f.duplicate(seq);
-            }
-            if !reordered {
-                due = due.max(self.watermark);
-                self.watermark = due;
-            }
             // Due-sorted insert (stable): reorder-faulted packets
             // genuinely deliver after the ones that overtook them,
             // instead of head-of-line-blocking the queue.
@@ -203,6 +246,8 @@ impl OffloadedPlugin {
                 target: target.to_owned(),
                 seq: 0,
                 watermark: Time::ZERO,
+                boundary: outer.boundary.clone(),
+                label: format!("offload/{target}/up/{stream}"),
             })
         }));
         self
@@ -225,6 +270,8 @@ impl OffloadedPlugin {
                 target: target.to_owned(),
                 seq: 0,
                 watermark: Time::ZERO,
+                boundary: outer.boundary.clone(),
+                label: format!("offload/{target}/down/{stream}"),
             })
         }));
         self
@@ -253,6 +300,7 @@ impl Plugin for OffloadedPlugin {
             metrics: ctx.metrics.clone(),
             fault: ctx.fault.clone(),
             supervisor: ctx.supervisor.clone(),
+            boundary: ctx.boundary.clone(),
         };
         let target = self.inner.name().to_owned();
         for make in self.pending.drain(..) {
@@ -285,7 +333,7 @@ impl Plugin for OffloadedPlugin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use illixr_core::{RuntimeBuilder, SimClock};
+    use illixr_core::{Clock, RuntimeBuilder, SimClock};
 
     struct Echo {
         reader: Option<illixr_core::SyncReader<u32>>,
@@ -413,6 +461,61 @@ mod tests {
         // duplicated on the downlink.
         assert!(got.len() >= 2, "duplicate rate 1.0 must at least double delivery");
         assert!(got.iter().all(|v| ***v == 2));
+    }
+
+    #[test]
+    fn recorded_bridge_deliveries_replay_without_the_fault_plan() {
+        use illixr_core::boundary::{TraceRecorder, TraceSource};
+        use illixr_core::fault::{FaultPlan, StochasticRates};
+
+        // One timeline of sends, exercised with jitter + duplicates.
+        let drive = |ctx: &PluginContext, clock: &SimClock| {
+            let mut remote = OffloadedPlugin::new(
+                echo(),
+                OffloadLink::symmetric(Duration::from_millis(10)).with_jitter(0.5, 77),
+            )
+            .uplink::<u32>("in")
+            .downlink::<u32>("out");
+            remote.start(ctx);
+            let out = ctx.switchboard.topic::<u32>("out").expect("stream").sync_reader(64);
+            let writer = ctx.switchboard.topic::<u32>("in").expect("stream").writer();
+            let mut deliveries = Vec::new();
+            for step in 0..40u64 {
+                clock.advance_to(Time::from_millis(step * 5));
+                if step % 3 == 0 {
+                    writer.put(step as u32);
+                }
+                remote.iterate(ctx);
+                for v in out.drain() {
+                    deliveries.push((clock.now().as_nanos(), **v));
+                }
+            }
+            deliveries
+        };
+
+        let rates = StochasticRates { link_duplicate: 0.3, ..StochasticRates::ZERO };
+        let plan = Arc::new(FaultPlan::new(5).with_rates(rates));
+        let recorder = TraceRecorder::new(5, 0);
+        let clock = SimClock::new();
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone()))
+            .with_fault_plan(plan)
+            .with_recorder(recorder.clone())
+            .build();
+        let recorded = drive(&ctx, &clock);
+        let trace = Arc::new(recorder.snapshot());
+        assert!(trace.stream("offload/echo/up/in").is_some());
+
+        // Replay under a quiet plan and a different jitter outcome
+        // universe: deliveries (times and duplicates) must match.
+        let clock2 = SimClock::new();
+        let rerec = TraceRecorder::new(5, 0);
+        let ctx2 = RuntimeBuilder::new(Arc::new(clock2.clone()))
+            .with_trace(TraceSource::new(trace.clone()))
+            .with_recorder(rerec.clone())
+            .build();
+        let replayed = drive(&ctx2, &clock2);
+        assert_eq!(recorded, replayed);
+        assert_eq!(rerec.snapshot().encode(), trace.encode());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Divergence reports: *where* two traces disagree, not just *that*
+//! they do.
+//!
+//! Golden replay tests compare a recorded trace to a re-recorded one;
+//! on mismatch a bare `assert_eq!` over megabytes of bytes is
+//! undiagnosable. [`first_divergence`] walks both traces in stream
+//! order and pins the first disagreement to a `(stream, tag_ns)`
+//! coordinate plus a reason, which the runtime layers format together
+//! with switchboard topic stats into a human-readable report.
+
+use std::fmt;
+
+use crate::format::Trace;
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Header fields differ (seed / config hash / schema).
+    Header { field: &'static str, recorded: u64, replayed: u64 },
+    /// One trace has a stream the other lacks (or stream order differs).
+    StreamSet { index: usize, recorded: Option<String>, replayed: Option<String> },
+    /// One stream has more records than the other.
+    RecordCount { stream: String, recorded: usize, replayed: usize },
+    /// A record disagrees: the coordinates of the first mismatch.
+    Record {
+        stream: String,
+        index: usize,
+        recorded_tag_ns: u64,
+        replayed_tag_ns: u64,
+        payloads_differ: bool,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Header { field, recorded, replayed } => {
+                write!(f, "header.{field}: recorded {recorded:#x} vs replayed {replayed:#x}")
+            }
+            Divergence::StreamSet { index, recorded, replayed } => write!(
+                f,
+                "stream set differs at position {index}: recorded {:?} vs replayed {:?}",
+                recorded, replayed
+            ),
+            Divergence::RecordCount { stream, recorded, replayed } => {
+                write!(f, "stream {stream:?}: {recorded} recorded vs {replayed} replayed records")
+            }
+            Divergence::Record {
+                stream,
+                index,
+                recorded_tag_ns,
+                replayed_tag_ns,
+                payloads_differ,
+            } => {
+                if recorded_tag_ns != replayed_tag_ns {
+                    write!(
+                        f,
+                        "first divergence at ({stream:?}, record {index}): tag {recorded_tag_ns} ns vs {replayed_tag_ns} ns"
+                    )
+                } else {
+                    debug_assert!(payloads_differ);
+                    write!(
+                        f,
+                        "first divergence at ({stream:?}, tag {recorded_tag_ns} ns, record {index}): payloads differ"
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Locate the first disagreement between a recorded trace and its
+/// replayed re-recording, or `None` if they are identical.
+pub fn first_divergence(recorded: &Trace, replayed: &Trace) -> Option<Divergence> {
+    let (ra, rb) = (&recorded.header, &replayed.header);
+    if ra.schema_version != rb.schema_version {
+        return Some(Divergence::Header {
+            field: "schema_version",
+            recorded: ra.schema_version as u64,
+            replayed: rb.schema_version as u64,
+        });
+    }
+    if ra.seed != rb.seed {
+        return Some(Divergence::Header { field: "seed", recorded: ra.seed, replayed: rb.seed });
+    }
+    if ra.config_hash != rb.config_hash {
+        return Some(Divergence::Header {
+            field: "config_hash",
+            recorded: ra.config_hash,
+            replayed: rb.config_hash,
+        });
+    }
+    let max_streams = recorded.streams.len().max(replayed.streams.len());
+    for i in 0..max_streams {
+        let a = recorded.streams.get(i);
+        let b = replayed.streams.get(i);
+        match (a, b) {
+            (Some((na, recs_a)), Some((nb, recs_b))) => {
+                if na != nb {
+                    return Some(Divergence::StreamSet {
+                        index: i,
+                        recorded: Some(na.clone()),
+                        replayed: Some(nb.clone()),
+                    });
+                }
+                for (j, (rec_a, rec_b)) in recs_a.iter().zip(recs_b.iter()).enumerate() {
+                    if rec_a != rec_b {
+                        return Some(Divergence::Record {
+                            stream: na.clone(),
+                            index: j,
+                            recorded_tag_ns: rec_a.tag_ns,
+                            replayed_tag_ns: rec_b.tag_ns,
+                            payloads_differ: rec_a.payload != rec_b.payload,
+                        });
+                    }
+                }
+                if recs_a.len() != recs_b.len() {
+                    return Some(Divergence::RecordCount {
+                        stream: na.clone(),
+                        recorded: recs_a.len(),
+                        replayed: recs_b.len(),
+                    });
+                }
+            }
+            (a, b) => {
+                return Some(Divergence::StreamSet {
+                    index: i,
+                    recorded: a.map(|(n, _)| n.clone()),
+                    replayed: b.map(|(n, _)| n.clone()),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceRecord;
+
+    fn base() -> Trace {
+        let mut t = Trace::new(1, 2);
+        t.streams.push((
+            "imu".into(),
+            vec![
+                TraceRecord { tag_ns: 10, payload: vec![1] },
+                TraceRecord { tag_ns: 20, payload: vec![2] },
+            ],
+        ));
+        t
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        assert_eq!(first_divergence(&base(), &base()), None);
+    }
+
+    #[test]
+    fn pins_the_first_differing_record() {
+        let mut b = base();
+        b.streams[0].1[1].payload = vec![9];
+        let d = first_divergence(&base(), &b).unwrap();
+        assert_eq!(
+            d,
+            Divergence::Record {
+                stream: "imu".into(),
+                index: 1,
+                recorded_tag_ns: 20,
+                replayed_tag_ns: 20,
+                payloads_differ: true,
+            }
+        );
+        assert!(d.to_string().contains("tag 20 ns"));
+    }
+
+    #[test]
+    fn reports_count_and_stream_set_mismatches() {
+        let mut b = base();
+        b.streams[0].1.pop();
+        assert_eq!(
+            first_divergence(&base(), &b),
+            Some(Divergence::RecordCount { stream: "imu".into(), recorded: 2, replayed: 1 })
+        );
+        let mut c = base();
+        c.streams.push(("camera".into(), vec![]));
+        assert_eq!(
+            first_divergence(&base(), &c),
+            Some(Divergence::StreamSet {
+                index: 1,
+                recorded: None,
+                replayed: Some("camera".into())
+            })
+        );
+    }
+
+    #[test]
+    fn header_mismatch_wins_over_record_mismatch() {
+        let mut b = base();
+        b.header.seed = 99;
+        b.streams[0].1[0].payload = vec![7];
+        assert!(matches!(
+            first_divergence(&base(), &b),
+            Some(Divergence::Header { field: "seed", .. })
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Record/replay determinism boundary for the ILLIXR testbed.
+//!
+//! The testbed's runs are already same-seed deterministic; this crate
+//! makes them *portable* in time. Following the Boomerang rule —
+//! record every physical input (value + tag) at the boundary, replay
+//! the recorded values instead of regenerating them — a recorded run
+//! can be reproduced bit-for-bit without the generators, the fault
+//! RNG, or the original configuration of either. One recorded session
+//! can then be fanned out into N synthetic sessions via deterministic
+//! per-session phase-jitter and time-dilation transforms, turning a
+//! single trace into a scalable load generator.
+//!
+//! * **[`mod@format`]** — [`Trace`], [`TraceHeader`], [`TraceRecord`]: the
+//!   versioned, length-prefixed binary container and its text index.
+//! * **[`codec`]** — bounds-checked little-endian primitives shared by
+//!   the container and the payload codecs living next to the types
+//!   they serialize.
+//! * **[`recorder`]** — [`TraceRecorder`]: a cloneable sink the wiring
+//!   points call with `(stream, tag_ns, payload)`.
+//! * **[`source`]** — [`TraceSource`]: cursor-per-stream replay with an
+//!   optional [`SessionTransform`] applied to every tag.
+//! * **[`transform`]** — [`SessionTransform`] and the deterministic
+//!   fan-out derivation (session 0 is always the identity).
+//! * **[`divergence`]** — first-diverging-record reports so golden
+//!   tests fail with `(stream, tag_ns)` coordinates, not a bare assert.
+//!
+//! Like `illixr-obs`, `illixr-sched` and `illixr-fault`, this crate
+//! sits *below* `illixr-core`: all timestamps are raw `u64`
+//! nanoseconds and all payloads opaque bytes, so sensors, links and
+//! the multi-session server share one trace vocabulary.
+
+pub mod codec;
+pub mod divergence;
+pub mod format;
+pub mod recorder;
+pub mod source;
+pub mod transform;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use divergence::{first_divergence, Divergence};
+pub use format::{Trace, TraceError, TraceHeader, TraceRecord, SCHEMA_VERSION};
+pub use recorder::TraceRecorder;
+pub use source::TraceSource;
+pub use transform::{fan_out_transform, SessionTransform};

@@ -1,0 +1,114 @@
+//! The recording half of the boundary.
+//!
+//! A [`TraceRecorder`] is a cheap-to-clone handle over one shared
+//! record store; every wiring point (sensor plugins, link bridges,
+//! crash checks) holds a clone and appends `(stream, tag_ns, payload)`
+//! events. Stream identity is the *first-record order* — deterministic
+//! because the simulation itself is — so a snapshot of the same run
+//! encodes to the same bytes every time.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::format::{Trace, TraceRecord};
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    config_hash: u64,
+    /// Streams in first-record order; the map gives O(1) append.
+    streams: Vec<(String, Vec<TraceRecord>)>,
+    index: HashMap<String, usize>,
+}
+
+/// Shared, cloneable boundary recorder.
+///
+/// A scoped clone (see [`TraceRecorder::scoped`]) prefixes every
+/// stream name, which is how one recorder serves N server sessions
+/// without stream collisions (`s0/imu`, `s1/imu`, …).
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    inner: Arc<Mutex<Inner>>,
+    prefix: String,
+}
+
+impl TraceRecorder {
+    pub fn new(seed: u64, config_hash: u64) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                seed,
+                config_hash,
+                streams: Vec::new(),
+                index: HashMap::new(),
+            })),
+            prefix: String::new(),
+        }
+    }
+
+    /// A handle onto the same store that prepends `prefix` to every
+    /// stream name it records. Scopes nest (`scoped("s3/")` on an
+    /// already-scoped handle concatenates).
+    pub fn scoped(&self, prefix: &str) -> Self {
+        Self { inner: self.inner.clone(), prefix: format!("{}{prefix}", self.prefix) }
+    }
+
+    /// Append one boundary event.
+    pub fn record(&self, stream: &str, tag_ns: u64, payload: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        let key = if self.prefix.is_empty() {
+            stream.to_string()
+        } else {
+            format!("{}{stream}", self.prefix)
+        };
+        let idx = match inner.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = inner.streams.len();
+                inner.streams.push((key.clone(), Vec::new()));
+                inner.index.insert(key, i);
+                i
+            }
+        };
+        inner.streams[idx].1.push(TraceRecord { tag_ns, payload });
+    }
+
+    /// Copy the current contents out as an immutable [`Trace`].
+    pub fn snapshot(&self) -> Trace {
+        let inner = self.inner.lock().unwrap();
+        let mut trace = Trace::new(inner.seed, inner.config_hash);
+        trace.streams = inner.streams.clone();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_keep_first_record_order() {
+        let rec = TraceRecorder::new(7, 9);
+        rec.record("imu", 10, vec![1]);
+        rec.record("camera", 20, vec![2]);
+        rec.record("imu", 30, vec![3]);
+        let t = rec.snapshot();
+        assert_eq!(t.header.seed, 7);
+        assert_eq!(t.header.config_hash, 9);
+        let names: Vec<_> = t.streams.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["imu", "camera"]);
+        assert_eq!(t.stream("imu").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scoped_clones_share_the_store_and_prefix_names() {
+        let rec = TraceRecorder::new(0, 0);
+        let s0 = rec.scoped("s0/");
+        let nested = s0.scoped("link/");
+        s0.record("imu", 1, vec![]);
+        nested.record("uplink", 2, vec![]);
+        rec.record("global", 3, vec![]);
+        let t = rec.snapshot();
+        let names: Vec<_> = t.streams.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["s0/imu", "s0/link/uplink", "global"]);
+    }
+}

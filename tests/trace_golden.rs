@@ -1,0 +1,197 @@
+//! Golden tests for the record/replay determinism boundary: a recorded
+//! run must replay bit-identically — same boundary trace bytes, same
+//! Perfetto trace JSON, same metrics CSV — even when the replaying
+//! config carries a different seed and a quiet fault plan (the trace,
+//! not the generators or the fault RNG, is the source of truth); the
+//! committed fixture trace must keep decoding and re-recording to the
+//! exact committed bytes (format stability); and fanning one recording
+//! out to 64 synthetic server sessions must be deterministic across
+//! reruns.
+#![recursion_limit = "256"]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_core::boundary::{Boundary, Trace, TraceError, TraceSource};
+use illixr_core::fault::FaultPlan;
+use illixr_core::obs::{chrome_trace_json, metrics_csv};
+use illixr_core::supervisor::SupervisionPolicy;
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_server::server::ReplayLoad;
+use illixr_server::{MultiSessionServer, ServerConfig};
+use illixr_system::experiment::{ExperimentConfig, ExperimentResult, IntegratedExperiment};
+use proptest::prelude::*;
+
+/// The fig4-style shape `trace_replay --write-fixture` records under —
+/// keep in sync with `crates/bench/src/bin/trace_replay.rs`.
+fn fig4_config() -> ExperimentConfig {
+    ExperimentConfig::quick(Application::Platformer, Platform::Desktop)
+        .with_trace()
+        .with_boundary_record()
+}
+
+fn assert_replay_identity(recorded: &ExperimentResult, replayed: &ExperimentResult) {
+    let trace = recorded.boundary_trace.as_ref().expect("recording enabled");
+    let rerec = replayed.boundary_trace.as_ref().expect("re-recording enabled");
+    if rerec.encode() != trace.encode() {
+        panic!(
+            "re-recorded trace diverged:\n{}",
+            Boundary::divergence_report(trace, rerec, &replayed.stream_stats)
+        );
+    }
+    assert_eq!(
+        chrome_trace_json(&replayed.tracer),
+        chrome_trace_json(&recorded.tracer),
+        "replayed trace.json must be bit-identical"
+    );
+    assert_eq!(
+        metrics_csv(&replayed.metrics),
+        metrics_csv(&recorded.metrics),
+        "replayed metrics.csv must be bit-identical"
+    );
+}
+
+#[test]
+fn recorded_run_replays_bit_identically_with_different_config_seed() {
+    let recorded = IntegratedExperiment::run(&fig4_config());
+    let trace = recorded.boundary_trace.clone().expect("recording enabled");
+    assert!(trace.record_count() > 500, "2 s of IMU+camera: {}", trace.record_count());
+
+    let mut cfg = fig4_config().with_trace_source(TraceSource::new(Arc::new(trace)));
+    cfg.seed ^= 0xFACE_FEED;
+    let replayed = IntegratedExperiment::run(&cfg);
+    assert_replay_identity(&recorded, &replayed);
+}
+
+/// Satellite: a faulted *and supervised* recording replays identically
+/// under a quiet plan — sensor faults are baked into the recorded
+/// samples, and scheduled plugin crashes replay from the recorded
+/// `crash/<plugin>` boundary stream, not from the fault RNG.
+#[test]
+fn faulted_supervised_recording_replays_under_a_quiet_plan() {
+    let mut cfg = fig4_config()
+        .with_fault_plan(FaultPlan::scheduled(42, 1.0, Duration::from_secs(2).as_nanos() as u64))
+        .with_supervision(SupervisionPolicy::default());
+    cfg.chain_deadline = Duration::from_millis(15);
+    let recorded = IntegratedExperiment::run(&cfg);
+    let trace = recorded.boundary_trace.clone().expect("recording enabled");
+    assert!(
+        trace.streams.iter().any(|(name, _)| name.starts_with("crash/")),
+        "intensity-1.0 scheduled plan should crash at least one plugin"
+    );
+
+    // Quiet plan, different seed: everything must come from the trace.
+    let mut replay_cfg = fig4_config()
+        .with_supervision(SupervisionPolicy::default())
+        .with_trace_source(TraceSource::new(Arc::new(trace)));
+    replay_cfg.chain_deadline = Duration::from_millis(15);
+    replay_cfg.seed ^= 0xDEAD;
+    let replayed = IntegratedExperiment::run(&replay_cfg);
+    assert_replay_identity(&recorded, &replayed);
+    assert_eq!(
+        recorded.supervisor.report(),
+        replayed.supervisor.report(),
+        "replayed crash/restart history must match the recording"
+    );
+}
+
+/// Format stability: the committed fixture keeps decoding, and
+/// replaying it re-records to the exact committed bytes.
+#[test]
+fn committed_fixture_replays_and_rerecords_byte_identically() {
+    let bytes =
+        std::fs::read(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/trace_fixture.ilxt"))
+            .expect("fixture committed under tests/data/");
+    let trace = Trace::decode(&bytes).expect("fixture decodes under the current schema");
+    assert!(trace.record_count() > 0);
+
+    let cfg = fig4_config().with_trace_source(TraceSource::new(Arc::new(trace)));
+    let replayed = IntegratedExperiment::run(&cfg);
+    let rerec = replayed.boundary_trace.expect("re-recording enabled");
+    assert_eq!(
+        rerec.encode(),
+        bytes,
+        "fixture replay must re-record to the committed bytes (format or boundary drift)"
+    );
+}
+
+/// Corrupt or truncated fixtures are rejected, never misread.
+#[test]
+fn corrupt_fixture_bytes_are_rejected() {
+    let bytes =
+        std::fs::read(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/trace_fixture.ilxt"))
+            .expect("fixture committed under tests/data/");
+    assert!(matches!(Trace::decode(&bytes[..bytes.len() - 3]), Err(TraceError::Truncated(_))));
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(Trace::decode(&bad_magic), Err(TraceError::BadMagic { .. })));
+    let mut bad_version = bytes;
+    bad_version[4] = 0xEE;
+    assert!(matches!(Trace::decode(&bad_version), Err(TraceError::UnsupportedVersion { .. })));
+}
+
+/// Fanning one recording out to 64 synthetic sessions is deterministic
+/// across reruns — same trace, same transform seed, same report bytes.
+#[test]
+fn fan_out_to_64_sessions_is_deterministic_across_reruns() {
+    let duration = Duration::from_secs(1);
+    let recorded =
+        MultiSessionServer::new(ServerConfig::new(1, duration).with_boundary_record()).run();
+    let trace = Arc::new(recorded.boundary_trace.expect("recording enabled"));
+
+    let run = || {
+        let mut cfg = ServerConfig::new(64, duration);
+        cfg.admission.degrade_threshold = 10.0;
+        cfg.admission.reject_threshold = 10.0;
+        MultiSessionServer::new(cfg.with_replay(ReplayLoad::fan_out(
+            trace.clone(),
+            7,
+            Duration::from_millis(40),
+            0.05,
+        )))
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.summary_text(), b.summary_text(), "64-session fan-out reruns diverged");
+    let displayed: u64 = a.sessions.iter().map(|s| s.telemetry.frames_displayed).sum();
+    assert!(displayed > 64, "fan-out sessions should display frames: {displayed}");
+}
+
+/// Record→replay bit identity for one `(seed, intensity)` point: a
+/// faulted supervised 1 s recording replayed under a quiet plan and a
+/// different config seed.
+fn check_identity_at(seed: u64, intensity: f64) {
+    let base = || {
+        let mut cfg = ExperimentConfig::quick(Application::Platformer, Platform::Desktop)
+            .with_trace()
+            .with_boundary_record()
+            .with_supervision(SupervisionPolicy::default());
+        cfg.duration = Duration::from_secs(1);
+        cfg.seed = seed;
+        cfg
+    };
+    let recorded = IntegratedExperiment::run(&base().with_fault_plan(FaultPlan::scheduled(
+        seed,
+        intensity,
+        Duration::from_secs(1).as_nanos() as u64,
+    )));
+    let trace = recorded.boundary_trace.clone().expect("recording enabled");
+    let mut replay_cfg = base().with_trace_source(TraceSource::new(Arc::new(trace)));
+    replay_cfg.seed = seed.wrapping_add(999);
+    let replayed = IntegratedExperiment::run(&replay_cfg);
+    assert_replay_identity(&recorded, &replayed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn record_replay_identity_across_seeds_and_intensities(
+        seed in 0u64..1_000,
+        intensity in 0.0f64..1.5,
+    ) {
+        check_identity_at(seed, intensity);
+    }
+}
