@@ -21,6 +21,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use illixr_bench::cli::BenchArgs;
 use illixr_bench::{experiment_config, rule};
 use illixr_core::fault::FaultPlan;
 use illixr_core::sched::PolicyKind;
@@ -143,7 +144,7 @@ fn summarize(intensity: f64, mode: Mode, result: &ExperimentResult) -> Cell {
 }
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = BenchArgs::parse().quick();
     let duration = bench_duration(quick);
     let top = *INTENSITIES.last().expect("intensities non-empty");
 

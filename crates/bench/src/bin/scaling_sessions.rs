@@ -3,41 +3,103 @@
 //! edge server (the multi-user counterpart of the paper's single-user
 //! QoE tables).
 //!
+//! Two sweeps:
+//!
+//! 1. **Wi-Fi class** (1–16 sessions, real MSCKF per session): the
+//!    historical contention curve on a 2-worker pool behind an
+//!    802.11ac-class link — byte-identical to what this bench always
+//!    produced;
+//! 2. **Edge pool** (1–1,000 sessions): an accelerator-backed worker
+//!    pool behind a 30/100 Gbit/s link with deadline-aware batch
+//!    trimming, the régime the event-driven session engine exists
+//!    for. Reports aggregate
+//!    throughput (sessions × frames/s) alongside per-session p99 MTP,
+//!    and reruns the 256-session point to check bit-identical reports.
+//!
 //! Usage: `cargo run --release -p illixr-bench --bin scaling_sessions`
 //! (honours `ILLIXR_SECONDS`; writes `results/scaling_sessions.txt`).
-//! With `--trace <path>` every session replays the recorded boundary
-//! trace at `path` (written by `trace_replay --write-fixture` or any
-//! `record_boundary` server run) through per-session fan-out
-//! transforms, instead of running live generators; without the flag
-//! the sweep is byte-identical to what it always produced.
+//! Flags (see `illixr_bench::cli`): `--quick` caps runs at 2 simulated
+//! seconds and the edge sweep at 256 sessions for CI; `--sessions <n>`
+//! caps the edge sweep at `n`; `--shards <n>` overrides the engine
+//! shard count (results are invariant to it); `--trace <path>` replays
+//! the recorded boundary trace at `path` (written by
+//! `trace_replay --write-fixture` or any `record_boundary` server run)
+//! into every Wi-Fi-sweep session through per-session fan-out
+//! transforms instead of running live generators.
 //!
 //! Every run is fully deterministic — simulated clock, seeded
 //! trajectories, seeded link jitter — so two invocations produce a
 //! bit-identical output file.
 
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::time::Duration;
 
+use illixr_bench::cli::BenchArgs;
 use illixr_bench::{mtp_stage_summary, rule, sim_duration, write_obs_artifacts};
-use illixr_core::boundary::Trace;
 use illixr_server::server::ReplayLoad;
-use illixr_server::{MultiSessionServer, ServerConfig};
+use illixr_server::{
+    LinkConfig, PlacementPolicy, SchedulerConfig, ServerBuilder, ServerReport, SessionState,
+};
 
-const SESSION_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const WIFI_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const EDGE_COUNTS: [usize; 5] = [1, 16, 64, 256, 1000];
+/// Rerun-for-determinism point of the edge sweep (clamped to the
+/// largest point actually swept when `--sessions` caps lower).
+const EDGE_RERUN: usize = 256;
 
-/// `--trace <path>`: the decoded trace driving every session.
-fn trace_arg() -> Option<Arc<Trace>> {
-    let args: Vec<String> = std::env::args().collect();
-    let path = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1))?;
-    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-    let trace = Trace::decode(&bytes).unwrap_or_else(|e| panic!("decoding {path}: {e}"));
-    println!("replaying {} ({} records) into every session", path, trace.record_count());
-    Some(Arc::new(trace))
+/// The scaled profile: a rack-class VIO pool (32 accelerator-backed
+/// workers at 0.5 ms per update, 1 ms batch ticks) behind an
+/// aggregated 30 Gbit/s up / 100 Gbit/s down edge ingress, batches
+/// trimmed deadline-aware so overload sheds instead of queueing
+/// unboundedly. A batch runs on one worker sequentially, so the
+/// per-update cost — not the worker count — bounds how many jobs fit
+/// one tick's batch inside the deadline; 0.5 ms carries a 1,000-session
+/// tick comfortably where the Wi-Fi profile's 11 ms CPU updates cannot.
+/// Per-session MSCKF is off — pose values don't affect timing, and
+/// 1,000 live filters would dominate wall time.
+fn edge_builder(n: usize, duration: Duration, shards: usize) -> ServerBuilder {
+    ServerBuilder::new()
+        .sessions(n)
+        .duration(duration)
+        .shards(shards)
+        .link(LinkConfig {
+            uplink_bps: 30e9,
+            downlink_bps: 100e9,
+            base_latency: Duration::from_millis(2),
+            jitter_sigma: 0.0,
+            seed: 0,
+        })
+        .scheduler(SchedulerConfig {
+            workers: 32,
+            batch_setup: Duration::from_millis(2),
+            per_job: Duration::from_micros(500),
+            placement: PlacementPolicy::DeadlineAware { deadline: Duration::from_millis(30) },
+        })
+        .tune(|c| c.server_tick = Duration::from_millis(1))
+}
+
+fn edge_row(n: usize, report: &ServerReport) -> String {
+    format!(
+        "{:>8} {:>9} {:>9} {:>9} {:>11.1} {:>12.3} {:>11.3} {:>10.4} {:>10.4}",
+        n,
+        report.admitted(),
+        report.degraded(),
+        report.count(SessionState::Rejected),
+        report.aggregate_fps(),
+        report.mean_mtp().as_secs_f64() * 1e3,
+        report.p99_mtp().as_secs_f64() * 1e3,
+        report.drop_rate(),
+        report.pool_utilization,
+    )
 }
 
 fn main() -> std::io::Result<()> {
-    let duration = sim_duration();
-    let replay = trace_arg();
+    let args = BenchArgs::parse();
+    let quick = args.quick();
+    let duration = if quick { Duration::from_secs(2) } else { sim_duration() };
+    let replay = args.trace();
+    let replay_seed = args.seed().unwrap_or(42);
+    let shards = args.shards().unwrap_or(32);
     let mut out = String::new();
     writeln!(
         out,
@@ -70,25 +132,24 @@ fn main() -> std::io::Result<()> {
     let mut details = String::new();
     let mut mean_curve: Vec<f64> = Vec::new();
     let mut drops_or_rejections_seen = false;
-    for &n in &SESSION_COUNTS {
-        let mut config = ServerConfig::new(n, duration);
-        config.real_vio = true;
+    for &n in &WIFI_COUNTS {
+        let mut builder = ServerBuilder::new().sessions(n).duration(duration).real_vio(true);
         if let Some(trace) = &replay {
-            config = config.with_replay(ReplayLoad::fan_out(
+            builder = builder.replay(ReplayLoad::fan_out(
                 trace.clone(),
-                42,
-                std::time::Duration::from_millis(40),
+                replay_seed,
+                Duration::from_millis(40),
                 0.05,
             ));
         }
-        let report = MultiSessionServer::new(config).run();
+        let report = builder.build().run();
         let mean_ms = report.mean_mtp().as_secs_f64() * 1e3;
         let row = format!(
             "{:>8} {:>9} {:>9} {:>9} {:>12.3} {:>11.3} {:>10.4} {:>13.3} {:>13.3} {:>10.4}",
             n,
             report.admitted(),
             report.degraded(),
-            report.count(illixr_server::SessionState::Rejected),
+            report.count(SessionState::Rejected),
             mean_ms,
             report.p99_mtp().as_secs_f64() * 1e3,
             report.drop_rate(),
@@ -100,7 +161,7 @@ fn main() -> std::io::Result<()> {
         writeln!(out, "{row}").unwrap();
         writeln!(details, "\n## {n} sessions\n{}", report.summary_text()).unwrap();
         mean_curve.push(mean_ms);
-        if report.drop_rate() > 0.0 || report.count(illixr_server::SessionState::Rejected) > 0 {
+        if report.drop_rate() > 0.0 || report.count(SessionState::Rejected) > 0 {
             drops_or_rejections_seen = true;
         }
     }
@@ -125,14 +186,95 @@ fn main() -> std::io::Result<()> {
         );
     }
 
+    // --- Edge-pool sweep: the 1,000-session régime --------------------
+    // Uniform per-point duration (capped: a 1,000-session point walks
+    // ~5 M events) so aggregate throughput scales comparably.
+    let edge_cap = args.sessions().unwrap_or(if quick { EDGE_RERUN } else { 1000 });
+    let edge_duration =
+        if quick { Duration::from_secs(2) } else { duration.min(Duration::from_secs(4)) };
+    let edge_counts: Vec<usize> = EDGE_COUNTS.iter().copied().filter(|&n| n <= edge_cap).collect();
+    writeln!(
+        out,
+        "\n# Edge-pool scaling ({}s simulated per point, {} shards)",
+        edge_duration.as_secs(),
+        shards
+    )
+    .unwrap();
+    writeln!(out, "# Shared link: edge ingress (30 Gbit/s up, 100 Gbit/s down, 2 ms)").unwrap();
+    writeln!(
+        out,
+        "# VIO pool: 32 workers at 0.5 ms/update, 1 ms ticks, deadline-aware (30 ms); synthetic poses"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>9} {:>9} {:>9} {:>11} {:>12} {:>11} {:>10} {:>10}",
+        "sessions",
+        "admitted",
+        "degraded",
+        "rejected",
+        "agg_fps",
+        "mtp_mean_ms",
+        "mtp_p99_ms",
+        "drop_rate",
+        "pool_util"
+    )
+    .unwrap();
+
+    println!("Edge-pool scaling ({edge_duration:?} simulated per point, {shards} shards)");
+    rule(98);
+
+    let mut p99_curve: Vec<f64> = Vec::new();
+    let mut rerun_reference = String::new();
+    let rerun_point = EDGE_RERUN.min(*edge_counts.last().expect("edge sweep non-empty"));
+    for &n in &edge_counts {
+        let report = edge_builder(n, edge_duration, shards).build().run();
+        let row = edge_row(n, &report);
+        println!("{row}");
+        writeln!(out, "{row}").unwrap();
+        p99_curve.push(report.p99_mtp().as_secs_f64() * 1e3);
+        if n == rerun_point {
+            rerun_reference = report.summary_text();
+        }
+    }
+
+    // Claims the engine exists to support: per-session p99 MTP stays
+    // monotone under load and bounded (no unbounded queueing) all the
+    // way up, and the rerun of the 256-session point is bit-identical.
+    // Monotonicity is judged at the table's display resolution (1 µs):
+    // nearest-rank p99 can dip by nanoseconds as the sample count
+    // grows, which is not a contention inversion.
+    let edge_monotone = p99_curve.windows(2).all(|w| w[1] >= w[0] - 1e-3);
+    let edge_bounded = p99_curve.last().is_some_and(|&p| p < 100.0);
+    println!("re-running {rerun_point}-session edge point for determinism...");
+    let rerun = edge_builder(rerun_point, edge_duration, shards).build().run().summary_text();
+    let edge_rerun_identical = rerun == rerun_reference;
+    writeln!(
+        out,
+        "\nedge_p99_monotone_nondecreasing={edge_monotone} edge_p99_bounded={edge_bounded} \
+         edge_rerun_identical={edge_rerun_identical}"
+    )
+    .unwrap();
+    rule(98);
+    println!("edge p99 MTP monotone non-decreasing: {edge_monotone}");
+    println!("edge p99 MTP bounded (< 100 ms at scale): {edge_bounded}");
+    println!("edge {rerun_point}-session rerun bit-identical: {edge_rerun_identical}");
+    if !edge_rerun_identical {
+        eprintln!("WARNING: edge rerun diverged — engine determinism regression");
+    }
+
     // Traced run at a modest scale: spans for every pipeline stage,
     // switchboard flow events and per-stage MTP histograms, exported
     // as a Perfetto-loadable trace plus a metrics CSV. Deterministic:
     // re-running produces bit-identical artifacts.
-    let traced_duration = duration.min(std::time::Duration::from_secs(4));
-    let mut traced_config = ServerConfig::new(4, traced_duration).with_trace();
-    traced_config.real_vio = true;
-    let traced = MultiSessionServer::new(traced_config).run();
+    let traced_duration = duration.min(Duration::from_secs(4));
+    let traced = ServerBuilder::new()
+        .sessions(4)
+        .duration(traced_duration)
+        .trace(true)
+        .real_vio(true)
+        .build()
+        .run();
     let stages = mtp_stage_summary(&traced.metrics);
     print!("{stages}");
     writeln!(out, "\n## traced run (4 sessions, {}s)\n{stages}", traced_duration.as_secs())

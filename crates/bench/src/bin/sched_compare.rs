@@ -5,7 +5,8 @@
 //! behaviour of each.
 //!
 //! Usage: `cargo run --release -p illixr-bench --bin sched_compare`
-//! (honours `ILLIXR_SECONDS`; writes `results/sched_compare.txt` plus
+//! (`--quick` caps each cell at 3 simulated seconds for CI; honours
+//! `ILLIXR_SECONDS` otherwise; writes `results/sched_compare.txt` plus
 //! one chain-latency/MTP CDF CSV per policy).
 //!
 //! Every run is fully deterministic — simulated clock, seeded sensors —
@@ -14,6 +15,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use illixr_bench::cli::BenchArgs;
 use illixr_bench::{experiment_config, rule};
 use illixr_core::sched::PolicyKind;
 use illixr_platform::spec::Platform;
@@ -63,9 +65,10 @@ fn run_cell(load: f64, policy: PolicyKind) -> Cell {
 }
 
 /// Nine cells are simulated, so cap the per-cell duration well below
-/// the harness-wide `ILLIXR_SECONDS` maximum.
+/// the harness-wide `ILLIXR_SECONDS` maximum (3 s under `--quick`).
 fn bench_duration() -> Duration {
-    illixr_bench::sim_duration().min(Duration::from_secs(20))
+    let cap = if BenchArgs::parse().quick() { 3 } else { 20 };
+    illixr_bench::sim_duration().min(Duration::from_secs(cap))
 }
 
 fn run_once(load: f64, policy: PolicyKind) -> ExperimentResult {

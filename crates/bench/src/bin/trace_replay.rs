@@ -23,13 +23,14 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
+use illixr_bench::cli::BenchArgs;
 use illixr_bench::{rule, sim_duration};
 use illixr_core::boundary::{Boundary, TraceSource};
 use illixr_core::obs::{chrome_trace_json, metrics_csv};
 use illixr_platform::spec::Platform;
 use illixr_render::apps::Application;
 use illixr_server::server::ReplayLoad;
-use illixr_server::{MultiSessionServer, ServerConfig};
+use illixr_server::ServerBuilder;
 use illixr_system::experiment::{ExperimentConfig, IntegratedExperiment};
 
 const FAN_OUTS: [usize; 3] = [1, 16, 64];
@@ -46,12 +47,10 @@ fn fig4_config(duration: Duration) -> ExperimentConfig {
 }
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let fixture_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter().position(|a| a == "--write-fixture").and_then(|i| args.get(i + 1)).cloned()
-    };
-    let duration = if quick { Duration::from_secs(2) } else { sim_duration() };
+    let args = BenchArgs::parse();
+    let fixture_path = args.write_fixture().map(str::to_string);
+    let replay_seed = args.seed().unwrap_or(42);
+    let duration = if args.quick() { Duration::from_secs(2) } else { sim_duration() };
     let mut out = String::new();
     writeln!(out, "# Record/replay determinism + trace-driven load ({}s)", duration.as_secs())
         .unwrap();
@@ -93,10 +92,17 @@ fn main() -> std::io::Result<()> {
 
     // --- 3. Trace-driven fan-out against the server -------------------
     println!("recording one-session server run...");
-    let mut server_cfg = ServerConfig::new(1, duration).with_boundary_record();
-    server_cfg.real_vio = true;
-    let server_trace =
-        Arc::new(MultiSessionServer::new(server_cfg).run().boundary_trace.expect("recorded"));
+    let server_trace = Arc::new(
+        ServerBuilder::new()
+            .sessions(1)
+            .duration(duration)
+            .real_vio(true)
+            .record_boundary(true)
+            .build()
+            .run()
+            .boundary_trace
+            .expect("recorded"),
+    );
     writeln!(
         out,
         "server trace: streams={} records={} bytes={}",
@@ -114,22 +120,26 @@ fn main() -> std::io::Result<()> {
     .unwrap();
     rule(72);
     let fan_run = |n: usize| {
-        let mut cfg = ServerConfig::new(n, duration);
-        cfg.real_vio = true;
-        cfg.admission.degrade_threshold = 10.0; // full load, no shaping
-        cfg.admission.reject_threshold = 10.0;
-        cfg.with_replay(ReplayLoad::fan_out(
-            server_trace.clone(),
-            42,
-            Duration::from_millis(40),
-            0.05,
-        ))
+        ServerBuilder::new()
+            .sessions(n)
+            .duration(duration)
+            .real_vio(true)
+            .tune(|cfg| {
+                cfg.admission.degrade_threshold = 10.0; // full load, no shaping
+                cfg.admission.reject_threshold = 10.0;
+            })
+            .replay(ReplayLoad::fan_out(
+                server_trace.clone(),
+                replay_seed,
+                Duration::from_millis(40),
+                0.05,
+            ))
+            .build()
     };
     let mut last_summary = String::new();
     for &n in &FAN_OUTS {
-        let report = MultiSessionServer::new(fan_run(n)).run();
-        let displayed: u64 = report.sessions.iter().map(|s| s.telemetry.frames_displayed).sum();
-        let agg_fps = displayed as f64 / duration.as_secs_f64();
+        let report = fan_run(n).run();
+        let agg_fps = report.aggregate_fps();
         let row = format!(
             "{:>8} {:>12.1} {:>12.3} {:>12.3} {:>12.4} {:>10}",
             n,
@@ -144,14 +154,15 @@ fn main() -> std::io::Result<()> {
         if n == *FAN_OUTS.last().unwrap() {
             last_summary = report.summary_text();
             writeln!(out, "\n## per-session MTP at fan-out {n}").unwrap();
-            for s in &report.sessions {
+            for s in report.sessions() {
+                let mtp = s.mtp();
                 writeln!(
                     out,
                     "session {:>2}: mtp_mean_ms={:.3} mtp_p99_ms={:.3} displayed={}",
-                    s.id,
-                    s.telemetry.mean_mtp().as_secs_f64() * 1e3,
-                    s.telemetry.p99_mtp().as_secs_f64() * 1e3,
-                    s.telemetry.frames_displayed,
+                    s.id(),
+                    mtp.mean.as_secs_f64() * 1e3,
+                    mtp.p99.as_secs_f64() * 1e3,
+                    mtp.displayed,
                 )
                 .unwrap();
             }
@@ -160,7 +171,7 @@ fn main() -> std::io::Result<()> {
 
     // Rerun the widest fan-out: byte-identical report or bust.
     println!("re-running {}-session fan-out for determinism...", FAN_OUTS.last().unwrap());
-    let rerun = MultiSessionServer::new(fan_run(*FAN_OUTS.last().unwrap())).run().summary_text();
+    let rerun = fan_run(*FAN_OUTS.last().unwrap()).run().summary_text();
     let fan_out_deterministic = rerun == last_summary;
 
     writeln!(out, "\nreplay_identity={identity}").unwrap();

@@ -20,6 +20,8 @@
 
 use illixr_platform::uarch::OpMix;
 
+pub mod cli;
+
 /// Hand-derived operation-mix profiles for the Fig 8 analysis, one per
 /// component, reflecting the actual Rust implementations in this
 /// workspace (see `illixr-platform::uarch` for the model).

@@ -62,6 +62,7 @@ pub mod phonebook;
 pub mod plugin;
 pub mod sched;
 pub mod sim;
+pub mod slab;
 pub mod supervisor;
 pub mod switchboard;
 pub mod telemetry;
@@ -73,6 +74,7 @@ pub use boundary::{Boundary, SessionTransform, Trace, TraceRecorder, TraceSource
 pub use clock::{Clock, SimClock, WallClock};
 pub use phonebook::{Phonebook, PhonebookError};
 pub use plugin::{Plugin, PluginContext, PluginRegistry, RuntimeBuilder};
+pub use slab::{Recycle, SlabFrame, SlabPool};
 pub use supervisor::{PluginHealth, SupervisionPolicy, Supervisor};
 pub use switchboard::{
     AsyncReader, Switchboard, SwitchboardError, SyncReader, Topic, TopicStats, Writer,

@@ -216,6 +216,24 @@ impl Tracer {
         }
     }
 
+    /// Appends every record of `other` to this tracer's sink, in
+    /// `other`'s insertion order. The exporter's sorts are stable, so
+    /// records tying on their sort keys keep the merge order — callers
+    /// merging per-shard or per-session tracers must therefore absorb
+    /// in a deterministic order (e.g. session id) to keep exports
+    /// bit-identical across runs. No-op when either side is disabled.
+    pub fn absorb(&self, other: &Tracer) {
+        let (Some(inner), Some(src)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, src) {
+            return; // same sink — absorbing would duplicate records
+        }
+        inner.spans.lock().extend(src.spans.lock().iter().cloned());
+        inner.flows.lock().extend(src.flows.lock().iter().cloned());
+        inner.counters.lock().extend(src.counters.lock().iter().cloned());
+    }
+
     /// Snapshot of all recorded spans.
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.inner.as_ref().map_or_else(Vec::new, |i| i.spans.lock().clone())
@@ -310,6 +328,28 @@ mod tests {
         }
         let spans = t.spans();
         assert_eq!((spans[0].start_ns, spans[0].end_ns), (100, 250));
+    }
+
+    #[test]
+    fn absorb_appends_in_source_order_and_respects_disabled_sides() {
+        let a = Tracer::new(Arc::new(FakeClock(AtomicU64::new(0))));
+        let b = Tracer::new(Arc::new(FakeClock(AtomicU64::new(0))));
+        b.scoped("s1/").record_span("imu", "tick", 3, 4);
+        b.counter("link", "q", 1, 2.0);
+        a.record_span("vio", "batch", 0, 1);
+        a.absorb(&b);
+        let spans = a.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].track, "s1/imu", "absorbed records keep their scoped tracks");
+        assert_eq!(a.counters().len(), 1);
+        // Absorbing a clone of the same sink must not duplicate.
+        let a2 = a.clone();
+        a.absorb(&a2);
+        assert_eq!(a.spans().len(), 2);
+        // Disabled sides are no-ops.
+        a.absorb(&Tracer::disabled());
+        Tracer::disabled().absorb(&a);
+        assert_eq!(a.spans().len(), 2);
     }
 
     #[test]

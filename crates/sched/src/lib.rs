@@ -28,6 +28,9 @@
 //! * **[`live`]** — a live-mode work-conserving worker pool that runs
 //!   released jobs under any [`Policy`] on OS threads, replacing
 //!   one-thread-per-plugin execution.
+//! * **[`ring`]** / **[`shard`]** — the multi-session server's engine
+//!   primitives: bounded SPSC/MPSC rings with lossless backpressure,
+//!   and the deterministic FNV-1a session→shard map.
 //!
 //! Like `illixr-obs`, this crate sits *below* `illixr-core`: it knows
 //! nothing about plugins, switchboards or `Time` — all timestamps are
@@ -38,9 +41,13 @@ pub mod chain;
 pub mod governor;
 pub mod live;
 pub mod policy;
+pub mod ring;
+pub mod shard;
 pub mod task;
 
 pub use chain::{ChainId, ChainOutcome, ChainSpec, ChainTracker};
 pub use governor::{AdaptiveGovernor, GovernorConfig};
 pub use policy::{Edf, Policy, PolicyKind, RateMonotonic};
+pub use ring::{mpsc_ring, spsc_ring, MpscConsumer, RingConsumer, RingProducer};
+pub use shard::{fnv1a_u32, ShardMap};
 pub use task::{is_miss, lateness_ns, release_ns, PriorityClass, ReadyJob, TaskId};

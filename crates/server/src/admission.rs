@@ -1,9 +1,9 @@
 //! Admission control: accept, degrade, or reject a connecting session.
 //!
 //! The server estimates the load a new session would add (its share of
-//! uplink/downlink bandwidth and of the VIO worker pool — see
-//! `MultiSessionServer::offered_load`) and compares the projected total
-//! against two thresholds:
+//! uplink/downlink bandwidth and of the VIO worker pool — see the
+//! engine coordinator's `offered_load`) and compares the projected
+//! total against two thresholds:
 //!
 //! * projected ≤ `degrade_threshold` → **accept** at full rates;
 //! * projected at *half* rates ≤ `reject_threshold` → **degrade**

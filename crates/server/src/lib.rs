@@ -21,15 +21,20 @@
 //!   homogeneous VIO updates per tick;
 //! * [`admission::AdmissionController`] — accept / degrade / reject on
 //!   a projected-load estimate;
-//! * [`server::MultiSessionServer`] — the discrete-event loop tying it
-//!   together and emitting per-session plus aggregate telemetry
-//!   (motion-to-photon latency, frame drops, admission decisions, link
-//!   queue depths).
+//! * `engine` (private) — the event-driven session engine: sessions as
+//!   lightweight state machines sharded (FNV) across a fixed worker
+//!   pool, emissions returning over bounded SPSC rings, same-time event
+//!   batches fanned out in parallel with bit-identical results;
+//! * [`server::ServerBuilder`] / [`server::Server`] — the public API:
+//!   configure a run, execute it, read per-session results through
+//!   typed [`server::SessionHandle`]s.
 //!
-//! The `scaling_sessions` bench binary sweeps the session count and
-//! writes the sessions-vs-MTP/drop-rate curve.
+//! The `scaling_sessions` bench binary sweeps the session count (up to
+//! 1,000) and writes aggregate throughput plus the
+//! sessions-vs-MTP/drop-rate curve.
 
 pub mod admission;
+mod engine;
 pub mod link;
 pub mod scheduler;
 pub mod server;
@@ -41,5 +46,8 @@ pub use scheduler::{
     BatchPlacement, BatchScheduler, BoundedPlacement, PlacementPolicy, SchedulerConfig,
     SchedulerStats,
 };
-pub use server::{MultiSessionServer, ReplayLoad, ServerConfig, ServerReport, SessionReport};
+pub use server::{
+    MtpStats, ReplayLoad, Server, ServerBuilder, ServerConfig, ServerReport, SessionHandle,
+    SessionReport,
+};
 pub use session::{ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState};

@@ -1,5 +1,6 @@
-//! The multi-session edge server: a deterministic discrete-event loop
-//! coupling N client sessions to shared infrastructure.
+//! The multi-session edge server: configuration, builder API and run
+//! reports. The discrete-event core lives in the private `engine`
+//! module.
 //!
 //! Three shared resources create the contention the scaling benchmark
 //! measures:
@@ -11,32 +12,48 @@
 //! * the renderer — one cloud render per request, modeled as a fixed
 //!   cost (the pool contention story lives in the VIO scheduler).
 //!
-//! Everything runs under one simulated clock. Events are ordered by
+//! Everything runs under one simulated timeline. Events are ordered by
 //! `(time, kind priority, session, insertion seq)`, so two runs with
-//! identical configs produce bit-identical reports — the determinism
-//! the ISSUE's acceptance test checks.
+//! identical configs produce bit-identical reports — regardless of the
+//! shard or worker count the engine executes them with.
+//!
+//! Entry point:
+//!
+//! ```
+//! use std::time::Duration;
+//! use illixr_server::ServerBuilder;
+//!
+//! let report = ServerBuilder::new()
+//!     .sessions(4)
+//!     .duration(Duration::from_secs(1))
+//!     .build()
+//!     .run();
+//! for session in report.sessions() {
+//!     let mtp = session.mtp();
+//!     println!("s{}: mean mtp {:?}", session.id(), mtp.mean);
+//! }
+//! ```
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use illixr_core::boundary::{fan_out_transform, Boundary, Trace, TraceRecorder, TraceSource};
-use illixr_core::{SimClock, Time, TopicStats};
-use illixr_sensors::camera::PinholeCamera;
-use illixr_sensors::types::PoseEstimate;
-use illixr_vio::integrator::ImuState;
-use illixr_vio::msckf::{Msckf, VioConfig};
+use illixr_core::boundary::{fan_out_transform, Trace, TraceSource};
+use illixr_core::TopicStats;
 
-use crate::admission::{AdmissionConfig, AdmissionController, AdmissionRecord};
-use crate::link::{Direction, DirectionStats, LinkConfig, SharedLink};
-use crate::scheduler::{BatchScheduler, SchedulerConfig, SchedulerStats};
-use crate::session::{
-    ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState, SessionTelemetry,
-    VioJob,
-};
+use crate::admission::{AdmissionConfig, AdmissionRecord};
+use crate::engine::Engine;
+use crate::link::{DirectionStats, LinkConfig};
+use crate::scheduler::{SchedulerConfig, SchedulerStats};
+use crate::session::{SessionConfig, SessionState, SessionTelemetry};
 
-/// Full server-run parameters.
+#[allow(unused_imports)] // doc links
+use crate::link::SharedLink;
+#[allow(unused_imports)] // doc links
+use crate::scheduler::BatchScheduler;
+
+/// Full server-run parameters. Built through [`ServerBuilder`]; the
+/// fields stay public so benches can sweep them via
+/// [`ServerBuilder::tune`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// The sessions to run (index = session id).
@@ -69,7 +86,7 @@ pub struct ServerConfig {
     pub real_vio: bool,
     /// Record spans, flow events and histograms for the whole run
     /// ([`ServerReport::tracer`] / [`ServerReport::metrics`]). All
-    /// timestamps come from the shared simulated clock, so traces are
+    /// timestamps come from the simulated timeline, so traces are
     /// bit-identical across identically-configured runs.
     pub trace: bool,
     /// Fault-injection plan, consulted by the shared link (targets
@@ -84,6 +101,16 @@ pub struct ServerConfig {
     /// identity replay or trace-driven load generation (see
     /// [`ReplayLoad`]).
     pub replay: Option<ReplayLoad>,
+    /// Session-state shards in the engine. Results are invariant to
+    /// this (the shard-invariance golden test pins it); it only tunes
+    /// parallel granularity.
+    pub shards: usize,
+    /// Engine worker threads for wide batches. `0` = auto (available
+    /// parallelism). Results are invariant to this too.
+    pub workers: usize,
+    /// Capacity of each shard's emission ring. Small capacities
+    /// exercise backpressure (workers block, never drop).
+    pub ring_capacity: usize,
 }
 
 /// Trace-driven load: every session replays the same recorded session,
@@ -152,63 +179,10 @@ impl ReplayLoad {
 }
 
 impl ServerConfig {
-    /// `n` sessions with distinct seeds on a Wi-Fi-class link, paper
-    /// Table III/IV constants elsewhere. QVGA stereo ≈ 150 kB per job
-    /// for the frame pair plus IMU window; tokens model a compressed
-    /// eye-buffer pair (~50 kB), so one session takes ~12% of the
-    /// downlink and ~8% of the VIO pool — the server saturates around
-    /// ten clients, which is where admission control starts degrading
-    /// and rejecting.
-    pub fn new(n: usize, duration: Duration) -> Self {
-        Self {
-            sessions: (0..n).map(|i| SessionConfig::new(11 + 2 * i as u64)).collect(),
-            link: LinkConfig::wifi(),
-            scheduler: SchedulerConfig::default(),
-            admission: AdmissionConfig::default(),
-            duration,
-            server_tick: Duration::from_millis(4),
-            render_cost: Duration::from_millis(5),
-            warp_cost: Duration::from_millis(1),
-            job_bytes: 150_000,
-            pose_bytes: 64,
-            request_bytes: 64,
-            token_bytes: 50_000,
-            real_vio: false,
-            trace: false,
-            fault_plan: Arc::new(illixr_core::fault::FaultPlan::quiet()),
-            record_boundary: false,
-            replay: None,
-        }
-    }
-
-    /// Enables span/flow tracing and histogram metrics for this run.
-    pub fn with_trace(mut self) -> Self {
-        self.trace = true;
-        self
-    }
-
-    /// Injects faults according to `plan` (shared link and all
-    /// sessions).
-    pub fn with_fault_plan(mut self, plan: illixr_core::fault::FaultPlan) -> Self {
-        self.fault_plan = Arc::new(plan);
-        self
-    }
-
-    /// Records the determinism boundary into
-    /// [`ServerReport::boundary_trace`].
-    pub fn with_boundary_record(mut self) -> Self {
-        self.record_boundary = true;
-        self
-    }
-
-    /// Drives the run from `load` instead of live sensor generators.
-    pub fn with_replay(mut self, load: ReplayLoad) -> Self {
-        self.replay = Some(load);
-        self
-    }
-
     /// FNV-1a hash of the recording-relevant configuration, stamped
-    /// into trace headers for provenance.
+    /// into trace headers for provenance. Engine knobs (shards,
+    /// workers, ring capacity) are deliberately excluded: results are
+    /// invariant to them, so they must not fork trace identities.
     pub fn config_hash(&self) -> u64 {
         let repr = format!(
             "{}|{}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}",
@@ -233,81 +207,172 @@ impl ServerConfig {
     }
 }
 
-/// What happens at an event's fire time. Payload-carrying variants
-/// compare by event key only.
-enum EventKind {
-    Connect,
-    ImuTick { step: u64 },
-    CameraTick { step: u64 },
-    JobArrive(VioJob),
-    ServerBatch,
-    VioComplete(Vec<VioJob>),
-    PoseDeliver(PoseEstimate),
-    RequestArrive(RenderRequest),
-    TokenRendered(RenderRequest),
-    TokenDeliver(RenderToken),
-    Vsync { index: u64 },
-    Disconnect,
+/// Builder for a [`Server`]: the only way to construct a run.
+///
+/// Defaults model `n` sessions with distinct seeds on a Wi-Fi-class
+/// link, paper Table III/IV constants elsewhere. QVGA stereo ≈ 150 kB
+/// per job for the frame pair plus IMU window; tokens model a
+/// compressed eye-buffer pair (~50 kB), so one session takes ~12% of
+/// the downlink and ~8% of the VIO pool — the server saturates around
+/// ten clients, which is where admission control starts degrading and
+/// rejecting.
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    config: ServerConfig,
 }
 
-impl EventKind {
-    /// Tie-break order at equal times. IMU before camera keeps frames
-    /// covered by inertial data; deliveries before vsync let a frame
-    /// arriving exactly on the deadline be shown.
-    fn priority(&self) -> u8 {
-        match self {
-            Self::Connect => 0,
-            Self::ImuTick { .. } => 1,
-            Self::CameraTick { .. } => 2,
-            Self::JobArrive(_) => 3,
-            Self::ServerBatch => 4,
-            Self::VioComplete(_) => 5,
-            Self::PoseDeliver(_) => 6,
-            Self::RequestArrive(_) => 7,
-            Self::TokenRendered(_) => 8,
-            Self::TokenDeliver(_) => 9,
-            Self::Vsync { .. } => 10,
-            Self::Disconnect => 11,
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerBuilder {
+    /// A builder with zero sessions and a ten-second horizon.
+    pub fn new() -> Self {
+        Self {
+            config: ServerConfig {
+                sessions: Vec::new(),
+                link: LinkConfig::wifi(),
+                scheduler: SchedulerConfig::default(),
+                admission: AdmissionConfig::default(),
+                duration: Duration::from_secs(10),
+                server_tick: Duration::from_millis(4),
+                render_cost: Duration::from_millis(5),
+                warp_cost: Duration::from_millis(1),
+                job_bytes: 150_000,
+                pose_bytes: 64,
+                request_bytes: 64,
+                token_bytes: 50_000,
+                real_vio: false,
+                trace: false,
+                fault_plan: Arc::new(illixr_core::fault::FaultPlan::quiet()),
+                record_boundary: false,
+                replay: None,
+                shards: 8,
+                workers: 0,
+                ring_capacity: 256,
+            },
         }
     }
-}
 
-struct Event {
-    time: Time,
-    session: u32,
-    /// Insertion counter: the final, total tie-break.
-    seq: u64,
-    kind: EventKind,
-}
+    /// `n` sessions with the standard distinct seeds (`11 + 2i`).
+    /// Replaces any previously configured session list.
+    pub fn sessions(mut self, n: usize) -> Self {
+        self.config.sessions = (0..n).map(|i| SessionConfig::new(11 + 2 * i as u64)).collect();
+        self
+    }
 
-impl Event {
-    fn key(&self) -> (Time, u8, u32, u64) {
-        (self.time, self.kind.priority(), self.session, self.seq)
+    /// Edits one session's config in place (seed, connect/disconnect
+    /// times, rates). Call after [`ServerBuilder::sessions`].
+    pub fn configure_session(mut self, index: usize, f: impl FnOnce(&mut SessionConfig)) -> Self {
+        f(&mut self.config.sessions[index]);
+        self
+    }
+
+    /// Simulated run length.
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Enables span/flow tracing and histogram metrics for this run.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.config.trace = enabled;
+        self
+    }
+
+    /// Injects faults according to `plan` (shared link and all
+    /// sessions).
+    pub fn fault_plan(mut self, plan: illixr_core::fault::FaultPlan) -> Self {
+        self.config.fault_plan = Arc::new(plan);
+        self
+    }
+
+    /// Records the determinism boundary into
+    /// [`ServerReport::boundary_trace`].
+    pub fn record_boundary(mut self, enabled: bool) -> Self {
+        self.config.record_boundary = enabled;
+        self
+    }
+
+    /// Drives the run from `load` instead of live sensor generators.
+    pub fn replay(mut self, load: ReplayLoad) -> Self {
+        self.config.replay = Some(load);
+        self
+    }
+
+    /// Session-state shard count (results are invariant to it).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Engine worker threads (`0` = auto; results are invariant).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Per-shard emission-ring capacity (small values exercise
+    /// backpressure; results are invariant).
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.config.ring_capacity = capacity;
+        self
+    }
+
+    /// Runs the real per-session MSCKF server-side.
+    pub fn real_vio(mut self, enabled: bool) -> Self {
+        self.config.real_vio = enabled;
+        self
+    }
+
+    /// Shared-link parameters.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.config.link = link;
+        self
+    }
+
+    /// VIO worker-pool parameters.
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Admission thresholds.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Escape hatch for everything else: direct access to the full
+    /// [`ServerConfig`] (payload sizes, tick period, render cost…).
+    pub fn tune(mut self, f: impl FnOnce(&mut ServerConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> Server {
+        Server { config: self.config }
     }
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    /// Reversed so the `BinaryHeap` pops the earliest event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.key().cmp(&self.key())
-    }
+/// A configured server run. Consume with [`Server::run`].
+pub struct Server {
+    config: ServerConfig,
 }
 
-/// Server-side state for one admitted session.
-struct ServerSideSession {
-    /// The per-session VIO filter (`None` in ground-truth mode).
-    filter: Option<Msckf>,
+impl Server {
+    /// The finished configuration (inspection/diagnostics).
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(self) -> ServerReport {
+        Engine::new(self.config).run()
+    }
 }
 
 /// Per-session results.
@@ -325,11 +390,82 @@ pub struct SessionReport {
     pub stream_stats: Vec<TopicStats>,
 }
 
+/// Per-session motion-to-photon digest, read through
+/// [`SessionHandle::mtp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtpStats {
+    /// Mean MTP across the session's displayed frames.
+    pub mean: Duration,
+    /// Nearest-rank 99th-percentile MTP.
+    pub p99: Duration,
+    /// Frames displayed.
+    pub displayed: u64,
+    /// Vsyncs with nothing new to show.
+    pub dropped: u64,
+}
+
+impl MtpStats {
+    /// Dropped fraction of this session's vsyncs.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.displayed + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+/// A typed view over one session's results — the read side of the
+/// builder API. Obtained from [`ServerReport::session`] or
+/// [`ServerReport::sessions`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionHandle<'a> {
+    report: &'a SessionReport,
+}
+
+impl<'a> SessionHandle<'a> {
+    /// Session id.
+    pub fn id(&self) -> u32 {
+        self.report.id
+    }
+
+    /// Final lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.report.state
+    }
+
+    /// Run counters.
+    pub fn telemetry(&self) -> &'a SessionTelemetry {
+        &self.report.telemetry
+    }
+
+    /// Fast-pose error against ground truth at end of run, meters.
+    pub fn pose_error(&self) -> Option<f64> {
+        self.report.pose_error
+    }
+
+    /// The session's switchboard counters.
+    pub fn stream_stats(&self) -> &'a [TopicStats] {
+        &self.report.stream_stats
+    }
+
+    /// The session's motion-to-photon digest.
+    pub fn mtp(&self) -> MtpStats {
+        MtpStats {
+            mean: self.report.telemetry.mean_mtp(),
+            p99: self.report.telemetry.p99_mtp(),
+            displayed: self.report.telemetry.frames_displayed,
+            dropped: self.report.telemetry.frames_dropped,
+        }
+    }
+}
+
 /// Aggregate results for one server run.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// Per-session results, by id.
-    pub sessions: Vec<SessionReport>,
+    /// Per-session results, by id. Read through [`ServerReport::sessions`].
+    pub(crate) session_reports: Vec<SessionReport>,
     /// Every admission decision.
     pub admission: Vec<AdmissionRecord>,
     /// Shared-link uplink counters.
@@ -342,28 +478,43 @@ pub struct ServerReport {
     pub pool_utilization: f64,
     /// Simulated run length.
     pub duration: Duration,
-    /// Span/flow recorder (disabled unless [`ServerConfig::trace`]).
+    /// Span/flow recorder (disabled unless tracing was enabled).
     /// Per-session tracks are scoped `s{id}/…`; server-side tracks are
     /// `vio_pool/w{i}`, `render/s{id}` and the `link` counters.
     pub tracer: illixr_core::obs::Tracer,
-    /// Histogram/gauge registry (disabled unless
-    /// [`ServerConfig::trace`]): `mtp.*` per-stage decompositions,
-    /// `vio_pool.*` batch latencies and per-topic switchboard gauges.
+    /// Histogram/gauge registry (disabled unless tracing was enabled):
+    /// `mtp.*` per-stage decompositions, `vio_pool.*` batch latencies
+    /// and per-topic switchboard gauges.
     pub metrics: illixr_core::obs::Metrics,
-    /// Determinism-boundary recording (present when
-    /// [`ServerConfig::record_boundary`] was set).
+    /// Determinism-boundary recording (present when boundary recording
+    /// was enabled).
     pub boundary_trace: Option<Trace>,
 }
 
 impl ServerReport {
+    /// Typed per-session views, in id order.
+    pub fn sessions(&self) -> impl Iterator<Item = SessionHandle<'_>> {
+        self.session_reports.iter().map(|report| SessionHandle { report })
+    }
+
+    /// The view for one session id.
+    pub fn session(&self, id: u32) -> Option<SessionHandle<'_>> {
+        self.session_reports.get(id as usize).map(|report| SessionHandle { report })
+    }
+
+    /// Number of sessions in the run (admitted or not).
+    pub fn session_count(&self) -> usize {
+        self.session_reports.len()
+    }
+
     /// Sessions that ended in a given state.
     pub fn count(&self, state: SessionState) -> usize {
-        self.sessions.iter().filter(|s| s.state == state).count()
+        self.session_reports.iter().filter(|s| s.state == state).count()
     }
 
     /// Sessions admission accepted or degraded (i.e. that actually ran).
     pub fn admitted(&self) -> usize {
-        self.sessions.len() - self.count(SessionState::Rejected)
+        self.session_reports.len() - self.count(SessionState::Rejected)
     }
 
     /// Sessions admitted at degraded rates. Counted from the admission
@@ -378,7 +529,7 @@ impl ServerReport {
 
     /// Mean MTP across every displayed frame of every session.
     pub fn mean_mtp(&self) -> Duration {
-        let (sum, n) = self.sessions.iter().fold((0u64, 0u64), |(s, n), r| {
+        let (sum, n) = self.session_reports.iter().fold((0u64, 0u64), |(s, n), r| {
             (s + r.telemetry.mtp_ns.iter().sum::<u64>(), n + r.telemetry.mtp_ns.len() as u64)
         });
         Duration::from_nanos(sum.checked_div(n).unwrap_or(0))
@@ -387,7 +538,7 @@ impl ServerReport {
     /// 99th-percentile MTP across all sessions (nearest-rank).
     pub fn p99_mtp(&self) -> Duration {
         let mut all: Vec<u64> =
-            self.sessions.iter().flat_map(|r| r.telemetry.mtp_ns.iter().copied()).collect();
+            self.session_reports.iter().flat_map(|r| r.telemetry.mtp_ns.iter().copied()).collect();
         if all.is_empty() {
             return Duration::ZERO;
         }
@@ -398,7 +549,7 @@ impl ServerReport {
 
     /// Dropped fraction of vsyncs across all admitted sessions.
     pub fn drop_rate(&self) -> f64 {
-        let (dropped, total) = self.sessions.iter().fold((0u64, 0u64), |(d, t), r| {
+        let (dropped, total) = self.session_reports.iter().fold((0u64, 0u64), |(d, t), r| {
             (
                 d + r.telemetry.frames_dropped,
                 t + r.telemetry.frames_dropped + r.telemetry.frames_displayed,
@@ -411,6 +562,15 @@ impl ServerReport {
         }
     }
 
+    /// Aggregate delivered throughput: displayed frames across all
+    /// sessions per simulated second — the scaling sweep's headline
+    /// alongside per-session p99 MTP.
+    pub fn aggregate_fps(&self) -> f64 {
+        let displayed: u64 =
+            self.session_reports.iter().map(|s| s.telemetry.frames_displayed).sum();
+        displayed as f64 / self.duration.as_secs_f64()
+    }
+
     /// Deterministic text rendering: identical runs produce identical
     /// strings, which is what the scaling benchmark's bit-identity
     /// check compares.
@@ -418,7 +578,7 @@ impl ServerReport {
         let mut out = String::new();
         out.push_str(&format!(
             "sessions={} admitted={} degraded={} rejected={}\n",
-            self.sessions.len(),
+            self.session_reports.len(),
             self.admitted(),
             self.degraded(),
             self.count(SessionState::Rejected),
@@ -462,7 +622,7 @@ impl ServerReport {
                 a.decision.label(),
             ));
         }
-        for s in &self.sessions {
+        for s in &self.session_reports {
             out.push_str(&format!(
                 "session {} [{}]: mtp_mean_ms={:.3} mtp_p99_ms={:.3} displayed={} dropped={} \
                  jobs={} poses={} tokens={}\n",
@@ -481,477 +641,21 @@ impl ServerReport {
     }
 }
 
-/// The server runtime.
-pub struct MultiSessionServer {
-    config: ServerConfig,
-    clock: SimClock,
-    sessions: Vec<ClientSession>,
-    server_side: Vec<ServerSideSession>,
-    link: SharedLink,
-    scheduler: BatchScheduler,
-    admission: AdmissionController,
-    heap: BinaryHeap<Event>,
-    next_seq: u64,
-    pending_jobs: Vec<VioJob>,
-    tracer: illixr_core::obs::Tracer,
-    metrics: illixr_core::obs::Metrics,
-    recorder: Option<TraceRecorder>,
-}
-
-impl MultiSessionServer {
-    /// Builds the server and its client sessions.
-    pub fn new(config: ServerConfig) -> Self {
-        let clock = SimClock::new();
-        let clock_arc: Arc<SimClock> = Arc::new(clock.clone());
-        let (tracer, metrics) = if config.trace {
-            (illixr_core::obs::tracer_for(clock_arc.clone()), illixr_core::obs::Metrics::new())
-        } else {
-            (illixr_core::obs::Tracer::disabled(), illixr_core::obs::Metrics::disabled())
-        };
-        // The re-record of a replay inherits the replayed trace's
-        // header, so the identity check can compare whole encodings.
-        let recorder = config.record_boundary.then(|| match &config.replay {
-            Some(r) => TraceRecorder::new(r.trace.header.seed, r.trace.header.config_hash),
-            None => TraceRecorder::new(
-                config.sessions.first().map(|s| s.seed).unwrap_or(0),
-                config.config_hash(),
-            ),
-        });
-        let sessions: Vec<ClientSession> = config
-            .sessions
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let scoped_rec = recorder.as_ref().map(|rec| rec.scoped(&format!("s{i}/")));
-                let boundary = match (&config.replay, scoped_rec) {
-                    (Some(r), rec) => Boundary::replaying(r.session_source(i), rec),
-                    (None, Some(rec)) => Boundary::recording(rec),
-                    (None, None) => Boundary::off(),
-                };
-                ClientSession::with_obs(
-                    i as u32,
-                    *c,
-                    clock_arc.clone(),
-                    tracer.scoped(&format!("s{i}/")),
-                    metrics.clone(),
-                )
-                .with_fault_plan(config.fault_plan.clone())
-                .with_boundary(boundary)
-            })
-            .collect();
-        let server_side = sessions.iter().map(|_| ServerSideSession { filter: None }).collect();
-        let link_boundary = match &config.replay {
-            Some(r) if r.replay_link => {
-                Boundary::replaying(TraceSource::new(r.trace.clone()), recorder.clone())
-            }
-            _ => match &recorder {
-                Some(rec) => Boundary::recording(rec.clone()),
-                None => Boundary::off(),
-            },
-        };
-        Self {
-            link: SharedLink::new(config.link)
-                .with_fault_plan(config.fault_plan.clone())
-                .with_boundary(Arc::new(link_boundary)),
-            scheduler: BatchScheduler::new(config.scheduler),
-            admission: AdmissionController::new(config.admission),
-            clock,
-            sessions,
-            server_side,
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            pending_jobs: Vec::new(),
-            tracer,
-            metrics,
-            recorder,
-            config,
-        }
-    }
-
-    fn push(&mut self, time: Time, session: u32, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, session, seq, kind });
-    }
-
-    /// The load one session adds at full rates: the largest share it
-    /// takes of any shared resource — uplink bits, downlink bits, or
-    /// VIO pool time per second.
-    fn offered_load(&self, config: &SessionConfig) -> f64 {
-        let c = &self.config;
-        let up_bits = (c.job_bytes as f64 * config.camera_hz
-            + c.request_bytes as f64 * config.display_hz)
-            * 8.0;
-        let down_bits = (c.pose_bytes as f64 * config.camera_hz
-            + c.token_bytes as f64 * config.display_hz)
-            * 8.0;
-        let up = if c.link.uplink_bps.is_finite() { up_bits / c.link.uplink_bps } else { 0.0 };
-        let down =
-            if c.link.downlink_bps.is_finite() { down_bits / c.link.downlink_bps } else { 0.0 };
-        let pool =
-            c.scheduler.per_job.as_secs_f64() * config.camera_hz / c.scheduler.workers as f64;
-        up.max(down).max(pool)
-    }
-
-    /// Load currently admitted sessions place on the server. Degraded
-    /// sessions run camera and render streams at half rate.
-    fn current_load(&self) -> f64 {
-        self.sessions
-            .iter()
-            .map(|s| match s.state {
-                SessionState::Running => self.offered_load(&s.config),
-                SessionState::Degraded => self.offered_load(&s.config) * 0.5,
-                _ => 0.0,
-            })
-            .sum()
-    }
-
-    /// Time of IMU step `k` for a session — the exact expression the
-    /// IMU model uses, so event times and sample timestamps agree
-    /// bit-for-bit.
-    fn imu_step_time(config: &SessionConfig, step: u64) -> Time {
-        Time::from_secs_f64(step as f64 / config.imu_hz)
-    }
-
-    fn vsync_time(config: &SessionConfig, index: u64) -> Time {
-        let period = Duration::from_secs_f64(1.0 / config.display_hz).as_nanos() as u64;
-        Time::from_nanos(index * period)
-    }
-
-    /// Last instant the session participates in.
-    fn session_end(&self, id: u32) -> Time {
-        let end = Time::ZERO + self.config.duration;
-        match self.sessions[id as usize].config.disconnect_at {
-            Some(t) if t < end => t,
-            _ => end,
-        }
-    }
-
-    /// Runs the simulation to completion and reports.
-    pub fn run(mut self) -> ServerReport {
-        let end = Time::ZERO + self.config.duration;
-        // Seed the schedule: one connect per session, plus the global
-        // batching tick.
-        for (i, s) in self.config.sessions.clone().iter().enumerate() {
-            let at = s.connect_at.min(end);
-            self.push(at, i as u32, EventKind::Connect);
-        }
-        let tick = self.config.server_tick;
-        let mut t = Time::ZERO + tick;
-        while t <= end {
-            self.push(t, u32::MAX, EventKind::ServerBatch);
-            t += tick;
-        }
-
-        while let Some(event) = self.heap.pop() {
-            if event.time > end {
-                break;
-            }
-            self.clock.advance_to(event.time);
-            self.dispatch(event);
-        }
-
-        // Flush any sessions still attached at the horizon.
-        for s in &mut self.sessions {
-            if matches!(s.state, SessionState::Running | SessionState::Degraded) {
-                s.disconnect();
-            }
-        }
-
-        let sessions: Vec<SessionReport> = self
-            .sessions
-            .iter()
-            .map(|s| SessionReport {
-                id: s.id,
-                state: s.state,
-                telemetry: s.telemetry.clone(),
-                pose_error: s.pose_error(),
-                stream_stats: s.stream_stats(),
-            })
-            .collect();
-        if self.metrics.is_enabled() {
-            for s in &self.sessions {
-                s.export_topic_gauges();
-            }
-            let rejected =
-                sessions.iter().filter(|s| s.state == SessionState::Rejected).count() as f64;
-            self.metrics.set_gauge(
-                "server.pool_utilization",
-                self.scheduler.utilization(self.config.duration),
-            );
-            self.metrics.set_gauge("server.admitted", sessions.len() as f64 - rejected);
-            self.metrics.set_gauge("server.shed_jobs", self.scheduler.stats().shed_jobs as f64);
-        }
-        ServerReport {
-            sessions,
-            admission: self.admission.records().to_vec(),
-            uplink: *self.link.stats(Direction::Uplink),
-            downlink: *self.link.stats(Direction::Downlink),
-            scheduler: *self.scheduler.stats(),
-            pool_utilization: self.scheduler.utilization(self.config.duration),
-            duration: self.config.duration,
-            tracer: self.tracer,
-            metrics: self.metrics,
-            boundary_trace: self.recorder.map(|rec| rec.snapshot()),
-        }
-    }
-
-    fn dispatch(&mut self, event: Event) {
-        let now = event.time;
-        let id = event.session;
-        match event.kind {
-            EventKind::Connect => self.on_connect(now, id),
-            EventKind::ImuTick { step } => {
-                self.sessions[id as usize].on_imu_due();
-                let next = Self::imu_step_time(&self.sessions[id as usize].config, step + 1);
-                if next <= self.session_end(id) {
-                    self.push(next, id, EventKind::ImuTick { step: step + 1 });
-                }
-            }
-            EventKind::CameraTick { step } => {
-                if let Some(job) = self.sessions[id as usize].on_camera_due() {
-                    let arrive = self.link.transfer(Direction::Uplink, now, self.config.job_bytes);
-                    self.record_link_counter(Direction::Uplink, now);
-                    self.push(arrive, id, EventKind::JobArrive(job));
-                }
-                let stride = self.sessions[id as usize].camera_steps();
-                let next = Self::imu_step_time(&self.sessions[id as usize].config, step + stride);
-                if next <= self.session_end(id) {
-                    self.push(next, id, EventKind::CameraTick { step: step + stride });
-                }
-            }
-            EventKind::JobArrive(job) => self.pending_jobs.push(job),
-            EventKind::ServerBatch => {
-                if self.pending_jobs.is_empty() {
-                    return;
-                }
-                let mut jobs = std::mem::take(&mut self.pending_jobs);
-                let bounded = self.scheduler.schedule_batch_bounded(now, jobs.len());
-                if bounded.shed > 0 {
-                    // Shed the oldest jobs: their poses are the
-                    // stalest, and the session falls back to its last
-                    // delivered pose either way.
-                    jobs.drain(..bounded.shed);
-                    if self.tracer.is_enabled() {
-                        self.tracer.counter(
-                            "vio_pool",
-                            "vio_pool.shed",
-                            now.as_nanos(),
-                            self.scheduler.stats().shed_jobs as f64,
-                        );
-                    }
-                }
-                let Some(placed) = bounded.placement else {
-                    return;
-                };
-                if self.tracer.is_enabled() {
-                    self.tracer.record_span_args(
-                        &format!("vio_pool/w{}", placed.worker),
-                        "vio_batch",
-                        placed.start.as_nanos(),
-                        placed.end.as_nanos(),
-                        &[("jobs", format!("{}", jobs.len()))],
-                    );
-                }
-                if self.metrics.is_enabled() {
-                    self.metrics.record_ns(
-                        "vio_pool.batch_latency",
-                        placed.end.as_nanos().saturating_sub(now.as_nanos()),
-                    );
-                    self.metrics.record_ns(
-                        "vio_pool.batch_wait",
-                        placed.start.as_nanos().saturating_sub(now.as_nanos()),
-                    );
-                }
-                self.push(placed.end, u32::MAX, EventKind::VioComplete(jobs));
-            }
-            EventKind::VioComplete(jobs) => {
-                for job in jobs {
-                    let sid = job.session;
-                    if !self.session_is_attached(sid) {
-                        continue;
-                    }
-                    let pose = self.run_vio(&job);
-                    let arrive =
-                        self.link.transfer(Direction::Downlink, now, self.config.pose_bytes);
-                    self.record_link_counter(Direction::Downlink, now);
-                    self.push(arrive, sid, EventKind::PoseDeliver(pose));
-                }
-            }
-            EventKind::PoseDeliver(pose) => {
-                if self.session_is_attached(id) {
-                    self.sessions[id as usize].on_pose_delivered(pose);
-                }
-            }
-            EventKind::RequestArrive(request) => {
-                let done = now + self.config.render_cost;
-                if self.tracer.is_enabled() {
-                    self.tracer.record_span_args(
-                        &format!("render/s{id}"),
-                        "render",
-                        now.as_nanos(),
-                        done.as_nanos(),
-                        &[("seq", format!("{}", request.seq))],
-                    );
-                }
-                self.push(done, id, EventKind::TokenRendered(request));
-            }
-            EventKind::TokenRendered(request) => {
-                let token = RenderToken {
-                    seq: request.seq,
-                    pose_timestamp: request.pose_timestamp,
-                    requested_at: request.requested_at,
-                };
-                let arrive = self.link.transfer(Direction::Downlink, now, self.config.token_bytes);
-                self.record_link_counter(Direction::Downlink, now);
-                self.push(arrive, id, EventKind::TokenDeliver(token));
-            }
-            EventKind::TokenDeliver(token) => {
-                if self.session_is_attached(id) {
-                    self.sessions[id as usize].on_token_delivered(token);
-                }
-            }
-            EventKind::Vsync { index } => {
-                if let Some(request) =
-                    self.sessions[id as usize].on_vsync(now, self.config.warp_cost)
-                {
-                    let arrive =
-                        self.link.transfer(Direction::Uplink, now, self.config.request_bytes);
-                    self.record_link_counter(Direction::Uplink, now);
-                    self.push(arrive, id, EventKind::RequestArrive(request));
-                }
-                let next = Self::vsync_time(&self.sessions[id as usize].config, index + 1);
-                if next <= self.session_end(id) {
-                    self.push(next, id, EventKind::Vsync { index: index + 1 });
-                }
-            }
-            EventKind::Disconnect => {
-                if self.session_is_attached(id) {
-                    self.sessions[id as usize].disconnect();
-                }
-            }
-        }
-    }
-
-    /// Samples one direction's queue backlog (in milliseconds) onto the
-    /// `link` counter track, right after a transfer was enqueued.
-    fn record_link_counter(&self, direction: Direction, now: Time) {
-        if !self.tracer.is_enabled() {
-            return;
-        }
-        let name = match direction {
-            Direction::Uplink => "uplink_queue_ms",
-            Direction::Downlink => "downlink_queue_ms",
-        };
-        let backlog = self.link.queue_delay(direction, now);
-        self.tracer.counter("link", name, now.as_nanos(), backlog.as_secs_f64() * 1e3);
-    }
-
-    fn session_is_attached(&self, id: u32) -> bool {
-        matches!(self.sessions[id as usize].state, SessionState::Running | SessionState::Degraded)
-    }
-
-    fn on_connect(&mut self, now: Time, id: u32) {
-        let offered = self.offered_load(&self.sessions[id as usize].config);
-        let load_before = self.current_load();
-        let decision = self.admission.admit(now, id, load_before, offered);
-        let degraded = match decision {
-            crate::admission::AdmissionDecision::Accept => false,
-            crate::admission::AdmissionDecision::Degrade => true,
-            crate::admission::AdmissionDecision::Reject => {
-                self.sessions[id as usize].state = SessionState::Rejected;
-                return;
-            }
-        };
-        let first_step = self.sessions[id as usize].connect(now, degraded);
-        let config = self.sessions[id as usize].config;
-        // Server-side VIO starts from ground truth at the connect time,
-        // the standard benchmark initialization.
-        if self.config.real_vio {
-            let trajectory = self.sessions[id as usize].trajectory();
-            let initial = ImuState::from_pose(
-                Self::imu_step_time(&config, first_step),
-                trajectory.pose(now),
-                trajectory.velocity(now),
-            );
-            self.server_side[id as usize].filter =
-                Some(Msckf::new(VioConfig::fast(PinholeCamera::qvga()), initial));
-        }
-        let end = self.session_end(id);
-        self.push(
-            Self::imu_step_time(&config, first_step),
-            id,
-            EventKind::ImuTick { step: first_step },
-        );
-        // First camera frame one full period after connect, so its IMU
-        // window is populated.
-        let stride = self.sessions[id as usize].camera_steps();
-        let cam_step = first_step + stride;
-        if Self::imu_step_time(&config, cam_step) <= end {
-            self.push(
-                Self::imu_step_time(&config, cam_step),
-                id,
-                EventKind::CameraTick { step: cam_step },
-            );
-        }
-        // First vsync strictly after connect.
-        let period = Duration::from_secs_f64(1.0 / config.display_hz).as_nanos() as u64;
-        let vsync_index = now.as_nanos() / period + 1;
-        if Self::vsync_time(&config, vsync_index) <= end {
-            self.push(
-                Self::vsync_time(&config, vsync_index),
-                id,
-                EventKind::Vsync { index: vsync_index },
-            );
-        }
-        if let Some(at) = config.disconnect_at {
-            if at <= Time::ZERO + self.config.duration {
-                self.push(at, id, EventKind::Disconnect);
-            }
-        }
-    }
-
-    /// Processes one offloaded VIO job, returning the pose estimate to
-    /// ship back.
-    fn run_vio(&mut self, job: &VioJob) -> PoseEstimate {
-        let side = &mut self.server_side[job.session as usize];
-        match side.filter.as_mut() {
-            Some(filter) => {
-                for sample in &job.imu {
-                    filter.process_imu(*sample);
-                }
-                let out = filter.process_frame(&job.frame, None);
-                PoseEstimate {
-                    timestamp: job.frame.timestamp,
-                    pose: out.state.pose,
-                    velocity: out.state.velocity,
-                }
-            }
-            None => {
-                // Ideal-VIO mode: ground truth at the frame time.
-                let trajectory = self.sessions[job.session as usize].trajectory();
-                PoseEstimate {
-                    timestamp: job.frame.timestamp,
-                    pose: trajectory.pose(job.frame.timestamp),
-                    velocity: trajectory.velocity(job.frame.timestamp),
-                }
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::SchedulerStats;
+    use illixr_core::Time;
 
-    fn quick(n: usize) -> ServerConfig {
-        ServerConfig::new(n, Duration::from_secs(2))
+    fn quick(n: usize) -> ServerBuilder {
+        ServerBuilder::new().sessions(n).duration(Duration::from_secs(2))
     }
 
     #[test]
     fn zero_sessions_is_an_empty_run() {
-        let report = MultiSessionServer::new(quick(0)).run();
-        assert!(report.sessions.is_empty());
+        let report = quick(0).build().run();
+        assert_eq!(report.session_count(), 0);
+        assert!(report.sessions().next().is_none());
         assert!(report.admission.is_empty());
         assert_eq!(report.mean_mtp(), Duration::ZERO);
         assert_eq!(report.drop_rate(), 0.0);
@@ -959,50 +663,58 @@ mod tests {
 
     #[test]
     fn single_session_runs_the_full_pipeline() {
-        let report = MultiSessionServer::new(quick(1)).run();
+        let report = quick(1).build().run();
         assert_eq!(report.admitted(), 1);
-        let s = &report.sessions[0];
-        assert_eq!(s.state, SessionState::Disconnected);
+        let s = report.session(0).expect("session 0 exists");
+        assert_eq!(s.state(), SessionState::Disconnected);
         // 2 s at 15 Hz minus the first period: ~29 jobs.
-        assert!(s.telemetry.vio_jobs >= 25, "jobs {}", s.telemetry.vio_jobs);
-        assert!(s.telemetry.poses_received >= 20, "poses {}", s.telemetry.poses_received);
-        assert!(s.telemetry.frames_displayed >= 100, "displayed {}", s.telemetry.frames_displayed);
-        assert!(report.mean_mtp() > Duration::ZERO);
+        assert!(s.telemetry().vio_jobs >= 25, "jobs {}", s.telemetry().vio_jobs);
+        assert!(s.telemetry().poses_received >= 20, "poses {}", s.telemetry().poses_received);
+        let mtp = s.mtp();
+        assert!(mtp.displayed >= 100, "displayed {}", mtp.displayed);
+        assert!(mtp.mean > Duration::ZERO);
         // Ideal VIO + prompt anchoring: the fast pose stays accurate.
-        assert!(s.pose_error.unwrap() < 0.5, "pose error {:?}", s.pose_error);
+        assert!(s.pose_error().unwrap() < 0.5, "pose error {:?}", s.pose_error());
         // Stream stats cover the client pipeline.
-        assert!(s.stream_stats.iter().any(|t| t.name == "imu" && t.seq > 900));
+        assert!(s.stream_stats().iter().any(|t| t.name == "imu" && t.seq > 900));
     }
 
     #[test]
     fn rejection_at_saturation() {
-        let mut config = quick(4);
-        // Thresholds so tight only the first session fits.
-        config.admission = AdmissionConfig { degrade_threshold: 0.1, reject_threshold: 0.1 };
-        config.scheduler.workers = 1;
-        config.scheduler.per_job = Duration::from_millis(7); // 15 Hz × 7 ms ≈ 0.105 load
-        let report = MultiSessionServer::new(config).run();
+        let report = quick(4)
+            .tune(|c| {
+                // Thresholds so tight only the first session fits.
+                c.admission = AdmissionConfig { degrade_threshold: 0.1, reject_threshold: 0.1 };
+                c.scheduler.workers = 1;
+                c.scheduler.per_job = Duration::from_millis(7); // 15 Hz × 7 ms ≈ 0.105 load
+            })
+            .build()
+            .run();
         assert_eq!(report.count(SessionState::Rejected), 3);
         assert_eq!(report.admitted(), 1);
         // Rejected sessions produced no traffic.
-        for s in &report.sessions[1..] {
-            assert_eq!(s.telemetry.vio_jobs, 0);
-            assert_eq!(s.telemetry.frames_displayed + s.telemetry.frames_dropped, 0);
+        for s in report.sessions().skip(1) {
+            assert_eq!(s.telemetry().vio_jobs, 0);
+            let mtp = s.mtp();
+            assert_eq!(mtp.displayed + mtp.dropped, 0);
         }
     }
 
     #[test]
     fn degraded_sessions_run_at_half_rate() {
-        let mut config = quick(2);
-        // First session accepted, second lands in the degrade band.
-        config.admission = AdmissionConfig { degrade_threshold: 0.13, reject_threshold: 0.5 };
-        config.scheduler.workers = 1;
-        config.scheduler.per_job = Duration::from_millis(7);
-        let report = MultiSessionServer::new(config).run();
-        assert_eq!(report.sessions[0].state, SessionState::Disconnected);
+        let report = quick(2)
+            .tune(|c| {
+                // First session accepted, second lands in the degrade band.
+                c.admission = AdmissionConfig { degrade_threshold: 0.13, reject_threshold: 0.5 };
+                c.scheduler.workers = 1;
+                c.scheduler.per_job = Duration::from_millis(7);
+            })
+            .build()
+            .run();
+        assert_eq!(report.session(0).unwrap().state(), SessionState::Disconnected);
         assert_eq!(report.count(SessionState::Rejected), 0);
-        let full = report.sessions[0].telemetry.vio_jobs;
-        let half = report.sessions[1].telemetry.vio_jobs;
+        let full = report.session(0).unwrap().telemetry().vio_jobs;
+        let half = report.session(1).unwrap().telemetry().vio_jobs;
         assert!(
             half * 2 <= full + 2 && half * 2 + 4 >= full,
             "degraded session should send about half the jobs: {half} vs {full}"
@@ -1012,24 +724,25 @@ mod tests {
 
     #[test]
     fn mid_run_disconnect_stops_traffic() {
-        let mut config = quick(1);
-        config.sessions[0].disconnect_at = Some(Time::from_millis(500));
-        let report = MultiSessionServer::new(config).run();
-        let s = &report.sessions[0];
-        assert_eq!(s.state, SessionState::Disconnected);
+        let report = quick(1)
+            .configure_session(0, |s| s.disconnect_at = Some(Time::from_millis(500)))
+            .build()
+            .run();
+        let s = report.session(0).unwrap();
+        assert_eq!(s.state(), SessionState::Disconnected);
         // Only the first half-second of vsyncs happened: ≤ 60 of 240.
-        let vsyncs = s.telemetry.frames_displayed + s.telemetry.frames_dropped;
+        let mtp = s.mtp();
+        let vsyncs = mtp.displayed + mtp.dropped;
         assert!(vsyncs <= 61, "vsyncs after disconnect: {vsyncs}");
-        assert!(s.telemetry.vio_jobs <= 8);
+        assert!(s.telemetry().vio_jobs <= 8);
     }
 
     #[test]
     fn staggered_connect_joins_late() {
-        let mut config = quick(2);
-        config.sessions[1].connect_at = Time::from_millis(1000);
-        let report = MultiSessionServer::new(config).run();
-        let early = report.sessions[0].telemetry.vio_jobs;
-        let late = report.sessions[1].telemetry.vio_jobs;
+        let report =
+            quick(2).configure_session(1, |s| s.connect_at = Time::from_millis(1000)).build().run();
+        let early = report.session(0).unwrap().telemetry().vio_jobs;
+        let late = report.session(1).unwrap().telemetry().vio_jobs;
         assert!(late < early, "late joiner sends fewer jobs: {late} vs {early}");
         assert!(late >= 10, "late joiner still runs its second half: {late}");
         assert_eq!(report.admission[1].time, Time::from_millis(1000));
@@ -1037,23 +750,62 @@ mod tests {
 
     #[test]
     fn identical_runs_are_bit_identical() {
-        let a = MultiSessionServer::new(quick(3)).run().summary_text();
-        let b = MultiSessionServer::new(quick(3)).run().summary_text();
+        let a = quick(3).build().run().summary_text();
+        let b = quick(3).build().run().summary_text();
         assert_eq!(a, b);
     }
 
     #[test]
+    fn reports_are_invariant_to_shard_count() {
+        // The FNV shard map only places state; it must never leak into
+        // results. One shard serializes everything; seven is coprime
+        // with every stride the batch loop sees.
+        let run = |shards| quick(6).shards(shards).build().run().summary_text();
+        let one = run(1);
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(7));
+    }
+
+    #[test]
+    fn reports_are_invariant_to_worker_count_and_ring_capacity() {
+        // Forcing workers=4 with a tiny ring exercises the threaded
+        // fan-out path and ring backpressure; the report must match the
+        // inline path bit-for-bit.
+        let inline = quick(8)
+            .tune(|c| {
+                c.admission.degrade_threshold = 10.0;
+                c.admission.reject_threshold = 10.0;
+            })
+            .workers(1)
+            .build()
+            .run()
+            .summary_text();
+        let threaded = quick(8)
+            .tune(|c| {
+                c.admission.degrade_threshold = 10.0;
+                c.admission.reject_threshold = 10.0;
+            })
+            .workers(4)
+            .ring_capacity(2)
+            .build()
+            .run()
+            .summary_text();
+        assert_eq!(inline, threaded);
+    }
+
+    #[test]
     fn recorded_server_run_replays_bit_identically() {
-        let recorded = MultiSessionServer::new(quick(1).with_boundary_record()).run();
+        let recorded = quick(1).record_boundary(true).build().run();
         let trace = recorded.boundary_trace.clone().expect("recording enabled");
         assert!(trace.record_count() > 0, "boundary saw traffic");
 
-        let mut replay_cfg = quick(1)
-            .with_boundary_record()
-            .with_replay(ReplayLoad::identity(Arc::new(trace.clone())));
-        // Different session seed: replay must not depend on it.
-        replay_cfg.sessions[0].seed ^= 0xABCD;
-        let replayed = MultiSessionServer::new(replay_cfg).run();
+        let replayed = quick(1)
+            .record_boundary(true)
+            .replay(ReplayLoad::identity(Arc::new(trace.clone())))
+            // Different session seed: replay must not depend on it.
+            .configure_session(0, |s| s.seed ^= 0xABCD)
+            .build()
+            .run();
 
         assert_eq!(
             recorded.summary_text(),
@@ -1066,31 +818,39 @@ mod tests {
 
     #[test]
     fn fan_out_replay_is_deterministic_and_phase_shifted() {
-        let recorded = MultiSessionServer::new(quick(1).with_boundary_record()).run();
+        let recorded = quick(1).record_boundary(true).build().run();
         let trace = Arc::new(recorded.boundary_trace.expect("recording enabled"));
 
         let load = ReplayLoad::fan_out(trace, 42, Duration::from_millis(40), 0.05);
         let run = || {
-            let mut cfg = quick(4);
-            cfg.admission.degrade_threshold = 10.0; // admit everyone
-            cfg.admission.reject_threshold = 10.0;
-            MultiSessionServer::new(cfg.with_replay(load.clone())).run()
+            quick(4)
+                .tune(|c| {
+                    c.admission.degrade_threshold = 10.0; // admit everyone
+                    c.admission.reject_threshold = 10.0;
+                })
+                .replay(load.clone())
+                .build()
+                .run()
         };
         let a = run();
         let b = run();
         assert_eq!(a.summary_text(), b.summary_text(), "fan-out reruns diverged");
         // Every synthetic session actually produced traffic.
-        for s in &a.sessions {
-            assert!(s.telemetry.vio_jobs > 10, "session {} jobs {}", s.id, s.telemetry.vio_jobs);
-            assert!(s.telemetry.frames_displayed > 0, "session {} displayed 0", s.id);
+        for s in a.sessions() {
+            assert!(
+                s.telemetry().vio_jobs > 10,
+                "session {} jobs {}",
+                s.id(),
+                s.telemetry().vio_jobs
+            );
+            assert!(s.mtp().displayed > 0, "session {} displayed 0", s.id());
         }
         // Session 0 replays at identity; the jittered sessions lag it.
-        let j0 = a.sessions[0].telemetry.vio_jobs;
+        let j0 = a.session(0).unwrap().telemetry().vio_jobs;
+        let m0 = a.session(0).unwrap().mtp().mean;
         assert!(
-            a.sessions[1..].iter().any(|s| s.telemetry.vio_jobs != j0)
-                || a.sessions[1..]
-                    .iter()
-                    .any(|s| s.telemetry.mean_mtp() != a.sessions[0].telemetry.mean_mtp()),
+            a.sessions().skip(1).any(|s| s.telemetry().vio_jobs != j0)
+                || a.sessions().skip(1).any(|s| s.mtp().mean != m0),
             "transforms should differentiate the sessions"
         );
     }
@@ -1107,16 +867,19 @@ mod tests {
             per_job: Duration::from_millis(11),
             placement,
         };
-        let mut unbounded = quick(8);
-        unbounded.admission.degrade_threshold = 10.0; // isolate the pool
-        unbounded.admission.reject_threshold = 10.0;
-        unbounded.scheduler = slow_pool(crate::scheduler::PlacementPolicy::EarliestFree);
-        let mut bounded = unbounded.clone();
-        bounded.scheduler = slow_pool(crate::scheduler::PlacementPolicy::DeadlineAware {
+        let base = |placement| {
+            quick(8).tune(move |c| {
+                c.admission.degrade_threshold = 10.0; // isolate the pool
+                c.admission.reject_threshold = 10.0;
+                c.scheduler = slow_pool(placement);
+            })
+        };
+        let free = base(crate::scheduler::PlacementPolicy::EarliestFree).build().run();
+        let capped = base(crate::scheduler::PlacementPolicy::DeadlineAware {
             deadline: Duration::from_millis(60),
-        });
-        let free = MultiSessionServer::new(unbounded).run();
-        let capped = MultiSessionServer::new(bounded).run();
+        })
+        .build()
+        .run();
         assert_eq!(free.scheduler.shed_jobs, 0);
         assert!(capped.scheduler.shed_jobs > 0, "overloaded pool must shed");
         // The point of shedding: batch pickup delay stays bounded by
@@ -1136,14 +899,19 @@ mod tests {
 
     #[test]
     fn contention_grows_mtp_with_session_count() {
-        let mut narrow = quick(1);
-        narrow.link.downlink_bps = 60e6; // tight enough that 6 sessions queue
-        let one = MultiSessionServer::new(narrow.clone()).run();
-        let mut six = narrow.clone();
-        six.sessions = (0..6).map(|i| SessionConfig::new(11 + 2 * i as u64)).collect();
-        six.admission.degrade_threshold = 10.0; // no degradation: isolate queueing
-        six.admission.reject_threshold = 10.0;
-        let many = MultiSessionServer::new(six).run();
+        let narrow = |n: usize| {
+            quick(n).tune(|c| {
+                c.link.downlink_bps = 60e6; // tight enough that 6 sessions queue
+            })
+        };
+        let one = narrow(1).build().run();
+        let many = narrow(6)
+            .tune(|c| {
+                c.admission.degrade_threshold = 10.0; // no degradation: isolate queueing
+                c.admission.reject_threshold = 10.0;
+            })
+            .build()
+            .run();
         assert!(
             many.mean_mtp() > one.mean_mtp(),
             "contention must raise MTP: {:?} vs {:?}",

@@ -20,7 +20,7 @@ use illixr_core::boundary::Boundary;
 use illixr_core::fault::FaultPlan;
 use illixr_core::plugin::{Plugin, PluginContext, RuntimeBuilder};
 use illixr_core::switchboard::{AsyncReader, SyncReader, Writer};
-use illixr_core::{Clock, Time, TopicStats};
+use illixr_core::{Clock, SlabFrame, SlabPool, Time, TopicStats};
 use illixr_qoe::mtp::MtpCalculator;
 use illixr_sensors::camera::{PinholeCamera, StereoRig};
 use illixr_sensors::imu::ImuNoise;
@@ -93,6 +93,12 @@ impl SessionState {
 
 /// One unit of offloaded VIO work: a camera frame plus the IMU window
 /// covering it.
+///
+/// Zero-copy by construction: the stereo images are `Arc`-shared and
+/// the IMU window lives in a pooled [`SlabFrame`], so cloning a job —
+/// uplink queue, scheduler batch, VIO worker — never copies payload
+/// bytes, and dropping the last clone recycles the window's allocation
+/// into the owning session's slab pool.
 #[derive(Debug, Clone)]
 pub struct VioJob {
     /// Originating session.
@@ -100,7 +106,7 @@ pub struct VioJob {
     /// The frame to process.
     pub frame: StereoFrame,
     /// IMU samples since the previous frame, through the frame time.
-    pub imu: Vec<ImuSample>,
+    pub imu: SlabFrame<Vec<ImuSample>>,
 }
 
 /// A request for one cloud-rendered frame, stamped with the freshest
@@ -206,8 +212,11 @@ pub struct ClientSession {
     slow_pose_writer: Option<Writer<PoseEstimate>>,
     fast_pose: Option<AsyncReader<PoseEstimate>>,
     mtp: MtpCalculator,
-    /// IMU window accumulating between camera frames.
-    imu_window: Vec<ImuSample>,
+    /// Slab pool recycling IMU-window allocations across frames.
+    slab: SlabPool<Vec<ImuSample>>,
+    /// IMU window accumulating between camera frames (unique until it
+    /// ships inside a [`VioJob`]).
+    imu_window: SlabFrame<Vec<ImuSample>>,
     /// Newest undisplayed token plus its arrival time at the client.
     latest_token: Option<(RenderToken, Time)>,
     displayed_seq: Option<u64>,
@@ -242,6 +251,9 @@ impl ClientSession {
         let trajectory = Trajectory::walking(config.seed);
         let world = Arc::new(LandmarkWorld::lab(config.seed));
         let rig = StereoRig::zed_mini(PinholeCamera::qvga());
+        // Two windows cycle per session: one filling, one in flight
+        // inside a [`VioJob`]; a few spare slots absorb batching jitter.
+        let slab = SlabPool::new(4);
         Self {
             id,
             config,
@@ -266,7 +278,8 @@ impl ClientSession {
             slow_pose_writer: None,
             fast_pose: None,
             mtp: MtpCalculator::new(Duration::from_secs_f64(1.0 / config.display_hz)),
-            imu_window: Vec::new(),
+            imu_window: slab.take(),
+            slab,
             latest_token: None,
             displayed_seq: None,
             request_seq: 0,
@@ -377,7 +390,7 @@ impl ClientSession {
         self.integrator.iterate(&self.ctx);
         let reader = self.imu_reader.as_ref().expect("connect() must run first");
         for s in reader.drain_iter() {
-            self.imu_window.push(s.data);
+            self.imu_window.make_mut().push(s.data);
         }
     }
 
@@ -391,7 +404,9 @@ impl ClientSession {
         let reader = self.camera_reader.as_ref().expect("connect() must run first");
         // Newest wins if a replaying camera caught up several frames.
         let frame = reader.drain_iter().last()?.data.clone();
-        let imu = std::mem::take(&mut self.imu_window);
+        // Swap in a recycled slab frame; the filled window ships in the
+        // job as a shared, zero-copy payload.
+        let imu = std::mem::replace(&mut self.imu_window, self.slab.take());
         self.telemetry.vio_jobs += 1;
         Some(VioJob { session: self.id, frame, imu })
     }

@@ -13,41 +13,44 @@
 use std::time::Duration;
 
 use illixr_testbed::core::Time;
-use illixr_testbed::server::{MultiSessionServer, ServerConfig};
+use illixr_testbed::server::{ServerBuilder, SessionState};
 
 fn main() {
     println!("ILLIXR-rs multi-session server: 8 clients, 5 simulated seconds\n");
-    let mut config = ServerConfig::new(8, Duration::from_secs(5));
-    config.real_vio = true;
-    // Session 5 joins halfway through; session 2 leaves early.
-    config.sessions[5].connect_at = Time::from_millis(2500);
-    config.sessions[2].disconnect_at = Some(Time::from_millis(1500));
-
-    let report = MultiSessionServer::new(config).run();
+    let report = ServerBuilder::new()
+        .sessions(8)
+        .duration(Duration::from_secs(5))
+        .real_vio(true)
+        // Session 5 joins halfway through; session 2 leaves early.
+        .configure_session(5, |s| s.connect_at = Time::from_millis(2500))
+        .configure_session(2, |s| s.disconnect_at = Some(Time::from_millis(1500)))
+        .build()
+        .run();
 
     println!(
         "admitted {} of {} ({} degraded, {} rejected)\n",
         report.admitted(),
-        report.sessions.len(),
+        report.session_count(),
         report.degraded(),
-        report.count(illixr_testbed::server::SessionState::Rejected),
+        report.count(SessionState::Rejected),
     );
     println!(
         "{:<8} {:>12} {:>11} {:>10} {:>8} {:>8} {:>7} {:>10}",
         "session", "mtp_mean_ms", "mtp_p99_ms", "displayed", "dropped", "jobs", "poses", "err_cm"
     );
     println!("{}", "-".repeat(82));
-    for s in &report.sessions {
+    for s in report.sessions() {
+        let mtp = s.mtp();
         println!(
             "{:<8} {:>12.2} {:>11.2} {:>10} {:>8} {:>8} {:>7} {:>10}",
-            s.id,
-            s.telemetry.mean_mtp().as_secs_f64() * 1e3,
-            s.telemetry.p99_mtp().as_secs_f64() * 1e3,
-            s.telemetry.frames_displayed,
-            s.telemetry.frames_dropped,
-            s.telemetry.vio_jobs,
-            s.telemetry.poses_received,
-            s.pose_error.map_or("-".to_string(), |e| format!("{:.1}", e * 100.0)),
+            s.id(),
+            mtp.mean.as_secs_f64() * 1e3,
+            mtp.p99.as_secs_f64() * 1e3,
+            mtp.displayed,
+            mtp.dropped,
+            s.telemetry().vio_jobs,
+            s.telemetry().poses_received,
+            s.pose_error().map_or("-".to_string(), |e| format!("{:.1}", e * 100.0)),
         );
     }
     println!(

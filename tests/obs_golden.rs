@@ -9,12 +9,12 @@ use std::time::Duration;
 use illixr_core::obs::{chrome_trace_json, metrics_csv};
 use illixr_platform::spec::Platform;
 use illixr_render::apps::Application;
-use illixr_server::server::{MultiSessionServer, ServerConfig};
+use illixr_server::ServerBuilder;
 use illixr_system::experiment::{ExperimentConfig, IntegratedExperiment};
 
 fn traced_server_artifacts() -> (String, String) {
-    let config = ServerConfig::new(3, Duration::from_secs(2)).with_trace();
-    let report = MultiSessionServer::new(config).run();
+    let report =
+        ServerBuilder::new().sessions(3).duration(Duration::from_secs(2)).trace(true).build().run();
     (chrome_trace_json(&report.tracer), metrics_csv(&report.metrics))
 }
 
@@ -50,8 +50,8 @@ fn server_trace_contains_pipeline_spans_and_flow_events() {
 
 #[test]
 fn server_mtp_stage_means_sum_to_total() {
-    let config = ServerConfig::new(2, Duration::from_secs(2)).with_trace();
-    let report = MultiSessionServer::new(config).run();
+    let report =
+        ServerBuilder::new().sessions(2).duration(Duration::from_secs(2)).trace(true).build().run();
     let mean = |name: &str| {
         let h = report.metrics.snapshot(name).unwrap_or_else(|| panic!("no histogram {name}"));
         h.sum_ns as f64 / h.count.max(1) as f64
@@ -95,7 +95,7 @@ fn experiment_trace_is_deterministic_and_decomposes_mtp() {
 
 #[test]
 fn untraced_runs_record_nothing() {
-    let report = MultiSessionServer::new(ServerConfig::new(1, Duration::from_secs(1))).run();
+    let report = ServerBuilder::new().sessions(1).duration(Duration::from_secs(1)).build().run();
     assert!(!report.tracer.is_enabled());
     assert!(report.tracer.spans().is_empty());
     assert!(report.metrics.snapshots().is_empty());

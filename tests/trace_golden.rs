@@ -19,7 +19,7 @@ use illixr_core::supervisor::SupervisionPolicy;
 use illixr_platform::spec::Platform;
 use illixr_render::apps::Application;
 use illixr_server::server::ReplayLoad;
-use illixr_server::{MultiSessionServer, ServerConfig};
+use illixr_server::ServerBuilder;
 use illixr_system::experiment::{ExperimentConfig, ExperimentResult, IntegratedExperiment};
 use proptest::prelude::*;
 
@@ -137,25 +137,25 @@ fn corrupt_fixture_bytes_are_rejected() {
 fn fan_out_to_64_sessions_is_deterministic_across_reruns() {
     let duration = Duration::from_secs(1);
     let recorded =
-        MultiSessionServer::new(ServerConfig::new(1, duration).with_boundary_record()).run();
+        ServerBuilder::new().sessions(1).duration(duration).record_boundary(true).build().run();
     let trace = Arc::new(recorded.boundary_trace.expect("recording enabled"));
 
     let run = || {
-        let mut cfg = ServerConfig::new(64, duration);
-        cfg.admission.degrade_threshold = 10.0;
-        cfg.admission.reject_threshold = 10.0;
-        MultiSessionServer::new(cfg.with_replay(ReplayLoad::fan_out(
-            trace.clone(),
-            7,
-            Duration::from_millis(40),
-            0.05,
-        )))
-        .run()
+        ServerBuilder::new()
+            .sessions(64)
+            .duration(duration)
+            .tune(|cfg| {
+                cfg.admission.degrade_threshold = 10.0;
+                cfg.admission.reject_threshold = 10.0;
+            })
+            .replay(ReplayLoad::fan_out(trace.clone(), 7, Duration::from_millis(40), 0.05))
+            .build()
+            .run()
     };
     let a = run();
     let b = run();
     assert_eq!(a.summary_text(), b.summary_text(), "64-session fan-out reruns diverged");
-    let displayed: u64 = a.sessions.iter().map(|s| s.telemetry.frames_displayed).sum();
+    let displayed: u64 = a.sessions().map(|s| s.mtp().displayed).sum();
     assert!(displayed > 64, "fan-out sessions should display frames: {displayed}");
 }
 
