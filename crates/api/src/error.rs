@@ -1,0 +1,60 @@
+//! Typed session-negotiation and runtime errors.
+
+use core::fmt;
+
+use crate::types::{Feature, SessionMode};
+
+/// Why a session could not be created or a session-level request was
+/// refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No registered backend at all, or none that got as far as mode
+    /// matching.
+    NoMatchingDevice,
+    /// A backend exists but none supports the requested mode.
+    UnsupportedMode(SessionMode),
+    /// A required feature is unsupported by every mode-matching
+    /// backend.
+    RequiredFeatureDenied(Feature),
+    /// A runtime request (e.g. a hit-test subscription) needs a feature
+    /// the session was not granted.
+    FeatureUnavailable(Feature),
+    /// The backend refused for its own reasons (e.g. the remote server
+    /// already ran its timeline).
+    Backend(String),
+}
+
+impl SessionError {
+    /// How specific the error is: when several backends fail for
+    /// different reasons, [`crate::Registry::request_session`] reports
+    /// the most specific one.
+    pub(crate) fn specificity(&self) -> u8 {
+        match self {
+            SessionError::NoMatchingDevice => 0,
+            SessionError::UnsupportedMode(_) => 1,
+            SessionError::Backend(_) => 2,
+            SessionError::FeatureUnavailable(_) => 3,
+            SessionError::RequiredFeatureDenied(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoMatchingDevice => write!(f, "no matching XR device"),
+            SessionError::UnsupportedMode(mode) => {
+                write!(f, "no backend supports session mode {}", mode.label())
+            }
+            SessionError::RequiredFeatureDenied(feature) => {
+                write!(f, "required feature {} denied", feature.name())
+            }
+            SessionError::FeatureUnavailable(feature) => {
+                write!(f, "feature {} was not granted to this session", feature.name())
+            }
+            SessionError::Backend(reason) => write!(f, "backend error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}

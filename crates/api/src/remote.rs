@@ -1,0 +1,277 @@
+//! The remote backend: opens sessions against `illixr-server`'s
+//! event-driven multi-session engine.
+//!
+//! All sessions requested from one [`RemoteDiscovery`] share one
+//! server: each `build_device` appends a [`SessionConfig`] (standard
+//! seed `11 + 2·id`, rates and admission load-weight derived from the
+//! negotiated mode and features), and the first `wait_frame` on any
+//! device runs the whole server timeline once via [`ServerBuilder`].
+//! This is how mixed inline / immersive-VR / immersive-AR sessions
+//! coexist on a single server, and it keeps the identity contract: an
+//! `immersive-vr` session with default features contributes exactly
+//! `SessionConfig::new(seed)`, so a single-session run's
+//! [`DeviceApi::report`] (the server's `summary_text()`) is
+//! bit-identical to a direct
+//! `ServerBuilder::new().sessions(1).duration(d).build().run()`.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use illixr_server::{ServerBuilder, ServerReport, SessionConfig, SessionState};
+
+use crate::device::DeviceApi;
+use crate::error::SessionError;
+use crate::registry::Discovery;
+use crate::types::{
+    floor_hit, scripted_input, views_for, EnvironmentBlendMode, Feature, Frame, HitTestResult, Ray,
+    SessionMode,
+};
+
+/// Parameters for the server-backed backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteConfig {
+    /// Simulated server run length shared by every session.
+    pub duration: Duration,
+    /// Run the real per-session MSCKF server-side (slower; defaults to
+    /// the cheap ground-truth mode, matching `ServerBuilder`).
+    pub real_vio: bool,
+}
+
+impl Default for RemoteConfig {
+    /// 2 simulated seconds, cheap VIO.
+    fn default() -> Self {
+        Self { duration: Duration::from_secs(2), real_vio: false }
+    }
+}
+
+/// Additional admission load-weight per negotiated feature: hand
+/// tracking, hit testing and anchors all add per-frame server work the
+/// raw byte rates don't capture.
+fn load_weight(mode: SessionMode, granted: &[Feature]) -> f64 {
+    let mut weight = 1.0;
+    if granted.contains(&Feature::HandTracking) {
+        weight += 0.25;
+    }
+    if granted.contains(&Feature::HitTest) {
+        weight += 0.2;
+    }
+    if granted.contains(&Feature::Anchors) {
+        weight += 0.15;
+    }
+    if mode == SessionMode::Inline {
+        // Inline sessions composite at 60 Hz into a flat viewport.
+        weight *= 0.5;
+    }
+    weight
+}
+
+/// The server run shared by every device from one discovery.
+struct RemoteShared {
+    config: RemoteConfig,
+    sessions: Vec<SessionConfig>,
+    report: Option<Arc<ServerReport>>,
+}
+
+impl RemoteShared {
+    /// Runs the server once, with every adopted session aboard.
+    fn ensure_run(&mut self) -> Arc<ServerReport> {
+        if let Some(report) = &self.report {
+            return report.clone();
+        }
+        let mut builder = ServerBuilder::new()
+            .sessions(self.sessions.len())
+            .duration(self.config.duration)
+            .real_vio(self.config.real_vio);
+        for (i, session) in self.sessions.iter().enumerate() {
+            let config = *session;
+            builder = builder.configure_session(i, move |s| *s = config);
+        }
+        let report = Arc::new(builder.build().run());
+        self.report = Some(report.clone());
+        report
+    }
+}
+
+/// Registers devices that adopt sessions into one shared server run.
+pub struct RemoteDiscovery {
+    shared: Arc<Mutex<RemoteShared>>,
+}
+
+impl RemoteDiscovery {
+    /// A discovery whose devices will share one server run.
+    pub fn new(config: RemoteConfig) -> Self {
+        Self {
+            shared: Arc::new(Mutex::new(RemoteShared {
+                config,
+                sessions: Vec::new(),
+                report: None,
+            })),
+        }
+    }
+
+    /// Runs the server (if it has not run yet) and returns the full
+    /// report — the aggregate view across every adopted session.
+    pub fn server_report(&self) -> Arc<ServerReport> {
+        self.shared.lock().expect("remote state lock").ensure_run()
+    }
+
+    /// A second handle onto the same shared server run — lets a caller
+    /// keep an aggregate-report view after registering the discovery.
+    pub fn handle(&self) -> RemoteDiscovery {
+        Self { shared: self.shared.clone() }
+    }
+}
+
+impl Discovery for RemoteDiscovery {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn supports_mode(&self, _mode: SessionMode) -> bool {
+        true
+    }
+
+    fn supported_features(&self, _mode: SessionMode) -> Vec<Feature> {
+        Feature::ALL.to_vec()
+    }
+
+    fn build_device(
+        &mut self,
+        mode: SessionMode,
+        granted: &[Feature],
+    ) -> Result<Box<dyn DeviceApi>, SessionError> {
+        let mut shared = self.shared.lock().expect("remote state lock");
+        if shared.report.is_some() {
+            return Err(SessionError::Backend(
+                "remote server already ran its timeline; open every session before the first \
+                 frame"
+                    .to_owned(),
+            ));
+        }
+        let id = shared.sessions.len() as u32;
+        let seed = 11 + 2 * u64::from(id);
+        let mut config = SessionConfig::new(seed);
+        if mode == SessionMode::Inline {
+            config.display_hz = 60.0;
+        }
+        config.load_weight = load_weight(mode, granted);
+        shared.sessions.push(config);
+        Ok(Box::new(RemoteDevice {
+            shared: self.shared.clone(),
+            id,
+            seed,
+            mode,
+            granted: granted.to_vec(),
+            frames: None,
+            cursor: 0,
+            state: SessionState::Pending,
+            report: String::new(),
+        }))
+    }
+}
+
+/// One adopted server session, replaying its displayed-frame log.
+struct RemoteDevice {
+    shared: Arc<Mutex<RemoteShared>>,
+    id: u32,
+    seed: u64,
+    mode: SessionMode,
+    granted: Vec<Feature>,
+    frames: Option<Vec<Frame>>,
+    cursor: usize,
+    state: SessionState,
+    report: String,
+}
+
+impl RemoteDevice {
+    /// Triggers the shared server run on first use and converts this
+    /// session's displayed-frame telemetry into the frame stream.
+    fn ensure_frames(&mut self) {
+        if self.frames.is_some() {
+            return;
+        }
+        let report = self.shared.lock().expect("remote state lock").ensure_run();
+        let session = report.session(self.id).expect("adopted session exists in report");
+        self.state = session.state();
+        self.report = report.summary_text();
+        let hands = self.granted.contains(&Feature::HandTracking);
+        let frames = session
+            .telemetry()
+            .displayed_frames
+            .iter()
+            .enumerate()
+            .map(|(i, displayed)| Frame {
+                index: i as u64,
+                time: displayed.time,
+                viewer: displayed.pose,
+                views: views_for(self.mode, &displayed.pose),
+                inputs: scripted_input(self.seed, i as u64, &displayed.pose, hands),
+            })
+            .collect();
+        self.frames = Some(frames);
+    }
+}
+
+impl DeviceApi for RemoteDevice {
+    fn backend(&self) -> &'static str {
+        "remote"
+    }
+
+    fn granted_features(&self) -> &[Feature] {
+        &self.granted
+    }
+
+    fn blend_mode(&self) -> EnvironmentBlendMode {
+        self.mode.blend_mode()
+    }
+
+    fn wait_frame(&mut self) -> Option<Frame> {
+        self.ensure_frames();
+        let frames = self.frames.as_ref().expect("ensure_frames populated frames");
+        let frame = frames.get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(frame)
+    }
+
+    fn hit_test(&self, _frame: &Frame, ray: &Ray, source: u32) -> Vec<HitTestResult> {
+        floor_hit(ray, 0.0, source).into_iter().collect()
+    }
+
+    /// The shared server's `summary_text()` — the artifact the golden
+    /// test compares against a direct `ServerBuilder` run.
+    fn report(&self) -> String {
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::types::SessionInit;
+
+    fn quick_config() -> RemoteConfig {
+        RemoteConfig { duration: Duration::from_millis(500), real_vio: false }
+    }
+
+    #[test]
+    fn sessions_after_the_run_started_are_refused() {
+        let discovery = RemoteDiscovery::new(quick_config());
+        let shared = discovery.shared.clone();
+        let mut registry = Registry::new();
+        registry.register(Box::new(discovery));
+        let mut session =
+            registry.request_session(SessionMode::ImmersiveVr, &SessionInit::new()).unwrap();
+        assert!(session.pump().is_some(), "server run should yield frames");
+        let err = registry.request_session(SessionMode::Inline, &SessionInit::new()).unwrap_err();
+        assert!(matches!(err, SessionError::Backend(_)));
+        assert!(shared.lock().unwrap().report.is_some());
+    }
+
+    #[test]
+    fn feature_and_mode_load_weights() {
+        assert_eq!(load_weight(SessionMode::ImmersiveVr, &[Feature::Viewer, Feature::Local]), 1.0);
+        assert!(load_weight(SessionMode::ImmersiveVr, &[Feature::HandTracking]) > 1.0);
+        assert!(load_weight(SessionMode::Inline, &[]) < 1.0);
+    }
+}

@@ -286,6 +286,21 @@ impl<T: Send + Sync + 'static> Topic<T> {
         self.state.subscribers.lock().push(tx);
         SyncReader { rx, name: self.name.clone(), obs: self.obs.clone() }
     }
+
+    /// A synchronous reader with an unbounded queue: the subscription
+    /// never drops events to back-pressure.
+    ///
+    /// Sensor streams want freshness over completeness (a slow consumer
+    /// skips samples, [`Topic::sync_reader`]); *event* streams — XR
+    /// input, hit-test results, session lifecycle — must be lossless
+    /// within a session, since a dropped `SelectEnd` leaves the
+    /// application's input state stuck. The caller owns the memory
+    /// consequence: queued events accumulate until drained.
+    pub fn lossless_reader(&self) -> SyncReader<T> {
+        let (tx, rx) = bounded(usize::MAX);
+        self.state.subscribers.lock().push(tx);
+        SyncReader { rx, name: self.name.clone(), obs: self.obs.clone() }
+    }
 }
 
 /// Publishes events onto a named stream.
@@ -683,6 +698,23 @@ mod tests {
         }
         assert_eq!(w.count(), 10);
         assert_eq!(w.dropped_count(), 8); // queue of 2, 10 published
+    }
+
+    #[test]
+    fn lossless_reader_never_drops() {
+        let sb = Switchboard::new();
+        let t = topic::<u32>(&sb, "xr/input");
+        let w = t.writer();
+        let r = t.lossless_reader();
+        // Far past any bounded reader's default capacity.
+        for i in 0..5000 {
+            w.put(i);
+        }
+        assert_eq!(w.dropped_count(), 0);
+        assert_eq!(r.len(), 5000);
+        let values: Vec<u32> = r.drain_iter().map(|e| e.data).collect();
+        assert_eq!(values.len(), 5000);
+        assert!(values.iter().enumerate().all(|(i, &v)| v == i as u32), "in order, complete");
     }
 
     #[test]

@@ -50,4 +50,6 @@ pub use server::{
     MtpStats, ReplayLoad, Server, ServerBuilder, ServerConfig, ServerReport, SessionHandle,
     SessionReport,
 };
-pub use session::{ClientSession, RenderRequest, RenderToken, SessionConfig, SessionState};
+pub use session::{
+    ClientSession, DisplayedFrame, RenderRequest, RenderToken, SessionConfig, SessionState,
+};

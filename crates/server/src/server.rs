@@ -723,6 +723,44 @@ mod tests {
     }
 
     #[test]
+    fn load_weight_feeds_admission_control() {
+        // Two identical sessions fit; doubling the second session's
+        // feature load weight pushes its projected load past the reject
+        // threshold.
+        let base = || {
+            quick(2).tune(|c| {
+                c.admission = AdmissionConfig { degrade_threshold: 0.25, reject_threshold: 0.2 };
+                c.scheduler.workers = 1;
+                c.scheduler.per_job = Duration::from_millis(7); // ≈ 0.105 load each
+            })
+        };
+        let plain = base().build().run();
+        assert_eq!(plain.count(SessionState::Rejected), 0);
+        let weighted = base().configure_session(1, |s| s.load_weight = 2.0).build().run();
+        assert_eq!(weighted.count(SessionState::Rejected), 1);
+        assert_eq!(weighted.session(0).unwrap().state(), SessionState::Disconnected);
+        // The weight changes admission inputs only — the accepted
+        // session's traffic is untouched.
+        assert_eq!(
+            plain.session(0).unwrap().telemetry().vio_jobs,
+            weighted.session(0).unwrap().telemetry().vio_jobs
+        );
+    }
+
+    #[test]
+    fn displayed_frames_log_matches_mtp_samples() {
+        let report = quick(1).build().run();
+        let t = report.session(0).unwrap().telemetry();
+        assert_eq!(t.displayed_frames.len(), t.mtp_ns.len());
+        assert!(!t.displayed_frames.is_empty());
+        // Display times are strictly increasing vsyncs with finite poses.
+        for pair in t.displayed_frames.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+        }
+        assert!(t.displayed_frames.iter().all(|f| f.pose.is_finite()));
+    }
+
+    #[test]
     fn mid_run_disconnect_stops_traffic() {
         let report = quick(1)
             .configure_session(0, |s| s.disconnect_at = Some(Time::from_millis(500)))

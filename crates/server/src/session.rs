@@ -47,6 +47,12 @@ pub struct SessionConfig {
     pub imu_hz: f64,
     /// Display refresh rate (120 Hz).
     pub display_hz: f64,
+    /// Multiplier on the session's offered-load estimate, fed into
+    /// admission control. `1.0` is a plain session; front-ends raise it
+    /// for sessions whose negotiated features (hand tracking, hit
+    /// testing, anchors) add per-frame server work that the raw
+    /// byte/pool rates don't capture.
+    pub load_weight: f64,
 }
 
 impl SessionConfig {
@@ -59,7 +65,15 @@ impl SessionConfig {
             camera_hz: 15.0,
             imu_hz: 500.0,
             display_hz: 120.0,
+            load_weight: 1.0,
         }
+    }
+
+    /// Sets the admission load-weight multiplier (see
+    /// [`SessionConfig::load_weight`]).
+    pub fn with_load_weight(mut self, weight: f64) -> Self {
+        self.load_weight = weight;
+        self
     }
 }
 
@@ -139,11 +153,27 @@ pub struct RenderToken {
     pub requested_at: Time,
 }
 
+/// One frame the client actually put on its display: the vsync it was
+/// shown at and the pose the late warp used. Session front-ends
+/// (`illixr-api`) reconstruct a client-visible frame stream from this
+/// log after the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisplayedFrame {
+    /// The vsync instant the frame was displayed at.
+    pub time: Time,
+    /// The fast pose the warp used (ground-truth trajectory pose until
+    /// the first server estimate lands).
+    pub pose: illixr_math::Pose,
+}
+
 /// Per-session run counters.
 #[derive(Debug, Clone, Default)]
 pub struct SessionTelemetry {
     /// Total motion-to-photon latency per displayed frame, ns.
     pub mtp_ns: Vec<u64>,
+    /// Per-displayed-frame display time and warp pose, in display
+    /// order (same length as `mtp_ns`).
+    pub displayed_frames: Vec<DisplayedFrame>,
     /// Vsyncs that displayed a fresh cloud frame.
     pub frames_displayed: u64,
     /// Vsyncs with no fresh frame to show.
@@ -439,6 +469,11 @@ impl ClientSession {
                 self.displayed_seq = Some(token.seq);
                 let sample = self.mtp.sample(token.pose_timestamp, now, now + warp_cost);
                 self.telemetry.mtp_ns.push(sample.total().as_nanos() as u64);
+                let pose = self
+                    .latest_fast_pose()
+                    .map(|p| p.pose)
+                    .unwrap_or_else(|| self.trajectory.pose(now));
+                self.telemetry.displayed_frames.push(DisplayedFrame { time: now, pose });
                 self.telemetry.frames_displayed += 1;
                 self.record_frame_obs(&token, arrived, now, &sample);
             }

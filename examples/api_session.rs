@@ -1,0 +1,77 @@
+//! WebXR-style session demo: negotiate an immersive-VR session against
+//! the headless backend (the local integrated pipeline), drain 100
+//! frames plus the input-event stream, and print what negotiation
+//! granted.
+//!
+//! ```bash
+//! cargo run --release --example api_session
+//! ```
+
+use illixr_testbed::api::{
+    Feature, HeadlessConfig, HeadlessDiscovery, Registry, SessionInit, SessionMode,
+};
+
+fn main() {
+    println!("ILLIXR-rs WebXR-style front-end: immersive-vr over the headless backend\n");
+
+    let mut registry = Registry::new();
+    registry.register(Box::new(HeadlessDiscovery::new(HeadlessConfig::default())));
+    println!("registered backends: {:?}", registry.backends());
+    println!(
+        "immersive-vr supported: {}, immersive-ar supported: {}",
+        registry.supports_session(SessionMode::ImmersiveVr),
+        registry.supports_session(SessionMode::ImmersiveAr),
+    );
+
+    // local-floor is a hard requirement; hand tracking and hit-test are
+    // nice-to-have. The headless backend grants the first two and
+    // silently drops hit-test (no world geometry service).
+    let init = SessionInit::new()
+        .required(&[Feature::LocalFloor])
+        .optional(&[Feature::HandTracking, Feature::HitTest]);
+    let mut session = registry
+        .request_session(SessionMode::ImmersiveVr, &init)
+        .expect("headless backend accepts immersive-vr with local-floor");
+
+    println!("\nsession open on '{}' ({})", session.backend(), session.mode().label());
+    print!("negotiated features:");
+    for feature in session.granted_features() {
+        print!(" {}", feature.name());
+    }
+    println!("\nblend mode: {}", session.blend_mode().label());
+
+    let frames = session.frames();
+    let inputs = session.input_events();
+    let delivered = session.run(100);
+    println!("\ndrained {delivered} frames:");
+    for event in frames.drain().iter().step_by(20) {
+        let f = &event.data;
+        println!(
+            "  frame {:>3} t={:>7.1} ms viewer=({:+.3}, {:+.3}, {:+.3}) views={}",
+            f.index,
+            f.time.as_millis_f64(),
+            f.viewer.position.x,
+            f.viewer.position.y,
+            f.viewer.position.z,
+            f.views.len(),
+        );
+    }
+
+    let events = inputs.drain();
+    println!("\n{} input events over those frames:", events.len());
+    for event in events.iter().take(8) {
+        println!(
+            "  t={:>7.1} ms source={} {}",
+            event.time.as_millis_f64(),
+            event.source,
+            event.kind.label()
+        );
+    }
+    if events.len() > 8 {
+        println!("  ... and {} more", events.len() - 8);
+    }
+
+    session.end();
+    println!("\nsession ended after {} frames", session.frame_count());
+    println!("backend report: {}", session.report());
+}

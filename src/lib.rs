@@ -1,4 +1,5 @@
 //! Workspace façade re-exporting the ILLIXR-rs crates.
+pub use illixr_api as api;
 pub use illixr_audio as audio;
 pub use illixr_core as core;
 pub use illixr_dsp as dsp;
