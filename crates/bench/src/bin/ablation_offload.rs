@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_bench::rule;
+use illixr_core::link::LinkProfile;
 use illixr_core::plugin::{Plugin, RuntimeBuilder};
 use illixr_core::{Clock, SimClock, Time};
 use illixr_sensors::camera::{PinholeCamera, StereoRig};
@@ -87,13 +88,14 @@ fn main() {
     println!("Offloading ablation: VIO local vs on an edge server (§V-F)");
     println!("(the perception pipeline is unchanged — only the VIO plugin moves");
     println!(" behind a network link; the IMU integrator keeps compensating)\n");
+    // The edge rows use the shared [`LinkProfile`] presets (propagation
+    // latency and jitter; the point-to-point pipe models no bandwidth);
+    // the last row keeps a custom far-cloud link built directly.
     let rows = vec![
         run(None, "local"),
-        run(Some(OffloadLink::symmetric(Duration::from_millis(5))), "edge, 10 ms RTT"),
-        run(
-            Some(OffloadLink::symmetric(Duration::from_millis(25)).with_jitter(0.3, 7)),
-            "edge, 50 ms RTT + jitter",
-        ),
+        run(Some(OffloadLink::from_profile(LinkProfile::lan(), 7)), "edge, lan"),
+        run(Some(OffloadLink::from_profile(LinkProfile::wifi(), 7)), "edge, wifi"),
+        run(Some(OffloadLink::from_profile(LinkProfile::cellular_5g(), 7)), "edge, cellular_5g"),
         run(
             Some(OffloadLink::symmetric(Duration::from_millis(60)).with_jitter(0.3, 7)),
             "cloud, 120 ms RTT + jitter",

@@ -40,6 +40,10 @@
 //!   layer: the determinism boundary every physical input crosses,
 //!   recordable to a versioned binary trace and replayable
 //!   bit-for-bit (or fanned out into synthetic load).
+//! * **[`link`]** — the unified device↔edge link vocabulary:
+//!   transfer [`Direction`]s, named [`LinkProfile`] presets and the
+//!   one-method [`Link`] trait that both the point-to-point and the
+//!   shared contended link models implement.
 //!
 //! # Examples
 //!
@@ -57,6 +61,7 @@
 pub mod boundary;
 pub mod clock;
 pub mod fault;
+pub mod link;
 pub mod obs;
 pub mod phonebook;
 pub mod plugin;
@@ -72,6 +77,7 @@ pub mod trace;
 
 pub use boundary::{Boundary, SessionTransform, Trace, TraceRecorder, TraceSource};
 pub use clock::{Clock, SimClock, WallClock};
+pub use link::{Direction, Link, LinkProfile};
 pub use phonebook::{Phonebook, PhonebookError};
 pub use plugin::{Plugin, PluginContext, PluginRegistry, RuntimeBuilder};
 pub use slab::{Recycle, SlabFrame, SlabPool};

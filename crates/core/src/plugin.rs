@@ -20,6 +20,7 @@ use crate::clock::Clock;
 use crate::fault::FaultPlan;
 use crate::obs::{Metrics, Tracer};
 use crate::phonebook::Phonebook;
+use crate::sched::PlacementPlan;
 use crate::supervisor::{SupervisionPolicy, Supervisor};
 use crate::switchboard::Switchboard;
 use crate::telemetry::RecordLogger;
@@ -52,6 +53,12 @@ pub struct PluginContext {
     /// Record/replay determinism boundary ([`Boundary::off`] by
     /// default — a guaranteed no-op).
     pub boundary: Arc<Boundary>,
+    /// Device/edge placement plan ([`PlacementPlan::all_local`] by
+    /// default — everything on-device, the historical behaviour).
+    /// Consulted when wiring offloadable cut-points so benches and
+    /// examples declare placement instead of hand-wiring offload
+    /// plumbing.
+    pub placement: Arc<PlacementPlan>,
 }
 
 /// Builds a [`PluginContext`] — the single entry point into the
@@ -81,6 +88,7 @@ pub struct RuntimeBuilder {
     telemetry: Option<Arc<RecordLogger>>,
     recorder: Option<TraceRecorder>,
     source: Option<TraceSource>,
+    placement: Arc<PlacementPlan>,
 }
 
 impl RuntimeBuilder {
@@ -97,7 +105,17 @@ impl RuntimeBuilder {
             telemetry: None,
             recorder: None,
             source: None,
+            placement: Arc::new(PlacementPlan::all_local()),
         }
+    }
+
+    /// Declares the device/edge placement plan: which pipeline
+    /// cut-points run on-device vs behind a link, and whether the
+    /// placement controller may migrate them. The default —
+    /// [`PlacementPlan::all_local`] — changes nothing.
+    pub fn with_placement(mut self, plan: PlacementPlan) -> Self {
+        self.placement = Arc::new(plan);
+        self
     }
 
     /// Records switchboard, threadloop and plugin activity through
@@ -172,6 +190,7 @@ impl RuntimeBuilder {
             fault: self.fault,
             supervisor,
             boundary: Arc::new(boundary),
+            placement: self.placement,
         }
     }
 }
@@ -358,6 +377,19 @@ mod tests {
         assert!(!ctx.supervisor.is_enabled());
         assert!(!ctx.tracer.is_enabled());
         assert!(!ctx.metrics.is_enabled());
+        assert!(ctx.placement.is_all_local());
+    }
+
+    #[test]
+    fn builder_wires_a_placement_plan() {
+        use crate::sched::{PlacementPlan, Side};
+
+        let ctx = RuntimeBuilder::new(Arc::new(WallClock::new()))
+            .with_placement(PlacementPlan::adaptive("vio", Side::Edge))
+            .build();
+        assert!(!ctx.placement.is_all_local());
+        assert_eq!(ctx.placement.side_of("vio"), Side::Edge);
+        assert!(ctx.placement.is_adaptive("vio"));
     }
 
     #[test]

@@ -12,5 +12,8 @@
 pub use illixr_sched::chain::{ChainId, ChainOutcome, ChainSpec, ChainTracker};
 pub use illixr_sched::governor::{AdaptiveGovernor, GovernorConfig};
 pub use illixr_sched::live::JobQueue;
+pub use illixr_sched::place::{
+    CutAssignment, Migration, PlacementConfig, PlacementController, PlacementPlan, Side,
+};
 pub use illixr_sched::policy::{Edf, Policy, PolicyKind, RateMonotonic};
 pub use illixr_sched::task::{is_miss, lateness_ns, release_ns, PriorityClass, ReadyJob};

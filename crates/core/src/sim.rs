@@ -36,6 +36,10 @@ pub enum Resource {
     Cpu,
     /// A GPU execution slot (compute or graphics).
     Gpu,
+    /// An edge-server compute slot behind a link: work placed here
+    /// frees the device's CPU/GPU but pays transfer latency inside its
+    /// modeled cost (device/edge placement, paper §V-F footnote 2).
+    Remote,
 }
 
 /// Identifier of a registered task.
@@ -215,6 +219,7 @@ pub struct SimEngine {
     tasks: Vec<Task>,
     cpu: Pool,
     gpu: Pool,
+    remote: Pool,
     events: BinaryHeap<Reverse<Event>>,
     telemetry: std::sync::Arc<RecordLogger>,
     started: bool,
@@ -248,6 +253,11 @@ impl SimEngine {
             tasks: Vec::new(),
             cpu: Pool::new(cpu_cores),
             gpu: Pool::new(gpu_slots),
+            // Edge compute defaults to one slot; placement-aware runs
+            // size it with `set_remote_capacity`. Unused by default —
+            // no task occupies it unless one is registered on
+            // `Resource::Remote`.
+            remote: Pool::new(1),
             events: BinaryHeap::new(),
             telemetry,
             started: false,
@@ -265,6 +275,17 @@ impl SimEngine {
     /// the default is [`PolicyKind::RateMonotonic`].
     pub fn set_policy(&mut self, policy: Box<dyn Policy>) {
         self.policy = policy;
+    }
+
+    /// Sizes the [`Resource::Remote`] pool (edge-server compute
+    /// slots). Defaults to 1; call before the first `run_for`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` is zero.
+    pub fn set_remote_capacity(&mut self, slots: usize) {
+        assert!(slots > 0, "remote capacity must be positive");
+        self.remote.capacity = slots;
     }
 
     /// Registers an end-to-end chain (head task first). Each tail
@@ -409,6 +430,7 @@ impl SimEngine {
             let pool = match resource {
                 Resource::Cpu => &self.cpu,
                 Resource::Gpu => &self.gpu,
+                Resource::Remote => &self.remote,
             };
             task.spec.preemptive && pool.in_use >= pool.capacity
         };
@@ -467,6 +489,7 @@ impl SimEngine {
         let running: Vec<TaskId> = match resource {
             Resource::Cpu => self.cpu.running.clone(),
             Resource::Gpu => self.gpu.running.clone(),
+            Resource::Remote => self.remote.running.clone(),
         };
         for victim in running {
             let t = &mut self.tasks[victim];
@@ -579,6 +602,7 @@ impl SimEngine {
         match r {
             Resource::Cpu => &mut self.cpu,
             Resource::Gpu => &mut self.gpu,
+            Resource::Remote => &mut self.remote,
         }
     }
 
@@ -588,10 +612,11 @@ impl SimEngine {
             // default rate-monotonic policy reproduces the historical
             // rule (highest static priority, FIFO within a priority).
             let job = {
-                let Self { cpu, gpu, policy, .. } = self;
+                let Self { cpu, gpu, remote, policy, .. } = self;
                 let pool = match resource {
                     Resource::Cpu => cpu,
                     Resource::Gpu => gpu,
+                    Resource::Remote => remote,
                 };
                 if pool.in_use >= pool.capacity || pool.queue.is_empty() {
                     return;
@@ -750,6 +775,20 @@ mod tests {
         engine.run_for(Duration::from_millis(500));
         assert_eq!(telemetry.stats("x").unwrap().deadline_misses, 0);
         assert_eq!(telemetry.stats("y").unwrap().deadline_misses, 0);
+    }
+
+    #[test]
+    fn remote_pool_does_not_contend_with_the_device() {
+        let telemetry = Arc::new(RecordLogger::new());
+        let mut engine = SimEngine::new(1, 1, telemetry.clone());
+        engine.set_remote_capacity(1);
+        // A device-saturating CPU task and an equally heavy edge task:
+        // neither may delay the other.
+        engine.add_task(spec("cpu", Resource::Cpu, 10, true), fixed_cost(9));
+        engine.add_task(spec("edge", Resource::Remote, 10, true), fixed_cost(9));
+        engine.run_for(Duration::from_millis(300));
+        assert_eq!(telemetry.stats("cpu").unwrap().deadline_misses, 0);
+        assert_eq!(telemetry.stats("edge").unwrap().deadline_misses, 0);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //! * **[`live`]** — a live-mode work-conserving worker pool that runs
 //!   released jobs under any [`Policy`] on OS threads, replacing
 //!   one-thread-per-plugin execution.
+//! * **[`place`]** — device/edge placement: a [`PlacementPlan`]
+//!   declares which pipeline cut-points run on-device vs behind a
+//!   link, and a [`PlacementController`] migrates a cut at
+//!   deterministic decision epochs using the governor's hysteresis
+//!   shape, fed by chain outcomes and a link-health probe.
 //! * **[`ring`]** / **[`shard`]** — the multi-session server's engine
 //!   primitives: bounded SPSC/MPSC rings with lossless backpressure,
 //!   and the deterministic FNV-1a session→shard map.
@@ -40,6 +45,7 @@
 pub mod chain;
 pub mod governor;
 pub mod live;
+pub mod place;
 pub mod policy;
 pub mod ring;
 pub mod shard;
@@ -47,6 +53,9 @@ pub mod task;
 
 pub use chain::{ChainId, ChainOutcome, ChainSpec, ChainTracker};
 pub use governor::{AdaptiveGovernor, GovernorConfig};
+pub use place::{
+    CutAssignment, Migration, PlacementConfig, PlacementController, PlacementPlan, Side,
+};
 pub use policy::{Edf, Policy, PolicyKind, RateMonotonic};
 pub use ring::{mpsc_ring, spsc_ring, MpscConsumer, RingConsumer, RingProducer};
 pub use shard::{fnv1a_u32, ShardMap};

@@ -41,6 +41,9 @@ pub mod server;
 pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionRecord};
+pub use illixr_core::sched::{
+    Migration, PlacementConfig, PlacementController, PlacementPlan, Side,
+};
 pub use link::{Direction, DirectionStats, LinkConfig, SharedLink};
 pub use scheduler::{
     BatchPlacement, BatchScheduler, BoundedPlacement, PlacementPolicy, SchedulerConfig,

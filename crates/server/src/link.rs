@@ -16,34 +16,23 @@
 //! [`SharedLink`] is the generalization: with infinite bandwidth it
 //! degenerates to `OffloadLink`'s fixed-latency behaviour (see
 //! [`LinkConfig::from_point_to_point`] and the tests).
+//!
+//! Both models speak `illixr_core::link`'s unified vocabulary: the
+//! [`Direction`] type is re-exported from there, configs are built
+//! from named [`LinkProfile`] presets via [`LinkConfig::from_profile`],
+//! and `SharedLink` implements the one-method [`Link`] trait.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_core::boundary::{Boundary, ByteReader, ByteWriter};
 use illixr_core::fault::FaultPlan;
+use illixr_core::link::{Link, LinkProfile};
 use illixr_core::Time;
 use illixr_platform::rng::SplitMix64;
 use illixr_system::offload::OffloadLink;
 
-/// Transfer direction on the shared link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Direction {
-    /// Device → edge server.
-    Uplink,
-    /// Edge server → device.
-    Downlink,
-}
-
-impl Direction {
-    /// Boundary stream the direction's transfers are recorded on.
-    fn stream(&self) -> &'static str {
-        match self {
-            Self::Uplink => "link/uplink",
-            Self::Downlink => "link/downlink",
-        }
-    }
-}
+pub use illixr_core::link::Direction;
 
 /// Boundary payload for one transfer: queue wait and total delivery
 /// delay, as signed deltas from the record tag (the transfer's start
@@ -78,15 +67,17 @@ pub struct LinkConfig {
 }
 
 impl LinkConfig {
-    /// An 802.11ac-class wireless edge link: 200 Mbit/s up, 400 Mbit/s
-    /// down, 2 ms one-way, no jitter.
-    pub fn wifi() -> Self {
+    /// Builds a config from a named [`LinkProfile`], threading the run
+    /// seed into the jitter/fault RNG stream. This replaces the old
+    /// per-model preset constructors (`LinkConfig::wifi()` et al.):
+    /// profiles are the single source of preset numbers.
+    pub fn from_profile(profile: LinkProfile, seed: u64) -> Self {
         Self {
-            uplink_bps: 200e6,
-            downlink_bps: 400e6,
-            base_latency: Duration::from_millis(2),
-            jitter_sigma: 0.0,
-            seed: 0,
+            uplink_bps: profile.uplink_bps,
+            downlink_bps: profile.downlink_bps,
+            base_latency: profile.base_latency,
+            jitter_sigma: profile.jitter_sigma,
+            seed,
         }
     }
 
@@ -182,7 +173,7 @@ impl SharedLink {
     /// time. FIFO per direction: the transfer first waits for the
     /// serializer to drain whatever earlier transfers queued.
     pub fn transfer(&mut self, direction: Direction, now: Time, bytes: u64) -> Time {
-        let stream = direction.stream();
+        let stream = direction.boundary_stream();
         let replay = self.boundary.source().filter(|src| src.has_stream(stream)).cloned();
         let (queue, serialization, arrival) = if let Some(src) = replay {
             let (tag, payload) = src
@@ -283,6 +274,16 @@ impl SharedLink {
     }
 }
 
+impl Link for SharedLink {
+    fn label(&self) -> &'static str {
+        "shared"
+    }
+
+    fn deliver_at(&mut self, direction: Direction, now: Time, bytes: u64) -> Time {
+        self.transfer(direction, now, bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +354,15 @@ mod tests {
     }
 
     #[test]
+    fn shared_link_speaks_the_unified_trait() {
+        let mut link = SharedLink::new(LinkConfig::from_profile(LinkProfile::wifi(), 0));
+        assert_eq!(Link::label(&link), "shared");
+        // 25 kB at 200 Mbit/s = 1 ms serialization + 2 ms propagation.
+        let t = link.deliver_at(Direction::Uplink, Time::ZERO, 25_000);
+        assert_eq!(t, Time::from_millis(3));
+    }
+
+    #[test]
     fn outage_window_defers_uplink_but_not_downlink() {
         use illixr_core::fault::{FaultKind, FaultWindow};
         let plan = illixr_core::fault::FaultPlan::new(3).with_window(FaultWindow::new(
@@ -393,7 +403,8 @@ mod tests {
 
     #[test]
     fn jitter_is_deterministic_per_seed() {
-        let config = LinkConfig { jitter_sigma: 0.3, seed: 9, ..LinkConfig::wifi() };
+        let config =
+            LinkConfig { jitter_sigma: 0.3, ..LinkConfig::from_profile(LinkProfile::wifi(), 9) };
         let mut a = SharedLink::new(config);
         let mut b = SharedLink::new(config);
         for i in 0..32 {

@@ -38,6 +38,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use illixr_core::boundary::{fan_out_transform, Trace, TraceSource};
+use illixr_core::sched::{Migration, PlacementConfig, PlacementPlan, Side};
 use illixr_core::TopicStats;
 
 use crate::admission::{AdmissionConfig, AdmissionRecord};
@@ -111,6 +112,20 @@ pub struct ServerConfig {
     /// Capacity of each shard's emission ring. Small capacities
     /// exercise backpressure (workers block, never drop).
     pub ring_capacity: usize,
+    /// Where the `"vio"` cut runs. The server's preferred side is
+    /// [`Side::Edge`] — offloaded VIO *is* this server's reason to
+    /// exist — so the default plan pins `vio` to the edge and is
+    /// byte-identical to the pre-placement behaviour. Pin it to
+    /// [`Side::Device`] to run VIO on-headset (jobs never touch the
+    /// link), or declare it adaptive to let the controller migrate at
+    /// decision epochs.
+    pub placement: PlacementPlan,
+    /// Controller tuning for an adaptive `vio` cut.
+    pub placement_config: PlacementConfig,
+    /// On-device VIO cost per camera frame when the cut runs
+    /// device-side (headset silicon is slower than the pool's edge
+    /// workers, but pays no link delay).
+    pub device_vio_cost: Duration,
 }
 
 /// Trace-driven load: every session replays the same recorded session,
@@ -179,12 +194,23 @@ impl ReplayLoad {
 }
 
 impl ServerConfig {
+    /// The behaviour-preserving default plan: `vio` pinned to the edge.
+    pub fn default_placement() -> PlacementPlan {
+        PlacementPlan::pinned("vio", Side::Edge)
+    }
+
+    /// True when this run's placement is the edge-pinned default (no
+    /// device path, no controller — the pre-placement code path).
+    pub fn placement_is_default(&self) -> bool {
+        self.placement == Self::default_placement()
+    }
+
     /// FNV-1a hash of the recording-relevant configuration, stamped
     /// into trace headers for provenance. Engine knobs (shards,
     /// workers, ring capacity) are deliberately excluded: results are
     /// invariant to them, so they must not fork trace identities.
     pub fn config_hash(&self) -> u64 {
-        let repr = format!(
+        let mut repr = format!(
             "{}|{}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}",
             self.sessions.len(),
             self.duration.as_nanos(),
@@ -198,6 +224,11 @@ impl ServerConfig {
             self.real_vio,
             self.fault_plan.is_quiet(),
         );
+        // Folded in only when non-default so pre-placement trace
+        // fixtures keep their identities.
+        if !self.placement_is_default() {
+            repr.push_str(&format!("|place={}", self.placement.label()));
+        }
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.bytes() {
             hash ^= b as u64;
@@ -233,7 +264,7 @@ impl ServerBuilder {
         Self {
             config: ServerConfig {
                 sessions: Vec::new(),
-                link: LinkConfig::wifi(),
+                link: LinkConfig::from_profile(illixr_core::link::LinkProfile::wifi(), 0),
                 scheduler: SchedulerConfig::default(),
                 admission: AdmissionConfig::default(),
                 duration: Duration::from_secs(10),
@@ -252,6 +283,9 @@ impl ServerBuilder {
                 shards: 8,
                 workers: 0,
                 ring_capacity: 256,
+                placement: ServerConfig::default_placement(),
+                placement_config: PlacementConfig::default(),
+                device_vio_cost: Duration::from_millis(12),
             },
         }
     }
@@ -330,6 +364,14 @@ impl ServerBuilder {
     /// Shared-link parameters.
     pub fn link(mut self, link: LinkConfig) -> Self {
         self.config.link = link;
+        self
+    }
+
+    /// Where the `"vio"` cut runs (see [`ServerConfig::placement`]).
+    /// The default pins it to the edge, the server's historical
+    /// behaviour.
+    pub fn placement(mut self, plan: PlacementPlan) -> Self {
+        self.config.placement = plan;
         self
     }
 
@@ -489,6 +531,13 @@ pub struct ServerReport {
     /// Determinism-boundary recording (present when boundary recording
     /// was enabled).
     pub boundary_trace: Option<Trace>,
+    /// The run's placement plan label (`"vio=edge"` by default).
+    pub placement_label: String,
+    /// Side the `vio` cut ended the run on.
+    pub final_side: Side,
+    /// Every placement migration the controller decided (or replayed),
+    /// in decision order. Empty for pinned plans.
+    pub migrations: Vec<Migration>,
 }
 
 impl ServerReport {
@@ -612,6 +661,24 @@ impl ServerReport {
             self.pool_utilization,
             self.scheduler.shed_jobs,
         ));
+        // Placement lines appear only for non-default plans, so every
+        // pre-placement golden summary stays byte-identical.
+        if self.placement_label != ServerConfig::default_placement().label() {
+            out.push_str(&format!(
+                "placement={} final={} migrations={}\n",
+                self.placement_label,
+                self.final_side.label(),
+                self.migrations.len(),
+            ));
+            for m in &self.migrations {
+                out.push_str(&format!(
+                    "migration t={:.3}s {}->{}\n",
+                    m.at_ns as f64 / 1e9,
+                    m.from.label(),
+                    m.to.label(),
+                ));
+            }
+        }
         for a in &self.admission {
             out.push_str(&format!(
                 "admission t={:.3}s session={} load={:.3} offered={:.3} -> {}\n",
@@ -933,6 +1000,79 @@ mod tests {
             capped_wait < Duration::from_millis(60).as_nanos() as f64,
             "deadline-aware pickup delay must stay inside the budget: {capped_wait} ns"
         );
+    }
+
+    #[test]
+    fn device_pinned_placement_bypasses_the_link() {
+        let edge = quick(1).build().run();
+        let device = quick(1).placement(PlacementPlan::pinned("vio", Side::Device)).build().run();
+        // VIO jobs no longer cross the uplink — only render requests do.
+        assert!(
+            device.uplink.transfers < edge.uplink.transfers,
+            "device placement must shed uplink jobs: {} vs {}",
+            device.uplink.transfers,
+            edge.uplink.transfers
+        );
+        let s = device.session(0).unwrap();
+        assert!(s.telemetry().poses_received >= 20, "on-device VIO still produces poses");
+        // A device-pinned plan is all-local by definition, and that is
+        // the label the summary carries.
+        assert!(device.summary_text().contains("placement=all_local final=device migrations=0"));
+        // The default-placement summary carries no placement lines.
+        assert!(!edge.summary_text().contains("placement="));
+    }
+
+    #[test]
+    fn adaptive_placement_migrates_under_uplink_outage_and_recovers() {
+        use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow};
+        let outage = || {
+            FaultPlan::new(7).with_window(FaultWindow::new(
+                FaultKind::LinkOutage,
+                "uplink",
+                Time::from_millis(500).as_nanos(),
+                Time::from_millis(1000).as_nanos(),
+                1.0,
+            ))
+        };
+        let run = || {
+            ServerBuilder::new()
+                .sessions(1)
+                .duration(Duration::from_secs(3))
+                .placement(PlacementPlan::adaptive("vio", Side::Edge))
+                .fault_plan(outage())
+                .build()
+                .run()
+        };
+        let report = run();
+        assert_eq!(report.migrations.len(), 2, "one escalation, one restore: {:?}", {
+            &report.migrations
+        });
+        let away = report.migrations[0];
+        let back = report.migrations[1];
+        assert_eq!((away.from, away.to), (Side::Edge, Side::Device));
+        assert_eq!((back.from, back.to), (Side::Device, Side::Edge));
+        // The restore lands within the controller's recovery budget of
+        // the outage clearing.
+        let budget = PlacementConfig::default().recovery_budget_ns();
+        let outage_end = Time::from_millis(1000).as_nanos();
+        assert!(
+            back.at_ns <= outage_end + budget,
+            "restore at {} ns blew the {} ns budget past the outage end",
+            back.at_ns,
+            budget
+        );
+        assert_eq!(report.final_side, Side::Edge);
+        // Same-seed rerun reproduces the decisions bit-for-bit.
+        assert_eq!(report.summary_text(), run().summary_text());
+
+        // A quiet plan migrates nothing.
+        let quiet = ServerBuilder::new()
+            .sessions(1)
+            .duration(Duration::from_secs(3))
+            .placement(PlacementPlan::adaptive("vio", Side::Edge))
+            .build()
+            .run();
+        assert!(quiet.migrations.is_empty(), "quiet fault plan must not migrate");
     }
 
     #[test]

@@ -10,21 +10,26 @@
 //! plots: achieved rates, per-frame execution times, CPU-cycle shares,
 //! deadline misses, MTP samples and power-rail utilization.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use illixr_audio::plugins::{AudioEncodingPlugin, AudioPlaybackPlugin};
-use illixr_core::boundary::{Trace, TraceRecorder, TraceSource};
+use illixr_core::boundary::{Boundary, Trace, TraceRecorder, TraceSource};
 use illixr_core::fault::FaultPlan;
+use illixr_core::link::{Direction, LinkProfile};
 use illixr_core::obs::{Metrics, Tracer};
-use illixr_core::plugin::{Plugin, RuntimeBuilder};
-use illixr_core::sched::{ChainOutcome, ChainSpec, PolicyKind, PriorityClass};
+use illixr_core::plugin::{IterationReport, Plugin, PluginContext, RuntimeBuilder};
+use illixr_core::sched::{
+    ChainId, ChainOutcome, ChainSpec, Migration, PlacementConfig, PlacementController,
+    PlacementPlan, PolicyKind, PriorityClass, Side,
+};
 use illixr_core::sim::{ExecOutcome, Resource, SimEngine, TaskSpec};
 use illixr_core::supervisor::{SupervisionPolicy, Supervisor};
 use illixr_core::telemetry::{ComponentStats, RecordLogger};
 use illixr_core::Time;
 use illixr_image::{flip, ssim, RgbImage};
 use illixr_platform::power::{PowerBreakdown, PowerModel};
+use illixr_platform::rng::SplitMix64;
 use illixr_platform::spec::Platform;
 use illixr_platform::timing::{CostClass, CostEntry, TimingModel};
 use illixr_qoe::mtp::{MtpCalculator, MtpSample};
@@ -103,6 +108,19 @@ pub struct ExperimentConfig {
     /// World/trajectory seeds come from the trace header, not
     /// [`ExperimentConfig::seed`].
     pub replay: Option<TraceSource>,
+    /// Device/edge placement plan. The only cut-point the integrated
+    /// pipeline exposes is `"vio"`: pin it on [`Side::Edge`] to model
+    /// offloaded perception, or declare it adaptive to let a
+    /// [`PlacementController`] migrate it at decision epochs. The
+    /// default [`PlacementPlan::all_local`] (and any plan that leaves
+    /// `vio` pinned device-side) takes the exact code path of a run
+    /// with no plan at all, so default runs stay bit-identical.
+    pub placement: PlacementPlan,
+    /// Hysteresis/epoch tuning for adaptive placement.
+    pub placement_config: PlacementConfig,
+    /// Device↔edge link preset used when the `vio` cut runs (or may
+    /// run) edge-side. Ignored by all-local plans.
+    pub link_profile: LinkProfile,
 }
 
 impl ExperimentConfig {
@@ -124,6 +142,9 @@ impl ExperimentConfig {
             supervision: None,
             record_boundary: false,
             replay: None,
+            placement: PlacementPlan::all_local(),
+            placement_config: PlacementConfig::default(),
+            link_profile: LinkProfile::wifi(),
         }
     }
 
@@ -199,10 +220,36 @@ impl ExperimentConfig {
         self
     }
 
+    /// Declares where the `vio` cut-point runs (see
+    /// [`ExperimentConfig::placement`]).
+    pub fn with_placement(mut self, plan: PlacementPlan) -> Self {
+        self.placement = plan;
+        self
+    }
+
+    /// Tunes the adaptive placement controller's decision epochs and
+    /// hysteresis ladder.
+    pub fn with_placement_config(mut self, config: PlacementConfig) -> Self {
+        self.placement_config = config;
+        self
+    }
+
+    /// Selects the device↔edge link preset for placed runs.
+    pub fn with_link_profile(mut self, profile: LinkProfile) -> Self {
+        self.link_profile = profile;
+        self
+    }
+
+    /// True when the plan actually moves (or may move) the `vio` cut
+    /// off the device — the gate for every placement code path.
+    fn placement_active(&self) -> bool {
+        self.placement.is_adaptive("vio") || self.placement.side_of("vio") == Side::Edge
+    }
+
     /// FNV-1a hash of the recording-relevant configuration, stamped
     /// into trace headers for provenance.
     pub fn config_hash(&self) -> u64 {
-        let repr = format!(
+        let mut repr = format!(
             "{:?}|{:?}|{}|{}|{}|{:?}|{}|{}|{:?}|{}|{}",
             self.app,
             self.platform,
@@ -216,6 +263,14 @@ impl ExperimentConfig {
             self.fault_plan.seed(),
             self.fault_plan.is_quiet(),
         );
+        // Gated so every pre-placement recording keeps its hash.
+        if self.placement_active() {
+            repr.push_str(&format!(
+                "|place={}|link={}",
+                self.placement.label(),
+                self.link_profile.name
+            ));
+        }
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.bytes() {
             hash ^= b as u64;
@@ -289,6 +344,15 @@ pub struct ExperimentResult {
     /// Determinism-boundary recording (present when
     /// [`ExperimentConfig::record_boundary`] was set).
     pub boundary_trace: Option<Trace>,
+    /// Placement-plan label for the run (`"all_local"` without a
+    /// declared plan).
+    pub placement_label: String,
+    /// Side the `vio` cut ended the run on ([`Side::Device`] for
+    /// non-placed runs).
+    pub vio_final_side: Side,
+    /// Every cut-point migration the placement controller performed,
+    /// in decision order (empty without an adaptive plan).
+    pub migrations: Vec<Migration>,
 }
 
 impl ExperimentResult {
@@ -334,6 +398,20 @@ impl ExperimentResult {
         MeanStd::of(&samples)
     }
 
+    /// Deadline-miss rate of one tracked chain. Chain ids follow
+    /// registration order: the `mtp` chain is [`MTP_CHAIN`]; placement
+    /// runs add [`VISUAL_DEVICE_CHAIN`] and [`VISUAL_EDGE_CHAIN`].
+    /// `None` when the chain completed nothing.
+    pub fn chain_miss_rate(&self, chain: ChainId) -> Option<f64> {
+        let mut total = 0usize;
+        let mut missed = 0usize;
+        for o in self.chain_outcomes.iter().filter(|o| o.chain == chain) {
+            total += 1;
+            missed += o.missed as usize;
+        }
+        (total > 0).then(|| missed as f64 / total as f64)
+    }
+
     /// Display-pose judder (RMS second difference, meters) — the
     /// quantitative stand-in for §IV-A3's visual-examination finding
     /// that constrained platforms show "perceptibly increased judder".
@@ -361,7 +439,259 @@ pub fn timing_model(platform: Platform) -> TimingModel {
     // integrated runs; see ExperimentConfig::extended).
     m.insert("eye_tracking", CostEntry::from_millis(4.5, CostClass::Gpu, 0.10));
     m.insert("scene_reconstruction", CostEntry::from_millis(16.0, CostClass::Gpu, 0.15));
+    // The edge replica of VIO: a server-class box runs the same frame
+    // roughly 3× faster than the device build (compute only — link
+    // transfer is added by the placement layer).
+    m.insert("vio@edge", CostEntry::from_millis(3.85, CostClass::Cpu, 0.16));
     m
+}
+
+// --- Device/edge placement of the `vio` cut-point --------------------
+
+/// Chain id of the `mtp` chain (always registered first).
+pub const MTP_CHAIN: ChainId = 0;
+/// Chain id of camera → device-side VIO (placement runs only).
+pub const VISUAL_DEVICE_CHAIN: ChainId = 1;
+/// Chain id of camera → edge-side VIO (placement runs only).
+pub const VISUAL_EDGE_CHAIN: ChainId = 2;
+
+/// Modeled uplink payload per offloaded VIO frame: compressed stereo
+/// features, not raw images.
+const EDGE_JOB_BYTES: u64 = 64_000;
+/// Modeled downlink payload: one pose estimate.
+const EDGE_POSE_BYTES: u64 = 256;
+/// Round-trip level the placement controller judges link probes
+/// against: above this, shipping the frame costs more than edge
+/// compute saves, so frames count as placement misses.
+const RTT_BUDGET: Duration = Duration::from_millis(60);
+/// Deadline of the `visual_device`/`visual_edge` chains (camera
+/// release → fresh VIO pose).
+const VISUAL_DEADLINE: Duration = Duration::from_millis(33);
+/// Staleness of the fused pose the IMU integrator absorbs for free.
+const STALENESS_GRACE: Duration = Duration::from_millis(150);
+/// Fraction of the staleness past the grace the integrator re-spends
+/// each pass re-propagating the widened IMU window from the old
+/// anchor (compensating a stale fused pose costs real device work).
+const STALENESS_STALL_FRACTION: f64 = 0.125;
+/// Cap on one pass's re-propagation stall. Deliberately a few IMU
+/// periods, not more: the integrator is `Critical` and a larger stall
+/// would starve the (lower-class) camera task outright, wedging the
+/// perception path instead of degrading it.
+const STALENESS_STALL_CAP: Duration = Duration::from_millis(8);
+/// Boundary stream placement decisions are recorded on.
+const PLACE_STREAM: &str = "place/vio";
+/// Salt folding the run seed into the link-probe RNG stream.
+const PLACE_RNG_SALT: u64 = 0x9E1C_E17A_CE5B_0001;
+
+/// Locks a mutex, surviving poisoning from a contained plugin panic.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared state of an active placement run: which side owns the `vio`
+/// cut right now, the analytic link model, and (for adaptive plans)
+/// the controller migrating the cut at deterministic decision epochs.
+struct PlacementState {
+    side: Side,
+    ctl: Option<PlacementController>,
+    profile: LinkProfile,
+    fault: Arc<FaultPlan>,
+    rng: SplitMix64,
+    /// This frame's round-trip estimate. The probe and the transfer
+    /// model share one draw per camera frame, so the draw count is
+    /// independent of which side runs and replays stay exact.
+    frame_rtt: Duration,
+    /// Completion time of the freshest VIO pose that has already
+    /// landed, from either side.
+    pose_fresh_ns: u64,
+    /// Completion times announced at dispatch but still in flight; a
+    /// pose only counts as fresh once its completion time has passed
+    /// (an outage-spanning edge job must not look fresh mid-outage).
+    pose_pending: Vec<u64>,
+}
+
+impl PlacementState {
+    fn new(
+        plan: &PlacementPlan,
+        config: PlacementConfig,
+        profile: LinkProfile,
+        fault: Arc<FaultPlan>,
+        seed: u64,
+    ) -> Self {
+        let initial = plan.side_of("vio");
+        let ctl = plan.is_adaptive("vio").then(|| PlacementController::new(initial, config));
+        let nominal = profile.serialization(Direction::Uplink, EDGE_JOB_BYTES)
+            + profile.serialization(Direction::Downlink, EDGE_POSE_BYTES)
+            + 2 * profile.base_latency;
+        Self {
+            side: initial,
+            ctl,
+            profile,
+            fault,
+            rng: SplitMix64::new(seed ^ PLACE_RNG_SALT),
+            frame_rtt: nominal,
+            pose_fresh_ns: 0,
+            pose_pending: Vec::new(),
+        }
+    }
+
+    /// Promotes pending pose completions that have landed by `now_ns`.
+    fn settle_poses(&mut self, now_ns: u64) {
+        let mut i = 0;
+        while i < self.pose_pending.len() {
+            if self.pose_pending[i] <= now_ns {
+                let done = self.pose_pending.swap_remove(i);
+                self.pose_fresh_ns = self.pose_fresh_ns.max(done);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn outage_until(&self, now_ns: u64) -> Option<u64> {
+        if self.fault.is_quiet() {
+            return None;
+        }
+        self.fault.link(Direction::Uplink.label()).outage_until(now_ns)
+    }
+
+    /// One round trip at `now`: serialization both ways plus jittered
+    /// propagation, scaled by any active `LinkJitterSpike` window.
+    fn sample_rtt(&mut self, now_ns: u64) -> Duration {
+        let ser = self.profile.serialization(Direction::Uplink, EDGE_JOB_BYTES)
+            + self.profile.serialization(Direction::Downlink, EDGE_POSE_BYTES);
+        let draw = if self.profile.jitter_sigma > 0.0 {
+            self.rng.next_lognormal(self.profile.jitter_sigma)
+        } else {
+            1.0
+        };
+        let spike = if self.fault.is_quiet() {
+            1.0
+        } else {
+            self.fault.link(Direction::Uplink.label()).jitter_scale(now_ns)
+        };
+        ser + Duration::from_secs_f64(2.0 * self.profile.base_latency.as_secs_f64() * draw * spike)
+    }
+
+    /// Per-camera-frame controller tick, run from the device-side
+    /// adapter (the earlier of the two vio releases each frame): draw
+    /// the frame's link probe, feed the controller, and close any due
+    /// decision epochs. Live decisions are recorded on `place/vio`;
+    /// under replay the recorded decision stream drives
+    /// [`PlacementController::force`] instead, so replayed migrations
+    /// are exact by construction.
+    fn tick(&mut self, now: Time, boundary: &Boundary) {
+        let now_ns = now.as_nanos();
+        let outage = self.outage_until(now_ns).is_some();
+        self.frame_rtt = self.sample_rtt(now_ns);
+        let Some(ctl) = self.ctl.as_mut() else { return };
+        let replay = boundary.source().filter(|src| src.has_stream(PLACE_STREAM)).cloned();
+        if let Some(src) = replay {
+            while let Some((tag, payload)) = src.next_due(PLACE_STREAM, now_ns) {
+                let to = std::str::from_utf8(&payload)
+                    .ok()
+                    .and_then(Side::parse)
+                    .expect("corrupt placement decision record");
+                boundary.record(PLACE_STREAM, tag, payload);
+                ctl.force(tag, to);
+            }
+        } else {
+            let healthy = !outage && self.frame_rtt <= RTT_BUDGET;
+            ctl.observe(!healthy);
+            ctl.observe_link(healthy);
+            if let Some(m) = ctl.on_epoch(now_ns) {
+                boundary.record(PLACE_STREAM, m.at_ns, m.to.label().as_bytes().to_vec());
+            }
+        }
+        self.side = ctl.side();
+    }
+
+    /// Cost shaping for the edge-side vio task: compute plus this
+    /// frame's transfer, deferred past any scheduled uplink outage.
+    /// The realized transfer also feeds the controller — the active
+    /// path's own lateness is its second signal beside the probe.
+    fn edge_cost(&mut self, compute: Duration, start: Time) -> Duration {
+        let now_ns = start.as_nanos();
+        let stall = self
+            .outage_until(now_ns)
+            .map(|end| Duration::from_nanos(end.saturating_sub(now_ns)))
+            .unwrap_or(Duration::ZERO);
+        let transfer = stall + self.frame_rtt;
+        if let Some(ctl) = self.ctl.as_mut() {
+            // Harmless under replay: forced decisions override windows.
+            ctl.observe(transfer > RTT_BUDGET);
+        }
+        compute + transfer
+    }
+
+    /// Cost shaping for the IMU integrator under an active placement:
+    /// when the fused pose goes stale (the cut-point's VIO stopped
+    /// landing), each pass re-propagates the widened IMU window from
+    /// the old anchor, stalling the device core proportionally to the
+    /// staleness. This is what makes losing the edge genuinely hurt an
+    /// all-offload plan: the stalls crowd out the sensor tasks on the
+    /// shared core, and the dropped IMU samples are never recovered.
+    fn integrator_cost(&mut self, cost: Duration, start: Time) -> Duration {
+        self.settle_poses(start.as_nanos());
+        let staleness = Duration::from_nanos(start.as_nanos().saturating_sub(self.pose_fresh_ns));
+        let past = staleness.saturating_sub(STALENESS_GRACE);
+        if past.is_zero() {
+            return cost;
+        }
+        let stall = Duration::from_secs_f64(
+            (past.as_secs_f64() * STALENESS_STALL_FRACTION).min(STALENESS_STALL_CAP.as_secs_f64()),
+        );
+        cost + stall
+    }
+
+    /// Notes a VIO pose (either side) due to complete at `done_ns`.
+    fn note_pose(&mut self, done_ns: u64) {
+        self.pose_pending.push(done_ns);
+    }
+}
+
+/// One side of a placed `vio` cut. Both sides share the real
+/// [`VioPlugin`]; only the adapter whose side currently owns the cut
+/// runs it, the other reports a skipped iteration — which the engine
+/// treats as free (no cost, no chain publication).
+struct PlacedVio {
+    label: &'static str,
+    my_side: Side,
+    inner: Arc<Mutex<VioPlugin>>,
+    state: Arc<Mutex<PlacementState>>,
+}
+
+impl Plugin for PlacedVio {
+    fn name(&self) -> &str {
+        self.label
+    }
+
+    fn start(&mut self, ctx: &PluginContext) {
+        // The engine starts both adapters; the shared inner plugin
+        // must subscribe exactly once (the device side wins).
+        if self.my_side == Side::Device {
+            lock(&self.inner).start(ctx);
+        }
+    }
+
+    fn iterate(&mut self, ctx: &PluginContext) -> IterationReport {
+        if self.my_side == Side::Device {
+            // The device adapter releases first each frame and owns
+            // the controller tick, so a migration decided this frame
+            // already gates the edge adapter's release.
+            lock(&self.state).tick(ctx.clock.now(), &ctx.boundary);
+        }
+        if lock(&self.state).side != self.my_side {
+            return IterationReport::skipped();
+        }
+        lock(&self.inner).iterate(ctx)
+    }
+
+    fn stop(&mut self) {
+        if self.my_side == Side::Device {
+            lock(&self.inner).stop();
+        }
+    }
 }
 
 /// Runs integrated experiments.
@@ -386,7 +716,8 @@ impl IntegratedExperiment {
         let mut builder = RuntimeBuilder::new(Arc::new(clock.clone()))
             .with_obs(tracer.clone(), metrics.clone())
             .with_telemetry(telemetry.clone())
-            .with_fault_plan(config.fault_plan.clone());
+            .with_fault_plan(config.fault_plan.clone())
+            .with_placement(config.placement.clone());
         if let Some(policy) = config.supervision {
             builder = builder.with_supervision(policy);
         }
@@ -407,6 +738,20 @@ impl IntegratedExperiment {
         let ctx = builder.build();
         let timing = timing_model(config.platform);
         let sys = &config.system;
+
+        // Placement of the vio cut (plans that keep vio device-side
+        // take the exact pre-placement code path: no extra tasks, no
+        // extra RNG draws, no chain additions).
+        let place_state: Option<Arc<Mutex<PlacementState>>> =
+            config.placement_active().then(|| {
+                Arc::new(Mutex::new(PlacementState::new(
+                    &config.placement,
+                    config.placement_config,
+                    config.link_profile,
+                    config.fault_plan.clone(),
+                    seed,
+                )))
+            });
 
         // --- Sensor substrate ------------------------------------------
         let trajectory = Trajectory::walking(seed);
@@ -445,6 +790,11 @@ impl IntegratedExperiment {
         let tw_offset = display_period.saturating_sub(tw_reserve);
 
         let load_factor = config.load_factor;
+        // Optional per-task cost shaping applied after the timing
+        // model and load factor (placement uses it to add link
+        // transfer to the edge task and staleness work to the
+        // integrator). `None` leaves the cost untouched.
+        type CostShape = Box<dyn FnMut(Duration, Time) -> Duration>;
         let add = |engine: &mut SimEngine,
                    plugin: Box<dyn Plugin>,
                    resource: Resource,
@@ -452,8 +802,10 @@ impl IntegratedExperiment {
                    offset: Duration,
                    deadline: Duration,
                    priority: u8,
-                   class: PriorityClass| {
+                   class: PriorityClass,
+                   shape: Option<CostShape>| {
             let mut plugin = plugin;
+            let mut shape = shape;
             plugin.start(&ctx);
             let name = plugin.name().to_owned();
             ctx.supervisor.register(&name, 0);
@@ -538,6 +890,10 @@ impl IntegratedExperiment {
                     } else {
                         Duration::from_secs_f64(base.as_secs_f64() * load_factor)
                     };
+                    let cost = match shape.as_mut() {
+                        Some(f) if report.did_work => f(cost, d.start),
+                        _ => cost,
+                    };
                     ExecOutcome { cost, work_factor: report.work_factor, did_work: report.did_work }
                 }),
             )
@@ -546,7 +902,7 @@ impl IntegratedExperiment {
         let cam_period = sys.camera_period();
         let imu_period = sys.imu_period();
         let audio_period = sys.audio_period();
-        add(
+        let camera_id = add(
             &mut engine,
             Box::new(camera),
             Resource::Cpu,
@@ -555,6 +911,7 @@ impl IntegratedExperiment {
             cam_period,
             0,
             PriorityClass::Perception,
+            None,
         );
         let imu_id = add(
             &mut engine,
@@ -565,18 +922,92 @@ impl IntegratedExperiment {
             imu_period,
             2,
             PriorityClass::Critical,
+            None,
         );
-        // VIO releases just after the camera so the frame is available.
-        add(
-            &mut engine,
-            Box::new(vio),
-            Resource::Cpu,
-            cam_period,
-            Duration::from_micros(100),
-            cam_period,
-            0,
-            PriorityClass::Perception,
-        );
+        // VIO releases just after the camera so the frame is
+        // available. Under an active placement the plugin is shared by
+        // a device-side CPU task and an edge-side task on the remote
+        // pool; exactly one of them runs it each frame.
+        let vio_ids = match &place_state {
+            None => {
+                add(
+                    &mut engine,
+                    Box::new(vio),
+                    Resource::Cpu,
+                    cam_period,
+                    Duration::from_micros(100),
+                    cam_period,
+                    0,
+                    PriorityClass::Perception,
+                    None,
+                );
+                None
+            }
+            Some(state) => {
+                let inner = Arc::new(Mutex::new(vio));
+                let device = PlacedVio {
+                    label: "vio",
+                    my_side: Side::Device,
+                    inner: inner.clone(),
+                    state: state.clone(),
+                };
+                let edge = PlacedVio {
+                    label: "vio@edge",
+                    my_side: Side::Edge,
+                    inner,
+                    state: state.clone(),
+                };
+                let note_pose: CostShape = {
+                    let state = state.clone();
+                    Box::new(move |cost, start| {
+                        lock(&state).note_pose(start.as_nanos() + cost.as_nanos() as u64);
+                        cost
+                    })
+                };
+                let device_id = add(
+                    &mut engine,
+                    Box::new(device),
+                    Resource::Cpu,
+                    cam_period,
+                    Duration::from_micros(100),
+                    cam_period,
+                    0,
+                    PriorityClass::Perception,
+                    Some(note_pose),
+                );
+                let edge_shape: CostShape = {
+                    let state = state.clone();
+                    Box::new(move |cost, start| {
+                        let mut s = lock(&state);
+                        let total = s.edge_cost(cost, start);
+                        s.note_pose(start.as_nanos() + total.as_nanos() as u64);
+                        total
+                    })
+                };
+                // The edge task releases after the capture has had time
+                // to finish on the device core (the uplink ships a
+                // completed frame, not a concurrent one); releasing any
+                // earlier would let the remote pool dispatch against
+                // the previous frame's chain origin.
+                let edge_id = add(
+                    &mut engine,
+                    Box::new(edge),
+                    Resource::Remote,
+                    cam_period,
+                    Duration::from_millis(6),
+                    cam_period,
+                    0,
+                    PriorityClass::Perception,
+                    Some(edge_shape),
+                );
+                Some((device_id, edge_id))
+            }
+        };
+        let integrator_shape: Option<CostShape> = place_state.as_ref().map(|state| {
+            let state = state.clone();
+            Box::new(move |cost: Duration, start: Time| lock(&state).integrator_cost(cost, start))
+                as CostShape
+        });
         let integrator_id = add(
             &mut engine,
             Box::new(integrator),
@@ -586,6 +1017,7 @@ impl IntegratedExperiment {
             imu_period,
             2,
             PriorityClass::Critical,
+            integrator_shape,
         );
         add(
             &mut engine,
@@ -596,6 +1028,7 @@ impl IntegratedExperiment {
             display_period,
             0,
             PriorityClass::Visual,
+            None,
         );
         // The compositor runs at high GPU priority, like every real
         // XR runtime (it must never starve behind the application).
@@ -608,6 +1041,7 @@ impl IntegratedExperiment {
             tw_reserve,
             10,
             PriorityClass::Critical,
+            None,
         );
         add(
             &mut engine,
@@ -618,6 +1052,7 @@ impl IntegratedExperiment {
             audio_period,
             1,
             PriorityClass::Audio,
+            None,
         );
         add(
             &mut engine,
@@ -628,6 +1063,7 @@ impl IntegratedExperiment {
             audio_period,
             1,
             PriorityClass::Audio,
+            None,
         );
 
         // The motion-to-photon chain: a fresh IMU sample feeds the
@@ -639,6 +1075,23 @@ impl IntegratedExperiment {
             members: vec![imu_id, integrator_id, timewarp_id],
             deadline_ns: config.chain_deadline.as_nanos() as u64,
         });
+
+        // Placed runs also track the perception path per side: camera
+        // release → fresh VIO pose. The inactive side's vio task
+        // aborts its invocations, so each frame completes exactly one
+        // of the two chains.
+        if let Some((device_id, edge_id)) = vio_ids {
+            engine.add_chain(ChainSpec {
+                name: "visual_device".to_owned(),
+                members: vec![camera_id, device_id],
+                deadline_ns: VISUAL_DEADLINE.as_nanos() as u64,
+            });
+            engine.add_chain(ChainSpec {
+                name: "visual_edge".to_owned(),
+                members: vec![camera_id, edge_id],
+                deadline_ns: VISUAL_DEADLINE.as_nanos() as u64,
+            });
+        }
 
         if config.extended {
             // Eye tracking at the display rate, scene reconstruction at
@@ -659,6 +1112,7 @@ impl IntegratedExperiment {
                 display_period,
                 1,
                 PriorityClass::BestEffort,
+                None,
             );
             add(
                 &mut engine,
@@ -669,6 +1123,7 @@ impl IntegratedExperiment {
                 cam_period,
                 0,
                 PriorityClass::BestEffort,
+                None,
             );
         }
 
@@ -741,6 +1196,14 @@ impl IntegratedExperiment {
         let power = PowerModel::new(config.platform).breakdown_from_compute(cpu_util, gpu_util);
         let energy_joules = PowerModel::energy_joules(&power, dur_s);
 
+        let (vio_final_side, migrations) = match &place_state {
+            Some(state) => {
+                let s = lock(state);
+                (s.side, s.ctl.as_ref().map(|c| c.migrations().to_vec()).unwrap_or_default())
+            }
+            None => (Side::Device, Vec::new()),
+        };
+
         ExperimentResult {
             app: config.app,
             platform: config.platform,
@@ -760,6 +1223,9 @@ impl IntegratedExperiment {
             shed_jobs: engine.shed_jobs(),
             supervisor: ctx.supervisor.clone(),
             boundary_trace: recorder.map(|rec| rec.snapshot()),
+            placement_label: config.placement.label(),
+            vio_final_side,
+            migrations,
         }
     }
 }
@@ -1085,5 +1551,69 @@ mod tests {
         assert_eq!(recorded.mtp, replayed.mtp, "replayed MTP samples diverged");
         let rerec = replayed.boundary_trace.expect("re-recording enabled");
         assert_eq!(rerec.encode(), trace.encode(), "re-recorded trace not byte-identical");
+    }
+
+    #[test]
+    fn all_local_placement_matches_default_run() {
+        let base = ExperimentConfig::quick(Application::ArDemo, Platform::JetsonHP);
+        let default_run = IntegratedExperiment::run(&base);
+        for plan in [PlacementPlan::all_local(), PlacementPlan::pinned("vio", Side::Device)] {
+            let placed = base.clone().with_placement(plan);
+            assert_eq!(placed.config_hash(), base.config_hash(), "device-side plans keep the hash");
+            let run = IntegratedExperiment::run(&placed);
+            assert_eq!(default_run.telemetry.records("vio"), run.telemetry.records("vio"));
+            assert_eq!(default_run.mtp, run.mtp);
+            assert_eq!(run.placement_label, "all_local");
+            assert_eq!(run.vio_final_side, Side::Device);
+            assert!(run.migrations.is_empty());
+        }
+    }
+
+    #[test]
+    fn adaptive_placement_rides_out_an_uplink_outage() {
+        use illixr_core::fault::{FaultKind, FaultWindow};
+
+        let outage = (800_000_000u64, 1_400_000_000u64);
+        let mut cfg = ExperimentConfig::quick(Application::Platformer, Platform::Desktop)
+            .with_load_factor(2.0)
+            .with_cpu_cores(1)
+            .with_fault_plan(FaultPlan::new(9).with_window(FaultWindow::new(
+                FaultKind::LinkOutage,
+                Direction::Uplink.label(),
+                outage.0,
+                outage.1,
+                1.0,
+            )))
+            .with_placement(PlacementPlan::adaptive("vio", Side::Edge));
+        cfg.duration = Duration::from_secs_f64(3.5);
+
+        let run = IntegratedExperiment::run(&cfg);
+        assert_eq!(run.placement_label, "vio=adaptive@edge");
+        let m = &run.migrations;
+        assert_eq!(m.len(), 2, "one escalation + one restore: {m:?}");
+        assert_eq!((m[0].from, m[0].to), (Side::Edge, Side::Device));
+        assert!(
+            m[0].at_ns >= outage.0 && m[0].at_ns <= outage.1,
+            "escalated inside the outage: {}",
+            m[0].at_ns
+        );
+        let budget = cfg.placement_config.recovery_budget_ns();
+        assert_eq!((m[1].from, m[1].to), (Side::Device, Side::Edge));
+        assert!(
+            m[1].at_ns > outage.1 && m[1].at_ns <= outage.1 + budget,
+            "restored within the governor budget: {} vs {}",
+            m[1].at_ns,
+            outage.1 + budget
+        );
+        assert_eq!(run.vio_final_side, Side::Edge);
+        // Both visual chains completed work (the cut really moved).
+        assert!(run.chain_miss_rate(VISUAL_DEVICE_CHAIN).is_some());
+        assert!(run.chain_miss_rate(VISUAL_EDGE_CHAIN).is_some());
+
+        // Same seed, same decisions, same samples — bit identical.
+        let rerun = IntegratedExperiment::run(&cfg);
+        assert_eq!(run.migrations, rerun.migrations);
+        assert_eq!(run.mtp, rerun.mtp);
+        assert_eq!(run.telemetry.records("vio@edge"), rerun.telemetry.records("vio@edge"));
     }
 }

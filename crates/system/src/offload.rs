@@ -20,7 +20,9 @@ use std::time::Duration;
 
 use illixr_core::boundary::{Boundary, ByteReader, ByteWriter};
 use illixr_core::fault::FaultPlan;
+use illixr_core::link::{Direction, Link, LinkProfile};
 use illixr_core::plugin::{IterationReport, Plugin, PluginContext};
+use illixr_core::sched::{PlacementPlan, Side};
 use illixr_core::{Switchboard, Time};
 use illixr_platform::rng::SplitMix64;
 
@@ -39,8 +41,30 @@ pub struct OffloadLink {
 
 impl OffloadLink {
     /// A symmetric link with the given one-way latency and no jitter.
+    ///
+    /// The RNG seed is pinned to `0`. With `jitter_sigma == 0.0` the
+    /// jitter RNG is never drawn, but the seed *still* keys stochastic
+    /// link faults (duplicate/reorder draws in the stream bridges), so
+    /// two `symmetric` links in one run share a fault-outcome universe.
+    /// Thread the run seed through with [`OffloadLink::with_seed`] or
+    /// build from a profile with [`OffloadLink::from_profile`] when
+    /// fault independence matters.
     pub fn symmetric(one_way: Duration) -> Self {
         Self { uplink: one_way, downlink: one_way, jitter_sigma: 0.0, seed: 0 }
+    }
+
+    /// A point-to-point link with a [`LinkProfile`]'s propagation
+    /// latency and jitter, keyed by the run seed. Bandwidth is not
+    /// modeled here (the point-to-point pipe is latency-only); embed
+    /// the link in a `SharedLink` via `LinkConfig::from_point_to_point`
+    /// when serialization and queueing matter.
+    pub fn from_profile(profile: LinkProfile, seed: u64) -> Self {
+        Self {
+            uplink: profile.base_latency,
+            downlink: profile.base_latency,
+            jitter_sigma: profile.jitter_sigma,
+            seed,
+        }
     }
 
     /// Adds log-normal jitter with the given sigma.
@@ -48,6 +72,32 @@ impl OffloadLink {
         self.jitter_sigma = sigma;
         self.seed = seed;
         self
+    }
+
+    /// Replaces the RNG seed (jitter *and* stochastic link-fault
+    /// draws) without touching latency or jitter parameters.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Link for OffloadLink {
+    fn label(&self) -> &'static str {
+        "p2p"
+    }
+
+    /// Delivery = `now` + the direction's one-way latency. The
+    /// point-to-point pipe models no bandwidth (payload size is
+    /// ignored) and keeps no queue; jitter is owned by the per-stream
+    /// bridges, which hold the RNG state, so the trait-level answer is
+    /// the nominal latency.
+    fn deliver_at(&mut self, direction: Direction, now: Time, _bytes: u64) -> Time {
+        let one_way = match direction {
+            Direction::Uplink => self.uplink,
+            Direction::Downlink => self.downlink,
+        };
+        now + one_way
     }
 }
 
@@ -205,6 +255,9 @@ pub struct OffloadedPlugin {
     bridges: Vec<Box<dyn Bridge>>,
     remote_ctx: Option<PluginContext>,
     name: String,
+    /// The placement cut-point this wrapper represents (defaults to
+    /// the inner plugin's name).
+    cut: String,
 }
 
 impl std::fmt::Debug for OffloadedPlugin {
@@ -214,8 +267,18 @@ impl std::fmt::Debug for OffloadedPlugin {
 }
 
 impl OffloadedPlugin {
-    /// Wraps `inner` behind `link`.
+    /// Wraps `inner` behind `link`, at a cut-point named after the
+    /// inner plugin.
     pub fn new(inner: Box<dyn Plugin>, link: OffloadLink) -> Self {
+        let cut = inner.name().to_owned();
+        Self::for_cut(inner, &cut, link)
+    }
+
+    /// Wraps `inner` behind `link` at an explicitly named cut-point,
+    /// so a [`PlacementPlan`] can address the boundary independently
+    /// of the plugin's name (e.g. cut `"perception"` wrapping the VIO
+    /// plugin).
+    pub fn for_cut(inner: Box<dyn Plugin>, cut: &str, link: OffloadLink) -> Self {
         let name = format!("{}@remote", inner.name());
         Self {
             inner,
@@ -225,6 +288,24 @@ impl OffloadedPlugin {
             bridges: Vec::new(),
             remote_ctx: None,
             name,
+            cut: cut.to_owned(),
+        }
+    }
+
+    /// The cut-point this wrapper answers to in a [`PlacementPlan`].
+    pub fn cut(&self) -> &str {
+        &self.cut
+    }
+
+    /// Resolves the cut against a [`PlacementPlan`]: `Edge` keeps the
+    /// wrapper (streams cross the link), `Device` unwraps it and
+    /// returns the inner plugin untouched — the declared bridges are
+    /// dropped, so a device-side placement is byte-identical to never
+    /// having wrapped the plugin at all.
+    pub fn place(self, plan: &PlacementPlan) -> Box<dyn Plugin> {
+        match plan.side_of(&self.cut) {
+            Side::Edge => Box::new(self),
+            Side::Device => self.inner,
         }
     }
 
@@ -301,6 +382,7 @@ impl Plugin for OffloadedPlugin {
             fault: ctx.fault.clone(),
             supervisor: ctx.supervisor.clone(),
             boundary: ctx.boundary.clone(),
+            placement: ctx.placement.clone(),
         };
         let target = self.inner.name().to_owned();
         for make in self.pending.drain(..) {
@@ -516,6 +598,58 @@ mod tests {
         let replayed = drive(&ctx2, &clock2);
         assert_eq!(recorded, replayed);
         assert_eq!(rerec.snapshot().encode(), trace.encode());
+    }
+
+    #[test]
+    fn from_profile_threads_the_run_seed() {
+        let link = OffloadLink::from_profile(LinkProfile::cellular_5g(), 42);
+        assert_eq!(link.uplink, Duration::from_millis(12));
+        assert_eq!(link.downlink, Duration::from_millis(12));
+        assert_eq!(link.jitter_sigma, 0.35);
+        assert_eq!(link.seed, 42);
+        assert_eq!(OffloadLink::symmetric(Duration::ZERO).with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn offload_link_implements_the_unified_link_trait() {
+        let mut link = OffloadLink {
+            uplink: Duration::from_millis(3),
+            downlink: Duration::from_millis(5),
+            jitter_sigma: 0.0,
+            seed: 0,
+        };
+        assert_eq!(Link::label(&link), "p2p");
+        let t = Time::from_millis(100);
+        assert_eq!(link.deliver_at(Direction::Uplink, t, 1 << 20), Time::from_millis(103));
+        assert_eq!(link.deliver_at(Direction::Downlink, t, 0), Time::from_millis(105));
+    }
+
+    #[test]
+    fn placement_plan_resolves_the_cut_side() {
+        let link = OffloadLink::symmetric(Duration::from_millis(10));
+        // Edge side: the wrapper (and its link delay) survives.
+        let plan = PlacementPlan::all_local().with_cut("echo", Side::Edge, false);
+        let placed = OffloadedPlugin::new(echo(), link)
+            .uplink::<u32>("in")
+            .downlink::<u32>("out")
+            .place(&plan);
+        assert_eq!(placed.name(), "echo@remote");
+
+        // Device side (the all-local default): the inner plugin comes
+        // back untouched and the link disappears entirely.
+        let wrapped = OffloadedPlugin::for_cut(echo(), "perception", link)
+            .uplink::<u32>("in")
+            .downlink::<u32>("out");
+        assert_eq!(wrapped.cut(), "perception");
+        let mut local = wrapped.place(&PlacementPlan::all_local());
+        assert_eq!(local.name(), "echo");
+        let clock = SimClock::new();
+        let ctx = RuntimeBuilder::new(Arc::new(clock.clone())).build();
+        local.start(&ctx);
+        let out = ctx.switchboard.topic::<u32>("out").expect("stream").sync_reader(16);
+        ctx.switchboard.topic::<u32>("in").expect("stream").writer().put(41);
+        local.iterate(&ctx);
+        assert_eq!(**out.try_recv().expect("no link in the way"), 42, "device side is immediate");
     }
 
     #[test]

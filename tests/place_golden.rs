@@ -1,0 +1,170 @@
+//! Golden tests for device/edge placement plans: an `all_local` plan
+//! must be bit-identical to the pre-placement pipeline, adaptive runs
+//! must be deterministic under same-seed reruns, migrations under a
+//! scheduled link outage must land inside the governor's recovery
+//! budget, a quiet fault plan must produce zero migrations, and a
+//! recorded adaptive run must replay its migration decisions exactly
+//! from the `place/vio` boundary stream.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_core::boundary::{Boundary, TraceSource};
+use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow};
+use illixr_core::link::{Direction, LinkProfile};
+use illixr_core::obs::{chrome_trace_json, metrics_csv};
+use illixr_core::sched::{PlacementConfig, PlacementPlan, Side};
+use illixr_platform::spec::Platform;
+use illixr_render::apps::Application;
+use illixr_system::experiment::{
+    ExperimentConfig, IntegratedExperiment, VISUAL_DEVICE_CHAIN, VISUAL_EDGE_CHAIN,
+};
+
+/// Outage window used by every degraded-link test below.
+const OUTAGE: (u64, u64) = (800_000_000, 1_400_000_000);
+
+fn outage_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_window(FaultWindow::new(
+        FaultKind::LinkOutage,
+        Direction::Uplink.label(),
+        OUTAGE.0,
+        OUTAGE.1,
+        1.0,
+    ))
+}
+
+/// An adaptive run long enough for the default governor ladder to
+/// escalate during [`OUTAGE`] and restore afterwards.
+fn adaptive_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(Application::Platformer, Platform::Desktop)
+        .with_fault_plan(outage_plan(9))
+        .with_link_profile(LinkProfile::wifi())
+        .with_placement(PlacementPlan::adaptive("vio", Side::Edge));
+    cfg.duration = Duration::from_secs_f64(3.5);
+    cfg
+}
+
+#[test]
+fn all_local_plan_is_bit_identical_to_the_default_pipeline() {
+    let base = ExperimentConfig::quick(Application::Sponza, Platform::JetsonLP).with_trace();
+    let default_run = IntegratedExperiment::run(&base);
+    let placed_cfg = base.clone().with_placement(PlacementPlan::all_local());
+    assert_eq!(
+        placed_cfg.config_hash(),
+        base.config_hash(),
+        "all_local must not perturb the config hash (pre-placement hashes are frozen)"
+    );
+    let placed = IntegratedExperiment::run(&placed_cfg);
+    assert_eq!(default_run.mtp, placed.mtp);
+    assert_eq!(default_run.chain_outcomes, placed.chain_outcomes);
+    assert_eq!(default_run.telemetry.records("vio"), placed.telemetry.records("vio"));
+    assert_eq!(
+        metrics_csv(&default_run.metrics),
+        metrics_csv(&placed.metrics),
+        "all_local metrics.csv must be bit-identical to the default pipeline"
+    );
+    assert_eq!(
+        chrome_trace_json(&default_run.tracer),
+        chrome_trace_json(&placed.tracer),
+        "all_local trace.json must be bit-identical to the default pipeline"
+    );
+    assert!(placed.migrations.is_empty());
+    assert_eq!(placed.vio_final_side, Side::Device);
+}
+
+#[test]
+fn quiet_fault_plan_produces_zero_migrations() {
+    let mut adaptive = ExperimentConfig::quick(Application::Platformer, Platform::Desktop)
+        .with_link_profile(LinkProfile::wifi())
+        .with_placement(PlacementPlan::adaptive("vio", Side::Edge));
+    adaptive.duration = Duration::from_secs(2);
+    let mut pinned = adaptive.clone().with_placement(PlacementPlan::pinned("vio", Side::Edge));
+    pinned.duration = adaptive.duration;
+
+    let a = IntegratedExperiment::run(&adaptive);
+    assert!(a.migrations.is_empty(), "healthy link must never migrate: {:?}", a.migrations);
+    assert_eq!(a.vio_final_side, Side::Edge);
+
+    // With no decisions to make, adaptive is the pinned-edge run.
+    let p = IntegratedExperiment::run(&pinned);
+    assert_eq!(a.mtp, p.mtp);
+    assert_eq!(a.chain_outcomes, p.chain_outcomes);
+    assert_eq!(a.telemetry.records("vio@edge"), p.telemetry.records("vio@edge"));
+}
+
+#[test]
+fn outage_migration_recovers_within_the_governor_budget() {
+    let cfg = adaptive_config();
+    let run = IntegratedExperiment::run(&cfg);
+    let m = &run.migrations;
+    assert_eq!(m.len(), 2, "one escalation + one restore: {m:?}");
+    assert_eq!((m[0].from, m[0].to), (Side::Edge, Side::Device));
+    assert!(
+        m[0].at_ns >= OUTAGE.0 && m[0].at_ns <= OUTAGE.1,
+        "escalation must land inside the outage: {}",
+        m[0].at_ns
+    );
+    let budget = PlacementConfig::default().recovery_budget_ns();
+    assert_eq!((m[1].from, m[1].to), (Side::Device, Side::Edge));
+    assert!(
+        m[1].at_ns > OUTAGE.1 && m[1].at_ns <= OUTAGE.1 + budget,
+        "restore must land within the governor budget: {} vs {}",
+        m[1].at_ns,
+        OUTAGE.1 + budget
+    );
+    assert_eq!(run.vio_final_side, Side::Edge);
+    // Decisions only ever land on epoch boundaries (the determinism
+    // rule): both sides of every migration are epoch multiples.
+    let epoch = cfg.placement_config.epoch_ns;
+    for mig in m {
+        assert_eq!(mig.at_ns % epoch, 0, "migration off the epoch grid: {mig:?}");
+    }
+    // The cut really moved: both visual chains saw completed work.
+    assert!(run.chain_miss_rate(VISUAL_DEVICE_CHAIN).is_some());
+    assert!(run.chain_miss_rate(VISUAL_EDGE_CHAIN).is_some());
+}
+
+#[test]
+fn adaptive_same_seed_rerun_is_bit_identical() {
+    let cfg = adaptive_config();
+    let a = IntegratedExperiment::run(&cfg);
+    let b = IntegratedExperiment::run(&cfg);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.mtp, b.mtp);
+    assert_eq!(a.chain_outcomes, b.chain_outcomes);
+    assert_eq!(a.telemetry.records("vio"), b.telemetry.records("vio"));
+    assert_eq!(a.telemetry.records("vio@edge"), b.telemetry.records("vio@edge"));
+}
+
+/// Migration decisions are boundary-recorded on `place/vio`: replaying
+/// the recording under a different config seed re-derives the same
+/// migrations from the trace (not the controller's live inputs) and
+/// re-records byte-identical boundary streams.
+#[test]
+fn recorded_adaptive_run_replays_migrations_exactly() {
+    let record_cfg = adaptive_config().with_trace().with_boundary_record();
+    let recorded = IntegratedExperiment::run(&record_cfg);
+    assert_eq!(recorded.migrations.len(), 2, "recording should migrate: {:?}", recorded.migrations);
+    let trace = recorded.boundary_trace.clone().expect("recording enabled");
+    assert!(
+        trace.streams.iter().any(|(name, _)| name == "place/vio"),
+        "placement decisions must be on the boundary"
+    );
+
+    // Same scheduled fault plan (the outage is physical, not RNG), new
+    // config seed: decisions must come from the recorded stream.
+    let mut replay_cfg = adaptive_config()
+        .with_trace()
+        .with_boundary_record()
+        .with_trace_source(TraceSource::new(Arc::new(trace.clone())));
+    replay_cfg.seed ^= 0x9ACE_D0CE;
+    let replayed = IntegratedExperiment::run(&replay_cfg);
+    assert_eq!(recorded.migrations, replayed.migrations, "replayed migrations diverged");
+    let rerec = replayed.boundary_trace.as_ref().expect("re-recording enabled");
+    if rerec.encode() != trace.encode() {
+        panic!(
+            "re-recorded trace diverged:\n{}",
+            Boundary::divergence_report(&trace, rerec, &replayed.stream_stats)
+        );
+    }
+}
