@@ -65,6 +65,11 @@ struct Cell {
     panics: u32,
     recoveries: usize,
     recovery_mean_ms: f64,
+    recovery_p50_ms: f64,
+    recovery_p99_ms: f64,
+    restarts: u32,
+    degraded: u32,
+    failed: usize,
     level: u32,
     shed: u64,
     /// Raw sorted samples kept for the determinism check.
@@ -120,6 +125,9 @@ fn summarize(intensity: f64, mode: Mode, result: &ExperimentResult) -> Cell {
     } else {
         recovery_ns.iter().sum::<u64>() as f64 / recovery_ns.len() as f64 / 1e6
     };
+    let mut recovery_ms: Vec<f64> = recovery_ns.iter().map(|&n| n as f64 / 1e6).collect();
+    recovery_ms.sort_by(|a, b| a.total_cmp(b));
+    let sup_report = result.supervisor.report();
     Cell {
         intensity,
         mode,
@@ -135,6 +143,14 @@ fn summarize(intensity: f64, mode: Mode, result: &ExperimentResult) -> Cell {
         panics: result.supervisor.total_panics(),
         recoveries: recovery_ns.len(),
         recovery_mean_ms,
+        recovery_p50_ms: percentile(&recovery_ms, 0.50),
+        recovery_p99_ms: percentile(&recovery_ms, 0.99),
+        restarts: sup_report.iter().map(|r| r.restarts).sum(),
+        degraded: sup_report.iter().map(|r| r.degraded_incidents).sum(),
+        failed: sup_report
+            .iter()
+            .filter(|r| r.health == illixr_core::supervisor::PluginHealth::Failed)
+            .count(),
         level: result.degradation_level,
         shed: result.shed_jobs,
         mtp_ms,
@@ -210,6 +226,27 @@ fn main() -> std::io::Result<()> {
             writeln!(out, "{row}").unwrap();
             cells.push(cell);
         }
+    }
+
+    // Supervisor outcome rows: the same restart/degraded/failed gauges
+    // that `metrics.csv` carries, plus the `supervisor.recovery`
+    // distribution, one row per cell so regressions in crash handling
+    // are greppable from the artifact alone.
+    writeln!(out, "\n# supervisor outcomes (matches supervisor.* gauges in metrics.csv)").unwrap();
+    for cell in &cells {
+        let row = format!(
+            "supervisor.recovery intensity={:.2} mode={} p50_ms={:.3} p99_ms={:.3} \
+             restarts={} degraded={} failed={}",
+            cell.intensity,
+            cell.mode.label(),
+            cell.recovery_p50_ms,
+            cell.recovery_p99_ms,
+            cell.restarts,
+            cell.degraded,
+            cell.failed,
+        );
+        println!("{row}");
+        writeln!(out, "{row}").unwrap();
     }
 
     // The claims the subsystem exists to support, checked at the top

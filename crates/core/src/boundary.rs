@@ -23,6 +23,7 @@
 //! faulted recording replays identically even when the replay side
 //! runs a quiet plan under supervision.
 
+pub use illixr_trace::checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_SCHEMA_VERSION};
 pub use illixr_trace::codec::{ByteReader, ByteWriter, CodecError};
 pub use illixr_trace::divergence::{first_divergence, Divergence};
 pub use illixr_trace::format::{Trace, TraceError, TraceHeader, TraceRecord, SCHEMA_VERSION};
@@ -93,7 +94,7 @@ impl Boundary {
 
     /// Whether plugin `plugin` has a crash due at `release_ns` beyond
     /// the `fired` already delivered — the boundary-side replacement
-    /// for `plan.crashes_due(..) > fired`.
+    /// for [`FaultPlan::crash_due`].
     ///
     /// Recording: consults `plan` and records each firing on
     /// `crash/<plugin>`. Replaying: consults the trace only, so a run
@@ -103,7 +104,7 @@ impl Boundary {
         let stream = format!("{CRASH_STREAM_PREFIX}{plugin}");
         let due = match &self.source {
             Some(src) => src.count_through(&stream, release_ns) > fired as u64,
-            None => plan.crashes_due(plugin, release_ns) > fired,
+            None => plan.crash_due(plugin, release_ns, fired),
         };
         if due {
             if let Some(src) = &self.source {

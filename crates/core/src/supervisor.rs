@@ -77,10 +77,17 @@ impl SupervisionPolicy {
         Self { watchdog_deadline: Some(deadline), ..Self::default() }
     }
 
-    /// The restart delay before attempt `attempt` (1-based).
+    /// The restart delay before attempt `attempt` (1-based). Saturates
+    /// at [`SupervisionPolicy::backoff_max`] for any attempt number —
+    /// the exponential is clamped before constructing a `Duration`, so
+    /// arbitrarily late attempts cannot overflow.
     pub fn backoff(&self, attempt: u32) -> Duration {
-        let scale = self.backoff_factor.powi(attempt.saturating_sub(1) as i32);
-        Duration::from_secs_f64(self.backoff_initial.as_secs_f64() * scale).min(self.backoff_max)
+        let exp = attempt.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let secs = self.backoff_initial.as_secs_f64() * self.backoff_factor.powi(exp);
+        if !secs.is_finite() || secs >= self.backoff_max.as_secs_f64() {
+            return self.backoff_max;
+        }
+        Duration::from_secs_f64(secs).min(self.backoff_max)
     }
 
     /// Upper bound on total restart delay across the whole budget —
@@ -368,6 +375,98 @@ mod tests {
         assert_eq!(sup.health("imu"), Some(PluginHealth::Failed));
         assert_eq!(sup.total_panics(), 1);
         assert!(sup.scan_stale(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn degraded_plugin_fails_when_budget_is_already_exhausted() {
+        // Edge transition: a plugin the watchdog marked Degraded must
+        // still land in Failed on its next panic once the restart
+        // budget is gone — degradation must not reset or bypass the
+        // budget accounting.
+        let sup = Supervisor::new(SupervisionPolicy {
+            max_restarts: 1,
+            watchdog_deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        });
+        sup.register("render", 0);
+        assert!(sup.on_panic("render", 10).is_some(), "budget of one restart");
+        sup.note_progress("render", 20);
+        // Silence past the deadline: Running -> Degraded.
+        assert_eq!(sup.scan_stale(10_000_000), vec!["render".to_owned()]);
+        assert_eq!(sup.health("render"), Some(PluginHealth::Degraded));
+        // Budget exhausted: the panic out of Degraded is terminal.
+        assert!(sup.on_panic("render", 10_000_100).is_none());
+        assert_eq!(sup.health("render"), Some(PluginHealth::Failed));
+        // Failed is absorbing: neither progress nor the watchdog moves it.
+        sup.note_progress("render", 10_000_200);
+        assert_eq!(sup.health("render"), Some(PluginHealth::Failed));
+        assert!(sup.scan_stale(u64::MAX).is_empty(), "failed plugins are not watchdog targets");
+        let report = sup.report();
+        assert_eq!(report[0].restarts, 1);
+        assert_eq!(report[0].panics, 2);
+        assert_eq!(report[0].degraded_incidents, 1);
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap_for_every_attempt_past_it() {
+        // Edge: once the exponential schedule crosses backoff_max,
+        // every later attempt returns exactly the cap — no overflow,
+        // no drift, including attempt numbers far past the budget.
+        let p = SupervisionPolicy {
+            backoff_initial: Duration::from_millis(10),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_millis(100),
+            max_restarts: u32::MAX,
+            ..SupervisionPolicy::default()
+        };
+        // 10, 20, 40, 80 then capped forever.
+        assert_eq!(p.backoff(4), Duration::from_millis(80));
+        for attempt in [5, 6, 10, 31, 1_000, u32::MAX] {
+            assert_eq!(p.backoff(attempt), p.backoff_max, "attempt {attempt} must saturate");
+        }
+        // Attempt 0 is treated like attempt 1 (saturating_sub), not a
+        // zero-duration or panicking edge.
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+
+        // The live path agrees with the schedule at saturation.
+        let sup = Supervisor::new(p);
+        sup.register("vio", 0);
+        for i in 0..8 {
+            let delay = sup.on_panic("vio", i).expect("unbounded budget");
+            assert!(delay <= p.backoff_max);
+        }
+        assert_eq!(sup.on_panic("vio", 99).unwrap(), p.backoff_max, "saturated backoff");
+    }
+
+    #[test]
+    fn watchdog_escalates_exactly_once_per_stale_window() {
+        // Edge: repeated sweeps inside one stale window fire the hook
+        // once; each progress-then-silence cycle opens a fresh window
+        // that fires exactly once more.
+        let sup = Supervisor::new(SupervisionPolicy::with_watchdog(Duration::from_millis(5)));
+        let fired = Arc::new(Mutex::new(0u32));
+        {
+            let fired = fired.clone();
+            sup.set_escalation(move |_| *fired.lock() += 1);
+        }
+        sup.register("camera", 0);
+        for window in 1..=3u64 {
+            let base = window * 20_000_000;
+            // Many sweeps within the same window: one escalation total.
+            assert_eq!(sup.scan_stale(base).len(), 1, "window {window} opens");
+            for extra in 1..=4 {
+                assert!(sup.scan_stale(base + extra).is_empty(), "no re-fire within a window");
+            }
+            assert_eq!(*fired.lock(), window as u32, "exactly one escalation per window");
+            assert_eq!(
+                sup.report()[0].degraded_incidents,
+                window as u32,
+                "incident count tracks windows, not sweeps"
+            );
+            // Progress closes the window; the next silence is a new one.
+            sup.note_progress("camera", base + 10);
+            assert_eq!(sup.health("camera"), Some(PluginHealth::Running));
+        }
     }
 
     #[test]

@@ -369,6 +369,14 @@ impl<T: Send + Sync> AsyncReader<T> {
         event
     }
 
+    /// The most recent event without observability side effects: no
+    /// flow event is recorded and the once-per-event dedup marker is
+    /// untouched, so checkpoints and other out-of-band inspectors can
+    /// peek mid-run without perturbing the trace a live run would emit.
+    pub fn peek_latest(&self) -> Option<Arc<Event<T>>> {
+        self.topic.latest.read().clone()
+    }
+
     /// Stream name.
     pub fn name(&self) -> &str {
         &self.name

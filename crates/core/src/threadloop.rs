@@ -287,7 +287,7 @@ fn contained_iterate(
     release_t_ns: u64,
     crashes_fired: &AtomicU32,
 ) -> std::thread::Result<crate::plugin::IterationReport> {
-    let fire = ctx.fault.crashes_due(name, release_t_ns) > crashes_fired.load(Ordering::SeqCst);
+    let fire = ctx.fault.crash_due(name, release_t_ns, crashes_fired.load(Ordering::SeqCst));
     if fire {
         crashes_fired.fetch_add(1, Ordering::SeqCst);
     }

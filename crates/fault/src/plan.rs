@@ -45,6 +45,10 @@ pub enum FaultKind {
     LinkReorder,
     /// A plugin panics at its next iteration inside the window.
     PluginCrash,
+    /// An engine shard worker dies at its next batch inside the window
+    /// (target `shard/{N}`, or empty for every shard). The sessions on
+    /// that shard are quarantined until failover recovers them.
+    WorkerCrash,
 }
 
 impl FaultKind {
@@ -61,6 +65,7 @@ impl FaultKind {
             FaultKind::LinkDuplicate => "link_duplicate",
             FaultKind::LinkReorder => "link_reorder",
             FaultKind::PluginCrash => "plugin_crash",
+            FaultKind::WorkerCrash => "worker_crash",
         }
     }
 
@@ -77,6 +82,7 @@ impl FaultKind {
             FaultKind::LinkDuplicate => 0x7127,
             FaultKind::LinkReorder => 0x7138,
             FaultKind::PluginCrash => 0xC0A9,
+            FaultKind::WorkerCrash => 0x3CAF,
         }
     }
 }
@@ -310,16 +316,59 @@ impl FaultPlan {
         rng::signed_unit(key)
     }
 
-    /// How many crash windows for `plugin` have opened by `now_ns`.
-    /// A supervisor fires one panic per opened window: it panics while
-    /// its own fired-count is below this.
-    pub fn crashes_due(&self, plugin: &str, now_ns: u64) -> u32 {
+    /// How many [`FaultKind::PluginCrash`] windows for `plugin` have
+    /// opened by `now_ns`. This is the counting primitive behind
+    /// [`FaultPlan::crash_due`]; use that for the fire/don't-fire
+    /// decision.
+    pub fn crash_count_through(&self, plugin: &str, now_ns: u64) -> u32 {
         self.windows
             .iter()
             .filter(|w| {
                 w.kind == FaultKind::PluginCrash && w.applies_to(plugin) && w.start_ns <= now_ns
             })
             .count() as u32
+    }
+
+    /// True when `plugin` owes a panic at `release_ns`: the number of
+    /// crash windows opened so far exceeds `fired`, the caller's count
+    /// of panics already delivered. One panic per opened window — the
+    /// same contract `Boundary::crash_due` records and replays (see the
+    /// `illixr-trace` crate docs for the crash-record replay contract).
+    pub fn crash_due(&self, plugin: &str, release_ns: u64, fired: u32) -> bool {
+        self.crash_count_through(plugin, release_ns) > fired
+    }
+
+    /// Deprecated spelling of [`FaultPlan::crash_count_through`]. The
+    /// name clashed with `Boundary::crash_due` (a *predicate*) while
+    /// returning a *count*; the split names make the contract explicit.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `crash_count_through` (count) or `crash_due` \
+                                          (predicate) instead"
+    )]
+    pub fn crashes_due(&self, plugin: &str, now_ns: u64) -> u32 {
+        self.crash_count_through(plugin, now_ns)
+    }
+
+    /// How many [`FaultKind::WorkerCrash`] windows for `target` (an
+    /// engine shard, named `shard/{N}`; empty window targets match
+    /// every shard) have opened by `now_ns`. The engine kills the
+    /// worker once per opened window, mirroring the plugin-crash
+    /// fired-count discipline.
+    pub fn worker_crashes_due(&self, target: &str, now_ns: u64) -> u32 {
+        self.windows
+            .iter()
+            .filter(|w| {
+                w.kind == FaultKind::WorkerCrash && w.applies_to(target) && w.start_ns <= now_ns
+            })
+            .count() as u32
+    }
+
+    /// Whether any [`FaultKind::WorkerCrash`] window exists at all —
+    /// the engine only arms its failover machinery when one does (or
+    /// when failover was configured explicitly).
+    pub fn has_worker_crashes(&self) -> bool {
+        self.windows.iter().any(|w| w.kind == FaultKind::WorkerCrash)
     }
 
     /// One deterministic line per window plus the stochastic rates —
@@ -371,7 +420,9 @@ mod tests {
         assert!(p.is_quiet());
         assert!(!p.trial(FaultKind::CameraDrop, "camera", 7, 1.0));
         assert!(p.active_window(FaultKind::LinkOutage, "link", 0).is_none());
-        assert_eq!(p.crashes_due("vio", u64::MAX), 0);
+        assert_eq!(p.crash_count_through("vio", u64::MAX), 0);
+        assert!(!p.crash_due("vio", u64::MAX, 0));
+        assert_eq!(p.worker_crashes_due("shard/0", u64::MAX), 0);
     }
 
     #[test]
@@ -428,11 +479,31 @@ mod tests {
         let p = FaultPlan::new(3)
             .with_window(FaultWindow::new(FaultKind::PluginCrash, "vio", 100, 101, 1.0))
             .with_window(FaultWindow::new(FaultKind::PluginCrash, "vio", 500, 501, 1.0));
-        assert_eq!(p.crashes_due("vio", 0), 0);
-        assert_eq!(p.crashes_due("vio", 100), 1);
-        assert_eq!(p.crashes_due("vio", 499), 1);
-        assert_eq!(p.crashes_due("vio", 500), 2);
-        assert_eq!(p.crashes_due("timewarp", 500), 0);
+        assert_eq!(p.crash_count_through("vio", 0), 0);
+        assert_eq!(p.crash_count_through("vio", 100), 1);
+        assert_eq!(p.crash_count_through("vio", 499), 1);
+        assert_eq!(p.crash_count_through("vio", 500), 2);
+        assert_eq!(p.crash_count_through("timewarp", 500), 0);
+        // The predicate fires exactly once per opened window.
+        assert!(p.crash_due("vio", 100, 0));
+        assert!(!p.crash_due("vio", 100, 1));
+        assert!(p.crash_due("vio", 500, 1));
+        assert!(!p.crash_due("vio", 500, 2));
+    }
+
+    #[test]
+    fn worker_crash_windows_count_per_shard() {
+        let p = FaultPlan::new(4)
+            .with_window(FaultWindow::new(FaultKind::WorkerCrash, "shard/3", 100, 101, 1.0))
+            .with_window(FaultWindow::new(FaultKind::WorkerCrash, "", 500, 501, 1.0));
+        assert_eq!(p.worker_crashes_due("shard/3", 0), 0);
+        assert_eq!(p.worker_crashes_due("shard/3", 100), 1);
+        assert_eq!(p.worker_crashes_due("shard/0", 100), 0);
+        // The wildcard window hits every shard.
+        assert_eq!(p.worker_crashes_due("shard/3", 500), 2);
+        assert_eq!(p.worker_crashes_due("shard/0", 500), 1);
+        // Worker crashes never count as plugin crashes, or vice versa.
+        assert_eq!(p.crash_count_through("shard/3", u64::MAX), 0);
     }
 
     #[test]

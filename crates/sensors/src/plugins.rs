@@ -53,6 +53,41 @@ impl SyntheticCameraPlugin {
         Self { trajectory, world, rig, writer: None, seq: 0, last_frame: None, last_pose: None }
     }
 
+    /// Sequence number the next fresh frame will carry. Part of the
+    /// failover snapshot surface.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// `(timestamp, seq)` of the last *fresh* frame published, if any.
+    /// Enough to reconstruct the frame at restore time: the content is
+    /// a pure function of the trajectory pose at that timestamp.
+    pub fn last_frame_info(&self) -> Option<(illixr_core::Time, u64)> {
+        self.last_frame.as_ref().map(|f| (f.timestamp, f.seq))
+    }
+
+    /// Restores the plugin to a snapshotted state: the next sequence
+    /// number plus the identity of the last fresh frame, which is
+    /// re-rendered from the trajectory (deterministic, so the restored
+    /// frame is pixel-identical to the snapshotted one). Nothing is
+    /// published.
+    pub fn restore_state(&mut self, seq: u64, last: Option<(illixr_core::Time, u64)>) {
+        self.seq = seq;
+        match last {
+            Some((timestamp, frame_seq)) => {
+                let pose = self.trajectory.pose(timestamp);
+                let left = Arc::new(self.world.render(&self.rig, &pose, 0));
+                let right = Arc::new(self.world.render(&self.rig, &pose, 1));
+                self.last_frame = Some(StereoFrame { timestamp, left, right, seq: frame_seq });
+                self.last_pose = Some(pose);
+            }
+            None => {
+                self.last_frame = None;
+                self.last_pose = None;
+            }
+        }
+    }
+
     /// Replay branch: publish every recorded frame that has come due,
     /// re-rendering each from its recorded pose. The popped payload is
     /// re-recorded verbatim so a replayed run's trace is byte-identical
@@ -153,6 +188,15 @@ impl SyntheticImuPlugin {
     /// Creates the plugin sampling at `rate_hz` (paper: 500 Hz).
     pub fn new(trajectory: Trajectory, noise: ImuNoise, rate_hz: f64, seed: u64) -> Self {
         Self { model: ImuModel::new(trajectory, noise, rate_hz, seed), writer: None, seq: 0 }
+    }
+
+    /// Sequence number the next sample will carry — equal to the number
+    /// of `iterate` calls so far, since the model draws a sample every
+    /// call even when a gap fault swallows the publish. The failover
+    /// restore path fast-forwards a fresh plugin by iterating this many
+    /// times before subscribing readers.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 }
 

@@ -81,7 +81,10 @@ pub fn decode_camera(
         timestamp: tag_plus_delta(tag_ns, delta),
         seq,
         work_factor,
-        pose: Pose::new(position, orientation),
+        // The recorded quaternion is already normalized; `Pose::new`
+        // would re-normalize, which is not idempotent to the last ulp
+        // and would break the codec's bit-exact round trip.
+        pose: Pose { position, orientation },
     })
 }
 

@@ -39,6 +39,7 @@ pub mod link;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod snapshot;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionRecord};
 pub use illixr_core::sched::{
@@ -50,9 +51,10 @@ pub use scheduler::{
     SchedulerStats,
 };
 pub use server::{
-    MtpStats, ReplayLoad, Server, ServerBuilder, ServerConfig, ServerReport, SessionHandle,
-    SessionReport,
+    FailoverConfig, FailoverIncident, FailoverPolicy, MtpStats, ReplayLoad, Server, ServerBuilder,
+    ServerConfig, ServerReport, SessionHandle, SessionReport,
 };
 pub use session::{
     ClientSession, DisplayedFrame, RenderRequest, RenderToken, SessionConfig, SessionState,
 };
+pub use snapshot::SessionSnapshot;

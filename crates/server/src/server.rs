@@ -126,6 +126,99 @@ pub struct ServerConfig {
     /// device-side (headset silicon is slower than the pool's edge
     /// workers, but pays no link delay).
     pub device_vio_cost: Duration,
+    /// Crash-consistent session failover: how the engine recovers
+    /// sessions whose fault domain (shard worker) crashed. The default
+    /// ([`FailoverPolicy::Disabled`], no checkpoints) is bit-identical
+    /// to the historical engine.
+    pub failover: FailoverConfig,
+}
+
+/// How the engine recovers sessions lost to a crashed fault domain
+/// (a shard worker killed by a `FaultKind::WorkerCrash` window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverPolicy {
+    /// No recovery: a crashed shard quarantines its sessions for the
+    /// rest of the run (ghost bookkeeping keeps the rest of the engine's
+    /// contention identical, but the sessions display nothing).
+    Disabled,
+    /// Reboot the session from scratch after
+    /// [`FailoverConfig::restart_delay`]: fresh state anchored to
+    /// ground truth at the recovery instant, telemetry lost.
+    RestartOnly,
+    /// Restore the last `ILXC` checkpoint, then replay the journaled
+    /// boundary events since the snapshot tag — the recovered session
+    /// rejoins the live run with the exact state an uncrashed session
+    /// would have.
+    CheckpointCatchup,
+}
+
+impl FailoverPolicy {
+    /// Stable lowercase label for reports and config hashing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Disabled => "disabled",
+            Self::RestartOnly => "restart",
+            Self::CheckpointCatchup => "catchup",
+        }
+    }
+}
+
+/// Failover tuning (see [`FailoverPolicy`]). Constructed through
+/// [`ServerBuilder::failover`] / [`ServerBuilder::checkpoint_every`];
+/// the defaults model a ~250 ms process reboot versus a ~5 ms snapshot
+/// restore plus ~2 µs per replayed boundary event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Recovery policy for crashed fault domains.
+    pub policy: FailoverPolicy,
+    /// Checkpoint epoch: attached sessions snapshot at the first
+    /// `ServerBatch` boundary at or after each multiple of this period.
+    /// `None` disables checkpointing (restart-only recovery at best).
+    pub checkpoint_every: Option<Duration>,
+    /// Simulated cost of rebooting a session from scratch.
+    pub restart_delay: Duration,
+    /// Simulated cost of decoding + restoring one checkpoint.
+    pub restore_cost: Duration,
+    /// Simulated cost per journaled event replayed during catch-up.
+    pub catchup_per_event: Duration,
+    /// Restarts a session may consume before it is quarantined for
+    /// good (checkpoint restores are not budgeted).
+    pub restart_budget: u32,
+    /// Test-only: corrupt every stored checkpoint so recovery exercises
+    /// the typed decode-error fallback path.
+    #[doc(hidden)]
+    pub corrupt_checkpoints: bool,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        Self {
+            policy: FailoverPolicy::Disabled,
+            checkpoint_every: None,
+            restart_delay: Duration::from_millis(250),
+            restore_cost: Duration::from_millis(5),
+            catchup_per_event: Duration::from_micros(2),
+            restart_budget: 3,
+            corrupt_checkpoints: false,
+        }
+    }
+}
+
+/// One crash-and-recovery episode of a session's fault domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverIncident {
+    /// The session lost to the crash.
+    pub session: u32,
+    /// When its shard's worker crashed.
+    pub crashed_at: illixr_core::Time,
+    /// When the session rejoined the live run (`None`: never — policy
+    /// disabled, restart budget exhausted, or the run ended first).
+    pub recovered_at: Option<illixr_core::Time>,
+    /// How it recovered: `"catchup"`, `"restart"`,
+    /// `"restart_fallback"` (corrupt/missing checkpoint) or `"none"`.
+    pub mode: &'static str,
+    /// Display opportunities (vsyncs) that elapsed while quarantined.
+    pub lost_frames: u64,
 }
 
 /// Trace-driven load: every session replays the same recorded session,
@@ -205,6 +298,12 @@ impl ServerConfig {
         self.placement == Self::default_placement()
     }
 
+    /// True when failover is fully default (no policy, no checkpoints —
+    /// the pre-failover code path).
+    pub fn failover_is_default(&self) -> bool {
+        self.failover == FailoverConfig::default()
+    }
+
     /// FNV-1a hash of the recording-relevant configuration, stamped
     /// into trace headers for provenance. Engine knobs (shards,
     /// workers, ring capacity) are deliberately excluded: results are
@@ -228,6 +327,21 @@ impl ServerConfig {
         // fixtures keep their identities.
         if !self.placement_is_default() {
             repr.push_str(&format!("|place={}", self.placement.label()));
+        }
+        // Same discipline for failover: default runs keep their
+        // pre-failover trace identities.
+        if !self.failover_is_default() {
+            let f = &self.failover;
+            repr.push_str(&format!(
+                "|failover={},{:?},{},{},{},{},{}",
+                f.policy.label(),
+                f.checkpoint_every.map(|d| d.as_nanos()),
+                f.restart_delay.as_nanos(),
+                f.restore_cost.as_nanos(),
+                f.catchup_per_event.as_nanos(),
+                f.restart_budget,
+                f.corrupt_checkpoints,
+            ));
         }
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.bytes() {
@@ -286,6 +400,7 @@ impl ServerBuilder {
                 placement: ServerConfig::default_placement(),
                 placement_config: PlacementConfig::default(),
                 device_vio_cost: Duration::from_millis(12),
+                failover: FailoverConfig::default(),
             },
         }
     }
@@ -372,6 +487,23 @@ impl ServerBuilder {
     /// behaviour.
     pub fn placement(mut self, plan: PlacementPlan) -> Self {
         self.config.placement = plan;
+        self
+    }
+
+    /// Sets the full failover configuration (see [`FailoverConfig`]).
+    pub fn failover(mut self, failover: FailoverConfig) -> Self {
+        self.config.failover = failover;
+        self
+    }
+
+    /// Checkpoints every attached session's state at the first server
+    /// tick at or after each multiple of `period`, and (if no policy
+    /// was chosen yet) selects [`FailoverPolicy::CheckpointCatchup`].
+    pub fn checkpoint_every(mut self, period: Duration) -> Self {
+        self.config.failover.checkpoint_every = Some(period);
+        if self.config.failover.policy == FailoverPolicy::Disabled {
+            self.config.failover.policy = FailoverPolicy::CheckpointCatchup;
+        }
         self
     }
 
@@ -538,6 +670,9 @@ pub struct ServerReport {
     /// Every placement migration the controller decided (or replayed),
     /// in decision order. Empty for pinned plans.
     pub migrations: Vec<Migration>,
+    /// Every fault-domain crash and its recovery outcome, in crash
+    /// order. Empty unless worker-crash faults fired.
+    pub failover_incidents: Vec<FailoverIncident>,
 }
 
 impl ServerReport {
@@ -677,6 +812,41 @@ impl ServerReport {
                     m.from.label(),
                     m.to.label(),
                 ));
+            }
+        }
+        // Failover lines appear only when a fault domain actually
+        // crashed, so every pre-failover golden summary stays
+        // byte-identical.
+        if !self.failover_incidents.is_empty() {
+            let recovered =
+                self.failover_incidents.iter().filter(|i| i.recovered_at.is_some()).count();
+            let lost: u64 = self.failover_incidents.iter().map(|i| i.lost_frames).sum();
+            out.push_str(&format!(
+                "failover: incidents={} recovered={} lost_frames={}\n",
+                self.failover_incidents.len(),
+                recovered,
+                lost,
+            ));
+            for i in &self.failover_incidents {
+                match i.recovered_at {
+                    Some(r) => out.push_str(&format!(
+                        "failover session={} crashed_t={:.3}s recovered_t={:.3}s mode={} \
+                         lost_frames={}\n",
+                        i.session,
+                        i.crashed_at.as_secs_f64(),
+                        r.as_secs_f64(),
+                        i.mode,
+                        i.lost_frames,
+                    )),
+                    None => out.push_str(&format!(
+                        "failover session={} crashed_t={:.3}s recovered_t=never mode={} \
+                         lost_frames={}\n",
+                        i.session,
+                        i.crashed_at.as_secs_f64(),
+                        i.mode,
+                        i.lost_frames,
+                    )),
+                }
             }
         }
         for a in &self.admission {

@@ -90,6 +90,10 @@ pub enum SessionState {
     Rejected,
     /// Departed (mid-run or at end of run).
     Disconnected,
+    /// Lost to a crashed engine fault domain and not (yet) recovered —
+    /// the terminal state of a session whose shard died with failover
+    /// disabled or its restart budget exhausted.
+    Quarantined,
 }
 
 impl SessionState {
@@ -101,6 +105,7 @@ impl SessionState {
             Self::Degraded => "degraded",
             Self::Rejected => "rejected",
             Self::Disconnected => "disconnected",
+            Self::Quarantined => "quarantined",
         }
     }
 }
@@ -141,7 +146,7 @@ pub struct RenderRequest {
 
 /// A cloud-rendered frame arriving at the client. No pixels — the
 /// model tracks only what latency accounting needs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RenderToken {
     /// Matches the originating request's sequence number.
     pub seq: u64,
@@ -167,7 +172,7 @@ pub struct DisplayedFrame {
 }
 
 /// Per-session run counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionTelemetry {
     /// Total motion-to-photon latency per displayed frame, ns.
     pub mtp_ns: Vec<u64>,
@@ -252,6 +257,12 @@ pub struct ClientSession {
     displayed_seq: Option<u64>,
     request_seq: u64,
     vsync_index: u64,
+    /// Total IMU plugin iterations (connect burn included) — the model
+    /// fast-forward count a failover restore replays.
+    imu_iterations: u64,
+    /// Latest server pose estimate delivered, kept for checkpoints so a
+    /// delivered-but-not-yet-anchored slow pose survives a restore.
+    last_slow_pose: Option<PoseEstimate>,
 }
 
 impl ClientSession {
@@ -314,6 +325,8 @@ impl ClientSession {
             displayed_seq: None,
             request_seq: 0,
             vsync_index: 0,
+            imu_iterations: 0,
+            last_slow_pose: None,
         }
     }
 
@@ -399,6 +412,7 @@ impl ClientSession {
         for _ in 0..first_step {
             self.imu.iterate(&self.ctx);
         }
+        self.imu_iterations = first_step;
         self.integrator.start(&self.ctx);
         let sb = &self.ctx.switchboard;
         self.camera_reader =
@@ -416,6 +430,7 @@ impl ClientSession {
     /// One IMU tick: emit the next sample and let the integrator
     /// re-propagate the fast pose.
     pub fn on_imu_due(&mut self) {
+        self.imu_iterations += 1;
         self.imu.iterate(&self.ctx);
         self.integrator.iterate(&self.ctx);
         let reader = self.imu_reader.as_ref().expect("connect() must run first");
@@ -446,6 +461,7 @@ impl ClientSession {
     /// re-anchors on it at the next IMU tick).
     pub fn on_pose_delivered(&mut self, pose: PoseEstimate) {
         self.telemetry.poses_received += 1;
+        self.last_slow_pose = Some(pose);
         self.slow_pose_writer.as_ref().expect("connect() must run first").put(pose);
     }
 
@@ -569,6 +585,124 @@ impl ClientSession {
             &self.ctx.metrics,
             &format!("s{}/", self.id),
         );
+    }
+
+    /// Freezes the session into a deterministic
+    /// [`SessionSnapshot`](crate::snapshot::SessionSnapshot):
+    /// state-machine fields, plugin internals and telemetry, everything
+    /// a [`ClientSession::restore`] needs to resume bit-identically.
+    /// Only meaningful for attached (Running/Degraded) sessions.
+    pub fn snapshot(&self) -> crate::snapshot::SessionSnapshot {
+        let (integrator_state, integrator_history, anchor_timestamp) =
+            self.integrator.snapshot_parts();
+        crate::snapshot::SessionSnapshot {
+            degraded: self.state == SessionState::Degraded,
+            imu_iterations: self.imu_iterations,
+            camera_seq: self.camera.seq(),
+            last_cam: self.camera.last_frame_info(),
+            integrator_state,
+            integrator_history,
+            anchor_timestamp,
+            imu_window: self.imu_window.iter().copied().collect(),
+            // Peek (not `latest()`): a checkpoint must not emit flow
+            // events or consume the reader's once-per-event marker, or
+            // arming checkpoints would perturb the live trace.
+            fast_pose: self.fast_pose.as_ref().and_then(|r| r.peek_latest()).map(|p| **p),
+            last_slow_pose: self.last_slow_pose,
+            latest_token: self.latest_token,
+            displayed_seq: self.displayed_seq,
+            request_seq: self.request_seq,
+            vsync_index: self.vsync_index,
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot, on a fresh private
+    /// [`illixr_core::SimClock`] (returned so the caller can drive
+    /// catch-up replay through it before handing the session the live
+    /// lane runtime via [`ClientSession::adopt_runtime`]).
+    ///
+    /// The reconstruction retraces [`ClientSession::connect`]'s start
+    /// order exactly — plugins start, the IMU model fast-forwards by
+    /// the snapshotted iteration count *before* any reader subscribes,
+    /// the integrator's internals are restored before its `start` (which
+    /// only subscribes, never publishes) — then re-seeds the pose topics
+    /// from the snapshotted latest values and restores the plain state
+    /// fields. Observability is disabled during restore and replay so
+    /// re-applied events never double-record into live histograms.
+    pub fn restore(
+        id: u32,
+        config: SessionConfig,
+        snap: &crate::snapshot::SessionSnapshot,
+        fault: Arc<FaultPlan>,
+    ) -> (Self, illixr_core::SimClock) {
+        let temp_clock = illixr_core::SimClock::new();
+        let mut s = Self::new(id, config, Arc::new(temp_clock.clone()));
+        s.ctx.fault = fault;
+        s.camera.start(&s.ctx);
+        s.imu.start(&s.ctx);
+        // Fast-forward the IMU model with nothing subscribed: the
+        // model's RNG stream advances exactly as many draws as the
+        // snapshotted session had taken.
+        for _ in 0..snap.imu_iterations {
+            s.imu.iterate(&s.ctx);
+        }
+        s.imu_iterations = snap.imu_iterations;
+        s.integrator.restore_parts(
+            snap.integrator_state,
+            snap.integrator_history.clone(),
+            snap.anchor_timestamp,
+        );
+        s.integrator.start(&s.ctx);
+        let sb = &s.ctx.switchboard;
+        s.camera_reader =
+            Some(sb.topic::<StereoFrame>(streams::CAMERA).expect("stream").sync_reader(8));
+        s.imu_reader = Some(sb.topic::<ImuSample>(streams::IMU).expect("stream").sync_reader(2048));
+        s.slow_pose_writer =
+            Some(sb.topic::<PoseEstimate>(streams::SLOW_POSE).expect("stream").writer());
+        s.fast_pose =
+            Some(sb.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").async_reader());
+        s.camera.restore_state(snap.camera_seq, snap.last_cam);
+        // Re-seed the pose topics. The fast pose is what vsyncs stamp
+        // requests with; the slow pose covers an estimate delivered but
+        // not yet anchored (re-anchoring an already-anchored estimate
+        // is a no-op thanks to the integrator's timestamp guard).
+        if let Some(fp) = snap.fast_pose {
+            sb.topic::<PoseEstimate>(streams::FAST_POSE).expect("stream").writer().put(fp);
+        }
+        if let Some(sp) = snap.last_slow_pose {
+            s.slow_pose_writer.as_ref().expect("just set").put(sp);
+        }
+        s.state = if snap.degraded { SessionState::Degraded } else { SessionState::Running };
+        s.telemetry = snap.telemetry.clone();
+        s.imu_window.make_mut().extend(snap.imu_window.iter().copied());
+        s.latest_token = snap.latest_token;
+        s.displayed_seq = snap.displayed_seq;
+        s.request_seq = snap.request_seq;
+        s.vsync_index = snap.vsync_index;
+        s.last_slow_pose = snap.last_slow_pose;
+        (s, temp_clock)
+    }
+
+    /// Swaps the session onto the live lane runtime after catch-up
+    /// replay: the shared clock plus the lane's tracer and metrics.
+    /// Every plugin reads these through the context by reference, so
+    /// the swap takes effect at the next event.
+    pub fn adopt_runtime(
+        &mut self,
+        clock: Arc<dyn Clock>,
+        tracer: illixr_core::obs::Tracer,
+        metrics: illixr_core::obs::Metrics,
+    ) {
+        self.ctx.clock = clock;
+        self.ctx.tracer = tracer;
+        self.ctx.metrics = metrics;
+    }
+
+    /// Marks the session quarantined (its fault domain crashed and no
+    /// recovery is in flight).
+    pub fn quarantine(&mut self) {
+        self.state = SessionState::Quarantined;
     }
 }
 

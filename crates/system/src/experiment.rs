@@ -1160,6 +1160,7 @@ impl IntegratedExperiment {
                 metrics.record("mtp.total", s.total());
             }
             illixr_core::obs::export_topic_gauges(&ctx.switchboard, &metrics, "");
+            illixr_core::obs::export_supervisor_gauges(&ctx.supervisor, &metrics);
         }
         if tracer.is_enabled() {
             for s in &mtp {

@@ -1,0 +1,342 @@
+//! The on-disk checkpoint container: `ILXC`, the snapshot sibling of
+//! the `ILXT` trace.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic        4 bytes   "ILXC"
+//! version      u32       CHECKPOINT_SCHEMA_VERSION
+//! seed         u64       world/config seed of the checkpointed run
+//! config_hash  u64       FNV-1a hash of the run configuration
+//! tag_ns       u64       simulated time the snapshot was captured at
+//! entry_count  u32
+//! per entry:
+//!   name_len   u16
+//!   name       name_len bytes of UTF-8 (e.g. "s3/session")
+//!   len        u32       payload length
+//!   payload    len bytes (opaque to the container)
+//! ```
+//!
+//! The entry payloads are opaque here for the same reason trace record
+//! payloads are: the codec lives with the type that owns the state (the
+//! server's session snapshot codec), not with the container. What the
+//! container *does* own is identity and integrity: the same FNV
+//! config-hash discipline as [`crate::format::Trace`], a schema version
+//! that is bumped on any layout change, and a strict decoder that
+//! rejects bad magic, unknown versions, truncation and trailing bytes
+//! with typed errors. A checkpoint that half-decodes would restore a
+//! half-truth, so nothing structurally suspect is accepted — the
+//! failover path downgrades a corrupt checkpoint to restart-only
+//! recovery instead of guessing.
+//!
+//! # Crash-record replay contract
+//!
+//! Checkpoints compose with the crash records the boundary writes into
+//! `ILXT` traces. The contract, shared by `FaultPlan::crash_due` and
+//! `Boundary::crash_due`:
+//!
+//! * **Recording** — each scheduled crash that fires is appended to the
+//!   stream `crash/<plugin>` at its release tag, one empty-payload
+//!   record per firing. The plan's count of windows opened through time
+//!   `t` (`FaultPlan::crash_count_through`) minus the caller's
+//!   fired-count decides whether the next firing is due.
+//! * **Replay** — a replaying boundary consults *only* the recorded
+//!   `crash/` stream (counting records through the release tag), never
+//!   the replay side's plan, so a recorded run reproduces its crashes —
+//!   and nothing else — whatever plan the replay carries.
+//! * **Checkpoint/restore** — a snapshot taken at `tag_ns` implies
+//!   every crash record with tag ≤ `tag_ns` has been delivered;
+//!   catch-up replay re-applies only later records.
+
+use std::fmt;
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+
+/// File magic: "ILXC" (ILLIXR Checkpoint).
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"ILXC";
+
+/// Current checkpoint schema version. Bump on any layout change —
+/// decoders reject unknown versions rather than guessing (a checkpoint
+/// is a *measurement* of run state, not a document).
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Decode failure modes. Mirrors [`crate::format::TraceError`]:
+/// anything structurally suspect is rejected with a typed error the
+/// failover path can match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with the `ILXC` magic.
+    BadMagic { found: [u8; 4] },
+    /// Header version this decoder does not understand.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The buffer ended mid-structure.
+    Truncated(CodecError),
+    /// An entry name was not valid UTF-8.
+    BadEntryName { entry_index: usize },
+    /// Bytes remained after the last declared entry.
+    TrailingBytes { remaining: usize },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad checkpoint magic {found:?}, expected {CHECKPOINT_MAGIC:?}")
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported checkpoint schema version {found} (this build reads {supported})"
+                )
+            }
+            CheckpointError::Truncated(e) => write!(f, "truncated checkpoint: {e}"),
+            CheckpointError::BadEntryName { entry_index } => {
+                write!(f, "entry {entry_index} has a non-UTF-8 name")
+            }
+            CheckpointError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after the last entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Truncated(e)
+    }
+}
+
+/// A decoded (or about-to-be-encoded) checkpoint: identity header plus
+/// named opaque state entries.
+///
+/// Entries keep insertion order — part of the format's determinism
+/// contract (re-encoding a decoded checkpoint is byte-identical).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Schema version this checkpoint was written with.
+    pub schema_version: u32,
+    /// Seed of the checkpointed run.
+    pub seed: u64,
+    /// Hash of the run configuration, for provenance and mismatch
+    /// rejection at restore time.
+    pub config_hash: u64,
+    /// Simulated time the snapshot was captured at, nanoseconds.
+    pub tag_ns: u64,
+    /// Named state payloads (e.g. `"s3/session"` → session snapshot
+    /// bytes). Opaque to the container.
+    pub entries: Vec<(String, Vec<u8>)>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint with the given identity.
+    pub fn new(seed: u64, config_hash: u64, tag_ns: u64) -> Self {
+        Self {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            seed,
+            config_hash,
+            tag_ns,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The payload of one named entry, if present.
+    pub fn entry(&self, name: &str) -> Option<&[u8]> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, p)| p.as_slice())
+    }
+
+    /// Serialize to the container layout documented at module level.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&CHECKPOINT_MAGIC);
+        w.put_u32(self.schema_version);
+        w.put_u64(self.seed);
+        w.put_u64(self.config_hash);
+        w.put_u64(self.tag_ns);
+        w.put_u32(self.entries.len() as u32);
+        for (name, payload) in &self.entries {
+            w.put_u16(name.len() as u16);
+            w.put_bytes(name.as_bytes());
+            w.put_u32(payload.len() as u32);
+            w.put_bytes(payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Strict decode: magic, version, structure and exact length are
+    /// all enforced.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let magic: [u8; 4] = r.take_bytes(4)?.try_into().unwrap();
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic });
+        }
+        let schema_version = r.take_u32()?;
+        if schema_version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: schema_version,
+                supported: CHECKPOINT_SCHEMA_VERSION,
+            });
+        }
+        let seed = r.take_u64()?;
+        let config_hash = r.take_u64()?;
+        let tag_ns = r.take_u64()?;
+        let entry_count = r.take_u32()? as usize;
+        // Capacity is clamped so a corrupt count cannot trigger a huge
+        // allocation before the reads below catch it.
+        let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
+        for entry_index in 0..entry_count {
+            let name_len = r.take_u16()? as usize;
+            let name = std::str::from_utf8(r.take_bytes(name_len)?)
+                .map_err(|_| CheckpointError::BadEntryName { entry_index })?
+                .to_string();
+            let len = r.take_u32()? as usize;
+            let payload = r.take_bytes(len)?.to_vec();
+            entries.push((name, payload));
+        }
+        if !r.is_empty() {
+            return Err(CheckpointError::TrailingBytes { remaining: r.remaining() });
+        }
+        Ok(Self { schema_version, seed, config_hash, tag_ns, entries })
+    }
+
+    /// Human-readable index: identity line plus one row per entry.
+    /// Committed next to fixtures so a binary checkpoint is reviewable.
+    pub fn index_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "checkpoint v{} seed={:#018x} config_hash={:#018x} tag_ns={}\n",
+            self.schema_version, self.seed, self.config_hash, self.tag_ns
+        ));
+        out.push_str("entry, payload_bytes\n");
+        for (name, payload) in &self.entries {
+            out.push_str(&format!("{name}, {}\n", payload.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint::new(42, 0xABCD, 2_000_000_000);
+        c.entries.push(("s0/session".into(), vec![1, 2, 3, 4]));
+        c.entries.push(("s1/session".into(), vec![]));
+        c.entries.push(("s2/session".into(), vec![9; 80]));
+        c
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let c = sample();
+        let bytes = c.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+        // Re-encoding a decoded checkpoint is byte-identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(Checkpoint::decode(&bytes), Err(CheckpointError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut bytes = sample().encode();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion { found, .. })
+                if found != CHECKPOINT_SCHEMA_VERSION
+        ));
+    }
+
+    #[test]
+    fn rejects_every_truncation_point() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Truncated(_) | CheckpointError::BadMagic { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn entry_lookup_finds_by_name() {
+        let c = sample();
+        assert_eq!(c.entry("s0/session"), Some(&[1u8, 2, 3, 4][..]));
+        assert!(c.entry("s9/session").is_none());
+    }
+
+    #[test]
+    fn index_text_lists_every_entry() {
+        let idx = sample().index_text();
+        assert!(idx.contains("s0/session, 4"));
+        assert!(idx.contains("s2/session, 80"));
+        assert!(idx.contains("tag_ns=2000000000"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Arbitrary entry contents survive an encode→decode round trip
+        // exactly, and the encoding is canonical.
+        #[test]
+        fn arbitrary_checkpoints_round_trip(
+            seed in 0u64..u64::MAX,
+            config_hash in 0u64..u64::MAX,
+            tag_ns in 0u64..u64::MAX,
+            entries in proptest::collection::vec(
+                (0usize..8, proptest::collection::vec(0u8..u8::MAX, 0..64)),
+                0..6,
+            ),
+        ) {
+            let checkpoint = Checkpoint {
+                schema_version: CHECKPOINT_SCHEMA_VERSION,
+                seed,
+                config_hash,
+                tag_ns,
+                entries: entries
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (kind, payload))| (format!("s{i}/state-{kind}"), payload))
+                    .collect(),
+            };
+            let bytes = checkpoint.encode();
+            let back = Checkpoint::decode(&bytes).unwrap();
+            prop_assert_eq!(&back, &checkpoint);
+            prop_assert_eq!(back.encode(), bytes);
+        }
+
+        // Corrupting any single byte of the fixed-layout header region
+        // never panics: it either still decodes (the byte was benign,
+        // e.g. inside seed/config_hash/tag) or yields a typed error.
+        #[test]
+        fn corrupt_header_bytes_never_panic(pos in 0usize..32, val in 0u8..u8::MAX) {
+            let mut bytes = sample().encode();
+            if pos < bytes.len() {
+                bytes[pos] = val;
+            }
+            let _ = Checkpoint::decode(&bytes);
+        }
+    }
+}

@@ -12,6 +12,10 @@
 //!
 //! * **[`mod@format`]** — [`Trace`], [`TraceHeader`], [`TraceRecord`]: the
 //!   versioned, length-prefixed binary container and its text index.
+//! * **[`checkpoint`]** — [`Checkpoint`]: the `ILXC` snapshot sibling
+//!   of the trace container — versioned, length-prefixed, strictly
+//!   decoded session-state snapshots for crash-consistent failover,
+//!   plus the crash-record replay contract docs.
 //! * **[`codec`]** — bounds-checked little-endian primitives shared by
 //!   the container and the payload codecs living next to the types
 //!   they serialize.
@@ -29,6 +33,7 @@
 //! nanoseconds and all payloads opaque bytes, so sensors, links and
 //! the multi-session server share one trace vocabulary.
 
+pub mod checkpoint;
 pub mod codec;
 pub mod divergence;
 pub mod format;
@@ -36,6 +41,7 @@ pub mod recorder;
 pub mod source;
 pub mod transform;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_SCHEMA_VERSION};
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use divergence::{first_divergence, Divergence};
 pub use format::{Trace, TraceError, TraceHeader, TraceRecord, SCHEMA_VERSION};

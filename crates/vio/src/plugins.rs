@@ -141,6 +141,27 @@ impl ImuIntegratorPlugin {
         self.scheme = scheme;
         self
     }
+
+    /// The integrator's internal state for a failover snapshot:
+    /// `(state, history, anchor_timestamp)`.
+    pub fn snapshot_parts(&self) -> (ImuState, Vec<ImuSample>, illixr_core::Time) {
+        (self.state, self.history.clone(), self.anchor_timestamp)
+    }
+
+    /// Restores a snapshot taken with
+    /// [`ImuIntegratorPlugin::snapshot_parts`]. Nothing is published;
+    /// the next `iterate` continues exactly where the snapshotted
+    /// instance would have.
+    pub fn restore_parts(
+        &mut self,
+        state: ImuState,
+        history: Vec<ImuSample>,
+        anchor_timestamp: illixr_core::Time,
+    ) {
+        self.state = state;
+        self.history = history;
+        self.anchor_timestamp = anchor_timestamp;
+    }
 }
 
 impl Plugin for ImuIntegratorPlugin {

@@ -1,0 +1,259 @@
+//! Golden tests for crash-consistent session failover: a run with
+//! injected worker crashes plus checkpoint/catch-up recovery must
+//! produce the same per-session display suffix as a run that never
+//! crashed (the ghost mirror keeps shared-resource contention
+//! identical, and catch-up replay reconstructs the session exactly);
+//! an armed-but-uncrashed failover config must be bitwise inert; the
+//! whole failover pipeline must be deterministic across reruns and
+//! worker counts; and a corrupt checkpoint must surface as a typed
+//! decode error with a graceful restart fallback, never a panic.
+//!
+//! Also pins the `ILXC` checkpoint container format via the committed
+//! `tests/data/checkpoint_fixture.ilxc` (regenerate with
+//! `cargo test --test failover_golden write_checkpoint_fixture -- --ignored`).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use illixr_core::boundary::{Checkpoint, CheckpointError};
+use illixr_core::fault::{FaultKind, FaultPlan, FaultWindow};
+use illixr_core::{Clock, SimClock, Time};
+use illixr_server::session::SessionTelemetry;
+use illixr_server::snapshot::SessionSnapshot;
+use illixr_server::{
+    ClientSession, FailoverConfig, FailoverPolicy, ServerBuilder, ServerReport, SessionConfig,
+};
+
+const CRASH_AT: Duration = Duration::from_millis(900);
+
+fn catchup() -> FailoverConfig {
+    FailoverConfig {
+        policy: FailoverPolicy::CheckpointCatchup,
+        checkpoint_every: Some(Duration::from_millis(300)),
+        ..FailoverConfig::default()
+    }
+}
+
+/// One deterministic `WorkerCrash` window for shard 1, firing at the
+/// first batch that shard executes at or after `CRASH_AT`.
+fn crash_plan() -> FaultPlan {
+    let at = CRASH_AT.as_nanos() as u64;
+    FaultPlan::new(7).with_window(FaultWindow::new(
+        FaultKind::WorkerCrash,
+        "shard/1",
+        at,
+        at + 1,
+        1.0,
+    ))
+}
+
+fn base(n: usize) -> ServerBuilder {
+    ServerBuilder::new().sessions(n).duration(Duration::from_secs(2)).shards(4).workers(1)
+}
+
+/// Per-frame display log at and after `after`, formatted byte-stably.
+fn display_suffix(t: &SessionTelemetry, after: Time) -> String {
+    let mut out = String::new();
+    for (f, mtp) in t.displayed_frames.iter().zip(&t.mtp_ns) {
+        if f.time >= after {
+            out.push_str(&format!("t={} mtp={} pose={:?}\n", f.time.as_nanos(), mtp, f.pose));
+        }
+    }
+    out
+}
+
+fn crashed_run() -> ServerReport {
+    base(8).fault_plan(crash_plan()).failover(catchup()).build().run()
+}
+
+/// Criterion (a): after the recovery point, every session's display
+/// log — times, MTP, warp poses — is byte-identical to the uncrashed
+/// run's, and sessions outside the crashed fault domain are identical
+/// over the whole run.
+#[test]
+fn catchup_recovery_restores_per_session_suffix_byte_identically() {
+    let crashed = crashed_run();
+    let clean = base(8).fault_plan(FaultPlan::new(7)).failover(catchup()).build().run();
+
+    let incidents = &crashed.failover_incidents;
+    assert!(!incidents.is_empty(), "the WorkerCrash window must quarantine shard 1's sessions");
+    for i in incidents {
+        assert_eq!(i.mode, "catchup", "a 300ms checkpoint epoch must enable catch-up");
+        assert!(i.recovered_at.is_some(), "session {} never recovered", i.session);
+    }
+    let recovered_at = incidents.iter().filter_map(|i| i.recovered_at).max().unwrap();
+
+    let crashed_ids: HashSet<u32> = incidents.iter().map(|i| i.session).collect();
+    for (a, b) in crashed.sessions().zip(clean.sessions()) {
+        assert_eq!(
+            display_suffix(a.telemetry(), recovered_at),
+            display_suffix(b.telemetry(), recovered_at),
+            "session {} post-recovery display suffix diverged from the uncrashed run",
+            a.id()
+        );
+        if !crashed_ids.contains(&a.id()) {
+            // The ghost mirror must keep link/pool/render contention
+            // exactly as the live session would have: bystander
+            // sessions never notice the crash.
+            assert_eq!(
+                format!("{:?}", a.telemetry()),
+                format!("{:?}", b.telemetry()),
+                "bystander session {} diverged from the uncrashed run",
+                a.id()
+            );
+        }
+    }
+}
+
+/// Criterion (b): arming failover (checkpoint epochs, journaling)
+/// without any crash must not perturb the engine's output by a single
+/// byte relative to the historical (pre-failover) engine — summary,
+/// metrics CSV and chrome trace alike.
+#[test]
+fn armed_failover_without_crashes_is_bitwise_inert() {
+    use illixr_core::obs::{chrome_trace_json, metrics_csv};
+    let plain = base(8).trace(true).build().run();
+    let armed = base(8).trace(true).failover(catchup()).build().run();
+    let summary = armed.summary_text();
+    assert_eq!(
+        plain.summary_text(),
+        summary,
+        "checkpointing must be invisible until a crash consumes it"
+    );
+    assert!(!summary.contains("failover"), "no incidents means no failover summary lines");
+    assert_eq!(metrics_csv(&plain.metrics), metrics_csv(&armed.metrics), "metrics CSV diverged");
+    assert_eq!(
+        chrome_trace_json(&plain.tracer),
+        chrome_trace_json(&armed.tracer),
+        "chrome trace diverged"
+    );
+}
+
+/// Criterion (c): the whole crash-quarantine-recover pipeline is
+/// deterministic — same seed, same report — and invariant to the
+/// worker count (crash injection lives in the plan, not the threads).
+#[test]
+fn failover_runs_are_bit_identical_across_reruns_and_worker_counts() {
+    let run = |workers: usize| {
+        base(8).workers(workers).fault_plan(crash_plan()).failover(catchup()).build().run()
+    };
+    let a = run(1);
+    assert!(!a.failover_incidents.is_empty(), "crash must fire");
+    let b = run(1);
+    assert_eq!(a.summary_text(), b.summary_text(), "same-seed failover rerun diverged");
+    let c = run(4);
+    assert_eq!(a.summary_text(), c.summary_text(), "failover output depends on worker count");
+}
+
+/// Criterion (d): a corrupt checkpoint is a typed decode error at the
+/// codec layer, and the engine degrades to a restart-only recovery
+/// instead of panicking.
+#[test]
+fn corrupt_checkpoint_yields_typed_error_and_restart_fallback() {
+    let mut ck = Checkpoint::new(42, 0xABCD, 123);
+    ck.entries.push(("session".to_owned(), vec![1, 2, 3, 4]));
+    let mut bytes = ck.encode();
+    bytes.pop();
+    assert!(
+        matches!(Checkpoint::decode(&bytes), Err(CheckpointError::Truncated(_))),
+        "dropping the final byte must decode to a typed truncation error"
+    );
+
+    let report = base(8)
+        .fault_plan(crash_plan())
+        .failover(catchup())
+        .tune(|c| c.failover.corrupt_checkpoints = true)
+        .build()
+        .run();
+    assert!(!report.failover_incidents.is_empty(), "crash must fire");
+    for i in &report.failover_incidents {
+        assert_eq!(
+            i.mode, "restart_fallback",
+            "a corrupt checkpoint must fall back to a budgeted restart"
+        );
+        assert!(i.recovered_at.is_some(), "session {} never recovered via restart", i.session);
+    }
+}
+
+/// Restart-only recovery (no checkpoints) still brings sessions back,
+/// and a disabled policy leaves them quarantined for good.
+#[test]
+fn restart_only_recovers_and_disabled_stays_quarantined() {
+    let restart = base(8)
+        .fault_plan(crash_plan())
+        .failover(FailoverConfig { policy: FailoverPolicy::RestartOnly, ..Default::default() })
+        .build()
+        .run();
+    assert!(!restart.failover_incidents.is_empty());
+    for i in &restart.failover_incidents {
+        assert_eq!(i.mode, "restart");
+        assert!(i.recovered_at.is_some());
+    }
+
+    let disabled = base(8).fault_plan(crash_plan()).build().run();
+    assert!(!disabled.failover_incidents.is_empty());
+    for i in &disabled.failover_incidents {
+        assert_eq!(i.mode, "none");
+        assert!(i.recovered_at.is_none(), "disabled policy must never recover");
+        assert!(i.lost_frames > 0, "a dark session loses display opportunities");
+    }
+}
+
+/// The canonical fixture content: a checkpoint wrapping a genuine
+/// mid-run session snapshot, so the committed bytes pin both the
+/// `ILXC` container and the session-snapshot codec underneath it.
+fn fixture_checkpoint() -> Checkpoint {
+    let clock = Arc::new(SimClock::new());
+    let mut session = ClientSession::new(0, SessionConfig::new(11), clock.clone());
+    session.connect(Time::ZERO, false);
+    let imu_period = Duration::from_secs_f64(1.0 / session.config.imu_hz);
+    for step in 0..40u64 {
+        clock.advance_to(Time::ZERO + imu_period * step as u32);
+        session.on_imu_due();
+        if step % 10 == 9 {
+            let _ = session.on_camera_due();
+        }
+    }
+    let snap = session.snapshot();
+    let mut ck = Checkpoint::new(11, 0x1117_C0DE, clock.now().as_nanos());
+    ck.entries.push(("session".to_owned(), snap.encode()));
+    ck
+}
+
+const FIXTURE_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_fixture.ilxc");
+
+/// Format stability: the committed fixture keeps decoding under the
+/// current schema, re-encodes to the committed bytes, and its embedded
+/// session snapshot round-trips byte-identically.
+#[test]
+fn committed_checkpoint_fixture_round_trips_byte_identically() {
+    let bytes = std::fs::read(FIXTURE_PATH).expect("fixture committed under tests/data/");
+    let ck = Checkpoint::decode(&bytes).expect("fixture decodes under the current schema");
+    assert_eq!(ck.encode(), bytes, "fixture must re-encode to the committed bytes");
+    let entry = ck.entry("session").expect("fixture carries a session snapshot");
+    let snap = SessionSnapshot::decode(entry).expect("embedded snapshot decodes");
+    assert_eq!(snap.encode(), entry, "embedded snapshot must re-encode byte-identically");
+}
+
+/// Corrupt or truncated fixtures are rejected with typed errors, never
+/// misread: every truncation point and a flipped magic byte fail.
+#[test]
+fn corrupted_fixture_bytes_are_rejected() {
+    let bytes = std::fs::read(FIXTURE_PATH).expect("fixture committed under tests/data/");
+    for cut in 0..bytes.len() {
+        assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
+    }
+    let mut flipped = bytes.clone();
+    flipped[0] ^= 0xFF;
+    assert!(matches!(Checkpoint::decode(&flipped), Err(CheckpointError::BadMagic { .. })));
+}
+
+/// Regenerates the committed fixture after an intentional schema bump:
+/// `cargo test --test failover_golden write_checkpoint_fixture -- --ignored`.
+#[test]
+#[ignore]
+fn write_checkpoint_fixture() {
+    std::fs::write(FIXTURE_PATH, fixture_checkpoint().encode()).expect("write fixture");
+}

@@ -183,8 +183,9 @@ fn assert_plan_is_quiet(
         prop_assert!(!link.duplicate(seq));
         prop_assert!(!link.reorder(seq));
     }
-    prop_assert_eq!(plan.crashes_due("vio", now), 0);
-    prop_assert_eq!(plan.crashes_due("imu_integrator", now), 0);
+    prop_assert_eq!(plan.crash_count_through("vio", now), 0);
+    prop_assert_eq!(plan.crash_count_through("imu_integrator", now), 0);
+    prop_assert_eq!(plan.worker_crashes_due("shard/0", now), 0);
     Ok(())
 }
 
